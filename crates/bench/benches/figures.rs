@@ -1,0 +1,138 @@
+//! Criterion benches: one target per paper artifact, exercising the
+//! exact code path that regenerates it (at reduced budgets — Criterion
+//! measures simulator performance and keeps the figure pipelines
+//! continuously exercised; the binaries produce the full-size data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smtsim_bench::bench_lab;
+use smtsim_rob2::{figures, RobConfig, TwoLevelConfig};
+use std::hint::black_box;
+
+/// Two representative mixes: a memory-bound one (the paper's target
+/// workloads) and an execution-bound one (the no-harm case).
+const BENCH_MIXES: [usize; 2] = [1, 10];
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_dod_histogram_baseline", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig1(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_ft_r_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig2(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_dod_histogram_r_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig3(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_ft_relaxed_r_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig4(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_ft_cdr_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig5(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_ft_p_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig6(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_dod_histogram_p_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::fig7(&mut lab, &BENCH_MIXES))
+        })
+    });
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    c.bench_function("threshold_sweep_r_rob", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            black_box(figures::threshold_sweep(&mut lab, &[1], &[4, 16]))
+        })
+    });
+}
+
+fn bench_ablation_release(c: &mut Criterion) {
+    use smtsim_rob2::ReleasePolicy;
+    c.bench_function("ablation_release_policies", |b| {
+        b.iter(|| {
+            let mut lab = bench_lab(42);
+            let mut out = Vec::new();
+            for policy in [
+                ReleasePolicy::TriggerServiced,
+                ReleasePolicy::DrainAndNoMiss,
+                ReleasePolicy::DrainOnly,
+            ] {
+                let mut cfg = TwoLevelConfig::r_rob(16);
+                cfg.release = policy;
+                out.push(lab.run_mix(1, RobConfig::TwoLevel(cfg)).ft);
+            }
+            black_box(out)
+        })
+    });
+}
+
+/// Raw simulator throughput: cycles per second of the Table 1 machine
+/// under the heaviest mix — the number that bounds every experiment.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+    use std::sync::Arc;
+    c.bench_function("simulator_20k_cycles_mix1", |b| {
+        b.iter(|| {
+            let wls = smtsim_workload::mix(1)
+                .instantiate(42)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            let mut sim = Simulator::new(
+                MachineConfig::icpp08(),
+                wls,
+                Box::new(FixedRob::new(32)),
+                42,
+            );
+            sim.run(StopCondition::Cycles(20_000));
+            black_box(sim.stats().total_committed())
+        })
+    });
+}
+
+criterion_group! {
+    name = figures_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+              bench_fig6, bench_fig7, bench_threshold_sweep,
+              bench_ablation_release, bench_simulator_throughput
+}
+criterion_main!(figures_benches);

@@ -1,0 +1,7 @@
+//! Ablation A1 (DESIGN.md §6): sensitivity of the two-level design
+//! choices (recheck cadence, CDR delay, release policy, L2 size).
+fn main() {
+    let mut lab = smtsim_bench::lab_from_env();
+    let fig = smtsim_rob2::figures::ablation(&mut lab, &smtsim_bench::mixes_from_env());
+    print!("{}", smtsim_rob2::report::render_figure(&fig));
+}

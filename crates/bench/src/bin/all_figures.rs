@@ -1,0 +1,68 @@
+//! Regenerates every table and figure into `results/`, printing a
+//! one-line summary per artifact. Honors the same `BUDGET`/`WARMUP`/
+//! `SEED`/`MIXES` environment knobs as the individual binaries.
+//!
+//! ```sh
+//! BUDGET=40000 cargo run --release -p smtsim-bench --bin all_figures
+//! ```
+
+use smtsim_rob2::{figures, report};
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+    let mixes = smtsim_bench::mixes_from_env();
+    let mut lab = smtsim_bench::lab_from_env();
+    eprintln!(
+        "budget={} warmup={} seed={} mixes={mixes:?}",
+        lab.mt_budget, lab.warmup, lab.seed
+    );
+
+    let write = |name: &str, contents: String| -> std::io::Result<()> {
+        fs::write(format!("results/{name}.txt"), &contents)?;
+        eprintln!("results/{name}.txt ({} bytes)", contents.len());
+        Ok(())
+    };
+
+    write("table1", report::render_table1(&lab.machine))?;
+    write("table2", report::render_table2())?;
+
+    let f1 = figures::fig1(&mut lab, &mixes);
+    write("fig1", report::render_histogram(&f1))?;
+    write("fig2", report::render_figure(&figures::fig2(&mut lab, &mixes)))?;
+    let f3 = figures::fig3(&mut lab, &mixes);
+    write(
+        "fig3",
+        format!(
+            "{}mean dependents vs Figure 1: {:+.1}%\n",
+            report::render_histogram(&f3),
+            (f3.pooled_mean() / f1.pooled_mean() - 1.0) * 100.0
+        ),
+    )?;
+    write("fig4", report::render_figure(&figures::fig4(&mut lab, &mixes)))?;
+    write("fig5", report::render_figure(&figures::fig5(&mut lab, &mixes)))?;
+    write("fig6", report::render_figure(&figures::fig6(&mut lab, &mixes)))?;
+    let f7 = figures::fig7(&mut lab, &mixes);
+    write(
+        "fig7",
+        format!(
+            "{}mean dependents vs Figure 1: {:+.1}%\n",
+            report::render_histogram(&f7),
+            (f7.pooled_mean() / f1.pooled_mean() - 1.0) * 100.0
+        ),
+    )?;
+    write(
+        "threshold_sweep",
+        report::render_figure(&figures::threshold_sweep(
+            &mut lab,
+            &mixes,
+            &[1, 2, 4, 8, 12, 16, 24, 32],
+        )),
+    )?;
+    write(
+        "ablation",
+        report::render_figure(&figures::ablation(&mut lab, &mixes)),
+    )?;
+    eprintln!("done");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Figure 5: fair throughput of 2-Level CDR-ROB15 (32-cycle snapshot).
+fn main() {
+    let mut lab = smtsim_bench::lab_from_env();
+    let fig = smtsim_rob2::figures::fig5(&mut lab, &smtsim_bench::mixes_from_env());
+    print!("{}", smtsim_rob2::report::render_figure(&fig));
+}

@@ -1,0 +1,6 @@
+//! Figure 6: fair throughput of 2-Level P-ROB3 and P-ROB5.
+fn main() {
+    let mut lab = smtsim_bench::lab_from_env();
+    let fig = smtsim_rob2::figures::fig6(&mut lab, &smtsim_bench::mixes_from_env());
+    print!("{}", smtsim_rob2::report::render_figure(&fig));
+}

@@ -1,0 +1,13 @@
+//! Figure 7: DoD distribution under 2-Level P-ROB (+120 % mean
+//! captured dependents over Figure 1 in the paper).
+fn main() {
+    let mut lab = smtsim_bench::lab_from_env();
+    let mixes = smtsim_bench::mixes_from_env();
+    let base = smtsim_rob2::figures::fig1(&mut lab, &mixes);
+    let fig = smtsim_rob2::figures::fig7(&mut lab, &mixes);
+    print!("{}", smtsim_rob2::report::render_histogram(&fig));
+    println!(
+        "mean dependents vs Figure 1: {:+.1}%",
+        (fig.pooled_mean() / base.pooled_mean() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the simulated benchmark mixes.
+fn main() {
+    print!("{}", smtsim_rob2::report::render_table2());
+}

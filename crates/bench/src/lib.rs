@@ -1,0 +1,87 @@
+//! Shared harness glue for the figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary here
+//! (`cargo run --release -p smtsim-bench --bin fig2`) that prints the
+//! same rows/series the paper reports, and a Criterion bench target
+//! exercising the same code path at a reduced budget.
+//!
+//! Environment knobs for the binaries:
+//!
+//! * `BUDGET` — committed instructions per run (default 40 000; the
+//!   paper uses 100 M SimPoints, see EXPERIMENTS.md for scaling notes).
+//! * `WARMUP` — functional warm-up instructions (default 60 000).
+//! * `SEED` — workload generation seed (default 42).
+//! * `MIXES` — comma-separated mix indices (default all 11).
+
+use smtsim_rob2::Lab;
+
+/// Parses an environment integer, exiting with a clear message on a
+/// malformed value (a silent fallback would hide a typo'd budget).
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name}={v} is not an integer");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Reads `BUDGET`/`WARMUP`/`SEED` from the environment and builds the
+/// experiment driver.
+pub fn lab_from_env() -> Lab {
+    let budget = env_u64("BUDGET", 40_000);
+    let warmup = env_u64("WARMUP", 60_000);
+    let seed = env_u64("SEED", 42);
+    let mut lab = Lab::new(seed).with_budgets(budget, budget);
+    lab.warmup = warmup;
+    lab
+}
+
+/// Reads `MIXES` from the environment (default: all 11 paper mixes),
+/// exiting with a clear message on malformed or out-of-range entries.
+pub fn mixes_from_env() -> Vec<usize> {
+    let Ok(v) = std::env::var("MIXES") else {
+        return smtsim_rob2::ALL_MIXES.to_vec();
+    };
+    v.split(',')
+        .map(|x| {
+            let idx: usize = x.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: MIXES entry '{x}' is not an integer");
+                std::process::exit(2);
+            });
+            if !(1..=11).contains(&idx) {
+                eprintln!("error: MIXES entry {idx} out of range 1..=11");
+                std::process::exit(2);
+            }
+            idx
+        })
+        .collect()
+}
+
+/// A small lab for Criterion benches: low budget, reduced warm-up.
+pub fn bench_lab(seed: u64) -> Lab {
+    let mut lab = Lab::new(seed).with_budgets(4_000, 4_000);
+    lab.warmup = 10_000;
+    lab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let lab = lab_from_env();
+        assert!(lab.mt_budget > 0);
+        let mixes = mixes_from_env();
+        assert!(!mixes.is_empty() && mixes.iter().all(|&m| (1..=11).contains(&m)));
+    }
+
+    #[test]
+    fn bench_lab_is_small() {
+        let lab = bench_lab(1);
+        assert!(lab.mt_budget <= 10_000);
+    }
+}

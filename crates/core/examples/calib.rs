@@ -1,0 +1,41 @@
+use smtsim_rob2::*;
+
+fn main() {
+    let mixes: Vec<usize> = std::env::args().nth(1).map(|s| s.split(',').map(|x| x.parse().unwrap()).collect()).unwrap_or(vec![1, 5, 9, 10]);
+    let budget: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mut lab = Lab::new(42).with_budgets(budget, budget);
+    if std::env::var("PRIVATE_REGS").is_ok() {
+        lab.machine.shared_regs = false;
+        eprintln!("(per-thread register partitions)");
+    }
+    let configs = [
+        RobConfig::Baseline(32),
+        RobConfig::Baseline(128),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ];
+    let mut avgs = vec![0.0; configs.len()];
+    for &m in &mixes {
+        print!("Mix {m:>2}:");
+        for (i, c) in configs.iter().enumerate() {
+            let r = lab.run_mix(m, *c);
+            avgs[i] += r.ft / mixes.len() as f64;
+            print!("  {}={:.4}", short(&r.config), r.ft);
+            if let Some(tl) = r.twolevel {
+                print!("(a{})", tl.allocations);
+            }
+        }
+        println!();
+    }
+    print!("AVG   :");
+    for (i, c) in configs.iter().enumerate() {
+        print!("  {}={:.4}", short(&c.label()), avgs[i]);
+    }
+    println!();
+    for (i, c) in configs.iter().enumerate().skip(1) {
+        println!("{} vs Baseline_32: {:+.2}%", c.label(), (avgs[i]/avgs[0]-1.0)*100.0);
+    }
+}
+fn short(s: &str) -> String { s.replace("2-Level ", "").replace("Baseline_", "B") }

@@ -1,0 +1,30 @@
+use smtsim_rob2::*;
+
+fn main() {
+    let mix: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let budget: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mut lab = Lab::new(42).with_budgets(budget, budget);
+    for cfg in [
+        RobConfig::Baseline(32),
+        RobConfig::Baseline(128),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ] {
+        let r = lab.run_mix(mix, cfg);
+        println!("== {} Mix{} FT={:.4} cycles={} iq_avg={:.1} iq_full={}",
+            r.config, mix, r.ft, r.stats.cycles, r.stats.avg_iq_occupancy(), r.stats.iq_full_cycles);
+        for (i, t) in r.stats.threads.iter().enumerate() {
+            println!("  t{i}: ipc={:.3} st={:.3} w={:.3} commit={} l2m={} robstall={} regstall={} iqstall={} capstall={} lsqstall={} robavg={:.1}",
+                r.ipc[i], r.single_ipc[i], r.weighted[i], t.committed, t.l2_misses,
+                t.rob_stall_cycles, t.stall_regs, t.stall_iq, t.stall_caps, t.stall_lsq,
+                t.rob_occupancy_sum as f64 / r.stats.cycles as f64);
+        }
+        if let Some(tl) = r.twolevel {
+            println!("  L2: allocs={} releases={} held={} avg_tenure={:.0} rej_dod={} rej_busy={} pred_hits={} pred_cold={} pred_acc={:.2}",
+                tl.allocations, tl.releases, tl.held_cycles,
+                tl.held_cycles as f64 / tl.allocations.max(1) as f64,
+                tl.rejected_dod, tl.rejected_busy, tl.pred_hits, tl.pred_cold, tl.prediction_accuracy());
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Experiment harness: runs Table 2 mixes under ROB configurations and
+//! computes the paper's metrics.
+//!
+//! The [`Lab`] memoizes the single-threaded normalization runs (one per
+//! `(mix, thread-slot)`) so sweeping many ROB configurations — as every
+//! figure does — pays the normalization cost once.
+
+use crate::metrics::{fair_throughput, weighted_ipc};
+use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
+use smtsim_pipeline::{
+    FixedRob, MachineConfig, RobAllocator, SimStats, Simulator, StopCondition,
+};
+use smtsim_workload::mix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A ROB configuration under test.
+#[derive(Clone, Copy, Debug)]
+pub enum RobConfig {
+    /// Private fixed per-thread ROBs (`Baseline_32`, `Baseline_128`).
+    Baseline(usize),
+    /// A two-level scheme.
+    TwoLevel(TwoLevelConfig),
+}
+
+impl RobConfig {
+    /// Builds the allocator.
+    pub fn build(&self) -> Box<dyn RobAllocator> {
+        match *self {
+            RobConfig::Baseline(n) => Box::new(FixedRob::new(n)),
+            RobConfig::TwoLevel(cfg) => Box::new(TwoLevelRob::new(cfg)),
+        }
+    }
+
+    /// Display label (matches the paper's legends).
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+}
+
+/// Result of one mix × configuration run.
+#[derive(Clone, Debug)]
+pub struct MixRun {
+    /// "Mix 1" .. "Mix 11".
+    pub mix: String,
+    /// Configuration label.
+    pub config: String,
+    /// Fair throughput (harmonic mean of weighted IPCs).
+    pub ft: f64,
+    /// Raw throughput (sum of IPCs).
+    pub throughput: f64,
+    /// Per-thread multithreaded IPC.
+    pub ipc: Vec<f64>,
+    /// Per-thread single-threaded (alone) IPC used for normalization.
+    pub single_ipc: Vec<f64>,
+    /// Per-thread weighted IPC.
+    pub weighted: Vec<f64>,
+    /// Full machine statistics.
+    pub stats: SimStats,
+    /// Two-level allocator statistics, when applicable.
+    pub twolevel: Option<TwoLevelStats>,
+}
+
+/// Experiment driver with memoized normalization runs.
+pub struct Lab {
+    /// The multithreaded machine (defaults to Table 1).
+    pub machine: MachineConfig,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Commit target for multithreaded runs (the run stops when any
+    /// thread reaches it, as in the paper).
+    pub mt_budget: u64,
+    /// Commit target for single-threaded normalization runs.
+    pub st_budget: u64,
+    /// Functional warm-up instructions per thread before timed
+    /// simulation (caches and predictors; see `Simulator::warmup`).
+    pub warmup: u64,
+    /// Configuration of the reference machine used for the
+    /// single-threaded normalization runs. Weighted IPCs of *every*
+    /// configuration are normalized against the same reference
+    /// (Baseline_32 alone), so FT values are directly comparable across
+    /// the paper's bar charts.
+    pub norm: RobConfig,
+    single_cache: HashMap<(usize, usize, String), f64>,
+}
+
+impl Lab {
+    /// A lab over the paper's Table 1 machine with laptop-scale
+    /// budgets (see EXPERIMENTS.md for the budget used per figure).
+    pub fn new(seed: u64) -> Self {
+        Lab {
+            machine: MachineConfig::icpp08(),
+            seed,
+            mt_budget: 60_000,
+            st_budget: 60_000,
+            warmup: 60_000,
+            norm: RobConfig::Baseline(32),
+            single_cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the commit budgets.
+    pub fn with_budgets(mut self, mt: u64, st: u64) -> Self {
+        self.mt_budget = mt;
+        self.st_budget = st;
+        self
+    }
+
+    /// Single-threaded IPC of `slot` in `mix_idx` under `rob` — the
+    /// thread running *alone* on that machine (memoized). `run_mix`
+    /// always normalizes with [`Lab::norm`]; this method is public so
+    /// studies can also compute per-configuration baselines.
+    pub fn single_ipc(&mut self, mix_idx: usize, slot: usize, rob: RobConfig) -> f64 {
+        let key = (mix_idx, slot, rob.label());
+        if let Some(&v) = self.single_cache.get(&key) {
+            return v;
+        }
+        let wl = Arc::new(mix(mix_idx).instantiate_single(slot, self.seed));
+        let mut cfg = self.machine.clone();
+        cfg.num_threads = 1;
+        cfg.fetch_threads = 1;
+        let mut sim = Simulator::new(cfg, vec![wl], rob.build(), self.seed);
+        sim.warmup(self.warmup);
+        sim.run(StopCondition::AnyThreadCommitted(self.st_budget));
+        let ipc = sim.stats().threads[0].ipc(sim.cycle());
+        self.single_cache.insert(key, ipc);
+        ipc
+    }
+
+    /// Runs `mix_idx` under `rob` and computes all metrics.
+    pub fn run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> MixRun {
+        let m = mix(mix_idx);
+        let wls = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
+        let mut sim = Simulator::new(self.machine.clone(), wls, rob.build(), self.seed);
+        sim.warmup(self.warmup);
+        sim.run(StopCondition::AnyThreadCommitted(self.mt_budget));
+        let cycles = sim.cycle();
+        let stats = sim.stats().clone();
+        let ipc: Vec<f64> = stats.threads.iter().map(|t| t.ipc(cycles)).collect();
+        let norm = self.norm;
+        let single_ipc: Vec<f64> = (0..ipc.len())
+            .map(|slot| self.single_ipc(mix_idx, slot, norm))
+            .collect();
+        let weighted: Vec<f64> = ipc
+            .iter()
+            .zip(&single_ipc)
+            .map(|(&mt, &st)| weighted_ipc(mt, st))
+            .collect();
+        let twolevel = sim
+            .allocator()
+            .as_any()
+            .downcast_ref::<TwoLevelRob>()
+            .map(|a| a.stats());
+        MixRun {
+            mix: m.name.to_string(),
+            config: rob.label(),
+            ft: fair_throughput(&weighted),
+            throughput: ipc.iter().sum(),
+            ipc,
+            single_ipc,
+            weighted,
+            stats,
+            twolevel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lab() -> Lab {
+        Lab::new(7).with_budgets(8_000, 8_000)
+    }
+
+    #[test]
+    fn single_ipc_is_memoized_and_positive() {
+        let mut lab = small_lab();
+        let a = lab.single_ipc(1, 0, RobConfig::Baseline(32));
+        let b = lab.single_ipc(1, 0, RobConfig::Baseline(32));
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn run_mix_produces_consistent_metrics() {
+        let mut lab = small_lab();
+        let r = lab.run_mix(1, RobConfig::Baseline(32));
+        assert_eq!(r.config, "Baseline_32");
+        assert_eq!(r.ipc.len(), 4);
+        assert!(r.ft > 0.0 && r.ft < 1.5, "ft = {}", r.ft);
+        for (w, (mt, st)) in r.weighted.iter().zip(r.ipc.iter().zip(&r.single_ipc)) {
+            assert!((w - mt / st).abs() < 1e-9);
+            // Sharing a core can't speed a thread up beyond small
+            // measurement noise.
+            assert!(*w < 1.3, "weighted {w}");
+        }
+        assert!(r.twolevel.is_none());
+    }
+
+    #[test]
+    fn two_level_run_reports_allocator_stats() {
+        let mut lab = small_lab();
+        let r = lab.run_mix(1, RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)));
+        assert_eq!(r.config, "2-Level Relaxed R-ROB15");
+        let tl = r.twolevel.expect("two-level stats");
+        assert!(tl.allocations > 0, "memory-bound mix must allocate L2");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RobConfig::Baseline(128).label(), "Baseline_128");
+        assert_eq!(
+            RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)).label(),
+            "2-Level P-ROB5"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let ft = || {
+            let mut lab = small_lab();
+            lab.run_mix(2, RobConfig::Baseline(32)).ft
+        };
+        assert_eq!(ft(), ft());
+    }
+}

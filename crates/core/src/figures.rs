@@ -1,0 +1,313 @@
+//! Regeneration of every figure and table in the paper's evaluation
+//! (§5). Each function returns structured data; `report.rs` renders it
+//! as text, and `smtsim-bench` wraps each in a binary and a Criterion
+//! bench.
+
+use crate::experiment::{Lab, MixRun, RobConfig};
+use crate::metrics::mean;
+use crate::twolevel::{Scheme, TwoLevelConfig};
+use smtsim_pipeline::DodHistogram;
+
+/// All 11 paper mixes.
+pub const ALL_MIXES: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// One line series across mixes (e.g. FT of one configuration).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(mix name, value)` per mix.
+    pub points: Vec<(String, f64)>,
+    /// Arithmetic mean across mixes (the paper's "Average" bar).
+    pub average: f64,
+}
+
+impl Series {
+    fn from_runs(label: impl Into<String>, runs: &[MixRun]) -> Self {
+        let points: Vec<(String, f64)> = runs.iter().map(|r| (r.mix.clone(), r.ft)).collect();
+        let average = mean(&runs.iter().map(|r| r.ft).collect::<Vec<_>>());
+        Series {
+            label: label.into(),
+            points,
+            average,
+        }
+    }
+}
+
+/// A bar-chart style figure: several series over the same mixes.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Figure title.
+    pub title: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Average improvement of `series[idx]` over `series[base]`.
+    pub fn avg_improvement(&self, idx: usize, base: usize) -> f64 {
+        crate::metrics::improvement(self.series[idx].average, self.series[base].average)
+    }
+}
+
+/// A histogram figure: per-mix DoD distributions (Figures 1/3/7).
+#[derive(Clone, Debug)]
+pub struct HistogramData {
+    /// Figure title.
+    pub title: String,
+    /// `(mix name, histogram)` per mix.
+    pub mixes: Vec<(String, DodHistogram)>,
+}
+
+impl HistogramData {
+    /// Mean dependent count pooled over all mixes.
+    pub fn pooled_mean(&self) -> f64 {
+        let mut pooled = DodHistogram::default();
+        for (_, h) in &self.mixes {
+            pooled.merge(h);
+        }
+        pooled.mean()
+    }
+}
+
+fn ft_figure(lab: &mut Lab, title: &str, configs: &[RobConfig], mixes: &[usize]) -> FigureData {
+    let series = configs
+        .iter()
+        .map(|cfg| {
+            let runs: Vec<MixRun> = mixes.iter().map(|&m| lab.run_mix(m, *cfg)).collect();
+            Series::from_runs(cfg.label(), &runs)
+        })
+        .collect();
+    FigureData {
+        title: title.to_string(),
+        series,
+    }
+}
+
+fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
+    let mixes = mixes
+        .iter()
+        .map(|&m| {
+            let run = lab.run_mix(m, cfg);
+            (run.mix.clone(), run.stats.dod_at_fill.clone())
+        })
+        .collect();
+    HistogramData {
+        title: title.to_string(),
+        mixes,
+    }
+}
+
+/// Figure 1: number of instructions dependent on a long-latency load,
+/// observed in the ROB at miss service time, on the baseline machine.
+pub fn fig1(lab: &mut Lab, mixes: &[usize]) -> HistogramData {
+    dod_figure(
+        lab,
+        "Figure 1: DoD at L2-miss service time (Baseline_32)",
+        RobConfig::Baseline(32),
+        mixes,
+    )
+}
+
+/// Figure 2: FT of 2-Level R-ROB16 vs Baseline_32 and Baseline_128.
+pub fn fig2(lab: &mut Lab, mixes: &[usize]) -> FigureData {
+    ft_figure(
+        lab,
+        "Figure 2: FT with 2-Level R-ROB",
+        &[
+            RobConfig::Baseline(32),
+            RobConfig::Baseline(128),
+            RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        ],
+        mixes,
+    )
+}
+
+/// Figure 3: DoD distribution under 2-Level R-ROB16 (the paper reports
+/// a 56 % increase in captured dependents over Figure 1).
+pub fn fig3(lab: &mut Lab, mixes: &[usize]) -> HistogramData {
+    dod_figure(
+        lab,
+        "Figure 3: DoD at L2-miss service time (2-Level R-ROB16)",
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        mixes,
+    )
+}
+
+/// Figure 4: FT of 2-Level Relaxed R-ROB15.
+pub fn fig4(lab: &mut Lab, mixes: &[usize]) -> FigureData {
+    ft_figure(
+        lab,
+        "Figure 4: FT with 2-Level Relaxed R-ROB15",
+        &[
+            RobConfig::Baseline(32),
+            RobConfig::Baseline(128),
+            RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)),
+        ],
+        mixes,
+    )
+}
+
+/// Figure 5: FT of 2-Level CDR-ROB15 (32-cycle count delay).
+pub fn fig5(lab: &mut Lab, mixes: &[usize]) -> FigureData {
+    ft_figure(
+        lab,
+        "Figure 5: FT with 2-Level CDR-ROB15",
+        &[
+            RobConfig::Baseline(32),
+            RobConfig::Baseline(128),
+            RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15)),
+        ],
+        mixes,
+    )
+}
+
+/// Figure 6: FT of 2-Level P-ROB3 and P-ROB5.
+pub fn fig6(lab: &mut Lab, mixes: &[usize]) -> FigureData {
+    ft_figure(
+        lab,
+        "Figure 6: FT with 2-Level P-ROB",
+        &[
+            RobConfig::Baseline(32),
+            RobConfig::Baseline(128),
+            RobConfig::TwoLevel(TwoLevelConfig::p_rob(3)),
+            RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+        ],
+        mixes,
+    )
+}
+
+/// Figure 7: DoD distribution under 2-Level P-ROB (the paper reports a
+/// 120 % increase in captured dependents over Figure 1).
+pub fn fig7(lab: &mut Lab, mixes: &[usize]) -> HistogramData {
+    dod_figure(
+        lab,
+        "Figure 7: DoD at L2-miss service time (2-Level P-ROB5)",
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+        mixes,
+    )
+}
+
+/// §5.2 text: DoD-threshold sweep for the reactive scheme
+/// ("thresholds ranging from 1 to 16"; higher values clog the IQ).
+pub fn threshold_sweep(lab: &mut Lab, mixes: &[usize], thresholds: &[u32]) -> FigureData {
+    let mut configs = vec![RobConfig::Baseline(32)];
+    configs.extend(
+        thresholds
+            .iter()
+            .map(|&t| RobConfig::TwoLevel(TwoLevelConfig::r_rob(t))),
+    );
+    ft_figure(lab, "DoD threshold sweep (2-Level R-ROB)", &configs, mixes)
+}
+
+/// Ablation A1 (DESIGN.md §6): design-choice sensitivity of the
+/// reactive scheme — recheck cadence, CDR snapshot delay, release
+/// policy, and second-level size.
+pub fn ablation(lab: &mut Lab, mixes: &[usize]) -> FigureData {
+    use crate::twolevel::ReleasePolicy;
+    let mut variants: Vec<(String, TwoLevelConfig)> = Vec::new();
+    let base = TwoLevelConfig::r_rob(16);
+    variants.push(("R-ROB16 (paper)".into(), base));
+    for interval in [1, 5, 20] {
+        let mut c = base;
+        c.recheck_interval = interval;
+        variants.push((format!("recheck={interval}"), c));
+    }
+    for delay in [8, 16, 64] {
+        let mut c = TwoLevelConfig::cdr_rob(15);
+        c.scheme = Scheme::CountDelayed { delay };
+        variants.push((format!("CDR delay={delay}"), c));
+    }
+    {
+        let mut c = base;
+        c.release = ReleasePolicy::DrainOnly;
+        variants.push(("release=drain-only".into(), c));
+    }
+    for l2 in [96, 192, 768] {
+        let mut c = base;
+        c.l2_entries = l2;
+        variants.push((format!("L2={l2}"), c));
+    }
+    let series = variants
+        .into_iter()
+        .map(|(label, cfg)| {
+            let runs: Vec<MixRun> = mixes
+                .iter()
+                .map(|&m| lab.run_mix(m, RobConfig::TwoLevel(cfg)))
+                .collect();
+            Series::from_runs(label, &runs)
+        })
+        .collect();
+    FigureData {
+        title: "Ablation: two-level design choices".to_string(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> Lab {
+        Lab::new(11).with_budgets(6_000, 6_000)
+    }
+
+    #[test]
+    fn fig1_histograms_have_samples() {
+        let mut lab = lab();
+        let h = fig1(&mut lab, &[1]);
+        assert_eq!(h.mixes.len(), 1);
+        assert!(h.mixes[0].1.samples > 0);
+        assert!(h.pooled_mean() >= 0.0);
+    }
+
+    #[test]
+    fn fig2_has_three_series_over_requested_mixes() {
+        let mut lab = lab();
+        let f = fig2(&mut lab, &[1, 9]);
+        assert_eq!(f.series.len(), 3);
+        assert_eq!(f.series[0].label, "Baseline_32");
+        assert_eq!(f.series[2].label, "2-Level R-ROB16");
+        for s in &f.series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.average > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig6_includes_both_p_rob_thresholds() {
+        let mut lab = lab();
+        let f = fig6(&mut lab, &[2]);
+        let labels: Vec<&str> = f.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"2-Level P-ROB3"));
+        assert!(labels.contains(&"2-Level P-ROB5"));
+    }
+
+    #[test]
+    fn threshold_sweep_labels() {
+        let mut lab = lab();
+        let f = threshold_sweep(&mut lab, &[1], &[4, 16]);
+        assert_eq!(f.series.len(), 3);
+        assert_eq!(f.series[1].label, "2-Level R-ROB4");
+    }
+
+    #[test]
+    fn avg_improvement_math() {
+        let f = FigureData {
+            title: "t".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![],
+                    average: 1.0,
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![],
+                    average: 1.3,
+                },
+            ],
+        };
+        assert!((f.avg_improvement(1, 0) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Performance metrics: weighted IPC and the paper's **Fair Throughput
+//! (FT)** — the harmonic mean of per-thread weighted IPCs (Luo et al.,
+//! "Balancing Throughput and Fairness in SMT Processors", ISPASS 2001).
+//!
+//! A thread's weighted IPC is its multithreaded IPC divided by its IPC
+//! when running alone on the same machine: its relative slowdown from
+//! sharing. The harmonic mean punishes configurations that starve any
+//! one thread, so FT combines throughput *and* fairness — the property
+//! the paper's evaluation is built on ("the FT metric is NOT biased
+//! towards the architectures that favor threads with high IPC").
+
+/// A thread's weighted IPC: `multithreaded IPC / single-threaded IPC`.
+///
+/// Returns 0 for a degenerate zero single-thread IPC.
+pub fn weighted_ipc(mt_ipc: f64, st_ipc: f64) -> f64 {
+    if st_ipc <= 0.0 {
+        0.0
+    } else {
+        mt_ipc / st_ipc
+    }
+}
+
+/// Harmonic mean of a slice; 0 if empty or if any element is ≤ 0
+/// (a starved thread zeroes fair throughput, by design).
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Fair Throughput: harmonic mean of weighted IPCs.
+pub fn fair_throughput(weighted: &[f64]) -> f64 {
+    harmonic_mean(weighted)
+}
+
+/// Arithmetic mean (for averaging FT across mixes, as the paper's
+/// "Average" bars do).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Relative improvement of `new` over `base`, e.g. `0.30` = +30 %.
+pub fn improvement(new: f64, base: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        new / base - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_ipc_is_relative_slowdown() {
+        assert!((weighted_ipc(0.5, 2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(weighted_ipc(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 0.5]) - (2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_punishes_imbalance() {
+        // Same arithmetic mean, different balance: harmonic prefers the
+        // balanced allocation — the fairness property the paper uses.
+        let balanced = harmonic_mean(&[0.5, 0.5]);
+        let skewed = harmonic_mean(&[0.9, 0.1]);
+        assert!(balanced > skewed);
+    }
+
+    #[test]
+    fn mean_and_improvement() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((improvement(1.3, 1.0) - 0.3).abs() < 1e-12);
+        assert_eq!(improvement(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ft_equals_harmonic_of_weighted() {
+        let w = [0.4, 0.6, 0.8, 0.5];
+        assert!((fair_throughput(&w) - harmonic_mean(&w)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,205 @@
+//! Text rendering of figures and tables, in the row/series layout the
+//! paper's charts use.
+
+use crate::figures::{FigureData, HistogramData};
+use smtsim_pipeline::MachineConfig;
+use smtsim_workload::paper_mixes;
+use std::fmt::Write;
+
+/// Renders an FT bar-chart figure as an aligned text table: one row per
+/// mix plus the Average row, one column per configuration.
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+    let width = fig
+        .series
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let _ = write!(out, "{:<10}", "");
+    for s in &fig.series {
+        let _ = write!(out, " {:>w$}", s.label, w = width);
+    }
+    let _ = writeln!(out);
+    let nrows = fig.series.first().map(|s| s.points.len()).unwrap_or(0);
+    for row in 0..nrows {
+        let _ = write!(out, "{:<10}", fig.series[0].points[row].0);
+        for s in &fig.series {
+            let _ = write!(out, " {:>w$.4}", s.points[row].1, w = width);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<10}", "Average");
+    for s in &fig.series {
+        let _ = write!(out, " {:>w$.4}", s.average, w = width);
+    }
+    let _ = writeln!(out);
+    // Relative improvements over the first series (the paper reports
+    // them against Baseline_32).
+    if fig.series.len() > 1 {
+        let base = fig.series[0].average;
+        for s in &fig.series[1..] {
+            let _ = writeln!(
+                out,
+                "{} vs {}: {:+.2}%",
+                s.label,
+                fig.series[0].label,
+                (s.average / base - 1.0) * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Renders a DoD histogram figure: one row per dependent count
+/// (1..=31, matching the paper's x-axis), one column per mix.
+pub fn render_histogram(fig: &HistogramData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+    let _ = write!(out, "{:>4}", "#dep");
+    for (name, _) in &fig.mixes {
+        let _ = write!(out, " {:>8}", name.replace("Mix ", "Mix"));
+    }
+    let _ = writeln!(out);
+    for dep in 1..=31usize {
+        let _ = write!(out, "{dep:>4}");
+        for (_, h) in &fig.mixes {
+            let _ = write!(out, " {:>8}", h.bins().get(dep).copied().unwrap_or(0));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:>4}", "mean");
+    for (_, h) in &fig.mixes {
+        let _ = write!(out, " {:>8.2}", h.mean());
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "pooled mean dependents: {:.3}", fig.pooled_mean());
+    out
+}
+
+/// Renders Table 1 (the machine configuration).
+pub fn render_table1(cfg: &MachineConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Configuration of the Simulation Environment");
+    let _ = writeln!(
+        out,
+        "Machine width      | {}-wide fetch, {}-wide issue, {}-wide commit",
+        cfg.fetch_width, cfg.issue_width, cfg.commit_width
+    );
+    let _ = writeln!(
+        out,
+        "Window size        | Per Thread: 32 entry 1st level ROB, {} entry LSQ; Shared: {} entry IQ",
+        cfg.lsq_size, cfg.iq_size
+    );
+    let _ = writeln!(
+        out,
+        "Physical registers | {} integer + {} floating-point",
+        cfg.int_regs, cfg.fp_regs
+    );
+    let _ = writeln!(
+        out,
+        "L1 I-cache         | {} KB, {}-way, {} B line, {} cycle hit",
+        cfg.l1i.size >> 10,
+        cfg.l1i.assoc,
+        cfg.l1i.line,
+        cfg.l1i.hit_lat
+    );
+    let _ = writeln!(
+        out,
+        "L1 D-cache         | {} KB, {}-way, {} B line, {} cycle hit",
+        cfg.l1d.size >> 10,
+        cfg.l1d.assoc,
+        cfg.l1d.line,
+        cfg.l1d.hit_lat
+    );
+    let _ = writeln!(
+        out,
+        "L2 unified         | {} MB, {}-way, {} B line, {} cycle hit",
+        cfg.l2.size >> 20,
+        cfg.l2.assoc,
+        cfg.l2.line,
+        cfg.l2.hit_lat
+    );
+    let _ = writeln!(
+        out,
+        "Memory             | {} bit wide, {} cycle first chunk, {} cycle interchunk",
+        cfg.mem.bus_bytes * 8,
+        cfg.mem.first_chunk,
+        cfg.mem.inter_chunk
+    );
+    let _ = writeln!(out, "Fetch policy       | {:?}", cfg.fetch_policy);
+    out
+}
+
+/// Renders Table 2 (the simulated benchmark mixes).
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Simulated Benchmark Mixes");
+    for m in paper_mixes() {
+        let _ = writeln!(
+            out,
+            "{:<7} | {:?} | {}",
+            m.name,
+            m.class,
+            m.benchmarks.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    #[test]
+    fn figure_rendering_includes_rows_and_average() {
+        let fig = FigureData {
+            title: "Test figure".into(),
+            series: vec![
+                Series {
+                    label: "Baseline_32".into(),
+                    points: vec![("Mix 1".into(), 0.5), ("Mix 2".into(), 0.6)],
+                    average: 0.55,
+                },
+                Series {
+                    label: "R-ROB16".into(),
+                    points: vec![("Mix 1".into(), 0.7), ("Mix 2".into(), 0.8)],
+                    average: 0.75,
+                },
+            ],
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("Mix 1"));
+        assert!(s.contains("Average"));
+        assert!(s.contains("R-ROB16 vs Baseline_32"));
+        assert!(s.contains("+36.36%"));
+    }
+
+    #[test]
+    fn histogram_rendering_has_31_rows() {
+        let mut h = smtsim_pipeline::DodHistogram::default();
+        h.record(3);
+        h.record(3);
+        let fig = HistogramData {
+            title: "Hist".into(),
+            mixes: vec![("Mix 1".into(), h)],
+        };
+        let s = render_histogram(&fig);
+        assert_eq!(s.lines().filter(|l| l.trim_start().chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)).count(), 31);
+        assert!(s.contains("pooled mean"));
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = render_table1(&MachineConfig::icpp08());
+        assert!(t1.contains("8-wide fetch"));
+        assert!(t1.contains("224 integer"));
+        assert!(t1.contains("500 cycle first chunk"));
+        let t2 = render_table2();
+        assert!(t2.contains("Mix 11"));
+        assert!(t2.contains("ammp, art, mgrid, apsi"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests of the two-level ROB allocation state machine: for
+//! arbitrary event sequences the allocator must preserve its structural
+//! invariants (exclusive tenure, capacity consistency, balanced
+//! allocate/release accounting, candidate hygiene).
+
+use proptest::prelude::*;
+use smtsim_isa::ThreadId;
+use smtsim_pipeline::{MissEvent, RobAllocator, RobQuery};
+use smtsim_rob2::{ReleasePolicy, Scheme, TwoLevelConfig, TwoLevelRob};
+
+/// A scriptable machine state the allocator observes.
+#[derive(Clone, Debug)]
+struct World {
+    occupancy: Vec<usize>,
+    oldest: Vec<Option<u64>>,
+    counts: Vec<u32>,
+    in_flight: Vec<Vec<u64>>,
+    pending: Vec<bool>,
+}
+
+impl World {
+    fn new(threads: usize) -> Self {
+        World {
+            occupancy: vec![0; threads],
+            oldest: vec![None; threads],
+            counts: vec![0; threads],
+            in_flight: vec![Vec::new(); threads],
+            pending: vec![false; threads],
+        }
+    }
+}
+
+impl RobQuery for World {
+    fn num_threads(&self) -> usize {
+        self.occupancy.len()
+    }
+    fn occupancy(&self, t: ThreadId) -> usize {
+        self.occupancy[t]
+    }
+    fn oldest_tag(&self, t: ThreadId) -> Option<u64> {
+        self.oldest[t]
+    }
+    fn in_flight(&self, t: ThreadId, tag: u64) -> bool {
+        self.in_flight[t].contains(&tag)
+    }
+    fn count_unexecuted_younger(&self, t: ThreadId, tag: u64, _w: usize) -> Option<u32> {
+        self.in_flight(t, tag).then_some(self.counts[t])
+    }
+    fn has_pending_l2_miss(&self, t: ThreadId) -> bool {
+        self.pending[t]
+    }
+}
+
+/// One scripted event applied to the allocator.
+#[derive(Clone, Debug)]
+enum Action {
+    Miss { t: usize, tag: u64, count: u32 },
+    Fill { t: usize, tag: u64, dod: u32 },
+    Squash { t: usize, from: u64 },
+    Drain { t: usize },
+    Refill { t: usize, occ: usize },
+    Tick,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..4, 0u64..32, 0u32..32).prop_map(|(t, tag, count)| Action::Miss { t, tag, count }),
+        (0usize..4, 0u64..32, 0u32..32).prop_map(|(t, tag, dod)| Action::Fill { t, tag, dod }),
+        (0usize..4, 0u64..32).prop_map(|(t, from)| Action::Squash { t, from }),
+        (0usize..4).prop_map(|t| Action::Drain { t }),
+        (0usize..4, 1usize..400).prop_map(|(t, occ)| Action::Refill { t, occ }),
+        Just(Action::Tick),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = TwoLevelConfig> {
+    (
+        prop::sample::select(vec![
+            Scheme::Reactive {
+                require_oldest: true,
+                require_full: true,
+            },
+            Scheme::Reactive {
+                require_oldest: true,
+                require_full: false,
+            },
+            Scheme::CountDelayed { delay: 32 },
+            Scheme::Predictive {
+                predictor: smtsim_rob2::DodPredictorKind::LastValue,
+            },
+        ]),
+        1u32..24,
+        prop::sample::select(vec![
+            ReleasePolicy::TriggerServiced,
+            ReleasePolicy::DrainAndNoMiss,
+            ReleasePolicy::DrainOnly,
+        ]),
+    )
+        .prop_map(|(scheme, threshold, release)| {
+            let mut c = TwoLevelConfig::r_rob(threshold);
+            c.scheme = scheme;
+            c.release = release;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocator_invariants_under_arbitrary_events(
+        cfg in arb_config(),
+        actions in proptest::collection::vec(arb_action(), 1..120),
+    ) {
+        let mut a = TwoLevelRob::new(cfg);
+        let mut w = World::new(4);
+        let mut now = 0u64;
+        for act in actions {
+            match act {
+                Action::Miss { t, tag, count } => {
+                    if !w.in_flight[t].contains(&tag) {
+                        w.in_flight[t].push(tag);
+                    }
+                    w.counts[t] = count;
+                    w.oldest[t] = w.in_flight[t].iter().copied().min();
+                    w.occupancy[t] = w.occupancy[t].max(32);
+                    w.pending[t] = true;
+                    a.on_l2_miss(&w, MissEvent {
+                        thread: t,
+                        tag,
+                        pc: 0x1000 + tag * 4,
+                        hist: 0,
+                        wrong_path: false,
+                    }, now);
+                }
+                Action::Fill { t, tag, dod } => {
+                    w.in_flight[t].retain(|&x| x != tag);
+                    w.oldest[t] = w.in_flight[t].iter().copied().min();
+                    w.pending[t] = !w.in_flight[t].is_empty();
+                    a.on_l2_fill(&w, MissEvent {
+                        thread: t,
+                        tag,
+                        pc: 0x1000 + tag * 4,
+                        hist: 0,
+                        wrong_path: false,
+                    }, dod, now);
+                }
+                Action::Squash { t, from } => {
+                    w.in_flight[t].retain(|&x| x < from);
+                    w.oldest[t] = w.in_flight[t].iter().copied().min();
+                    w.pending[t] = !w.in_flight[t].is_empty();
+                    a.on_squash(t, from);
+                }
+                Action::Drain { t } => {
+                    w.occupancy[t] = 4;
+                }
+                Action::Refill { t, occ } => {
+                    w.occupancy[t] = occ;
+                }
+                Action::Tick => {}
+            }
+            a.tick(&w, now);
+            now += 3;
+
+            // --- invariants ---
+            let s = a.stats();
+            // Balanced accounting: at most one live tenure.
+            prop_assert!(s.releases <= s.allocations);
+            prop_assert!(s.allocations <= s.releases + 1);
+            prop_assert_eq!(a.owner().is_some(), s.allocations == s.releases + 1);
+            // Capacity consistency: exactly the owner may see L1+L2,
+            // and only while not draining; everyone else sees L1.
+            let big = (0..4).filter(|&t| a.capacity(t) > 32).count();
+            prop_assert!(big <= 1, "at most one extended thread");
+            if let Some(o) = a.owner() {
+                for t in 0..4 {
+                    if t != o {
+                        prop_assert_eq!(a.capacity(t), 32);
+                    }
+                }
+            } else {
+                prop_assert_eq!(big, 0);
+            }
+            // Held cycles can never exceed elapsed ticks.
+            prop_assert!(s.held_cycles <= now / 3 + 1);
+        }
+    }
+
+    #[test]
+    fn capacity_is_pure(cfg in arb_config(), t in 0usize..4) {
+        let a = TwoLevelRob::new(cfg);
+        prop_assert_eq!(a.capacity(t), a.capacity(t));
+        prop_assert_eq!(a.capacity(t), cfg.l1_entries);
+        prop_assert_eq!(a.max_capacity(), cfg.l1_entries + cfg.l2_entries);
+    }
+}

@@ -1,0 +1,129 @@
+//! Behavioural pins for the allocation schemes and release policies on
+//! real pipeline traffic (complementing the state-machine unit tests
+//! and the paper-shape assertions).
+
+use smtsim_rob2::{
+    DodPredictorKind, Lab, ReleasePolicy, RobConfig, Scheme, TwoLevelConfig,
+};
+
+fn lab() -> Lab {
+    let mut lab = Lab::new(42).with_budgets(15_000, 15_000);
+    lab.warmup = 40_000;
+    lab
+}
+
+#[test]
+fn trigger_serviced_rotates_but_drain_and_no_miss_monopolizes() {
+    // On a streaming memory mix (Mix 1) the holder under
+    // DrainAndNoMiss almost always has another miss outstanding, so it
+    // keeps the partition across episodes; TriggerServiced hands it
+    // back after every serviced trigger, yielding many more rotations.
+    let mut lab = lab();
+    let mut rotated = TwoLevelConfig::relaxed_r_rob(15);
+    rotated.release = ReleasePolicy::TriggerServiced;
+    let mut sticky = rotated;
+    sticky.release = ReleasePolicy::DrainAndNoMiss;
+
+    let r_rot = lab.run_mix(1, RobConfig::TwoLevel(rotated));
+    let r_sticky = lab.run_mix(1, RobConfig::TwoLevel(sticky));
+    let tl_rot = r_rot.twolevel.unwrap();
+    let tl_sticky = r_sticky.twolevel.unwrap();
+
+    assert!(tl_rot.allocations > 0 && tl_sticky.allocations > 0);
+    let tenure_rot = tl_rot.held_cycles as f64 / tl_rot.allocations as f64;
+    let tenure_sticky = tl_sticky.held_cycles as f64 / tl_sticky.allocations.max(1) as f64;
+    assert!(
+        tenure_sticky > tenure_rot,
+        "sticky tenures ({tenure_sticky:.0} cy) should exceed rotated ones ({tenure_rot:.0} cy)"
+    );
+}
+
+#[test]
+fn all_dod_predictor_kinds_allocate_on_memory_mixes() {
+    let mut lab = lab();
+    for kind in [
+        DodPredictorKind::LastValue,
+        DodPredictorKind::ThresholdBit,
+        DodPredictorKind::Path,
+    ] {
+        let mut cfg = TwoLevelConfig::p_rob(5);
+        cfg.scheme = Scheme::Predictive { predictor: kind };
+        let r = lab.run_mix(1, RobConfig::TwoLevel(cfg));
+        let tl = r.twolevel.unwrap();
+        assert!(tl.allocations > 0, "{kind:?} never allocated");
+        assert!(
+            tl.pred_hits > 0,
+            "{kind:?} never produced a prediction after training"
+        );
+        assert!(r.ft > 0.0);
+    }
+}
+
+#[test]
+fn predictive_allocates_earlier_than_strict_reactive() {
+    // P-ROB decides at miss detection; R-ROB waits for oldest+full.
+    // Earlier allocation ⇒ longer average tenure per allocation.
+    let mut lab = lab();
+    let r_reactive = lab.run_mix(4, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)));
+    let r_pred = lab.run_mix(4, RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)));
+    let t_reactive = {
+        let tl = r_reactive.twolevel.unwrap();
+        tl.held_cycles as f64 / tl.allocations.max(1) as f64
+    };
+    let t_pred = {
+        let tl = r_pred.twolevel.unwrap();
+        tl.held_cycles as f64 / tl.allocations.max(1) as f64
+    };
+    assert!(
+        t_pred > t_reactive,
+        "predictive tenures ({t_pred:.0} cy) should exceed strict-reactive ones ({t_reactive:.0} cy)"
+    );
+}
+
+#[test]
+fn smaller_second_level_still_helps() {
+    // The physical realization may donate only parts of private ROBs;
+    // a 96-entry second level must still engage and not regress.
+    let mut lab = lab();
+    let base = lab.run_mix(1, RobConfig::Baseline(32));
+    let mut cfg = TwoLevelConfig::r_rob(16);
+    cfg.l2_entries = 96;
+    let small = lab.run_mix(1, RobConfig::TwoLevel(cfg));
+    assert!(small.twolevel.unwrap().allocations > 0);
+    assert!(
+        small.ft > base.ft * 0.98,
+        "96-entry L2 ({:.4}) must not regress the baseline ({:.4})",
+        small.ft,
+        base.ft
+    );
+}
+
+#[test]
+fn dense_shadow_loads_are_rejected_by_the_threshold() {
+    // The discrimination mechanism itself: on a chase-heavy mix the
+    // counter must reject a meaningful share of candidates.
+    let mut lab = lab();
+    let r = lab.run_mix(9, RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)));
+    let tl = r.twolevel.unwrap();
+    assert!(
+        tl.rejected_dod > 0,
+        "chase-heavy mixes must trip the DoD threshold"
+    );
+}
+
+#[test]
+fn level2_stats_internally_consistent_on_real_traffic() {
+    let mut lab = lab();
+    for cfg in [
+        TwoLevelConfig::r_rob(16),
+        TwoLevelConfig::cdr_rob(15),
+        TwoLevelConfig::p_rob(5),
+    ] {
+        let r = lab.run_mix(2, RobConfig::TwoLevel(cfg));
+        let tl = r.twolevel.unwrap();
+        assert!(tl.releases <= tl.allocations);
+        assert!(tl.allocations <= tl.releases + 1);
+        assert!(tl.held_cycles <= r.stats.cycles);
+        assert!(tl.pred_correct <= tl.pred_verified);
+    }
+}

@@ -1,0 +1,48 @@
+//! # smtsim-isa
+//!
+//! The micro-op instruction-set model used by the `smtsim` family of
+//! crates, which together reproduce *"Two-Level Reorder Buffers:
+//! Accelerating Memory-Bound Applications on SMT Architectures"*
+//! (Loew & Ponomarev, ICPP 2008).
+//!
+//! The paper evaluates on M-Sim executing Alpha binaries. We model the
+//! view the timing simulator has of those binaries: a stream of typed
+//! micro-ops with architectural register names, effective addresses for
+//! memory operations, and resolved outcomes for branches. Values are
+//! never needed by the timing model — only *names* (for dependencies),
+//! *addresses* (for cache behaviour) and *outcomes* (for control flow) —
+//! so the ISA captures exactly those.
+//!
+//! The crate has three layers:
+//!
+//! * [`reg`] — architectural register names ([`ArchReg`], [`RegClass`]).
+//! * [`op`] — operation classes ([`OpClass`]) and their mapping onto
+//!   functional-unit groups ([`FuGroup`]), plus the Table 1 latencies
+//!   ([`FuTimings`]).
+//! * [`program`] — the *static program* representation
+//!   ([`Program`], [`BasicBlock`], [`StaticInst`]) that the workload
+//!   generator synthesizes and the functional executor walks, and the
+//!   *dynamic instruction* ([`DynInst`]) consumed by the pipeline.
+
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use op::{FuGroup, FuTimings, OpClass};
+pub use program::{
+    BasicBlock, BlockId, BranchBehavior, BranchOutcome, DynInst, InstRole, Program, StaticInst,
+    StreamId,
+};
+pub use reg::{ArchReg, RegClass, NUM_ARCH_FP, NUM_ARCH_INT};
+
+/// A hardware thread context identifier within one SMT core.
+///
+/// The paper simulates a 4-way SMT machine; we allow up to
+/// [`MAX_THREADS`] contexts.
+pub type ThreadId = usize;
+
+/// Maximum number of SMT hardware contexts supported by the model.
+pub const MAX_THREADS: usize = 8;
+
+/// Size in bytes of one instruction slot; PCs advance in units of this.
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,322 @@
+//! Operation classes, functional-unit groups and execution latencies.
+//!
+//! The latency table reproduces Table 1 of the paper:
+//!
+//! ```text
+//! 8 Int Add (1/1), 4 Int Mult (3/1) / Div (20/19),
+//! 4 Load/Store (2/1), 8 FP Add (2), 4 FP Mult (4/1) / Div (12/12) / Sqrt (24/24)
+//! ```
+//!
+//! The notation is `(total latency / issue latency)`: *total* is cycles
+//! from issue to result, *issue* is the unit's occupancy — 1 for fully
+//! pipelined units, equal to total for unpipelined dividers.
+
+use std::fmt;
+
+/// The class of a micro-operation, which determines the functional-unit
+/// group it executes on and its latencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer add/sub/logical/shift/compare.
+    IntAlu,
+    /// Integer multiply.
+    IntMult,
+    /// Integer divide (unpipelined).
+    IntDiv,
+    /// Memory load. Address generation happens on the load/store unit;
+    /// the cache access latency is added by the memory model.
+    Load,
+    /// Memory store. Address generation on the load/store unit; the data
+    /// write happens at commit through the store buffer.
+    Store,
+    /// Conditional branch (executes on an integer ALU).
+    BranchCond,
+    /// Unconditional jump (executes on an integer ALU).
+    BranchUncond,
+    /// Floating-point add/sub/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMult,
+    /// Floating-point divide (unpipelined).
+    FpDiv,
+    /// Floating-point square root (unpipelined).
+    FpSqrt,
+    /// No-operation (still occupies a ROB slot, executes instantly).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, for exhaustive iteration in tests.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::BranchCond,
+        OpClass::BranchUncond,
+        OpClass::FpAdd,
+        OpClass::FpMult,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Nop,
+    ];
+
+    /// The functional-unit group this op issues to, or `None` for ops
+    /// that need no unit (NOPs complete at issue).
+    #[inline]
+    pub fn fu_group(self) -> Option<FuGroup> {
+        match self {
+            OpClass::IntAlu | OpClass::BranchCond | OpClass::BranchUncond => Some(FuGroup::IntAdd),
+            OpClass::IntMult | OpClass::IntDiv => Some(FuGroup::IntMultDiv),
+            OpClass::Load | OpClass::Store => Some(FuGroup::LdSt),
+            OpClass::FpAdd => Some(FuGroup::FpAdd),
+            OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt => Some(FuGroup::FpMultDivSqrt),
+            OpClass::Nop => None,
+        }
+    }
+
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for conditional and unconditional branches.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::BranchCond | OpClass::BranchUncond)
+    }
+
+    /// True for operations executing in the floating-point cluster.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMult => "mult",
+            OpClass::IntDiv => "div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::BranchCond => "br",
+            OpClass::BranchUncond => "jmp",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMult => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit group: a pool of identical units sharing an issue port
+/// class. Counts per group come from [`FuTimings`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuGroup {
+    /// Integer adders (also execute branches).
+    IntAdd,
+    /// Integer multiplier/dividers.
+    IntMultDiv,
+    /// Load/store address-generation ports.
+    LdSt,
+    /// Floating-point adders.
+    FpAdd,
+    /// Floating-point multiply/divide/sqrt units.
+    FpMultDivSqrt,
+}
+
+impl FuGroup {
+    /// All groups, in dense-index order.
+    pub const ALL: [FuGroup; 5] = [
+        FuGroup::IntAdd,
+        FuGroup::IntMultDiv,
+        FuGroup::LdSt,
+        FuGroup::FpAdd,
+        FuGroup::FpMultDivSqrt,
+    ];
+
+    /// Dense index for array-backed per-group state.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuGroup::IntAdd => 0,
+            FuGroup::IntMultDiv => 1,
+            FuGroup::LdSt => 2,
+            FuGroup::FpAdd => 3,
+            FuGroup::FpMultDivSqrt => 4,
+        }
+    }
+}
+
+/// Latency pair `(total, issue)` for one op class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latency {
+    /// Cycles from issue until the result is available for dependents.
+    pub total: u32,
+    /// Cycles the functional unit stays busy (1 = fully pipelined).
+    pub issue: u32,
+}
+
+/// Functional-unit counts and per-op latencies for a machine
+/// configuration. [`FuTimings::icpp08`] reproduces the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuTimings {
+    /// Number of units in each [`FuGroup`], indexed by [`FuGroup::index`].
+    pub counts: [usize; 5],
+    latencies: [Latency; 12],
+}
+
+impl FuTimings {
+    /// The Table 1 configuration of the paper.
+    pub fn icpp08() -> Self {
+        let mut latencies = [Latency { total: 1, issue: 1 }; 12];
+        let set = |l: &mut [Latency; 12], op: OpClass, total: u32, issue: u32| {
+            l[Self::op_index(op)] = Latency { total, issue };
+        };
+        set(&mut latencies, OpClass::IntAlu, 1, 1);
+        set(&mut latencies, OpClass::IntMult, 3, 1);
+        set(&mut latencies, OpClass::IntDiv, 20, 19);
+        // Load/store address generation: (2/1). Cache latency is added on
+        // top by the memory hierarchy model.
+        set(&mut latencies, OpClass::Load, 2, 1);
+        set(&mut latencies, OpClass::Store, 2, 1);
+        set(&mut latencies, OpClass::BranchCond, 1, 1);
+        set(&mut latencies, OpClass::BranchUncond, 1, 1);
+        set(&mut latencies, OpClass::FpAdd, 2, 1);
+        set(&mut latencies, OpClass::FpMult, 4, 1);
+        set(&mut latencies, OpClass::FpDiv, 12, 12);
+        set(&mut latencies, OpClass::FpSqrt, 24, 24);
+        set(&mut latencies, OpClass::Nop, 1, 1);
+        FuTimings {
+            // 8 IntAdd, 4 IntMult/Div, 4 Ld/St, 8 FpAdd, 4 FpMult/Div/Sqrt
+            counts: [8, 4, 4, 8, 4],
+            latencies,
+        }
+    }
+
+    fn op_index(op: OpClass) -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("op in ALL")
+    }
+
+    /// Latency pair for `op`.
+    #[inline]
+    pub fn latency(&self, op: OpClass) -> Latency {
+        self.latencies[Self::op_index(op)]
+    }
+
+    /// Overrides the latency of one op class (used by ablation studies).
+    pub fn set_latency(&mut self, op: OpClass, total: u32, issue: u32) {
+        self.latencies[Self::op_index(op)] = Latency { total, issue };
+    }
+
+    /// Number of units in `group`.
+    #[inline]
+    pub fn unit_count(&self, group: FuGroup) -> usize {
+        self.counts[group.index()]
+    }
+}
+
+impl Default for FuTimings {
+    fn default() -> Self {
+        FuTimings::icpp08()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies() {
+        let t = FuTimings::icpp08();
+        assert_eq!(t.latency(OpClass::IntAlu), Latency { total: 1, issue: 1 });
+        assert_eq!(t.latency(OpClass::IntMult), Latency { total: 3, issue: 1 });
+        assert_eq!(
+            t.latency(OpClass::IntDiv),
+            Latency {
+                total: 20,
+                issue: 19
+            }
+        );
+        assert_eq!(t.latency(OpClass::Load), Latency { total: 2, issue: 1 });
+        assert_eq!(t.latency(OpClass::FpAdd), Latency { total: 2, issue: 1 });
+        assert_eq!(t.latency(OpClass::FpMult), Latency { total: 4, issue: 1 });
+        assert_eq!(
+            t.latency(OpClass::FpDiv),
+            Latency {
+                total: 12,
+                issue: 12
+            }
+        );
+        assert_eq!(
+            t.latency(OpClass::FpSqrt),
+            Latency {
+                total: 24,
+                issue: 24
+            }
+        );
+    }
+
+    #[test]
+    fn table1_unit_counts() {
+        let t = FuTimings::icpp08();
+        assert_eq!(t.unit_count(FuGroup::IntAdd), 8);
+        assert_eq!(t.unit_count(FuGroup::IntMultDiv), 4);
+        assert_eq!(t.unit_count(FuGroup::LdSt), 4);
+        assert_eq!(t.unit_count(FuGroup::FpAdd), 8);
+        assert_eq!(t.unit_count(FuGroup::FpMultDivSqrt), 4);
+    }
+
+    #[test]
+    fn every_op_maps_to_a_group_or_none() {
+        for op in OpClass::ALL {
+            match op {
+                OpClass::Nop => assert!(op.fu_group().is_none()),
+                _ => assert!(op.fu_group().is_some(), "{op} must have a group"),
+            }
+        }
+    }
+
+    #[test]
+    fn branches_execute_on_int_add() {
+        assert_eq!(OpClass::BranchCond.fu_group(), Some(FuGroup::IntAdd));
+        assert_eq!(OpClass::BranchUncond.fu_group(), Some(FuGroup::IntAdd));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::BranchCond.is_branch());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::FpSqrt.is_fp());
+        assert!(!OpClass::IntDiv.is_fp());
+    }
+
+    #[test]
+    fn set_latency_overrides() {
+        let mut t = FuTimings::icpp08();
+        t.set_latency(OpClass::IntMult, 5, 2);
+        assert_eq!(t.latency(OpClass::IntMult), Latency { total: 5, issue: 2 });
+    }
+
+    #[test]
+    fn group_indices_dense() {
+        for (i, g) in FuGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Static program representation and dynamic instructions.
+//!
+//! A [`Program`] is a control-flow graph of [`BasicBlock`]s containing
+//! [`StaticInst`]s. The workload generator (`smtsim-workload`)
+//! synthesizes programs whose register dataflow, branch behaviour and
+//! memory-access streams imitate the SPEC CPU2000 benchmarks of the
+//! paper's Table 2; its functional executor walks the CFG and emits
+//! [`DynInst`]s, the unit of work the timing pipeline consumes.
+//!
+//! Because the program is *static* — the same PC always names the same
+//! instruction with the same register dataflow — PC-indexed hardware
+//! structures (gshare, BTB and the paper's §4.2 Degree-of-Dependence
+//! predictor) observe the locality the paper's predictive scheme relies
+//! on.
+
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+use crate::INST_BYTES;
+use std::fmt;
+
+/// Index of a basic block within a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a memory-access stream descriptor.
+///
+/// The descriptor itself (stride, pointer-chase, random, footprint size)
+/// lives in `smtsim-workload`; the ISA only carries the handle so a
+/// static load/store is permanently associated with one access pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u32);
+
+/// Deterministic behaviour descriptor of one static branch, evaluated by
+/// the functional executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchBehavior {
+    /// Loop back-edge: taken `trip - 1` consecutive times, then not taken
+    /// once (the loop exits), repeating. `trip >= 1`.
+    Loop {
+        /// Iterations per loop entry.
+        trip: u32,
+    },
+    /// Biased branch: taken with probability `taken_pm / 1000`,
+    /// pseudo-randomly but deterministically per dynamic instance.
+    Biased {
+        /// Per-mille probability of being taken.
+        taken_pm: u16,
+    },
+    /// Unconditional transfer; always taken.
+    Always,
+}
+
+/// Resolved outcome of a dynamic branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The PC executed next (target if taken, fall-through otherwise).
+    pub next_pc: u64,
+}
+
+/// Role-specific payload of a static instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstRole {
+    /// Plain computational instruction.
+    None,
+    /// Load or store drawing addresses from `stream`.
+    Mem {
+        /// The access-stream handle.
+        stream: StreamId,
+    },
+    /// Branch with `behavior` transferring control to `target` when taken.
+    Branch {
+        /// Outcome generator.
+        behavior: BranchBehavior,
+        /// Taken-path successor block.
+        target: BlockId,
+    },
+}
+
+/// One static micro-op: operation class, register names, and role payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the op produces a value. `None` for
+    /// stores, branches and NOPs.
+    pub dst: Option<ArchReg>,
+    /// Up to two source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Role payload (memory stream / branch behaviour).
+    pub role: InstRole,
+}
+
+impl StaticInst {
+    /// A computational op `dst <- op(srcs)`.
+    pub fn compute(op: OpClass, dst: ArchReg, srcs: [Option<ArchReg>; 2]) -> Self {
+        debug_assert!(!op.is_mem() && !op.is_branch());
+        StaticInst {
+            op,
+            dst: Some(dst),
+            srcs,
+            role: InstRole::None,
+        }
+    }
+
+    /// A load `dst <- [stream]` whose address depends on `addr_src`
+    /// (e.g. a pointer-chase uses its own previous result).
+    pub fn load(dst: ArchReg, addr_src: Option<ArchReg>, stream: StreamId) -> Self {
+        StaticInst {
+            op: OpClass::Load,
+            dst: Some(dst),
+            srcs: [addr_src, None],
+            role: InstRole::Mem { stream },
+        }
+    }
+
+    /// A store `[stream] <- data_src`, address depending on `addr_src`.
+    pub fn store(data_src: Option<ArchReg>, addr_src: Option<ArchReg>, stream: StreamId) -> Self {
+        StaticInst {
+            op: OpClass::Store,
+            dst: None,
+            srcs: [addr_src, data_src],
+            role: InstRole::Mem { stream },
+        }
+    }
+
+    /// A conditional branch reading `cond_src`.
+    pub fn branch(cond_src: Option<ArchReg>, behavior: BranchBehavior, target: BlockId) -> Self {
+        let op = if matches!(behavior, BranchBehavior::Always) {
+            OpClass::BranchUncond
+        } else {
+            OpClass::BranchCond
+        };
+        StaticInst {
+            op,
+            dst: None,
+            srcs: [cond_src, None],
+            role: InstRole::Branch { behavior, target },
+        }
+    }
+
+    /// A no-op.
+    pub fn nop() -> Self {
+        StaticInst {
+            op: OpClass::Nop,
+            dst: None,
+            srcs: [None, None],
+            role: InstRole::None,
+        }
+    }
+
+    /// Memory-stream handle, if this is a load/store.
+    pub fn stream(&self) -> Option<StreamId> {
+        match self.role {
+            InstRole::Mem { stream } => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// Branch payload, if this is a branch.
+    pub fn branch_info(&self) -> Option<(BranchBehavior, BlockId)> {
+        match self.role {
+            InstRole::Branch { behavior, target } => Some((behavior, target)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, " {s}")?;
+        }
+        match self.role {
+            InstRole::Mem { stream } => write!(f, " @s{}", stream.0)?,
+            InstRole::Branch { target, .. } => write!(f, " -> b{}", target.0)?,
+            InstRole::None => {}
+        }
+        Ok(())
+    }
+}
+
+/// A straight-line sequence of instructions with a single exit.
+///
+/// Only the *last* instruction may be a branch. If the last instruction
+/// is not taken (or is not a branch), control continues at
+/// `fallthrough`.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// The instructions, in program order. Must be non-empty.
+    pub insts: Vec<StaticInst>,
+    /// Successor when execution falls off the end of the block.
+    pub fallthrough: BlockId,
+}
+
+impl BasicBlock {
+    /// Creates a block; `insts` must be non-empty and contain branches
+    /// only in the final position.
+    pub fn new(insts: Vec<StaticInst>, fallthrough: BlockId) -> Self {
+        assert!(!insts.is_empty(), "basic block must be non-empty");
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op.is_branch() {
+                assert_eq!(i, insts.len() - 1, "branch must terminate the block");
+            }
+        }
+        BasicBlock { insts, fallthrough }
+    }
+
+    /// The terminating branch, if any.
+    pub fn terminator(&self) -> Option<&StaticInst> {
+        self.insts.last().filter(|i| i.op.is_branch())
+    }
+}
+
+/// A complete static program: a CFG with assigned PCs.
+///
+/// Programs are *endless*: every block has a valid successor, so the
+/// functional executor can produce an unbounded dynamic stream (the
+/// paper simulates fixed instruction budgets out of endless SPEC
+/// regions).
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    /// Instruction index of the first instruction of each block.
+    block_base: Vec<u32>,
+    /// Base address added to all PCs (gives threads distinct code
+    /// regions so predictor aliasing across threads is realistic rather
+    /// than total).
+    pc_base: u64,
+    total_insts: u32,
+    entry: BlockId,
+}
+
+impl Program {
+    /// Builds and validates a program.
+    ///
+    /// # Panics
+    /// Panics if any block is empty, any successor (fall-through or
+    /// branch target) is out of range, or `blocks` is empty.
+    pub fn new(name: impl Into<String>, blocks: Vec<BasicBlock>, entry: BlockId, pc_base: u64) -> Self {
+        assert!(!blocks.is_empty(), "program must have at least one block");
+        assert!((entry.0 as usize) < blocks.len(), "entry out of range");
+        let n = blocks.len() as u32;
+        let mut block_base = Vec::with_capacity(blocks.len());
+        let mut total = 0u32;
+        for b in &blocks {
+            assert!(b.fallthrough.0 < n, "fallthrough target out of range");
+            if let Some(t) = b.terminator() {
+                let (_, target) = t.branch_info().expect("terminator is branch");
+                assert!(target.0 < n, "branch target out of range");
+            }
+            block_base.push(total);
+            total += b.insts.len() as u32;
+        }
+        Program {
+            name: name.into(),
+            blocks,
+            block_base,
+            pc_base,
+            total_insts: total,
+            entry,
+        }
+    }
+
+    /// Program name (benchmark name for synthetic SPEC workloads).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of static instructions.
+    pub fn num_insts(&self) -> u32 {
+        self.total_insts
+    }
+
+    /// Base PC of the program's code region.
+    pub fn pc_base(&self) -> u64 {
+        self.pc_base
+    }
+
+    /// Access a block.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// PC of instruction `idx` within block `id`.
+    #[inline]
+    pub fn pc_of(&self, id: BlockId, idx: usize) -> u64 {
+        self.pc_base + (self.block_base[id.0 as usize] as u64 + idx as u64) * INST_BYTES
+    }
+
+    /// Maps a PC back to its `(block, index)` position, or `None` if the
+    /// PC lies outside the program's code region. Used for wrong-path
+    /// fetch after a branch misprediction.
+    pub fn locate(&self, pc: u64) -> Option<(BlockId, usize)> {
+        if pc < self.pc_base || !(pc - self.pc_base).is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let inst_idx = ((pc - self.pc_base) / INST_BYTES) as u32;
+        if inst_idx >= self.total_insts {
+            return None;
+        }
+        let block = match self.block_base.binary_search(&inst_idx) {
+            Ok(b) => b,
+            Err(ins) => ins - 1,
+        };
+        Some((BlockId(block as u32), (inst_idx - self.block_base[block]) as usize))
+    }
+
+    /// Iterate `(BlockId, &BasicBlock)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Renders a disassembly listing (for debugging workload generators).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (id, b) in self.iter_blocks() {
+            let _ = writeln!(out, "b{}:", id.0);
+            for (i, inst) in b.insts.iter().enumerate() {
+                let _ = writeln!(out, "  {:#010x}  {inst}", self.pc_of(id, i));
+            }
+            let _ = writeln!(out, "  ; fallthrough -> b{}", b.fallthrough.0);
+        }
+        out
+    }
+}
+
+/// One dynamic instruction produced by the functional executor and
+/// consumed by the timing pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynInst {
+    /// Program counter of the static instruction.
+    pub pc: u64,
+    /// Dynamic sequence number within the thread (0-based).
+    pub seq: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Effective address (valid when `op.is_mem()`).
+    pub mem_addr: u64,
+    /// Branch outcome: taken flag (valid when `op.is_branch()`).
+    pub taken: bool,
+    /// PC of the next dynamic instruction in program order.
+    pub next_pc: u64,
+}
+
+impl DynInst {
+    /// The resolved branch outcome, if this is a branch.
+    pub fn outcome(&self) -> Option<BranchOutcome> {
+        self.op.is_branch().then_some(BranchOutcome {
+            taken: self.taken,
+            next_pc: self.next_pc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+
+    fn tiny_loop() -> Program {
+        // b0: alu r1 r1 ; load r2 ; br(loop 4) -> b0 ; fall to b0
+        let b0 = BasicBlock::new(
+            vec![
+                StaticInst::compute(OpClass::IntAlu, ArchReg::int(1), [Some(ArchReg::int(1)), None]),
+                StaticInst::load(ArchReg::int(2), Some(ArchReg::int(1)), StreamId(0)),
+                StaticInst::branch(
+                    Some(ArchReg::int(2)),
+                    BranchBehavior::Loop { trip: 4 },
+                    BlockId(0),
+                ),
+            ],
+            BlockId(0),
+        );
+        Program::new("tiny", vec![b0], BlockId(0), 0x1000)
+    }
+
+    #[test]
+    fn pcs_are_assigned_densely() {
+        let p = tiny_loop();
+        assert_eq!(p.pc_of(BlockId(0), 0), 0x1000);
+        assert_eq!(p.pc_of(BlockId(0), 1), 0x1004);
+        assert_eq!(p.pc_of(BlockId(0), 2), 0x1008);
+        assert_eq!(p.num_insts(), 3);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let p = tiny_loop();
+        for i in 0..3 {
+            let pc = p.pc_of(BlockId(0), i);
+            assert_eq!(p.locate(pc), Some((BlockId(0), i)));
+        }
+        assert_eq!(p.locate(0x0), None); // below base
+        assert_eq!(p.locate(0x1000 + 3 * 4), None); // past end
+        assert_eq!(p.locate(0x1002), None); // misaligned
+    }
+
+    #[test]
+    fn locate_multi_block() {
+        let b0 = BasicBlock::new(vec![StaticInst::nop(), StaticInst::nop()], BlockId(1));
+        let b1 = BasicBlock::new(vec![StaticInst::nop()], BlockId(0));
+        let p = Program::new("two", vec![b0, b1], BlockId(0), 0x100);
+        assert_eq!(p.locate(0x100), Some((BlockId(0), 0)));
+        assert_eq!(p.locate(0x104), Some((BlockId(0), 1)));
+        assert_eq!(p.locate(0x108), Some((BlockId(1), 0)));
+    }
+
+    #[test]
+    fn multi_block_pc_bases() {
+        let b0 = BasicBlock::new(vec![StaticInst::nop(), StaticInst::nop()], BlockId(1));
+        let b1 = BasicBlock::new(vec![StaticInst::nop()], BlockId(0));
+        let p = Program::new("two", vec![b0, b1], BlockId(0), 0);
+        assert_eq!(p.pc_of(BlockId(1), 0), 8);
+        assert_eq!(p.num_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch must terminate")]
+    fn branch_mid_block_rejected() {
+        let _ = BasicBlock::new(
+            vec![
+                StaticInst::branch(None, BranchBehavior::Always, BlockId(0)),
+                StaticInst::nop(),
+            ],
+            BlockId(0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_block_rejected() {
+        let _ = BasicBlock::new(vec![], BlockId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "branch target out of range")]
+    fn bad_branch_target_rejected() {
+        let b0 = BasicBlock::new(
+            vec![StaticInst::branch(None, BranchBehavior::Always, BlockId(7))],
+            BlockId(0),
+        );
+        let _ = Program::new("bad", vec![b0], BlockId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fallthrough target out of range")]
+    fn bad_fallthrough_rejected() {
+        let b0 = BasicBlock::new(vec![StaticInst::nop()], BlockId(3));
+        let _ = Program::new("bad", vec![b0], BlockId(0), 0);
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let p = tiny_loop();
+        let b = p.block(BlockId(0));
+        assert!(b.terminator().is_some());
+        let b2 = BasicBlock::new(vec![StaticInst::nop()], BlockId(0));
+        assert!(b2.terminator().is_none());
+    }
+
+    #[test]
+    fn constructors_set_roles() {
+        let ld = StaticInst::load(ArchReg::int(1), None, StreamId(9));
+        assert_eq!(ld.stream(), Some(StreamId(9)));
+        assert_eq!(ld.op, OpClass::Load);
+        let st = StaticInst::store(Some(ArchReg::int(2)), Some(ArchReg::int(3)), StreamId(1));
+        assert_eq!(st.dst, None);
+        assert_eq!(st.srcs, [Some(ArchReg::int(3)), Some(ArchReg::int(2))]);
+        let br = StaticInst::branch(None, BranchBehavior::Always, BlockId(0));
+        assert_eq!(br.op, OpClass::BranchUncond);
+        let brc = StaticInst::branch(None, BranchBehavior::Biased { taken_pm: 500 }, BlockId(0));
+        assert_eq!(brc.op, OpClass::BranchCond);
+        assert!(brc.branch_info().is_some());
+    }
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let p = tiny_loop();
+        let dis = p.disassemble();
+        assert!(dis.contains("alu r1 r1"));
+        assert!(dis.contains("load r2 r1 @s0"));
+        assert!(dis.contains("-> b0"));
+    }
+
+    #[test]
+    fn dyn_inst_outcome() {
+        let mut d = DynInst {
+            pc: 0,
+            seq: 0,
+            op: OpClass::BranchCond,
+            dst: None,
+            srcs: [None, None],
+            mem_addr: 0,
+            taken: true,
+            next_pc: 0x40,
+        };
+        assert_eq!(
+            d.outcome(),
+            Some(BranchOutcome {
+                taken: true,
+                next_pc: 0x40
+            })
+        );
+        d.op = OpClass::IntAlu;
+        assert_eq!(d.outcome(), None);
+    }
+}

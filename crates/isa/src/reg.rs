@@ -1,0 +1,203 @@
+//! Architectural register names.
+//!
+//! The model follows the Alpha register layout M-Sim sees: 32 integer and
+//! 32 floating-point architectural registers per thread. Register *zero*
+//! of each class is hardwired (reads as constant, writes discarded), like
+//! Alpha's `$31`/`$f31`; the rename machinery in `smtsim-pipeline` relies
+//! on this to avoid allocating physical registers for it.
+
+use std::fmt;
+
+/// Number of integer architectural registers per thread.
+pub const NUM_ARCH_INT: usize = 32;
+/// Number of floating-point architectural registers per thread.
+pub const NUM_ARCH_FP: usize = 32;
+
+/// Register class: each class has its own physical register file
+/// (224 + 224 in the paper's Table 1 configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer registers (`r0..r31`).
+    Int,
+    /// Floating-point registers (`f0..f31`).
+    Fp,
+}
+
+impl RegClass {
+    /// Both register classes, in a fixed order usable for indexing.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Dense index of the class (0 = Int, 1 = Fp).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+
+    /// Number of architectural registers in this class.
+    #[inline]
+    pub fn arch_count(self) -> usize {
+        match self {
+            RegClass::Int => NUM_ARCH_INT,
+            RegClass::Fp => NUM_ARCH_FP,
+        }
+    }
+}
+
+/// An architectural register name: a class plus an index within the class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchReg {
+    class: RegClass,
+    idx: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer register `r{idx}`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_ARCH_INT`.
+    #[inline]
+    pub fn int(idx: u8) -> Self {
+        assert!((idx as usize) < NUM_ARCH_INT, "int reg {idx} out of range");
+        ArchReg {
+            class: RegClass::Int,
+            idx,
+        }
+    }
+
+    /// Creates a floating-point register `f{idx}`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_ARCH_FP`.
+    #[inline]
+    pub fn fp(idx: u8) -> Self {
+        assert!((idx as usize) < NUM_ARCH_FP, "fp reg {idx} out of range");
+        ArchReg {
+            class: RegClass::Fp,
+            idx,
+        }
+    }
+
+    /// The register's class.
+    #[inline]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// Index within the class.
+    #[inline]
+    pub fn idx(self) -> u8 {
+        self.idx
+    }
+
+    /// Whether this is the hardwired zero register of its class
+    /// (index 31, mirroring Alpha's `$31`/`$f31`).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.idx as usize == self.class.arch_count() - 1
+    }
+
+    /// The hardwired zero register of `class`.
+    #[inline]
+    pub fn zero(class: RegClass) -> Self {
+        ArchReg {
+            class,
+            idx: (class.arch_count() - 1) as u8,
+        }
+    }
+
+    /// A dense index over *all* architectural registers of both classes,
+    /// suitable for flat per-thread rename-table storage.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.idx as usize,
+            RegClass::Fp => NUM_ARCH_INT + self.idx as usize,
+        }
+    }
+
+    /// Total number of architectural registers across both classes.
+    pub const FLAT_COUNT: usize = NUM_ARCH_INT + NUM_ARCH_FP;
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.idx),
+            RegClass::Fp => write!(f, "f{}", self.idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_constructors() {
+        let r = ArchReg::int(5);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.idx(), 5);
+        let f = ArchReg::fp(7);
+        assert_eq!(f.class(), RegClass::Fp);
+        assert_eq!(f.idx(), 7);
+        assert_ne!(r, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_ARCH_INT as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_out_of_range_panics() {
+        let _ = ArchReg::fp(NUM_ARCH_FP as u8);
+    }
+
+    #[test]
+    fn zero_register_identification() {
+        assert!(ArchReg::zero(RegClass::Int).is_zero());
+        assert!(ArchReg::zero(RegClass::Fp).is_zero());
+        assert!(!ArchReg::int(0).is_zero());
+        assert!(ArchReg::int(31).is_zero());
+        assert!(ArchReg::fp(31).is_zero());
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let mut seen = [false; ArchReg::FLAT_COUNT];
+        for i in 0..NUM_ARCH_INT {
+            let idx = ArchReg::int(i as u8).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        for i in 0..NUM_ARCH_FP {
+            let idx = ArchReg::fp(i as u8).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(12).to_string(), "f12");
+    }
+
+    #[test]
+    fn class_index_and_all() {
+        assert_eq!(RegClass::ALL[RegClass::Int.index()], RegClass::Int);
+        assert_eq!(RegClass::ALL[RegClass::Fp.index()], RegClass::Fp);
+    }
+}

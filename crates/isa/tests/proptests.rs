@@ -1,0 +1,86 @@
+//! Property tests for the ISA layer: PC assignment and `locate` are
+//! mutually inverse for arbitrary well-formed programs.
+
+use proptest::prelude::*;
+use smtsim_isa::{BasicBlock, BlockId, BranchBehavior, OpClass, Program, StaticInst, INST_BYTES};
+
+/// Strategy: a random well-formed program of `nblocks` blocks whose
+/// fall-throughs are sequential (the invariant generated programs obey).
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..12, 0u64..1u64 << 40, proptest::collection::vec(1usize..12, 2..12)).prop_map(
+        |(nblocks, base, sizes)| {
+            let nblocks = nblocks.min(sizes.len());
+            let blocks: Vec<BasicBlock> = (0..nblocks)
+                .map(|i| {
+                    let mut insts: Vec<StaticInst> =
+                        (0..sizes[i]).map(|_| StaticInst::nop()).collect();
+                    if i == nblocks - 1 {
+                        // Close the ring.
+                        insts.push(StaticInst::branch(
+                            None,
+                            BranchBehavior::Always,
+                            BlockId(0),
+                        ));
+                    }
+                    let fall = if i + 1 < nblocks { i + 1 } else { 0 };
+                    BasicBlock::new(insts, BlockId(fall as u32))
+                })
+                .collect();
+            Program::new("prop", blocks, BlockId(0), base & !(INST_BYTES - 1))
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn pc_of_and_locate_round_trip(p in arb_program()) {
+        for (id, b) in p.iter_blocks() {
+            for idx in 0..b.insts.len() {
+                let pc = p.pc_of(id, idx);
+                prop_assert_eq!(p.locate(pc), Some((id, idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_rejects_out_of_range(p in arb_program(), off in 0u64..1 << 16) {
+        let below = p.pc_base().wrapping_sub(4 + off * 4);
+        if below < p.pc_base() {
+            prop_assert_eq!(p.locate(below), None);
+        }
+        let above = p.pc_base() + (p.num_insts() as u64 + off) * INST_BYTES;
+        prop_assert_eq!(p.locate(above), None);
+    }
+
+    #[test]
+    fn pcs_are_dense_and_monotonic(p in arb_program()) {
+        let mut prev: Option<u64> = None;
+        for (id, b) in p.iter_blocks() {
+            for idx in 0..b.insts.len() {
+                let pc = p.pc_of(id, idx);
+                if let Some(q) = prev {
+                    prop_assert_eq!(pc, q + INST_BYTES);
+                }
+                prev = Some(pc);
+            }
+        }
+        prop_assert_eq!(
+            prev.unwrap() + INST_BYTES,
+            p.pc_base() + p.num_insts() as u64 * INST_BYTES
+        );
+    }
+
+    #[test]
+    fn misaligned_pcs_never_locate(p in arb_program(), idx in 0u32..64, off in 1u64..4) {
+        let pc = p.pc_base() + idx as u64 * INST_BYTES + off;
+        prop_assert_eq!(p.locate(pc), None);
+    }
+
+    #[test]
+    fn constructors_reject_branchless_claims(n in 1usize..6) {
+        // Any op class constructed via compute() must not be mem/branch.
+        let ops = [OpClass::IntAlu, OpClass::FpAdd, OpClass::IntMult];
+        let op = ops[n % ops.len()];
+        prop_assert!(!op.is_mem() && !op.is_branch());
+    }
+}

@@ -1,0 +1,162 @@
+//! Miss-status holding registers: track outstanding line fills so that
+//! misses to the same line coalesce and memory-level parallelism is
+//! bounded by the MSHR capacity.
+
+use crate::Cycle;
+
+/// One outstanding fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    line_addr: u64,
+    fill_done: Cycle,
+}
+
+/// A fixed-capacity set of outstanding line fills.
+///
+/// Entries whose fill time has passed are expired lazily; the structure
+/// therefore needs no tick. Capacity limits the number of *concurrent*
+/// fills — the knob that bounds exploitable MLP.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    entries: Vec<Entry>,
+    capacity: usize,
+    /// Peak simultaneous occupancy observed (for statistics).
+    peak: usize,
+    /// Total primary misses registered.
+    pub primary: u64,
+    /// Total secondary (coalesced) misses.
+    pub secondary: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Mshr {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            primary: 0,
+            secondary: 0,
+        }
+    }
+
+    /// Drops entries that completed at or before `now`.
+    fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.fill_done > now);
+    }
+
+    /// If `line_addr` is already being fetched at `now`, returns its
+    /// completion time (a secondary miss).
+    pub fn lookup(&mut self, line_addr: u64, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        let hit = self
+            .entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.fill_done);
+        if hit.is_some() {
+            self.secondary += 1;
+        }
+        hit
+    }
+
+    /// Earliest time at or after `now` when a new entry can be
+    /// allocated (immediately if below capacity, otherwise when the
+    /// earliest outstanding fill retires).
+    pub fn earliest_slot(&mut self, now: Cycle) -> Cycle {
+        self.expire(now);
+        if self.entries.len() < self.capacity {
+            now
+        } else {
+            self.entries
+                .iter()
+                .map(|e| e.fill_done)
+                .min()
+                .expect("full implies non-empty")
+        }
+    }
+
+    /// Registers a new outstanding fill completing at `fill_done`.
+    ///
+    /// # Panics
+    /// Panics (debug) if called while at capacity; callers must use
+    /// [`Mshr::earliest_slot`] to find an admissible start time first.
+    pub fn insert(&mut self, line_addr: u64, fill_done: Cycle, now: Cycle) {
+        self.expire(now);
+        debug_assert!(self.entries.len() < self.capacity, "MSHR overflow");
+        self.entries.push(Entry {
+            line_addr,
+            fill_done,
+        });
+        self.primary += 1;
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Number of fills outstanding at `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Peak simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut m = Mshr::new(4);
+        m.insert(0x100, 530, 0);
+        assert_eq!(m.lookup(0x100, 10), Some(530));
+        assert_eq!(m.lookup(0x200, 10), None);
+        assert_eq!(m.primary, 1);
+        assert_eq!(m.secondary, 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = Mshr::new(2);
+        m.insert(0x100, 100, 0);
+        assert_eq!(m.lookup(0x100, 99), Some(100));
+        assert_eq!(m.lookup(0x100, 100), None, "expired at fill time");
+    }
+
+    #[test]
+    fn capacity_limits_and_frees() {
+        let mut m = Mshr::new(2);
+        m.insert(0x100, 500, 0);
+        m.insert(0x200, 600, 0);
+        assert_eq!(m.earliest_slot(10), 500, "must wait for earliest fill");
+        assert_eq!(m.earliest_slot(500), 500, "slot free once expired");
+        m.insert(0x300, 900, 500);
+        assert_eq!(m.occupancy(500), 2);
+    }
+
+    #[test]
+    fn occupancy_and_peak() {
+        let mut m = Mshr::new(8);
+        m.insert(0x0, 100, 0);
+        m.insert(0x80, 120, 0);
+        m.insert(0x100, 140, 0);
+        assert_eq!(m.occupancy(0), 3);
+        assert_eq!(m.occupancy(130), 1);
+        assert_eq!(m.peak(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

@@ -1,0 +1,577 @@
+//! The SMT out-of-order core: state, construction and the cycle loop.
+//!
+//! Stage implementations (fetch/dispatch/issue/event handling/commit and
+//! squash) live in `stages.rs`; this module owns the data structures,
+//! the per-cycle ordering, the [`RobQuery`] view handed to ROB
+//! allocation policies, and the run driver.
+//!
+//! ## Cycle ordering
+//!
+//! Within a cycle `now`, the core processes, in order: timed events
+//! (completions, L2-miss detections, fills), commit, issue, dispatch,
+//! fetch, and finally the ROB-policy tick. Later stages observe the
+//! effects of earlier ones in the same cycle — the usual
+//! reverse-pipeline evaluation that lets results flow through without
+//! extra latches.
+
+use crate::config::{FetchPolicyKind, MachineConfig};
+use crate::fu::FuPool;
+use crate::regfile::RegFiles;
+use crate::rob_policy::{RobAllocator, RobQuery};
+use crate::stats::SimStats;
+use crate::types::{BranchState, Event, InstRef, InstState, IqEntry, LsqEntry};
+use smtsim_isa::{DynInst, ThreadId};
+use smtsim_mem::{Cycle, Hierarchy};
+use smtsim_predict::{Btb, Gshare, LoadHitPredictor};
+use smtsim_workload::{Executor, Workload};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// A fetched, not-yet-dispatched instruction in a thread's front end.
+#[derive(Clone, Debug)]
+pub(crate) struct Fetched {
+    pub di: DynInst,
+    pub wrong_path: bool,
+    pub branch: Option<BranchState>,
+    /// Earliest dispatch cycle (models decode depth).
+    pub ready_at: Cycle,
+}
+
+/// Per-hardware-thread state.
+pub(crate) struct Thread {
+    pub exec: Executor,
+    pub rob: VecDeque<InstState>,
+    pub next_tag: u64,
+    pub lsq: VecDeque<LsqEntry>,
+    pub fetch_q: VecDeque<Fetched>,
+    /// Correct-path instructions squashed by FLUSH awaiting refetch.
+    pub replay_q: VecDeque<DynInst>,
+    /// Next PC the front end will fetch (predicted path).
+    pub fetch_pc: u64,
+    /// Fetching fabricated wrong-path instructions.
+    pub in_wrong_path: bool,
+    pub wp_counter: u64,
+    /// Tag of the unresolved mispredicted branch, if any.
+    pub redirect_tag: Option<u64>,
+    /// Front end stalled until this cycle (I-miss / redirect penalty).
+    pub fetch_stall_until: Cycle,
+    /// Wrong-path fetch ran outside the program; wait for resolution.
+    pub fetch_halted: bool,
+    /// FLUSH policy: fetch gated until this load tag fills.
+    pub flush_gate: Option<u64>,
+    /// Instructions in decode/rename/IQ (the ICOUNT metric).
+    pub icount: usize,
+    /// In-flight loads that missed L1-D (DCRA "slow" classification).
+    pub pending_l1d: usize,
+    /// In-flight loads with a *detected*, unfilled L2 miss.
+    pub pending_l2_visible: usize,
+    /// Last I-cache line probed (one probe per line transition).
+    pub last_fetch_line: u64,
+    /// Trace sequence number of the last committed instruction
+    /// (commit-order integrity: the committed stream must be the
+    /// functional trace, contiguously, in order — wrong-path work and
+    /// FLUSH replays must never leak into or punch holes in it).
+    pub last_committed_seq: Option<u64>,
+}
+
+impl Thread {
+    fn new(wl: Arc<Workload>, seed: u64) -> Self {
+        let entry_pc = wl.program.pc_of(wl.program.entry(), 0);
+        Thread {
+            exec: Executor::new(wl, seed),
+            rob: VecDeque::with_capacity(512),
+            next_tag: 0,
+            lsq: VecDeque::with_capacity(64),
+            fetch_q: VecDeque::with_capacity(32),
+            replay_q: VecDeque::new(),
+            fetch_pc: entry_pc,
+            in_wrong_path: false,
+            wp_counter: 0,
+            redirect_tag: None,
+            fetch_stall_until: 0,
+            fetch_halted: false,
+            flush_gate: None,
+            icount: 0,
+            pending_l1d: 0,
+            pending_l2_visible: 0,
+            last_fetch_line: u64::MAX,
+            last_committed_seq: None,
+        }
+    }
+
+    /// Index of `tag` within the ROB deque, if still in flight.
+    ///
+    /// Tags are strictly increasing in program order but *not*
+    /// contiguous (squashes leave gaps because tags are never reused),
+    /// so this is a binary search.
+    #[inline]
+    pub fn rob_index(&self, tag: u64) -> Option<usize> {
+        self.rob.binary_search_by(|i| i.tag.cmp(&tag)).ok()
+    }
+}
+
+/// Read-only ROB view handed to [`RobAllocator`] implementations.
+pub(crate) struct RobView<'a> {
+    pub threads: &'a [Thread],
+}
+
+impl RobQuery for RobView<'_> {
+    fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn occupancy(&self, thread: ThreadId) -> usize {
+        self.threads[thread].rob.len()
+    }
+
+    fn oldest_tag(&self, thread: ThreadId) -> Option<u64> {
+        self.threads[thread].rob.front().map(|i| i.tag)
+    }
+
+    fn in_flight(&self, thread: ThreadId, tag: u64) -> bool {
+        self.threads[thread].rob_index(tag).is_some()
+    }
+
+    fn count_unexecuted_younger(
+        &self,
+        thread: ThreadId,
+        tag: u64,
+        window: usize,
+    ) -> Option<u32> {
+        let th = &self.threads[thread];
+        let idx = th.rob_index(tag)?;
+        let mut count = 0u32;
+        for e in th.rob.iter().skip(idx + 1).take(window) {
+            if !e.executed {
+                count += 1;
+            }
+        }
+        Some(count)
+    }
+
+    fn has_pending_l2_miss(&self, thread: ThreadId) -> bool {
+        self.threads[thread].pending_l2_visible > 0
+    }
+}
+
+/// When to stop a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop once any single thread has committed this many instructions
+    /// (the paper's criterion: "simulations were stopped after 100
+    /// million instructions from any thread had committed").
+    AnyThreadCommitted(u64),
+    /// Stop once the machine has committed this many instructions in
+    /// total.
+    TotalCommitted(u64),
+    /// Stop after this many cycles.
+    Cycles(Cycle),
+}
+
+/// The cycle-level SMT simulator.
+pub struct Simulator {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) regs: RegFiles,
+    /// Shared issue queue.
+    pub(crate) iq: Vec<IqEntry>,
+    /// IQ entries held per thread (DCRA caps / ICOUNT).
+    pub(crate) iq_usage: Vec<usize>,
+    pub(crate) fu: FuPool,
+    pub(crate) mem: Hierarchy,
+    pub(crate) gshare: Gshare,
+    pub(crate) btb: Btb,
+    pub(crate) loadhit: LoadHitPredictor,
+    pub(crate) alloc: Box<dyn RobAllocator>,
+    pub(crate) events: BinaryHeap<Reverse<Event>>,
+    pub(crate) now: Cycle,
+    pub(crate) global_seq: u64,
+    pub(crate) commit_rr: usize,
+    pub(crate) dispatch_rr: usize,
+    pub(crate) stats: SimStats,
+    pub(crate) last_commit: Cycle,
+}
+
+impl Simulator {
+    /// Builds a simulator.
+    ///
+    /// * `workloads` — one per hardware thread (`cfg.num_threads`).
+    /// * `alloc` — the ROB capacity policy ([`crate::FixedRob`] for the
+    ///   baselines; the two-level schemes come from `smtsim-rob2`).
+    /// * `seed` — perturbs executor seeds (thread `t` uses `seed + t`).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration or mismatched workload count.
+    pub fn new(
+        cfg: MachineConfig,
+        workloads: Vec<Arc<Workload>>,
+        alloc: Box<dyn RobAllocator>,
+        seed: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        assert_eq!(
+            workloads.len(),
+            cfg.num_threads,
+            "need one workload per hardware thread"
+        );
+        let threads: Vec<Thread> = workloads
+            .into_iter()
+            .enumerate()
+            .map(|(t, wl)| Thread::new(wl, seed.wrapping_add(t as u64)))
+            .collect();
+        let stats = SimStats::new(cfg.num_threads);
+        Simulator {
+            regs: RegFiles::new(
+                cfg.int_regs / cfg.num_threads,
+                cfg.fp_regs / cfg.num_threads,
+                cfg.num_threads,
+                cfg.shared_regs,
+            ),
+            iq: Vec::with_capacity(cfg.iq_size),
+            iq_usage: vec![0; cfg.num_threads],
+            fu: FuPool::new(&cfg.fu),
+            mem: Hierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.mem),
+            gshare: Gshare::icpp08(),
+            btb: Btb::icpp08(),
+            loadhit: LoadHitPredictor::icpp08(),
+            alloc,
+            events: BinaryHeap::new(),
+            now: 0,
+            global_seq: 0,
+            commit_rr: 0,
+            dispatch_rr: 0,
+            stats,
+            last_commit: 0,
+            threads,
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The memory hierarchy (for cache statistics).
+    pub fn memory(&self) -> &Hierarchy {
+        &self.mem
+    }
+
+    /// Branch predictor accuracy observed so far.
+    pub fn branch_accuracy(&self) -> f64 {
+        self.gshare.accuracy()
+    }
+
+    /// Load-hit predictor accuracy observed so far.
+    pub fn loadhit_accuracy(&self) -> f64 {
+        self.loadhit.accuracy()
+    }
+
+    /// The ROB allocation policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.alloc.name()
+    }
+
+    /// The ROB allocation policy (downcast with
+    /// [`RobAllocator::as_any`] to read policy-specific statistics).
+    pub fn allocator(&self) -> &dyn RobAllocator {
+        self.alloc.as_ref()
+    }
+
+    /// Looks up an in-flight instruction.
+    #[inline]
+    pub(crate) fn inst(&self, r: InstRef) -> Option<&InstState> {
+        let th = &self.threads[r.thread];
+        th.rob_index(r.tag).map(|i| &th.rob[i])
+    }
+
+    /// Mutable lookup.
+    #[inline]
+    pub(crate) fn inst_mut(&mut self, r: InstRef) -> Option<&mut InstState> {
+        let th = &mut self.threads[r.thread];
+        th.rob_index(r.tag).map(move |i| &mut th.rob[i])
+    }
+
+    /// Schedules an event.
+    #[inline]
+    pub(crate) fn push_event(&mut self, ev: Event) {
+        debug_assert!(ev.at >= self.now);
+        self.events.push(Reverse(ev));
+    }
+
+    /// Functionally warms caches and predictors by running
+    /// `insts_per_thread` instructions of each thread through the
+    /// memory directories and predictor tables — no timing, no
+    /// statistics. The paper simulates SimPoint regions whose
+    /// microarchitectural state is warm; call this before [`run`] to
+    /// reproduce that (the `Lab` harness in `smtsim-rob2` does).
+    ///
+    /// Must be called before any timed cycles.
+    ///
+    /// [`run`]: Simulator::run
+    pub fn warmup(&mut self, insts_per_thread: u64) {
+        assert_eq!(self.now, 0, "warmup must precede timed simulation");
+        for t in 0..self.cfg.num_threads {
+            let mut last_line = u64::MAX;
+            for _ in 0..insts_per_thread {
+                let di = self.threads[t].exec.next_inst();
+                let line = di.pc & !(self.cfg.l1i.line - 1);
+                if line != last_line {
+                    self.mem.warm_inst(di.pc);
+                    last_line = line;
+                }
+                if di.op.is_mem() {
+                    let hit = self.mem.peek_l1d(di.mem_addr);
+                    self.mem.warm_data(di.mem_addr, di.op == smtsim_isa::OpClass::Store);
+                    if di.op == smtsim_isa::OpClass::Load {
+                        self.loadhit.update(t, di.pc, hit);
+                    }
+                }
+                if di.op == smtsim_isa::OpClass::BranchCond {
+                    let h = self.gshare.history(t);
+                    self.gshare.train(di.pc, h, di.taken);
+                    self.gshare
+                        .set_history(t, (h << 1) | di.taken as u16);
+                }
+                if di.op.is_branch() && di.taken {
+                    self.btb.update(di.pc, di.next_pc);
+                }
+                // The front end resumes exactly where the functional
+                // walk stopped.
+                self.threads[t].fetch_pc = di.next_pc;
+            }
+        }
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.process_events();
+        self.commit_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        self.policy_tick();
+        self.sample_occupancy();
+        self.now += 1;
+        if self.now - self.last_commit > self.cfg.deadlock_cycles {
+            self.deadlock_dump();
+        }
+    }
+
+    /// Runs until `stop` is reached; returns the final statistics.
+    pub fn run(&mut self, stop: StopCondition) -> &SimStats {
+        loop {
+            match stop {
+                StopCondition::AnyThreadCommitted(n) => {
+                    if self.stats.threads.iter().any(|t| t.committed >= n) {
+                        break;
+                    }
+                }
+                StopCondition::TotalCommitted(n) => {
+                    if self.stats.total_committed() >= n {
+                        break;
+                    }
+                }
+                StopCondition::Cycles(n) => {
+                    if self.now >= n {
+                        break;
+                    }
+                }
+            }
+            self.step();
+        }
+        self.stats.cycles = self.now;
+        &self.stats
+    }
+
+    /// Runs the ROB policy's per-cycle hook.
+    fn policy_tick(&mut self) {
+        let view = RobView {
+            threads: &self.threads,
+        };
+        self.alloc.tick(&view, self.now);
+    }
+
+    /// Per-cycle statistics sampling.
+    fn sample_occupancy(&mut self) {
+        self.stats.iq_occupancy_sum += self.iq.len() as u64;
+        if self.iq.len() >= self.cfg.iq_size {
+            self.stats.iq_full_cycles += 1;
+        }
+        for (t, th) in self.threads.iter().enumerate() {
+            self.stats.threads[t].rob_occupancy_sum += th.rob.len() as u64;
+        }
+    }
+
+    /// Thread order for fetch this cycle, best candidate first.
+    pub(crate) fn fetch_order(&self) -> Vec<ThreadId> {
+        let n = self.cfg.num_threads;
+        let mut order: Vec<ThreadId> = (0..n).collect();
+        match self.cfg.fetch_policy {
+            FetchPolicyKind::RoundRobin => {
+                order.rotate_left((self.now as usize) % n);
+            }
+            // ICOUNT ordering is shared by ICOUNT, DCRA, STALL, FLUSH
+            // (the latter differ in gating, not ordering).
+            _ => {
+                order.sort_by_key(|&t| (self.threads[t].icount, t));
+            }
+        }
+        order
+    }
+
+    /// May `t` fetch this cycle under the active policy?
+    pub(crate) fn can_fetch(&self, t: ThreadId) -> bool {
+        let th = &self.threads[t];
+        if th.fetch_halted
+            || th.fetch_stall_until > self.now
+            || th.fetch_q.len() >= self.cfg.fetch_queue
+        {
+            return false;
+        }
+        match self.cfg.fetch_policy {
+            FetchPolicyKind::Stall | FetchPolicyKind::Flush => {
+                th.pending_l2_visible == 0 && th.flush_gate.is_none()
+            }
+            _ => true,
+        }
+    }
+
+    /// Per-thread shared-IQ dispatch caps under DCRA; `usize::MAX` when
+    /// DCRA is not active. Register files are per-thread partitions in
+    /// this model, so the issue queue is the resource DCRA arbitrates.
+    pub(crate) fn dcra_caps(&self) -> Vec<usize> {
+        let n = self.cfg.num_threads;
+        let dcra = match self.cfg.fetch_policy {
+            FetchPolicyKind::Dcra(d) => d,
+            _ => return vec![usize::MAX; n],
+        };
+        // Classification: a thread with an outstanding L1-D miss is
+        // memory-demanding ("slow") and receives `slow_share` times the
+        // base share of the shared issue queue.
+        let slow: Vec<bool> = self.threads.iter().map(|t| t.pending_l1d > 0).collect();
+        let s = slow.iter().filter(|&&x| x).count() as u32;
+        let f = n as u32 - s;
+        let denom = (f + dcra.slow_share * s).max(1);
+        (0..n)
+            .map(|t| {
+                let mult = if slow[t] { dcra.slow_share } else { 1 } as usize;
+                (self.cfg.iq_size * mult) / denom as usize
+            })
+            .collect()
+    }
+
+    /// Verifies cross-structure invariants, returning a description of
+    /// the first violation found. Intended for stress tests and
+    /// debugging sessions (`None` = consistent); costs O(machine
+    /// state), so do not call it every cycle in measurement runs.
+    pub fn check_invariants(&self) -> Option<String> {
+        // Shared IQ: every entry references an in-flight, unissued,
+        // non-NOP instruction; per-thread usage counters agree.
+        let mut iq_per_thread = vec![0usize; self.cfg.num_threads];
+        for e in &self.iq {
+            let Some(i) = self.inst(e.inst) else {
+                return Some(format!("IQ entry {:?} not in flight", e.inst));
+            };
+            if i.issued {
+                return Some(format!("issued instruction {:?} still in IQ", e.inst));
+            }
+            iq_per_thread[e.inst.thread] += 1;
+        }
+        if self.iq.len() > self.cfg.iq_size {
+            return Some(format!("IQ overflow: {}", self.iq.len()));
+        }
+        for (t, &actual_iq) in iq_per_thread.iter().enumerate() {
+            if actual_iq != self.iq_usage[t] {
+                return Some(format!(
+                    "t{t}: iq_usage {} != actual {}",
+                    self.iq_usage[t], actual_iq
+                ));
+            }
+            let th = &self.threads[t];
+            // ROB: tags strictly increasing; LSQ mirrors the ROB's
+            // memory ops in order; occupancy within the policy cap is
+            // not asserted (capacity may legally shrink below
+            // occupancy while a two-level extension drains).
+            let mut prev_tag = None;
+            let mut mem_tags = Vec::new();
+            for i in &th.rob {
+                if let Some(p) = prev_tag {
+                    if i.tag <= p {
+                        return Some(format!("t{t}: ROB tags not increasing at {}", i.tag));
+                    }
+                }
+                prev_tag = Some(i.tag);
+                if i.di.op.is_mem() {
+                    mem_tags.push(i.tag);
+                }
+                if i.executed && !i.issued {
+                    return Some(format!("t{t}: executed-but-unissued tag {}", i.tag));
+                }
+            }
+            let lsq_tags: Vec<u64> = th.lsq.iter().map(|e| e.tag).collect();
+            if lsq_tags != mem_tags {
+                return Some(format!("t{t}: LSQ {lsq_tags:?} != ROB mem ops {mem_tags:?}"));
+            }
+            if th.lsq.len() > self.cfg.lsq_size {
+                return Some(format!("t{t}: LSQ overflow"));
+            }
+            // ICOUNT = front-end occupancy + unissued IQ entries.
+            let expect_icount = th.fetch_q.len() + actual_iq;
+            if th.icount != expect_icount {
+                return Some(format!(
+                    "t{t}: icount {} != fetch_q {} + iq {}",
+                    th.icount,
+                    th.fetch_q.len(),
+                    iq_per_thread[t]
+                ));
+            }
+        }
+        None
+    }
+
+    /// Panics with a diagnostic dump; called by the deadlock watchdog.
+    #[cold]
+    fn deadlock_dump(&self) -> ! {
+        let mut msg = format!(
+            "deadlock: no commit for {} cycles (now={}, policy={})\n",
+            self.cfg.deadlock_cycles,
+            self.now,
+            self.alloc.name()
+        );
+        for (t, th) in self.threads.iter().enumerate() {
+            let head = th.rob.front();
+            msg.push_str(&format!(
+                "  t{t}: rob={}/{} iq_use={} icount={} head={:?} halted={} stall_until={} wrong_path={} pend_l2={}\n",
+                th.rob.len(),
+                self.alloc.capacity(t),
+                self.iq_usage[t],
+                th.icount,
+                head.map(|h| (h.tag, h.di.op, h.issued, h.executed)),
+                th.fetch_halted,
+                th.fetch_stall_until,
+                th.in_wrong_path,
+                th.pending_l2_visible,
+            ));
+        }
+        msg.push_str(&format!(
+            "  iq={}/{} int_free(t0)={} fp_free(t0)={}\n",
+            self.iq.len(),
+            self.cfg.iq_size,
+            self.regs.free_count(0, smtsim_isa::RegClass::Int),
+            self.regs.free_count(0, smtsim_isa::RegClass::Fp),
+        ));
+        panic!("{msg}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Functional-unit pool: per-group unit occupancy tracking.
+
+use smtsim_isa::{FuGroup, FuTimings, OpClass};
+use smtsim_mem::Cycle;
+
+/// Tracks when each functional unit becomes free.
+#[derive(Clone, Debug)]
+pub struct FuPool {
+    timings: FuTimings,
+    /// `busy_until[group][unit]` = first cycle the unit can accept work.
+    busy_until: [Vec<Cycle>; 5],
+    /// Issues per group (statistics).
+    pub issues: [u64; 5],
+}
+
+impl FuPool {
+    /// Builds the pool from unit counts in `timings`.
+    pub fn new(timings: &FuTimings) -> Self {
+        let busy_until = FuGroup::ALL.map(|g| vec![0; timings.unit_count(g)]);
+        FuPool {
+            timings: timings.clone(),
+            busy_until,
+            issues: [0; 5],
+        }
+    }
+
+    /// Can an op of class `op` start at `now`?
+    pub fn can_issue(&self, op: OpClass, now: Cycle) -> bool {
+        match op.fu_group() {
+            None => true, // NOPs need no unit
+            Some(g) => self.busy_until[g.index()].iter().any(|&b| b <= now),
+        }
+    }
+
+    /// Reserves a unit for `op` starting at `now`; returns the cycle the
+    /// *result* is available (`now + total latency`).
+    ///
+    /// # Panics
+    /// Debug-panics if no unit is free ([`FuPool::can_issue`] first).
+    pub fn issue(&mut self, op: OpClass, now: Cycle) -> Cycle {
+        let lat = self.timings.latency(op);
+        if let Some(g) = op.fu_group() {
+            let gi = g.index();
+            let unit = self.busy_until[gi]
+                .iter()
+                .position(|&b| b <= now)
+                .expect("no free unit; call can_issue first");
+            self.busy_until[gi][unit] = now + lat.issue as Cycle;
+            self.issues[gi] += 1;
+        }
+        now + lat.total as Cycle
+    }
+
+    /// Latency pair access for callers needing address-generation time.
+    pub fn timings(&self) -> &FuTimings {
+        &self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_accepts_every_cycle() {
+        let mut p = FuPool::new(&FuTimings::icpp08());
+        for t in 0..10 {
+            assert!(p.can_issue(OpClass::IntAlu, t));
+            assert_eq!(p.issue(OpClass::IntAlu, t), t + 1);
+        }
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks() {
+        let mut timings = FuTimings::icpp08();
+        timings.counts[FuGroup::IntMultDiv.index()] = 1; // single unit
+        let mut p = FuPool::new(&timings);
+        assert_eq!(p.issue(OpClass::IntDiv, 0), 20);
+        // Busy for 19 cycles (issue latency).
+        assert!(!p.can_issue(OpClass::IntDiv, 5));
+        assert!(!p.can_issue(OpClass::IntDiv, 18));
+        assert!(p.can_issue(OpClass::IntDiv, 19));
+    }
+
+    #[test]
+    fn width_limited_by_unit_count() {
+        let mut timings = FuTimings::icpp08();
+        timings.counts[FuGroup::LdSt.index()] = 2;
+        let mut p = FuPool::new(&timings);
+        p.issue(OpClass::Load, 0);
+        p.issue(OpClass::Store, 0);
+        assert!(!p.can_issue(OpClass::Load, 0), "both ports taken");
+        assert!(p.can_issue(OpClass::Load, 1), "pipelined: free next cycle");
+    }
+
+    #[test]
+    fn nop_needs_no_unit() {
+        let mut p = FuPool::new(&FuTimings::icpp08());
+        assert!(p.can_issue(OpClass::Nop, 0));
+        assert_eq!(p.issue(OpClass::Nop, 0), 1);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut timings = FuTimings::icpp08();
+        timings.counts = [1, 1, 1, 1, 1];
+        let mut p = FuPool::new(&timings);
+        p.issue(OpClass::IntDiv, 0);
+        assert!(p.can_issue(OpClass::FpAdd, 0));
+        assert!(p.can_issue(OpClass::Load, 0));
+    }
+
+    #[test]
+    fn issue_counts_accumulate() {
+        let mut p = FuPool::new(&FuTimings::icpp08());
+        p.issue(OpClass::IntAlu, 0);
+        p.issue(OpClass::BranchCond, 0);
+        assert_eq!(p.issues[FuGroup::IntAdd.index()], 2);
+    }
+}

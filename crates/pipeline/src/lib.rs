@@ -1,0 +1,43 @@
+//! # smtsim-pipeline
+//!
+//! A cycle-level simultaneous-multithreading (SMT) out-of-order
+//! processor model — the M-Sim-equivalent substrate for the two-level
+//! reorder buffer reproduction (Loew & Ponomarev, ICPP 2008).
+//!
+//! The model implements the paper's Table 1 machine: an 8-wide
+//! fetch/issue/commit core with per-thread front ends, shared rename
+//! register files (224 int + 224 fp), a shared 64-entry issue queue,
+//! per-thread 48-entry load/store queues and per-thread reorder buffers
+//! whose *capacity is a policy decision* — the hook through which the
+//! paper's two-level ROB (crate `smtsim-rob2`) plugs in. Fetch is
+//! governed by ICOUNT, DCRA (the paper's baseline), STALL, FLUSH or
+//! round-robin policies.
+//!
+//! ```
+//! use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+//! use smtsim_workload::Workload;
+//! use std::sync::Arc;
+//!
+//! let mut cfg = MachineConfig::icpp08_single();
+//! let wl = Arc::new(Workload::spec("gzip", 1, 0x1_0000, 0x1000_0000));
+//! let mut sim = Simulator::new(cfg, vec![wl], Box::new(FixedRob::new(32)), 7);
+//! let stats = sim.run(StopCondition::AnyThreadCommitted(5_000));
+//! assert!(stats.threads[0].committed >= 5_000);
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod fu;
+pub mod regfile;
+pub mod rob_policy;
+pub mod stages;
+pub mod stats;
+pub mod types;
+
+pub use config::{DcraConfig, FetchPolicyKind, MachineConfig};
+pub use core::{Simulator, StopCondition};
+pub use fu::FuPool;
+pub use regfile::{PhysReg, RegFiles};
+pub use rob_policy::{FixedRob, MissEvent, RobAllocator, RobQuery};
+pub use stats::{DodHistogram, SimStats, ThreadStats};
+pub use types::{InstRef, InstState};

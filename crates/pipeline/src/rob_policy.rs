@@ -1,0 +1,153 @@
+//! Reorder-buffer capacity policy abstraction.
+//!
+//! The pipeline treats ROB capacity as a per-thread, per-cycle quantity
+//! supplied by a [`RobAllocator`]. The plain machine uses [`FixedRob`]
+//! (the paper's Baseline_32 / Baseline_128); the paper's contribution —
+//! the two-level ROB schemes — lives in the `smtsim-rob2` crate and
+//! plugs in through the same trait.
+//!
+//! The allocator observes the machine through [`RobQuery`], which
+//! exposes exactly what the paper's hardware mechanism can see: ROB
+//! occupancies, the oldest-instruction identity, and the count of
+//! not-yet-executed ("result valid" bit clear) entries behind a given
+//! instruction — the low-complexity Degree-of-Dependence counter of
+//! §4.1.
+
+use smtsim_isa::ThreadId;
+use smtsim_mem::Cycle;
+
+/// Read-only view of the ROBs offered to allocation policies.
+pub trait RobQuery {
+    /// Number of threads.
+    fn num_threads(&self) -> usize;
+    /// Current ROB occupancy of `thread`.
+    fn occupancy(&self, thread: ThreadId) -> usize;
+    /// Tag of the oldest in-flight instruction, if any.
+    fn oldest_tag(&self, thread: ThreadId) -> Option<u64>;
+    /// Is `tag` still in flight for `thread`?
+    fn in_flight(&self, thread: ThreadId, tag: u64) -> bool;
+    /// The paper's DoD counter: scans ROB entries *younger* than `tag`
+    /// whose position from the ROB head is below `window`, counting
+    /// those with the result-valid bit clear. Returns `None` if `tag`
+    /// is no longer in flight.
+    fn count_unexecuted_younger(
+        &self,
+        thread: ThreadId,
+        tag: u64,
+        window: usize,
+    ) -> Option<u32>;
+    /// Does `thread` have an in-flight load with a detected,
+    /// not-yet-filled L2 miss?
+    fn has_pending_l2_miss(&self, thread: ThreadId) -> bool;
+}
+
+/// Notification of an L2-miss lifecycle event delivered to the
+/// allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct MissEvent {
+    /// Thread owning the load.
+    pub thread: ThreadId,
+    /// The load's ROB tag.
+    pub tag: u64,
+    /// The load's PC (for DoD prediction).
+    pub pc: u64,
+    /// Branch-history snapshot of the thread at the load (for the
+    /// path-qualified predictor).
+    pub hist: u16,
+    /// The load is on a mispredicted (wrong) path.
+    pub wrong_path: bool,
+}
+
+/// A ROB capacity policy.
+pub trait RobAllocator {
+    /// Effective ROB capacity for `thread` this cycle. Dispatch stalls
+    /// the thread when its occupancy reaches this value.
+    fn capacity(&self, thread: ThreadId) -> usize;
+
+    /// Called once per cycle (after writeback, before dispatch) so the
+    /// policy can run its timers/rechecks and perform allocations.
+    fn tick(&mut self, view: &dyn RobQuery, now: Cycle);
+
+    /// An L2 miss was detected for a load.
+    fn on_l2_miss(&mut self, view: &dyn RobQuery, ev: MissEvent, now: Cycle);
+
+    /// The fill for an L2-missing load arrived (the load completes).
+    /// `counted_dod` is the hardware count of unexecuted instructions
+    /// behind the load at fill time (predictor training data, §4.2).
+    fn on_l2_fill(&mut self, view: &dyn RobQuery, ev: MissEvent, counted_dod: u32, now: Cycle);
+
+    /// `thread` squashed all instructions with tags >= `first_tag`.
+    fn on_squash(&mut self, thread: ThreadId, first_tag: u64);
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// Total ROB entries a single thread could ever hold (used for
+    /// sizing diagnostics); for two-level designs this is L1 + L2.
+    fn max_capacity(&self) -> usize;
+
+    /// Downcast hook so harnesses can retrieve policy-specific
+    /// statistics after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Fixed private per-thread ROBs — the paper's baseline machines
+/// (`Baseline_32`, `Baseline_128`).
+#[derive(Clone, Debug)]
+pub struct FixedRob {
+    entries: usize,
+}
+
+impl FixedRob {
+    /// Creates the baseline policy with `entries` per thread.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0);
+        FixedRob { entries }
+    }
+}
+
+impl RobAllocator for FixedRob {
+    fn capacity(&self, _thread: ThreadId) -> usize {
+        self.entries
+    }
+
+    fn tick(&mut self, _view: &dyn RobQuery, _now: Cycle) {}
+
+    fn on_l2_miss(&mut self, _view: &dyn RobQuery, _ev: MissEvent, _now: Cycle) {}
+
+    fn on_l2_fill(&mut self, _view: &dyn RobQuery, _ev: MissEvent, _dod: u32, _now: Cycle) {}
+
+    fn on_squash(&mut self, _thread: ThreadId, _first_tag: u64) {}
+
+    fn name(&self) -> String {
+        format!("Baseline_{}", self.entries)
+    }
+
+    fn max_capacity(&self) -> usize {
+        self.entries
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rob_reports_constant_capacity() {
+        let f = FixedRob::new(32);
+        assert_eq!(f.capacity(0), 32);
+        assert_eq!(f.capacity(3), 32);
+        assert_eq!(f.max_capacity(), 32);
+        assert_eq!(f.name(), "Baseline_32");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_rejected() {
+        let _ = FixedRob::new(0);
+    }
+}

@@ -1,0 +1,775 @@
+//! Pipeline stage implementations: event handling (writeback, L2-miss
+//! lifecycle), commit, issue, dispatch, fetch, and squash.
+
+use crate::config::FetchPolicyKind;
+use crate::core::{Fetched, RobView, Simulator};
+use crate::rob_policy::{MissEvent, RobQuery};
+use crate::types::{BranchState, Event, EventKind, InstRef, InstState, IqEntry, LsqEntry, MemState};
+use smtsim_isa::{DynInst, OpClass, ThreadId, INST_BYTES};
+use std::cmp::Reverse;
+
+impl Simulator {
+    // ------------------------------------------------------------------
+    // Events (writeback, miss lifecycle)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn process_events(&mut self) {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.at > self.now {
+                break;
+            }
+            self.events.pop();
+            match ev.kind {
+                EventKind::Complete => self.handle_complete(ev.inst),
+                EventKind::L2MissDetected => self.handle_miss_detected(ev.inst),
+                EventKind::L2Fill => self.handle_fill(ev.inst),
+            }
+        }
+    }
+
+    /// Writeback: the instruction's result becomes valid.
+    fn handle_complete(&mut self, r: InstRef) {
+        // Squashed instructions leave stale events behind; drop them.
+        let Some(i) = self.inst_mut(r) else { return };
+        debug_assert!(!i.executed, "double completion for {r:?}");
+        i.executed = true;
+        let di = i.di;
+        let tag = i.tag;
+        let wrong_path = i.wrong_path;
+        let dst = i.dst_phys;
+        let branch = i.branch;
+        let l1_missed = i.mem.map(|m| m.l1_miss).unwrap_or(false);
+
+        if let Some(d) = dst {
+            self.regs.set_ready(d, true);
+        }
+        let th = &mut self.threads[r.thread];
+        if di.op.is_mem() {
+            if let Some(e) = th.lsq.iter_mut().find(|e| e.tag == tag) {
+                e.resolved = true;
+            }
+        }
+        if l1_missed {
+            debug_assert!(th.pending_l1d > 0);
+            th.pending_l1d -= 1;
+        }
+
+        // Branch resolution.
+        let Some(bs) = branch else { return };
+        if wrong_path {
+            // Wrong-path branches resolve into the void: the machine
+            // cannot tell, but their redirects are never acted upon and
+            // predictors are not trained (their "outcomes" are
+            // fabrications).
+            return;
+        }
+        if di.op == OpClass::BranchCond {
+            self.stats.threads[r.thread].branches += 1;
+            self.gshare.train(di.pc, bs.hist, di.taken);
+        }
+        if di.taken {
+            self.btb.update(di.pc, di.next_pc);
+        }
+        if bs.mispredicted {
+            self.stats.threads[r.thread].mispredicts += 1;
+            self.squash_from(r.thread, tag + 1, di.next_pc, false);
+            if di.op == OpClass::BranchCond {
+                self.gshare.restore(r.thread, bs.hist, di.taken);
+            }
+            let th = &mut self.threads[r.thread];
+            th.redirect_tag = None;
+            th.fetch_stall_until = self.now + 1 + self.cfg.redirect_penalty;
+        }
+    }
+
+    /// The core notices an L2 miss (L1 probe + L2 probe have completed).
+    fn handle_miss_detected(&mut self, r: InstRef) {
+        let Some(i) = self.inst_mut(r) else { return };
+        if i.executed {
+            return; // forwarding or a squash/refetch race resolved it
+        }
+        let Some(m) = i.mem.as_mut() else { return };
+        m.miss_visible = true;
+        let ev = MissEvent {
+            thread: r.thread,
+            tag: r.tag,
+            pc: i.di.pc,
+            hist: i.dod_hist,
+            wrong_path: i.wrong_path,
+        };
+        let next_pc = i.di.next_pc;
+        let wrong_path = i.wrong_path;
+        self.threads[r.thread].pending_l2_visible += 1;
+        if !wrong_path {
+            self.stats.threads[r.thread].l2_misses += 1;
+        }
+
+        // FLUSH policy: squash everything behind the missing load and
+        // gate fetch until the fill returns.
+        if matches!(self.cfg.fetch_policy, FetchPolicyKind::Flush) && !wrong_path {
+            self.squash_from(r.thread, r.tag + 1, next_pc, true);
+            self.threads[r.thread].flush_gate = Some(r.tag);
+        }
+
+        let view = RobView {
+            threads: &self.threads,
+        };
+        self.alloc.on_l2_miss(&view, ev, self.now);
+    }
+
+    /// The fill for an L2-missing load arrives: sample the DoD
+    /// histogram (Figures 1/3/7) and notify the policy.
+    fn handle_fill(&mut self, r: InstRef) {
+        let Some(i) = self.inst_mut(r) else { return };
+        let Some(m) = i.mem.as_mut() else { return };
+        let was_visible = std::mem::take(&mut m.miss_visible);
+        let ev = MissEvent {
+            thread: r.thread,
+            tag: r.tag,
+            pc: i.di.pc,
+            hist: i.dod_hist,
+            wrong_path: i.wrong_path,
+        };
+        if was_visible {
+            let th = &mut self.threads[r.thread];
+            debug_assert!(th.pending_l2_visible > 0);
+            th.pending_l2_visible -= 1;
+            if th.flush_gate == Some(r.tag) {
+                th.flush_gate = None;
+            }
+        }
+        let view = RobView {
+            threads: &self.threads,
+        };
+        // Two counts are taken at service time:
+        // * the *policy* count — the paper's 5-bit hardware counter
+        //   scanning the first-level window behind the load (what
+        //   trains the DoD predictor);
+        // * the *observation* count over the whole ROB (saturated to
+        //   the same 5 bits) — the quantity Figures 1/3/7 plot, which
+        //   grows as deeper windows capture more of the dependence
+        //   shadow.
+        let counted_policy = view
+            .count_unexecuted_younger(r.thread, r.tag, self.cfg_dod_window())
+            .unwrap_or(0);
+        let counted_full = view
+            .count_unexecuted_younger(r.thread, r.tag, usize::MAX)
+            .unwrap_or(0)
+            .min(31);
+        if !ev.wrong_path {
+            self.stats.dod_at_fill.record(counted_full);
+        }
+        self.alloc.on_l2_fill(&view, ev, counted_policy, self.now);
+    }
+
+    /// Entries scanned by the DoD counter (the 32-entry first level
+    /// minus the load itself).
+    fn cfg_dod_window(&self) -> usize {
+        31
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    pub(crate) fn commit_stage(&mut self) {
+        let n = self.cfg.num_threads;
+        let mut budget = self.cfg.commit_width;
+        let start = self.commit_rr;
+        self.commit_rr = (self.commit_rr + 1) % n;
+        for k in 0..n {
+            if budget == 0 {
+                break;
+            }
+            let t = (start + k) % n;
+            while budget > 0 {
+                let committable = self.threads[t]
+                    .rob
+                    .front()
+                    .map(|h| h.executed)
+                    .unwrap_or(false);
+                if !committable {
+                    break;
+                }
+                let i = self.threads[t].rob.pop_front().expect("checked above");
+                debug_assert!(!i.wrong_path, "wrong-path inst at commit");
+                // Architectural integrity: the committed stream is the
+                // functional trace, contiguous and in order.
+                debug_assert_eq!(
+                    i.di.seq,
+                    self.threads[t]
+                        .last_committed_seq
+                        .map(|s| s + 1)
+                        .unwrap_or(i.di.seq),
+                    "commit-order hole on thread {t}"
+                );
+                self.threads[t].last_committed_seq = Some(i.di.seq);
+                if i.di.op.is_mem() {
+                    let e = self.threads[t].lsq.pop_front().expect("LSQ in sync");
+                    debug_assert_eq!(e.tag, i.tag, "LSQ/ROB desync");
+                    if i.di.op == OpClass::Store {
+                        self.mem.store_commit(i.di.mem_addr, self.now);
+                    }
+                }
+                if let Some(old) = i.old_phys {
+                    self.regs.commit_release(t, old);
+                }
+                self.stats.threads[t].committed += 1;
+                self.last_commit = self.now;
+                budget -= 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    /// Is the instruction's register/memory-ordering state ready for
+    /// issue? (FU availability is checked separately.)
+    fn ready_to_issue(&self, r: InstRef, i: &InstState) -> bool {
+        let op = i.di.op;
+        // Stores only need their address operand; data is read at
+        // commit, by which time the (older) producer has completed.
+        let need = if op == OpClass::Store { 1 } else { 2 };
+        for p in i.src_phys.iter().take(need).flatten() {
+            if !self.regs.is_ready(*p) {
+                return false;
+            }
+        }
+        if op == OpClass::Load {
+            // Conservative memory disambiguation: wait until every
+            // older store in this thread's LSQ has a resolved address.
+            for e in &self.threads[r.thread].lsq {
+                if e.tag >= i.tag {
+                    break;
+                }
+                if e.is_store && !e.resolved {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn issue_stage(&mut self) {
+        // Collect ready candidates, oldest first.
+        let mut cands: Vec<(u64, InstRef)> = Vec::with_capacity(self.iq.len().min(16));
+        for e in &self.iq {
+            let i = self.inst(e.inst).unwrap_or_else(|| {
+                let th = &self.threads[e.inst.thread];
+                panic!(
+                    "IQ entry must be in flight: now={} entry={:?} rob=[{:?}..{:?}] len={}",
+                    self.now,
+                    e.inst,
+                    th.rob.front().map(|i| i.tag),
+                    th.rob.back().map(|i| i.tag),
+                    th.rob.len()
+                )
+            });
+            if !i.issued && self.ready_to_issue(e.inst, i) {
+                cands.push((e.seq, e.inst));
+            }
+        }
+        cands.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut width = self.cfg.issue_width;
+        for (_, r) in cands {
+            if width == 0 {
+                break;
+            }
+            let op = self.inst(r).expect("candidate in flight").di.op;
+            if !self.fu.can_issue(op, self.now) {
+                continue; // structural hazard on this unit class
+            }
+            self.do_issue(r);
+            width -= 1;
+        }
+        // Drop issued entries from the shared IQ (entries are freed at
+        // issue, as in the M-Sim baseline).
+        let threads = &mut self.threads;
+        let iq_usage = &mut self.iq_usage;
+        let mut removed: Vec<InstRef> = Vec::new();
+        self.iq.retain(|e| {
+            let th = &threads[e.inst.thread];
+            let keep = match th.rob_index(e.inst.tag) {
+                Some(idx) => !th.rob[idx].issued,
+                None => false,
+            };
+            if !keep {
+                removed.push(e.inst);
+            }
+            keep
+        });
+        for r in removed {
+            iq_usage[r.thread] -= 1;
+            threads[r.thread].icount -= 1;
+        }
+    }
+
+    /// Issues one instruction: reserves the FU, performs the cache
+    /// access for loads, and schedules completion.
+    fn do_issue(&mut self, r: InstRef) {
+        let (op, addr, pc, tag, wrong_path) = {
+            let i = self.inst(r).expect("in flight");
+            (i.di.op, i.di.mem_addr, i.di.pc, i.tag, i.wrong_path)
+        };
+        let t = r.thread;
+        let mut mem_state: Option<MemState> = None;
+        let complete_at;
+        match op {
+            OpClass::Load => {
+                let agen = self.fu.issue(op, self.now);
+                // Store-to-load forwarding: youngest older store to the
+                // same 8-byte chunk (all older stores are resolved —
+                // ready_to_issue guarantees it).
+                let fwd = self.threads[t]
+                    .lsq
+                    .iter()
+                    .rev()
+                    .find(|e| e.tag < tag && e.is_store && (e.addr >> 3) == (addr >> 3))
+                    .is_some();
+                if fwd {
+                    complete_at = agen + 1;
+                    mem_state = Some(MemState {
+                        forwarded: true,
+                        ..Default::default()
+                    });
+                    if !wrong_path {
+                        self.stats.threads[t].forwarded_loads += 1;
+                    }
+                } else {
+                    let res = self.mem.load(addr, agen);
+                    complete_at = res.complete_at;
+                    let _pred = self.loadhit.predict(t, pc);
+                    self.loadhit.update(t, pc, !res.l1_miss);
+                    mem_state = Some(MemState {
+                        l1_miss: res.l1_miss,
+                        l2_miss: res.l2_miss,
+                        miss_visible: false,
+                        miss_detected_at: res.l2_miss_detected_at,
+                        forwarded: false,
+                    });
+                    if res.l1_miss {
+                        self.threads[t].pending_l1d += 1;
+                    }
+                    if res.l2_miss {
+                        self.push_event(Event {
+                            at: res.l2_miss_detected_at.max(self.now),
+                            kind: EventKind::L2MissDetected,
+                            inst: r,
+                        });
+                        self.push_event(Event {
+                            at: res.complete_at.max(self.now),
+                            kind: EventKind::L2Fill,
+                            inst: r,
+                        });
+                    }
+                }
+                if !wrong_path {
+                    self.stats.threads[t].loads += 1;
+                }
+            }
+            _ => {
+                // Stores execute address generation only; everything
+                // else runs start-to-finish on its unit.
+                complete_at = self.fu.issue(op, self.now);
+            }
+        }
+        let i = self.inst_mut(r).expect("in flight");
+        i.issued = true;
+        if let Some(m) = mem_state {
+            i.mem = Some(m);
+        }
+        if !wrong_path {
+            self.stats.threads[t].issued += 1;
+        }
+        self.push_event(Event {
+            at: complete_at.max(self.now + 1),
+            kind: EventKind::Complete,
+            inst: r,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename + ROB/IQ/LSQ allocation)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn dispatch_stage(&mut self) {
+        let caps = self.dcra_caps();
+        let n = self.cfg.num_threads;
+        let mut budget = self.cfg.dispatch_width;
+        let start = self.dispatch_rr;
+        self.dispatch_rr = (start + 1) % n;
+        for k in 0..n {
+            if budget == 0 {
+                break;
+            }
+            let t = (start + k) % n;
+            while budget > 0 {
+                if !self.try_dispatch_one(t, caps[t]) {
+                    break;
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Attempts to dispatch the head of thread `t`'s fetch queue.
+    /// Returns false when the thread cannot dispatch this cycle.
+    fn try_dispatch_one(&mut self, t: ThreadId, iq_cap: usize) -> bool {
+        let now = self.now;
+        let (op, dst, needs_iq) = {
+            let th = &self.threads[t];
+            let Some(f) = th.fetch_q.front() else {
+                return false;
+            };
+            if f.ready_at > now {
+                return false;
+            }
+            let op = f.di.op;
+            (op, f.di.dst.filter(|d| !d.is_zero()), op != OpClass::Nop)
+        };
+        // Structural checks.
+        if self.threads[t].rob.len() >= self.alloc.capacity(t) {
+            self.stats.threads[t].rob_stall_cycles += 1;
+            return false;
+        }
+        if needs_iq && self.iq.len() >= self.cfg.iq_size {
+            self.stats.threads[t].stall_iq += 1;
+            return false;
+        }
+        if needs_iq && self.iq_usage[t] >= iq_cap {
+            self.stats.threads[t].stall_caps += 1;
+            return false;
+        }
+        if op.is_mem() && self.threads[t].lsq.len() >= self.cfg.lsq_size {
+            self.stats.threads[t].stall_lsq += 1;
+            return false;
+        }
+        if let Some(d) = dst {
+            if self.regs.free_count(t, d.class()) == 0 {
+                self.stats.threads[t].stall_regs += 1;
+                return false;
+            }
+        }
+
+        // Commit to dispatching.
+        let f = self.threads[t].fetch_q.pop_front().expect("peeked");
+        let src_phys = f.di.srcs.map(|s| s.map(|a| self.regs.map(t, a)));
+        let (dst_phys, old_phys) = match dst {
+            Some(d) => {
+                let (new, old) = self.regs.rename_dst(t, d).expect("checked free_count");
+                (Some(new), Some(old))
+            }
+            None => (None, None),
+        };
+        let tag = self.threads[t].next_tag;
+        self.threads[t].next_tag += 1;
+        let seq = self.global_seq;
+        self.global_seq += 1;
+        let inst = InstState {
+            tag,
+            seq,
+            di: f.di,
+            wrong_path: f.wrong_path,
+            dst_phys,
+            old_phys,
+            src_phys,
+            issued: !needs_iq,
+            executed: !needs_iq, // NOPs complete at dispatch
+            dispatched_at: now,
+            branch: f.branch,
+            mem: f.di.op.is_mem().then(MemState::default),
+            dod_hist: self.gshare.history(t),
+        };
+        if needs_iq {
+            self.iq.push(IqEntry {
+                inst: InstRef { thread: t, tag },
+                seq,
+            });
+            self.iq_usage[t] += 1;
+        } else {
+            // NOPs leave the front end without entering the IQ.
+            self.threads[t].icount -= 1;
+        }
+        if op.is_mem() {
+            self.threads[t].lsq.push_back(LsqEntry {
+                tag,
+                is_store: op == OpClass::Store,
+                addr: f.di.mem_addr,
+                resolved: false,
+            });
+        }
+        if let Some(bs) = f.branch {
+            if bs.mispredicted && !f.wrong_path {
+                debug_assert!(self.threads[t].redirect_tag.is_none());
+                self.threads[t].redirect_tag = Some(tag);
+            }
+        }
+        self.threads[t].rob.push_back(inst);
+        self.stats.threads[t].dispatched += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    pub(crate) fn fetch_stage(&mut self) {
+        let order = self.fetch_order();
+        let mut budget = self.cfg.fetch_width;
+        let mut threads_used = 0usize;
+        for t in order {
+            if budget == 0 || threads_used >= self.cfg.fetch_threads {
+                break;
+            }
+            if !self.can_fetch(t) {
+                continue;
+            }
+            let fetched = self.fetch_thread(t, budget);
+            budget -= fetched;
+            if fetched > 0 {
+                threads_used += 1;
+            }
+        }
+    }
+
+    /// Fetches up to `budget` instructions from thread `t`; returns the
+    /// number fetched.
+    fn fetch_thread(&mut self, t: ThreadId, budget: usize) -> usize {
+        let mut fetched = 0usize;
+        while fetched < budget {
+            if self.threads[t].fetch_q.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let pc = self.threads[t].fetch_pc;
+            // I-cache: one probe per line transition.
+            let line = pc & !(self.cfg.l1i.line - 1);
+            if line != self.threads[t].last_fetch_line {
+                let res = self.mem.ifetch(pc, self.now);
+                self.threads[t].last_fetch_line = line;
+                if res.l1_miss {
+                    self.threads[t].fetch_stall_until = res.complete_at;
+                    break;
+                }
+            }
+            // Obtain the instruction: wrong-path fabrication, FLUSH
+            // replay, or the live trace.
+            let (di, wrong) = {
+                let th = &mut self.threads[t];
+                if th.in_wrong_path {
+                    match th.exec.wrong_path(pc, th.wp_counter) {
+                        Some(d) => {
+                            th.wp_counter += 1;
+                            (d, true)
+                        }
+                        None => {
+                            // Ran outside the program; a real machine
+                            // would be fetching unmapped memory. Halt
+                            // until the redirect resolves.
+                            th.fetch_halted = true;
+                            break;
+                        }
+                    }
+                } else if let Some(front) = th.replay_q.front() {
+                    debug_assert_eq!(front.pc, pc, "replay stream out of position");
+                    (th.replay_q.pop_front().expect("non-empty"), false)
+                } else {
+                    let d = th.exec.next_inst();
+                    debug_assert_eq!(d.pc, pc, "front end diverged from trace");
+                    (d, false)
+                }
+            };
+
+            // Branch prediction and next-PC selection.
+            let mut branch_state: Option<BranchState> = None;
+            let mut ends_group = false;
+            let next_pc = if di.op.is_branch() {
+                let cond = di.op == OpClass::BranchCond;
+                let (dir, hist) = if cond {
+                    self.gshare.predict(t, pc)
+                } else {
+                    (true, self.gshare.history(t))
+                };
+                let target = self.btb.predict(pc);
+                let eff_taken = dir && target.is_some();
+                let predicted_next = if eff_taken {
+                    target.expect("eff_taken")
+                } else {
+                    pc + INST_BYTES
+                };
+                if cond {
+                    self.gshare.spec_update(t, dir);
+                }
+                let mispredicted = !wrong && predicted_next != di.next_pc;
+                branch_state = Some(BranchState {
+                    pred_taken: dir,
+                    pred_target: target,
+                    hist,
+                    mispredicted,
+                });
+                if mispredicted {
+                    let th = &mut self.threads[t];
+                    th.in_wrong_path = true;
+                    th.wp_counter = 0;
+                }
+                ends_group = eff_taken;
+                predicted_next
+            } else {
+                pc + INST_BYTES
+            };
+
+            let th = &mut self.threads[t];
+            th.fetch_pc = next_pc;
+            th.fetch_q.push_back(Fetched {
+                di,
+                wrong_path: wrong,
+                branch: branch_state,
+                ready_at: self.now + self.cfg.decode_latency,
+            });
+            th.icount += 1;
+            fetched += 1;
+            self.stats.threads[t].fetched += 1;
+            if wrong {
+                self.stats.threads[t].wrong_path_fetched += 1;
+            }
+            if ends_group {
+                break; // predicted-taken branch ends the fetch group
+            }
+        }
+        fetched
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Squashes all instructions of `thread` with tags >= `from_tag`,
+    /// redirecting fetch to `resume_pc`. With `collect_replay`
+    /// (FLUSH), squashed *correct-path* instructions are queued for
+    /// refetch — their dynamic instances were already drawn from the
+    /// trace and must not be regenerated.
+    pub(crate) fn squash_from(
+        &mut self,
+        thread: ThreadId,
+        from_tag: u64,
+        resume_pc: u64,
+        collect_replay: bool,
+    ) {
+        // 1. Front end: drain the fetch queue (younger than all ROB
+        //    entries).
+        let mut fetch_replay: Vec<DynInst> = Vec::new();
+        {
+            let th = &mut self.threads[thread];
+            for f in th.fetch_q.drain(..) {
+                th.icount -= 1;
+                if collect_replay && !f.wrong_path {
+                    fetch_replay.push(f.di);
+                }
+            }
+        }
+
+        // 2. ROB: walk youngest-first, undoing rename state.
+        let mut rob_replay: Vec<DynInst> = Vec::new();
+        let mut oldest_branch_hist: Option<u16> = None;
+        let mut squashed = 0u64;
+        loop {
+            let th = &mut self.threads[thread];
+            let Some(back) = th.rob.back() else { break };
+            if back.tag < from_tag {
+                break;
+            }
+            let i = th.rob.pop_back().expect("checked");
+            squashed += 1;
+            if let (Some(new), Some(old)) = (i.dst_phys, i.old_phys) {
+                let arch = i.di.dst.expect("rename implies dst");
+                self.regs.squash_undo(thread, arch, new, old);
+            }
+            let th = &mut self.threads[thread];
+            if !i.executed {
+                if let Some(m) = i.mem {
+                    if m.l1_miss {
+                        debug_assert!(th.pending_l1d > 0);
+                        th.pending_l1d -= 1;
+                    }
+                }
+            }
+            if let Some(m) = i.mem {
+                if m.miss_visible {
+                    debug_assert!(th.pending_l2_visible > 0);
+                    th.pending_l2_visible -= 1;
+                }
+            }
+            if let Some(bs) = i.branch {
+                oldest_branch_hist = Some(bs.hist);
+            }
+            if collect_replay && !i.wrong_path {
+                rob_replay.push(i.di);
+            }
+        }
+        self.stats.threads[thread].squashed += squashed;
+
+        // 3. Shared IQ: drop entries belonging to the squashed range.
+        let iq_usage = &mut self.iq_usage;
+        let threads = &mut self.threads;
+        let mut iq_removed = 0usize;
+        self.iq.retain(|e| {
+            let keep = e.inst.thread != thread || e.inst.tag < from_tag;
+            if !keep {
+                iq_removed += 1;
+            }
+            keep
+        });
+        iq_usage[thread] -= iq_removed;
+        threads[thread].icount -= iq_removed;
+
+        // 4. LSQ: truncate from the back.
+        {
+            let th = &mut self.threads[thread];
+            while th.lsq.back().map(|e| e.tag >= from_tag).unwrap_or(false) {
+                th.lsq.pop_back();
+            }
+        }
+
+        // 5. Fetch-state reset and replay queue assembly.
+        {
+            let th = &mut self.threads[thread];
+            th.in_wrong_path = false;
+            th.wp_counter = 0;
+            th.fetch_halted = false;
+            th.fetch_pc = resume_pc;
+            th.last_fetch_line = u64::MAX;
+            if th.redirect_tag.map(|rt| rt >= from_tag).unwrap_or(false) {
+                th.redirect_tag = None;
+            }
+            if th.flush_gate.map(|g| g >= from_tag).unwrap_or(false) {
+                th.flush_gate = None;
+            }
+            if collect_replay {
+                // Program order: ROB entries (collected youngest-first,
+                // so reversed) then fetch-queue entries, then whatever
+                // was already awaiting replay.
+                for di in fetch_replay.into_iter().rev() {
+                    th.replay_q.push_front(di);
+                }
+                for di in rob_replay {
+                    th.replay_q.push_front(di);
+                }
+            } else {
+                debug_assert!(
+                    rob_replay.is_empty() && fetch_replay.is_empty(),
+                    "mispredict squash should only discard wrong-path work"
+                );
+            }
+        }
+
+        // 6. Branch-history repair: restore the snapshot of the oldest
+        //    squashed branch (callers may further adjust, e.g. shifting
+        //    in the resolving branch's actual outcome).
+        if let Some(h) = oldest_branch_hist {
+            self.gshare.set_history(thread, h);
+        }
+
+        self.alloc.on_squash(thread, from_tag);
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulation statistics: per-thread progress counters, shared-resource
+//! occupancy, and the Degree-of-Dependence histograms behind the
+//! paper's Figures 1, 3 and 7.
+
+use smtsim_mem::Cycle;
+
+/// Histogram of dependent counts sampled at L2-miss service time
+/// (x-axis of the paper's Figures 1/3/7). Bin `i` counts fills that
+/// observed exactly `i` not-yet-executed instructions behind the load;
+/// the last bin accumulates saturated counts.
+#[derive(Clone, Debug)]
+pub struct DodHistogram {
+    bins: Vec<u64>,
+    /// Total samples.
+    pub samples: u64,
+    /// Sum of sampled counts (for means).
+    pub sum: u64,
+}
+
+impl DodHistogram {
+    /// Creates a histogram with bins `0..=max` (counts above `max`
+    /// saturate into the last bin).
+    pub fn new(max: u32) -> Self {
+        DodHistogram {
+            bins: vec![0; max as usize + 1],
+            samples: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, count: u32) {
+        let idx = (count as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.samples += 1;
+        self.sum += count as u64;
+    }
+
+    /// Bin contents (`bins()[i]` = samples with count `i`).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Mean sampled count.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Merges another histogram into this one (same binning).
+    pub fn merge(&mut self, other: &DodHistogram) {
+        assert_eq!(self.bins.len(), other.bins.len());
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.samples += other.samples;
+        self.sum += other.sum;
+    }
+}
+
+impl Default for DodHistogram {
+    fn default() -> Self {
+        // 5-bit counter semantics of the paper's 32-entry first level.
+        DodHistogram::new(31)
+    }
+}
+
+/// Per-thread statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched (correct + wrong path).
+    pub fetched: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Instructions dispatched into the ROB.
+    pub dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Instructions squashed.
+    pub squashed: u64,
+    /// Conditional branches resolved (correct path).
+    pub branches: u64,
+    /// Mispredicted branches resolved.
+    pub mispredicts: u64,
+    /// Loads issued (correct path).
+    pub loads: u64,
+    /// Loads that missed the L2.
+    pub l2_misses: u64,
+    /// Loads satisfied by store forwarding.
+    pub forwarded_loads: u64,
+    /// Sum of per-cycle ROB occupancy (average = / cycles).
+    pub rob_occupancy_sum: u64,
+    /// Cycles this thread's dispatch was blocked by ROB capacity.
+    pub rob_stall_cycles: u64,
+    /// Dispatch attempts blocked by an empty register free list.
+    pub stall_regs: u64,
+    /// Dispatch attempts blocked by a full shared IQ.
+    pub stall_iq: u64,
+    /// Dispatch attempts blocked by a DCRA cap (IQ or registers).
+    pub stall_caps: u64,
+    /// Dispatch attempts blocked by a full LSQ.
+    pub stall_lsq: u64,
+}
+
+impl ThreadStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Whole-machine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Per-thread counters.
+    pub threads: Vec<ThreadStats>,
+    /// Sum of per-cycle shared-IQ occupancy.
+    pub iq_occupancy_sum: u64,
+    /// Cycles the shared IQ was completely full.
+    pub iq_full_cycles: u64,
+    /// DoD histogram sampled at L2-miss fill time (Figures 1/3/7).
+    /// Second-level allocator statistics live in
+    /// `smtsim_rob2::TwoLevelStats`, retrieved through
+    /// `Simulator::allocator()`.
+    pub dod_at_fill: DodHistogram,
+}
+
+impl SimStats {
+    /// Creates stats for `threads` hardware contexts.
+    pub fn new(threads: usize) -> Self {
+        SimStats {
+            threads: vec![ThreadStats::default(); threads],
+            dod_at_fill: DodHistogram::default(),
+            ..Default::default()
+        }
+    }
+
+    /// Total committed instructions.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Total throughput (committed instructions per cycle, all threads).
+    pub fn throughput_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average shared-IQ occupancy per cycle.
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_saturates() {
+        let mut h = DodHistogram::new(31);
+        h.record(0);
+        h.record(5);
+        h.record(31);
+        h.record(64); // saturates into bin 31
+        assert_eq!(h.samples, 4);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[31], 2);
+        assert_eq!(h.sum, 5 + 31 + 64);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = DodHistogram::new(31);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(DodHistogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = DodHistogram::new(31);
+        let mut b = DodHistogram::new(31);
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.bins()[1], 1);
+        assert_eq!(a.bins()[3], 1);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let t = ThreadStats {
+            committed: 500,
+            ..Default::default()
+        };
+        assert!((t.ipc(1000) - 0.5).abs() < 1e-12);
+        assert_eq!(t.ipc(0), 0.0);
+    }
+
+    #[test]
+    fn sim_stats_aggregation() {
+        let mut s = SimStats::new(2);
+        s.cycles = 100;
+        s.threads[0].committed = 120;
+        s.threads[1].committed = 80;
+        assert_eq!(s.total_committed(), 200);
+        assert!((s.throughput_ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        assert_eq!(ThreadStats::default().mispredict_rate(), 0.0);
+        let t = ThreadStats {
+            branches: 10,
+            mispredicts: 1,
+            ..Default::default()
+        };
+        assert!((t.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+}

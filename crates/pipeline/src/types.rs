@@ -1,0 +1,234 @@
+//! In-flight instruction state and pipeline bookkeeping types.
+
+use crate::regfile::PhysReg;
+use smtsim_isa::{DynInst, ThreadId};
+use smtsim_mem::Cycle;
+
+/// Stable identity of an in-flight instruction: its thread plus a
+/// per-thread monotonically increasing tag. Tags never recycle within a
+/// run, so stale references (e.g. completion events for squashed
+/// instructions) are detected by comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstRef {
+    /// Hardware thread.
+    pub thread: ThreadId,
+    /// Per-thread dispatch tag.
+    pub tag: u64,
+}
+
+/// Branch-specific in-flight state.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchState {
+    /// Predicted direction at fetch.
+    pub pred_taken: bool,
+    /// Predicted target (`None` = BTB miss; treated as fall-through).
+    pub pred_target: Option<u64>,
+    /// gshare history snapshot at prediction.
+    pub hist: u16,
+    /// Set at fetch when the front end already knows the prediction
+    /// disagrees with the trace (direction or target).
+    pub mispredicted: bool,
+}
+
+/// Memory-op-specific in-flight state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemState {
+    /// This load missed the L1 D-cache.
+    pub l1_miss: bool,
+    /// This load missed the L2 (set at issue once the hierarchy is
+    /// consulted).
+    pub l2_miss: bool,
+    /// The L2 miss has been *detected* by the core (the
+    /// `L2MissDetected` event fired) and not yet filled. Drives the
+    /// per-thread pending-miss counter, so squash must decrement it
+    /// when set.
+    pub miss_visible: bool,
+    /// Cycle the L2 miss becomes known to the core.
+    pub miss_detected_at: Cycle,
+    /// The load was satisfied by store-to-load forwarding.
+    pub forwarded: bool,
+}
+
+/// One reorder-buffer entry: a dynamic instruction plus all its pipeline
+/// state. The `executed` flag is the "result valid" bit the paper's DoD
+/// counting mechanism scans.
+#[derive(Clone, Debug)]
+pub struct InstState {
+    /// Per-thread tag (== position in dispatch order).
+    pub tag: u64,
+    /// Global dispatch sequence number (for oldest-first issue).
+    pub seq: u64,
+    /// The dynamic instruction.
+    pub di: DynInst,
+    /// Fetched down a mispredicted path; will be squashed.
+    pub wrong_path: bool,
+    /// Renamed destination.
+    pub dst_phys: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register.
+    pub old_phys: Option<PhysReg>,
+    /// Renamed sources.
+    pub src_phys: [Option<PhysReg>; 2],
+    /// Issued to a functional unit.
+    pub issued: bool,
+    /// Result valid (execution complete).
+    pub executed: bool,
+    /// Cycle the instruction entered the ROB.
+    pub dispatched_at: Cycle,
+    /// Branch state, if a branch.
+    pub branch: Option<BranchState>,
+    /// Memory state, if a load/store.
+    pub mem: Option<MemState>,
+    /// Thread's global branch history when this instruction was
+    /// dispatched; feeds the path-qualified DoD predictor (§4.2).
+    pub dod_hist: u16,
+}
+
+impl InstState {
+    /// True when the entry is an L2-missing load whose data has not yet
+    /// returned (i.e. `executed` still false).
+    pub fn pending_l2_miss(&self) -> bool {
+        !self.executed && self.mem.map(|m| m.l2_miss).unwrap_or(false)
+    }
+}
+
+/// Shared issue-queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct IqEntry {
+    /// The instruction.
+    pub inst: InstRef,
+    /// Global dispatch sequence (issue priority: lower = older).
+    pub seq: u64,
+}
+
+/// Per-thread load/store queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct LsqEntry {
+    /// Owning instruction tag.
+    pub tag: u64,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// Effective address (known from the trace; *architecturally*
+    /// resolved only once address generation executes).
+    pub addr: u64,
+    /// Address generation has completed.
+    pub resolved: bool,
+}
+
+/// Timed pipeline events processed from a priority queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Functional-unit / memory completion: mark executed, wake
+    /// dependents, resolve branches.
+    Complete,
+    /// An L2 miss becomes visible to the core (DoD machinery trigger).
+    L2MissDetected,
+    /// An L2-missing load's fill arrives (histogram sampling point and
+    /// predictor training point).
+    L2Fill,
+}
+
+/// An entry in the event queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Cycle,
+    /// What happens.
+    pub kind: EventKind,
+    /// The instruction it concerns.
+    pub inst: InstRef,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by time via reversed comparison at the BinaryHeap
+        // call site; here: order by (at, seq-ish identity) for
+        // determinism.
+        (self.at, self.inst.thread, self.inst.tag, self.kind as u8).cmp(&(
+            other.at,
+            other.inst.thread,
+            other.inst.tag,
+            other.kind as u8,
+        ))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::OpClass;
+
+    fn dummy_inst(tag: u64) -> InstState {
+        InstState {
+            tag,
+            seq: tag,
+            di: DynInst {
+                pc: 0,
+                seq: tag,
+                op: OpClass::IntAlu,
+                dst: None,
+                srcs: [None, None],
+                mem_addr: 0,
+                taken: false,
+                next_pc: 4,
+            },
+            wrong_path: false,
+            dst_phys: None,
+            old_phys: None,
+            src_phys: [None, None],
+            issued: false,
+            executed: false,
+            dispatched_at: 0,
+            branch: None,
+            mem: None,
+            dod_hist: 0,
+        }
+    }
+
+    #[test]
+    fn pending_l2_miss_logic() {
+        let mut i = dummy_inst(0);
+        assert!(!i.pending_l2_miss());
+        i.mem = Some(MemState {
+            l2_miss: true,
+            miss_detected_at: 10,
+            ..Default::default()
+        });
+        assert!(i.pending_l2_miss());
+        i.executed = true;
+        assert!(!i.pending_l2_miss());
+    }
+
+    #[test]
+    fn event_ordering_is_total_and_time_major() {
+        let e1 = Event {
+            at: 5,
+            kind: EventKind::Complete,
+            inst: InstRef { thread: 1, tag: 9 },
+        };
+        let e2 = Event {
+            at: 6,
+            kind: EventKind::Complete,
+            inst: InstRef { thread: 0, tag: 1 },
+        };
+        assert!(e1 < e2);
+        let e3 = Event {
+            at: 5,
+            kind: EventKind::Complete,
+            inst: InstRef { thread: 0, tag: 2 },
+        };
+        assert!(e3 < e1, "same time orders by thread/tag");
+    }
+
+    #[test]
+    fn inst_ref_ordering() {
+        let a = InstRef { thread: 0, tag: 5 };
+        let b = InstRef { thread: 0, tag: 6 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,321 @@
+//! Degree-of-Dependence (DoD) predictors — §4.2 of the paper.
+//!
+//! The predictive second-level-ROB scheme (2-Level P-ROB) needs, at L2
+//! miss *detection* time, an estimate of how many in-flight instructions
+//! depend on the missing load. The paper proposes three designs, all
+//! implemented here behind the [`DodPredictor`] trait:
+//!
+//! 1. **Last-value** ([`LastValueDod`]): a PC-indexed table holding the
+//!    dependent count observed at the previous dynamic instance of the
+//!    same static load.
+//! 2. **Threshold-bit** ([`ThresholdBitDod`]): stores only one bit per
+//!    entry — whether the count was below the (fixed) threshold.
+//! 3. **Path-qualified** ([`PathDod`]): gshare-style, indexed by PC xor
+//!    the thread's branch history, so different control-flow paths after
+//!    the load get separate predictions ("in this case ... predictions
+//!    will always be accurate").
+
+/// Interface of a DoD predictor.
+///
+/// `hist` is the thread's global branch history at the load (only the
+/// path-qualified design uses it). Predictions return `None` when the
+/// predictor has no information for the load (cold entry / tag
+/// mismatch); the allocation scheme then falls back to *not* allocating
+/// (conservative) and lets the verification count train the predictor.
+pub trait DodPredictor {
+    /// Predicts whether the load's dependent count is below `threshold`.
+    fn predict_below(&mut self, pc: u64, hist: u16, threshold: u32) -> Option<bool>;
+    /// Trains with the verified dependent count.
+    fn update(&mut self, pc: u64, hist: u16, count: u32);
+    /// `(lookups, hits)` — how often prediction information existed.
+    fn coverage(&self) -> (u64, u64);
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedCount {
+    tag: u32,
+    count: u32,
+    valid: bool,
+}
+
+/// Last-value DoD predictor: direct-mapped, partially tagged,
+/// PC-indexed table storing the last observed dependent count.
+#[derive(Clone, Debug)]
+pub struct LastValueDod {
+    table: Vec<TaggedCount>,
+    index_mask: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl LastValueDod {
+    /// Creates a table of `entries` (power of two).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        LastValueDod {
+            table: vec![TaggedCount::default(); entries],
+            index_mask: entries as u64 - 1,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Default sizing used in the evaluation: 2k entries.
+    pub fn icpp08() -> Self {
+        LastValueDod::new(2048)
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> (usize, u32) {
+        let idx = ((pc >> 2) & self.index_mask) as usize;
+        let tag = ((pc >> 2) >> self.index_mask.count_ones()) as u32;
+        (idx, tag)
+    }
+
+    /// Raw lookup of the last observed count for `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u32> {
+        self.lookups += 1;
+        let (idx, tag) = self.slot(pc);
+        let e = self.table[idx];
+        if e.valid && e.tag == tag {
+            self.hits += 1;
+            Some(e.count)
+        } else {
+            None
+        }
+    }
+
+    /// Stores the observed count for `pc`.
+    pub fn store(&mut self, pc: u64, count: u32) {
+        let (idx, tag) = self.slot(pc);
+        self.table[idx] = TaggedCount {
+            tag,
+            count,
+            valid: true,
+        };
+    }
+}
+
+impl DodPredictor for LastValueDod {
+    fn predict_below(&mut self, pc: u64, _hist: u16, threshold: u32) -> Option<bool> {
+        self.lookup(pc).map(|c| c < threshold)
+    }
+
+    fn update(&mut self, pc: u64, _hist: u16, count: u32) {
+        self.store(pc, count);
+    }
+
+    fn coverage(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+/// Threshold-bit DoD predictor: one valid bit plus one below-threshold
+/// bit per entry — the minimal §4.2 design ("prediction information can
+/// amount to just a single bit").
+///
+/// The threshold is fixed at construction; predictions for a different
+/// threshold are refused (`None`), mirroring the hardware constraint.
+#[derive(Clone, Debug)]
+pub struct ThresholdBitDod {
+    /// 2 bits per entry packed as bytes: bit0 = valid, bit1 = below.
+    table: Vec<u8>,
+    index_mask: u64,
+    threshold: u32,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ThresholdBitDod {
+    /// Creates a table of `entries` (power of two) for a fixed
+    /// `threshold`.
+    pub fn new(entries: usize, threshold: u32) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        ThresholdBitDod {
+            table: vec![0u8; entries],
+            index_mask: entries as u64 - 1,
+            threshold,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// The fixed threshold this predictor was built for.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl DodPredictor for ThresholdBitDod {
+    fn predict_below(&mut self, pc: u64, _hist: u16, threshold: u32) -> Option<bool> {
+        self.lookups += 1;
+        if threshold != self.threshold {
+            return None;
+        }
+        let e = self.table[self.index(pc)];
+        if e & 1 == 1 {
+            self.hits += 1;
+            Some(e & 2 != 0)
+        } else {
+            None
+        }
+    }
+
+    fn update(&mut self, pc: u64, _hist: u16, count: u32) {
+        let below = (count < self.threshold) as u8;
+        let idx = self.index(pc);
+        self.table[idx] = 1 | below << 1;
+    }
+
+    fn coverage(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+/// Path-qualified (gshare-style) DoD predictor: last-value table indexed
+/// by PC xor branch history.
+#[derive(Clone, Debug)]
+pub struct PathDod {
+    table: Vec<TaggedCount>,
+    index_mask: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl PathDod {
+    /// Creates a table of `entries` (power of two).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        PathDod {
+            table: vec![TaggedCount::default(); entries],
+            index_mask: entries as u64 - 1,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64, hist: u16) -> (usize, u32) {
+        let key = (pc >> 2) ^ hist as u64;
+        let idx = (key & self.index_mask) as usize;
+        // Tag on the PC (not the xor) to limit destructive aliasing.
+        let tag = ((pc >> 2) >> self.index_mask.count_ones()) as u32;
+        (idx, tag)
+    }
+}
+
+impl DodPredictor for PathDod {
+    fn predict_below(&mut self, pc: u64, hist: u16, threshold: u32) -> Option<bool> {
+        self.lookups += 1;
+        let (idx, tag) = self.slot(pc, hist);
+        let e = self.table[idx];
+        if e.valid && e.tag == tag {
+            self.hits += 1;
+            Some(e.count < threshold)
+        } else {
+            None
+        }
+    }
+
+    fn update(&mut self, pc: u64, hist: u16, count: u32) {
+        let (idx, tag) = self.slot(pc, hist);
+        self.table[idx] = TaggedCount {
+            tag,
+            count,
+            valid: true,
+        };
+    }
+
+    fn coverage(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_round_trips() {
+        let mut p = LastValueDod::icpp08();
+        assert_eq!(p.lookup(0x100), None);
+        p.store(0x100, 7);
+        assert_eq!(p.lookup(0x100), Some(7));
+        assert_eq!(p.predict_below(0x100, 0, 8), Some(true));
+        assert_eq!(p.predict_below(0x100, 0, 7), Some(false));
+    }
+
+    #[test]
+    fn last_value_tag_rejects_aliases() {
+        let mut p = LastValueDod::new(16);
+        p.store(0x100, 3);
+        // Same index (idx bits = (pc>>2) & 15), different tag.
+        let alias = 0x100 + (16 << 2) * 7;
+        assert_eq!(p.lookup(alias), None);
+    }
+
+    #[test]
+    fn last_value_overwrites() {
+        let mut p = LastValueDod::icpp08();
+        p.store(0x40, 2);
+        p.store(0x40, 9);
+        assert_eq!(p.lookup(0x40), Some(9));
+    }
+
+    #[test]
+    fn threshold_bit_basic() {
+        let mut p = ThresholdBitDod::new(1024, 16);
+        assert_eq!(p.predict_below(0x200, 0, 16), None);
+        p.update(0x200, 0, 5);
+        assert_eq!(p.predict_below(0x200, 0, 16), Some(true));
+        p.update(0x200, 0, 20);
+        assert_eq!(p.predict_below(0x200, 0, 16), Some(false));
+    }
+
+    #[test]
+    fn threshold_bit_refuses_other_thresholds() {
+        let mut p = ThresholdBitDod::new(1024, 16);
+        p.update(0x200, 0, 5);
+        assert_eq!(p.predict_below(0x200, 0, 8), None);
+        assert_eq!(p.threshold(), 16);
+    }
+
+    #[test]
+    fn path_qualified_separates_paths() {
+        let mut p = PathDod::new(4096);
+        let pc = 0x3000;
+        p.update(pc, 0b1010, 2);
+        p.update(pc, 0b0101, 12);
+        assert_eq!(p.predict_below(pc, 0b1010, 8), Some(true));
+        assert_eq!(p.predict_below(pc, 0b0101, 8), Some(false));
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let mut p = LastValueDod::icpp08();
+        p.predict_below(0x10, 0, 4);
+        p.update(0x10, 0, 1);
+        p.predict_below(0x10, 0, 4);
+        let (lookups, hits) = p.coverage();
+        assert_eq!(lookups, 2);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut predictors: Vec<Box<dyn DodPredictor>> = vec![
+            Box::new(LastValueDod::new(64)),
+            Box::new(ThresholdBitDod::new(64, 16)),
+            Box::new(PathDod::new(64)),
+        ];
+        for p in &mut predictors {
+            p.update(0x500, 3, 4);
+            assert_eq!(p.predict_below(0x500, 3, 16), Some(true));
+        }
+    }
+}

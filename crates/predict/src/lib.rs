@@ -1,0 +1,16 @@
+//! # smtsim-predict
+//!
+//! Hardware predictors for the two-level-ROB reproduction (Loew &
+//! Ponomarev, ICPP 2008): the Table 1 front-end predictors (gshare,
+//! BTB, load-hit) and the paper's §4.2 Degree-of-Dependence predictors
+//! (last-value, threshold-bit, and path-qualified designs).
+
+pub mod btb;
+pub mod dod;
+pub mod gshare;
+pub mod loadhit;
+
+pub use btb::Btb;
+pub use dod::{DodPredictor, LastValueDod, PathDod, ThresholdBitDod};
+pub use gshare::Gshare;
+pub use loadhit::LoadHitPredictor;

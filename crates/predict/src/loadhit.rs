@@ -1,0 +1,131 @@
+//! Load-hit predictor (Table 1: "2-bit bimodal: 1k entries, 8-bit
+//! global history per thread").
+//!
+//! Predicts whether a load will hit the L1 D-cache. The scheduler uses
+//! it for speculative wakeup of load dependents: on a predicted hit,
+//! dependents are woken assuming the L1 hit latency; if the load
+//! actually misses, speculatively issued dependents are replayed.
+
+const MAX_THREADS: usize = 8;
+
+/// Load L1-hit predictor: 2-bit counters indexed by PC xor a per-thread
+/// history of recent load hit/miss outcomes.
+#[derive(Clone, Debug)]
+pub struct LoadHitPredictor {
+    table: Vec<u8>,
+    hist: [u8; MAX_THREADS],
+    index_mask: u64,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Training updates where the prediction was correct.
+    pub correct: u64,
+    /// Training updates total.
+    pub updates: u64,
+}
+
+impl LoadHitPredictor {
+    /// Creates a predictor with `entries` counters (power of two).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        LoadHitPredictor {
+            // Bias towards "hit": most loads hit.
+            table: vec![3u8; entries],
+            hist: [0; MAX_THREADS],
+            index_mask: entries as u64 - 1,
+            lookups: 0,
+            correct: 0,
+            updates: 0,
+        }
+    }
+
+    /// The paper's Table 1 configuration (1k entries, 8-bit history).
+    pub fn icpp08() -> Self {
+        LoadHitPredictor::new(1024)
+    }
+
+    #[inline]
+    fn index(&self, thread: usize, pc: u64) -> usize {
+        (((pc >> 2) ^ self.hist[thread] as u64) & self.index_mask) as usize
+    }
+
+    /// Predicts whether the load at `pc` will hit the L1.
+    pub fn predict(&mut self, thread: usize, pc: u64) -> bool {
+        self.lookups += 1;
+        self.table[self.index(thread, pc)] >= 2
+    }
+
+    /// Trains with the actual outcome and shifts it into the thread's
+    /// history.
+    pub fn update(&mut self, thread: usize, pc: u64, hit: bool) {
+        self.updates += 1;
+        let idx = self.index(thread, pc);
+        let c = &mut self.table[idx];
+        if (*c >= 2) == hit {
+            self.correct += 1;
+        }
+        if hit {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.hist[thread] = self.hist[thread] << 1 | hit as u8;
+    }
+
+    /// Prediction accuracy over trained loads, in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_predicts_hit() {
+        let mut p = LoadHitPredictor::icpp08();
+        assert!(p.predict(0, 0x1000));
+    }
+
+    #[test]
+    fn learns_persistent_misser() {
+        let mut p = LoadHitPredictor::icpp08();
+        let pc = 0x2000;
+        for _ in 0..300 {
+            p.update(0, pc, false);
+        }
+        // With history mixing the index moves around, but a persistent
+        // misser drives many counters down; spot-check post-training.
+        let mut misses_predicted = 0;
+        for _ in 0..16 {
+            if !p.predict(0, pc) {
+                misses_predicted += 1;
+            }
+            p.update(0, pc, false);
+        }
+        assert!(misses_predicted >= 12, "{misses_predicted}/16");
+    }
+
+    #[test]
+    fn threads_do_not_share_history() {
+        let mut p = LoadHitPredictor::icpp08();
+        for _ in 0..8 {
+            p.update(0, 0x100, false);
+        }
+        assert_eq!(p.hist[0], 0);
+        assert_eq!(p.hist[1], 0);
+        p.update(1, 0x100, true);
+        assert_eq!(p.hist[1], 1);
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut p = LoadHitPredictor::icpp08();
+        p.update(0, 0x10, true); // predicted hit, was hit
+        assert!((p.accuracy() - 1.0).abs() < 1e-12);
+    }
+}

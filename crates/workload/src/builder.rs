@@ -1,0 +1,741 @@
+//! Synthetic program generation from a [`WorkloadProfile`].
+//!
+//! The generator emits an endless ring of loop segments. Each segment is
+//! a small loop nest — optionally with a biased branch diamond — whose
+//! body instructions follow the profile's mix. Crucially, every load is
+//! followed (statically) by a controlled number of instructions that
+//! transitively consume its result: the load's **Degree of Dependence
+//! (DoD)**. Because the dependents are fixed at generation time, each
+//! static load has a stable DoD across dynamic instances — the property
+//! the paper's predictive scheme (§4.2) exploits, and the knob that
+//! makes Figures 1/3/7 reproducible.
+
+use crate::profile::WorkloadProfile;
+use crate::rng::Rng;
+use crate::stream::StreamDesc;
+use smtsim_isa::{
+    ArchReg, BasicBlock, BlockId, BranchBehavior, OpClass, Program, RegClass, StaticInst, StreamId,
+};
+
+/// Register conventions used by generated programs.
+mod regs {
+    /// General-purpose integer pool: `r1..=r25`.
+    pub const INT_POOL: (u8, u8) = (1, 25);
+    /// Chase pointers: `r26`, `r27`.
+    pub const CHASE: [u8; 2] = [26, 27];
+    /// Loop induction register.
+    pub const INDUCTION: u8 = 29;
+    /// Base/frame register (written once per segment, usually ready).
+    pub const BASE: u8 = 30;
+    /// FP pool: `f1..=f30`.
+    pub const FP_POOL: (u8, u8) = (1, 30);
+}
+
+/// Stream table indices (fixed layout; see [`build`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WellKnownStream {
+    /// Cache-resident store target.
+    HotStore = 0,
+    /// Cache-resident load region.
+    HotLoad = 1,
+    /// L2-missing streaming (strided) region.
+    MissStride = 2,
+    /// L2-missing independent random region.
+    MissRandom = 3,
+    /// L2-missing pointer-chase region #0.
+    Chase0 = 4,
+    /// L2-missing pointer-chase region #1.
+    Chase1 = 5,
+    /// Tiny stack-like region shared by stores *and* loads: the source
+    /// of store-to-load forwarding traffic.
+    Stack = 6,
+}
+
+/// A generated workload: the program, its stream descriptors and
+/// generation statistics.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The source profile.
+    pub profile: WorkloadProfile,
+    /// The synthesized static program.
+    pub program: Program,
+    /// Stream descriptor table indexed by [`StreamId`].
+    pub streams: Vec<StreamDesc>,
+    /// Static loads bound to L2-missing streams.
+    pub static_missing_loads: usize,
+    /// All static loads.
+    pub static_loads: usize,
+    /// Sum of statically assigned DoD over missing loads (for tests).
+    pub static_missing_dod: u64,
+}
+
+impl Workload {
+    /// Convenience: generate the workload for a named SPEC benchmark.
+    pub fn spec(name: &str, seed: u64, pc_base: u64, data_base: u64) -> Workload {
+        build(&crate::spec::profile(name), seed, pc_base, data_base)
+    }
+}
+
+/// Obligation to emit instructions dependent on an earlier load.
+struct Obligation {
+    /// Register currently carrying the dependence (load dst, or the tail
+    /// of a chain grown from it).
+    src: ArchReg,
+    /// Dependent instructions still to emit.
+    remaining: u32,
+    /// Instructions to let pass before the next dependent is eligible
+    /// (spreads the shadow; see `WorkloadProfile::dod_gap`).
+    ready_in: u32,
+    /// Mean gap re-sampled after each emitted dependent.
+    gap: f64,
+}
+
+struct Gen {
+    p: WorkloadProfile,
+    rng: Rng,
+    /// Taint per flat arch register index: true if the value is a
+    /// descendant of a load and must not feed "independent" work.
+    taint: [bool; ArchReg::FLAT_COUNT],
+    /// Ring cursors for destination allocation.
+    next_int: u8,
+    next_fp: u8,
+    /// Recently written untainted registers, most recent last.
+    recent_int: Vec<ArchReg>,
+    recent_fp: Vec<ArchReg>,
+    obligations: Vec<Obligation>,
+    /// Per-mille accumulator that deterministically spaces missing
+    /// loads so the static missing fraction tracks the profile even in
+    /// small programs (a Bernoulli draw at ~5 % per load frequently
+    /// yields *zero* missing loads in a few-hundred-instruction
+    /// program, silently turning a memory-bound benchmark CPU-bound).
+    miss_acc: u32,
+    stats_missing_loads: usize,
+    stats_loads: usize,
+    stats_missing_dod: u64,
+}
+
+impl Gen {
+    fn new(p: &WorkloadProfile, rng: Rng) -> Self {
+        Gen {
+            p: p.clone(),
+            rng,
+            taint: [false; ArchReg::FLAT_COUNT],
+            next_int: regs::INT_POOL.0,
+            next_fp: regs::FP_POOL.0,
+            recent_int: vec![ArchReg::int(regs::BASE)],
+            recent_fp: Vec::new(),
+            obligations: Vec::new(),
+            miss_acc: 500,
+            stats_missing_loads: 0,
+            stats_loads: 0,
+            stats_missing_dod: 0,
+        }
+    }
+
+    /// Picks a fresh destination register from the pool, skipping
+    /// registers that currently carry a live dependence obligation
+    /// (overwriting those would break the DoD chain).
+    fn fresh(&mut self, class: RegClass) -> ArchReg {
+        for _ in 0..64 {
+            let r = match class {
+                RegClass::Int => {
+                    let r = ArchReg::int(self.next_int);
+                    self.next_int = if self.next_int >= regs::INT_POOL.1 {
+                        regs::INT_POOL.0
+                    } else {
+                        self.next_int + 1
+                    };
+                    r
+                }
+                RegClass::Fp => {
+                    let r = ArchReg::fp(self.next_fp);
+                    self.next_fp = if self.next_fp >= regs::FP_POOL.1 {
+                        regs::FP_POOL.0
+                    } else {
+                        self.next_fp + 1
+                    };
+                    r
+                }
+            };
+            if !self.obligations.iter().any(|o| o.src == r) {
+                return r;
+            }
+        }
+        // Pathological: every pool register is an obligation source.
+        // Drop the oldest obligation and reuse its register.
+        let o = self.obligations.remove(0);
+        o.src
+    }
+
+    /// Records `r` as written by an *independent* instruction.
+    fn wrote_independent(&mut self, r: ArchReg) {
+        self.taint[r.flat_index()] = false;
+        let recent = match r.class() {
+            RegClass::Int => &mut self.recent_int,
+            RegClass::Fp => &mut self.recent_fp,
+        };
+        recent.retain(|&x| x != r);
+        recent.push(r);
+        if recent.len() > 8 {
+            recent.remove(0);
+        }
+    }
+
+    /// Records `r` as written by a load-dependent instruction.
+    fn wrote_tainted(&mut self, r: ArchReg) {
+        self.taint[r.flat_index()] = true;
+        self.recent_int.retain(|&x| x != r);
+        self.recent_fp.retain(|&x| x != r);
+    }
+
+    /// A recently written untainted register of `class`, if any.
+    fn recent_untainted(&mut self, class: RegClass) -> Option<ArchReg> {
+        let recent = match class {
+            RegClass::Int => &self.recent_int,
+            RegClass::Fp => &self.recent_fp,
+        };
+        let candidates: Vec<ArchReg> = recent
+            .iter()
+            .copied()
+            .filter(|r| !self.taint[r.flat_index()])
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.below(candidates.len() as u64) as usize])
+        }
+    }
+
+    /// Emits one body instruction into `out`.
+    fn emit_body_inst(&mut self, out: &mut Vec<StaticInst>) {
+        // Every emitted instruction lets pending dependence shadows
+        // advance toward eligibility.
+        for o in &mut self.obligations {
+            o.ready_in = o.ready_in.saturating_sub(1);
+        }
+        // Eligible dependents are emitted with high priority: the
+        // *shape* of the shadow is governed by the sampled gaps, not by
+        // this draw.
+        if self.obligations.iter().any(|o| o.ready_in == 0) && self.rng.chance_pm(800) {
+            self.emit_dependent(out);
+            return;
+        }
+        let p = self.p.clone();
+        let non_branch = 1000 - p.branch_frac_pm as u32;
+        let w_load = p.load_frac_pm as u32;
+        let w_store = p.store_frac_pm as u32;
+        let w_comp = non_branch.saturating_sub(w_load + w_store).max(1);
+        match self.rng.weighted(&[w_load, w_store, w_comp]) {
+            0 => self.emit_load(out),
+            1 => self.emit_store(out),
+            _ => self.emit_compute(out),
+        }
+    }
+
+    fn emit_dependent(&mut self, out: &mut Vec<StaticInst>) {
+        let eligible: Vec<usize> = self
+            .obligations
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.ready_in == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let i = eligible[self.rng.below(eligible.len() as u64) as usize];
+        let src = self.obligations[i].src;
+        let class = if src.class() == RegClass::Fp || self.rng.chance_pm(self.p.fp_frac_pm) {
+            // Dependents of FP values stay FP; integer values may feed FP.
+            if src.class() == RegClass::Fp {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            }
+        } else {
+            RegClass::Int
+        };
+        let dst = self.fresh(class);
+        let op = match class {
+            RegClass::Int => OpClass::IntAlu,
+            RegClass::Fp => OpClass::FpAdd,
+        };
+        let extra = self.recent_untainted(class);
+        out.push(StaticInst::compute(op, dst, [Some(src), extra]));
+        self.wrote_tainted(dst);
+        let chain = self.rng.chance_pm(self.p.chain_frac_pm);
+        let gap = self.obligations[i].gap;
+        let next_gap = self.rng.geometric(gap, (gap as u32).saturating_mul(6).max(4));
+        let o = &mut self.obligations[i];
+        o.remaining -= 1;
+        o.ready_in = next_gap;
+        if chain {
+            o.src = dst;
+        }
+        if o.remaining == 0 {
+            self.obligations.remove(i);
+        }
+    }
+
+    fn emit_load(&mut self, out: &mut Vec<StaticInst>) {
+        self.stats_loads += 1;
+        self.miss_acc += self.p.miss_load_frac_pm as u32;
+        let missing = self.miss_acc >= 1000;
+        if missing {
+            self.miss_acc -= 1000;
+        }
+        if missing && self.rng.chance_pm(self.p.chase_frac_pm) {
+            // Pointer chase: rc = load [rc]; serialized misses.
+            let which = self.rng.below(regs::CHASE.len() as u64) as usize;
+            let rc = ArchReg::int(regs::CHASE[which]);
+            let stream = StreamId(WellKnownStream::Chase0 as u32 + which as u32);
+            out.push(StaticInst::load(rc, Some(rc), stream));
+            self.stats_missing_loads += 1;
+            // Pointer chases carry dense shadows: the dereferenced
+            // record is consumed immediately and extensively.
+            let dod = 12 + self.rng.geometric(8.0, 19);
+            self.stats_missing_dod += dod as u64;
+            self.obligations.push(Obligation {
+                src: rc,
+                remaining: dod,
+                ready_in: 0,
+                gap: 1.2,
+            });
+            // The chase register itself is a dependence carrier.
+            self.taint[rc.flat_index()] = true;
+            return;
+        }
+        let stream = if missing {
+            if self.rng.chance_pm(self.p.stream_frac_pm) {
+                StreamId(WellKnownStream::MissStride as u32)
+            } else {
+                StreamId(WellKnownStream::MissRandom as u32)
+            }
+        } else if self.rng.chance_pm(150) {
+            StreamId(WellKnownStream::Stack as u32)
+        } else {
+            StreamId(WellKnownStream::HotLoad as u32)
+        };
+        let class = if self.rng.chance_pm(self.p.fp_frac_pm) {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        };
+        let dst = self.fresh(class);
+        // Address from a ready base register so the load issues promptly.
+        let addr_src = Some(ArchReg::int(regs::BASE));
+        out.push(StaticInst::load(dst, addr_src, stream));
+        self.wrote_tainted(dst);
+        // Cache-resident loads have short, tight use chains. Missing
+        // loads are either *dense* (large DoD packed right behind the
+        // load — the shadows the DoD threshold must reject) or carry
+        // the profile's sparse, spread shadow (the MLP-friendly loads
+        // the second level accelerates).
+        let dense = missing && self.rng.chance_pm(self.p.dense_frac_pm);
+        let (dod, gap, first) = if dense {
+            (12 + self.rng.geometric(8.0, 19), 1.2, 0)
+        } else if missing {
+            (
+                self.rng.geometric(self.p.dod_mean, self.p.dod_cap),
+                self.p.dod_gap,
+                self.rng.below(3) as u32,
+            )
+        } else {
+            (self.rng.geometric(1.5, 8), 2.0, self.rng.below(3) as u32)
+        };
+        if missing {
+            self.stats_missing_loads += 1;
+            self.stats_missing_dod += dod as u64;
+        }
+        if dod > 0 {
+            self.obligations.push(Obligation {
+                src: dst,
+                remaining: dod,
+                ready_in: first,
+                gap,
+            });
+        }
+    }
+
+    fn emit_store(&mut self, out: &mut Vec<StaticInst>) {
+        // Stores target the hot region (stack/locals); data may be any
+        // recent value, tainted or not.
+        let class = if self.rng.chance_pm(self.p.fp_frac_pm) {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        };
+        let data = self
+            .recent_untainted(class)
+            .unwrap_or(ArchReg::int(regs::BASE));
+        let stream = if self.rng.chance_pm(400) {
+            WellKnownStream::Stack
+        } else {
+            WellKnownStream::HotStore
+        };
+        out.push(StaticInst::store(
+            Some(data),
+            Some(ArchReg::int(regs::BASE)),
+            StreamId(stream as u32),
+        ));
+    }
+
+    fn emit_compute(&mut self, out: &mut Vec<StaticInst>) {
+        let fp = self.rng.chance_pm(self.p.fp_frac_pm);
+        let longlat = self.rng.chance_pm(self.p.longlat_frac_pm);
+        let op = match (fp, longlat) {
+            (false, false) => OpClass::IntAlu,
+            (false, true) => {
+                if self.rng.chance_pm(700) {
+                    OpClass::IntMult
+                } else {
+                    OpClass::IntDiv
+                }
+            }
+            (true, false) => {
+                if self.rng.chance_pm(650) {
+                    OpClass::FpAdd
+                } else {
+                    OpClass::FpMult
+                }
+            }
+            (true, true) => {
+                if self.rng.chance_pm(700) {
+                    OpClass::FpDiv
+                } else {
+                    OpClass::FpSqrt
+                }
+            }
+        };
+        let class = if fp { RegClass::Fp } else { RegClass::Int };
+        let dst = self.fresh(class);
+        let s1 = self.recent_untainted(class);
+        let s2 = if self.rng.chance_pm(600) {
+            self.recent_untainted(class)
+        } else {
+            None
+        };
+        out.push(StaticInst::compute(op, dst, [s1, s2]));
+        self.wrote_independent(dst);
+    }
+}
+
+/// Generates a [`Workload`] from a profile.
+///
+/// * `seed` — generator seed; same `(profile, seed)` ⇒ identical program.
+/// * `pc_base` — base address of the thread's code region.
+/// * `data_base` — base address of the thread's data regions; the stream
+///   table is laid out above it.
+pub fn build(profile: &WorkloadProfile, seed: u64, pc_base: u64, data_base: u64) -> Workload {
+    profile.validate().expect("invalid profile");
+    let mut rng = Rng::new(seed ^ 0x5EED_F00D);
+    let mut gen = Gen::new(profile, rng.split(1));
+
+    // ---- Stream table (layout matches WellKnownStream) -----------------
+    let line = 128u64; // L2 line size from Table 1
+    let mut cursor = data_base;
+    let mut alloc = |size: u64| {
+        let base = cursor;
+        // Keep regions line-aligned and padded apart.
+        cursor += size + 4096;
+        cursor = (cursor + line - 1) & !(line - 1);
+        base
+    };
+    let hot_store = StreamDesc::Hot {
+        base: alloc(profile.hot_footprint),
+        footprint: profile.hot_footprint,
+        stride: 8,
+    };
+    let hot_load = StreamDesc::Hot {
+        base: alloc(profile.hot_footprint),
+        footprint: profile.hot_footprint,
+        stride: 16,
+    };
+    let miss_stride = StreamDesc::Strided {
+        base: alloc(profile.footprint),
+        stride: line,
+        footprint: profile.footprint,
+    };
+    let miss_random = StreamDesc::Random {
+        base: alloc(profile.footprint),
+        footprint: profile.footprint,
+    };
+    let chase0 = StreamDesc::Chase {
+        base: alloc(profile.footprint),
+        footprint: profile.footprint,
+        line,
+    };
+    let chase1 = StreamDesc::Chase {
+        base: alloc(profile.footprint),
+        footprint: profile.footprint,
+        line,
+    };
+    // A single hot 8-byte slot written and re-read by nearby
+    // instructions (a spill slot): loads from it forward from the
+    // youngest in-flight store, exercising store-to-load forwarding.
+    let stack = StreamDesc::Hot {
+        base: alloc(4096),
+        footprint: 8,
+        stride: 0,
+    };
+    let streams = vec![
+        hot_store,
+        hot_load,
+        miss_stride,
+        miss_random,
+        chase0,
+        chase1,
+        stack,
+    ];
+
+    // ---- Program ring ---------------------------------------------------
+    // Per segment:   head [-> alt] -> tail --loop--> head, fall to next.
+    //
+    // Hardware front ends fetch PC+4 on the not-taken path, so every
+    // fall-through edge must point at the *physically next* block; the
+    // only non-sequential transfers are taken branches. The ring
+    // therefore closes with a final block holding an unconditional jump
+    // back to the entry.
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    // First pass: reserve block ids. Each segment occupies a fixed span
+    // so targets are computable before bodies are generated.
+    let seg_count = profile.num_segments;
+    let diamond: Vec<bool> = (0..seg_count)
+        .map(|_| rng.chance_pm(if profile.branch_frac_pm > 80 { 700 } else { 250 }))
+        .collect();
+    let mut seg_start = Vec::with_capacity(seg_count);
+    let mut next_id = 0u32;
+    for &d in &diamond {
+        seg_start.push(next_id);
+        next_id += if d { 3 } else { 2 };
+    }
+    // The wrap-around jump block.
+    let wrap_id = next_id;
+    let total_blocks = next_id + 1;
+
+    let body = |gen: &mut Gen, rng: &mut Rng, min: usize, max: usize| -> Vec<StaticInst> {
+        let n = rng.range(min as u64, max as u64) as usize;
+        let mut out = Vec::with_capacity(n + 2);
+        while out.len() < n {
+            gen.emit_body_inst(&mut out);
+        }
+        out
+    };
+
+    for s in 0..seg_count {
+        let head_id = seg_start[s];
+        // Fall-through chains are strictly sequential; the last
+        // segment's tail falls into the wrap block.
+        let (bmin, bmax) = profile.block_size;
+        let trip = rng
+            .range((profile.avg_trip as u64 / 2).max(1), profile.avg_trip as u64 * 2)
+            as u32;
+        if diamond[s] {
+            let alt_id = head_id + 1;
+            let tail_id = head_id + 2;
+            // head: body + biased branch that usually *skips* the alt
+            // block (taken, branch_bias_pm) and rarely falls into it.
+            let mut insts = body(&mut gen, &mut rng, bmin, bmax);
+            let cond = gen
+                .recent_untainted(RegClass::Int)
+                .unwrap_or(ArchReg::int(regs::INDUCTION));
+            insts.push(StaticInst::branch(
+                Some(cond),
+                BranchBehavior::Biased {
+                    taken_pm: profile.branch_bias_pm,
+                },
+                BlockId(tail_id),
+            ));
+            blocks.push(BasicBlock::new(insts, BlockId(alt_id)));
+            // alt: shorter body, falls (sequentially) into tail.
+            let alt = body(&mut gen, &mut rng, bmin.max(2) / 2 + 1, bmax / 2 + 1);
+            blocks.push(BasicBlock::new(alt, BlockId(tail_id)));
+            // tail: body + induction + loop branch back to head.
+            let mut tail = body(&mut gen, &mut rng, bmin, bmax);
+            tail.push(StaticInst::compute(
+                OpClass::IntAlu,
+                ArchReg::int(regs::INDUCTION),
+                [Some(ArchReg::int(regs::INDUCTION)), None],
+            ));
+            tail.push(StaticInst::branch(
+                Some(ArchReg::int(regs::INDUCTION)),
+                BranchBehavior::Loop { trip },
+                BlockId(head_id),
+            ));
+            blocks.push(BasicBlock::new(tail, BlockId(tail_id + 1)));
+        } else {
+            let tail_id = head_id + 1;
+            let insts = body(&mut gen, &mut rng, bmin, bmax);
+            blocks.push(BasicBlock::new(insts, BlockId(tail_id)));
+            let mut tail = body(&mut gen, &mut rng, bmin, bmax);
+            tail.push(StaticInst::compute(
+                OpClass::IntAlu,
+                ArchReg::int(regs::INDUCTION),
+                [Some(ArchReg::int(regs::INDUCTION)), None],
+            ));
+            tail.push(StaticInst::branch(
+                Some(ArchReg::int(regs::INDUCTION)),
+                BranchBehavior::Loop { trip },
+                BlockId(head_id),
+            ));
+            blocks.push(BasicBlock::new(tail, BlockId(tail_id + 1)));
+        }
+    }
+    // Wrap block: unconditional jump closing the ring. Its fall-through
+    // is never taken (the branch is Always) but must be a valid id.
+    blocks.push(BasicBlock::new(
+        vec![StaticInst::branch(None, BranchBehavior::Always, BlockId(0))],
+        BlockId(0),
+    ));
+    debug_assert_eq!(blocks.len() as u32, total_blocks);
+    debug_assert_eq!(wrap_id + 1, total_blocks);
+    // Front-end consistency: every fall-through edge except the wrap
+    // block's is physically sequential.
+    for (i, b) in blocks.iter().enumerate() {
+        if (i as u32) < wrap_id {
+            debug_assert_eq!(b.fallthrough.0, i as u32 + 1, "non-sequential fallthrough");
+        }
+    }
+
+    let program = Program::new(profile.name, blocks, BlockId(0), pc_base);
+    Workload {
+        profile: profile.clone(),
+        program,
+        streams,
+        static_missing_loads: gen.stats_missing_loads,
+        static_loads: gen.stats_loads,
+        static_missing_dod: gen.stats_missing_dod,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn wl() -> Workload {
+        build(&WorkloadProfile::test_profile(), 7, 0x1000, 0x100_0000)
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let w = wl();
+        assert!(w.program.num_blocks() >= 6);
+        assert!(w.program.num_insts() > 30);
+        assert_eq!(w.streams.len(), 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = wl();
+        let b = wl();
+        assert_eq!(a.program.num_insts(), b.program.num_insts());
+        for (ia, ib) in a
+            .program
+            .iter_blocks()
+            .flat_map(|(_, b)| b.insts.iter())
+            .zip(b.program.iter_blocks().flat_map(|(_, b)| b.insts.iter()))
+        {
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(&WorkloadProfile::test_profile(), 1, 0x1000, 0x100_0000);
+        let b = build(&WorkloadProfile::test_profile(), 2, 0x1000, 0x100_0000);
+        let insts = |w: &Workload| {
+            w.program
+                .iter_blocks()
+                .flat_map(|(_, b)| b.insts.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(insts(&a), insts(&b));
+    }
+
+    #[test]
+    fn has_missing_loads() {
+        let w = wl();
+        assert!(w.static_loads > 0);
+        assert!(w.static_missing_loads > 0);
+        assert!(w.static_missing_loads < w.static_loads);
+    }
+
+    #[test]
+    fn every_block_terminates_correctly() {
+        let w = wl();
+        for (_, b) in w.program.iter_blocks() {
+            // Constructor invariants hold; additionally check only tail
+            // blocks carry loop branches.
+            if let Some(t) = b.terminator() {
+                assert!(t.op.is_branch());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_referenced_exist() {
+        let w = wl();
+        for (_, b) in w.program.iter_blocks() {
+            for inst in &b.insts {
+                if let Some(s) = inst.stream() {
+                    assert!((s.0 as usize) < w.streams.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chase_loads_self_depend() {
+        // A chase-heavy profile must contain self-dependent chase loads
+        // under at least most seeds; each one must read its own dest.
+        let mut profile = WorkloadProfile::test_profile();
+        profile.miss_load_frac_pm = 400;
+        profile.chase_frac_pm = 800;
+        let mut found = 0;
+        for seed in 0..4 {
+            let w = build(&profile, seed, 0x1000, 0x100_0000);
+            for (_, b) in w.program.iter_blocks() {
+                for inst in &b.insts {
+                    if let Some(s) = inst.stream() {
+                        if w.streams[s.0 as usize].is_chase() && inst.op == OpClass::Load {
+                            assert_eq!(inst.srcs[0], inst.dst, "chase load must self-depend");
+                            found += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found > 0, "chase-heavy profile must generate chase loads");
+    }
+
+    #[test]
+    fn spec_workloads_build() {
+        for name in crate::spec::BENCHMARKS {
+            let w = Workload::spec(name, 3, 0x1000, 0x100_0000);
+            assert!(w.program.num_insts() > 20, "{name}");
+        }
+    }
+
+    #[test]
+    fn data_regions_disjoint() {
+        let w = wl();
+        let mut regions: Vec<(u64, u64)> = w
+            .streams
+            .iter()
+            .map(|s| match *s {
+                StreamDesc::Strided {
+                    base, footprint, ..
+                }
+                | StreamDesc::Chase {
+                    base, footprint, ..
+                }
+                | StreamDesc::Random { base, footprint }
+                | StreamDesc::Hot {
+                    base, footprint, ..
+                } => (base, base + footprint),
+            })
+            .collect();
+        regions.sort();
+        for pair in regions.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlapping regions {pair:?}");
+        }
+    }
+}

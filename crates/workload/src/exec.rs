@@ -1,0 +1,355 @@
+//! Functional execution of a synthetic program: walks the CFG and emits
+//! the dynamic instruction stream the timing pipeline consumes.
+//!
+//! The executor resolves, deterministically:
+//! * effective addresses — by advancing per-stream [`StreamState`]s;
+//! * branch outcomes — loop branches from per-site trip counters, biased
+//!   branches from a pure hash of `(site, instance)` so outcomes do not
+//!   depend on unrelated state;
+//! * next-PC — giving the pipeline the correct-path trace.
+//!
+//! It also fabricates *wrong-path* instructions: after a misprediction
+//! the pipeline keeps fetching down the predicted path; those
+//! instructions must exist (they occupy fetch/rename/IQ/ROB resources
+//! until squashed) but must not perturb committed stream or branch
+//! state. [`Executor::wrong_path`] serves them from the static program
+//! without touching any state.
+
+use crate::builder::Workload;
+use crate::rng::mix64;
+use crate::stream::StreamState;
+use smtsim_isa::{BlockId, BranchBehavior, DynInst, InstRole, Program, StaticInst};
+use std::sync::Arc;
+
+/// Per-branch-site dynamic state. Sites are identified by the block id
+/// (a branch can only terminate a block).
+#[derive(Clone, Debug, Default)]
+struct SiteState {
+    /// Loop branches: iterations completed in the current loop entry.
+    loop_count: u32,
+    /// Biased branches: dynamic instance counter.
+    instances: u64,
+}
+
+/// Functional executor over one workload. Cloning an executor snapshots
+/// its entire architectural state (cheap: a few vectors of counters).
+#[derive(Clone, Debug)]
+pub struct Executor {
+    wl: Arc<Workload>,
+    seed: u64,
+    block: BlockId,
+    idx: usize,
+    seq: u64,
+    streams: Vec<StreamState>,
+    sites: Vec<SiteState>,
+}
+
+impl Executor {
+    /// Creates an executor positioned at the program entry.
+    pub fn new(wl: Arc<Workload>, seed: u64) -> Self {
+        let streams = vec![StreamState::default(); wl.streams.len()];
+        let sites = vec![SiteState::default(); wl.program.num_blocks()];
+        Executor {
+            block: wl.program.entry(),
+            idx: 0,
+            seq: 0,
+            streams,
+            sites,
+            seed,
+            wl,
+        }
+    }
+
+    /// The underlying workload.
+    pub fn workload(&self) -> &Workload {
+        &self.wl
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.wl.program
+    }
+
+    /// Number of correct-path instructions produced so far.
+    pub fn produced(&self) -> u64 {
+        self.seq
+    }
+
+    /// Produces the next correct-path dynamic instruction. The stream is
+    /// endless by construction.
+    pub fn next_inst(&mut self) -> DynInst {
+        let program = &self.wl.program;
+        let block = self.block;
+        let idx = self.idx;
+        let st: &StaticInst = &program.block(block).insts[idx];
+        let pc = program.pc_of(block, idx);
+
+        let mut mem_addr = 0u64;
+        let mut taken = false;
+
+        // Resolve role-specific state.
+        match st.role {
+            InstRole::Mem { stream } => {
+                let desc = &self.wl.streams[stream.0 as usize];
+                mem_addr = self.streams[stream.0 as usize].next(desc);
+            }
+            InstRole::Branch { behavior, .. } => {
+                let site = &mut self.sites[block.0 as usize];
+                taken = match behavior {
+                    BranchBehavior::Always => true,
+                    BranchBehavior::Loop { trip } => {
+                        site.loop_count += 1;
+                        if site.loop_count < trip {
+                            true
+                        } else {
+                            site.loop_count = 0;
+                            false
+                        }
+                    }
+                    BranchBehavior::Biased { taken_pm } => {
+                        let inst = site.instances;
+                        site.instances += 1;
+                        mix64(self.seed ^ (block.0 as u64) << 17, inst) % 1000 < taken_pm as u64
+                    }
+                };
+            }
+            InstRole::None => {}
+        }
+
+        // Compute the successor position.
+        let (nb, nidx) = if taken {
+            let (_, target) = st.branch_info().expect("taken implies branch");
+            (target, 0)
+        } else if idx + 1 < program.block(block).insts.len() {
+            (block, idx + 1)
+        } else {
+            (program.block(block).fallthrough, 0)
+        };
+        let next_pc = program.pc_of(nb, nidx);
+        self.block = nb;
+        self.idx = nidx;
+
+        let seq = self.seq;
+        self.seq += 1;
+        DynInst {
+            pc,
+            seq,
+            op: st.op,
+            dst: st.dst,
+            srcs: st.srcs,
+            mem_addr,
+            taken,
+            next_pc,
+        }
+    }
+
+    /// Fabricates a wrong-path instruction at `pc` without perturbing
+    /// committed state. `wp_counter` decorrelates successive wrong-path
+    /// addresses. Returns `None` if `pc` is outside the program (the
+    /// front end then stalls, as a real machine fetching unmapped code
+    /// would fault/stall).
+    ///
+    /// Branch "outcomes" on the wrong path follow the static bias (loops
+    /// taken, biased branches their majority direction); the pipeline
+    /// only uses them to pick the next wrong-path fetch PC — they are
+    /// never used to train predictors or update state.
+    pub fn wrong_path(&self, pc: u64, wp_counter: u64) -> Option<DynInst> {
+        let program = &self.wl.program;
+        let (block, idx) = program.locate(pc)?;
+        let st: &StaticInst = &program.block(block).insts[idx];
+
+        let mut mem_addr = 0u64;
+        let mut taken = false;
+        match st.role {
+            InstRole::Mem { stream } => {
+                let desc = &self.wl.streams[stream.0 as usize];
+                mem_addr = self.streams[stream.0 as usize].wrong_path_addr(desc, wp_counter);
+            }
+            InstRole::Branch { behavior, .. } => {
+                taken = match behavior {
+                    BranchBehavior::Always => true,
+                    BranchBehavior::Loop { .. } => true,
+                    BranchBehavior::Biased { taken_pm } => taken_pm >= 500,
+                };
+            }
+            InstRole::None => {}
+        }
+        let (nb, nidx) = if taken {
+            let (_, target) = st.branch_info().expect("taken implies branch");
+            (target, 0)
+        } else if idx + 1 < program.block(block).insts.len() {
+            (block, idx + 1)
+        } else {
+            (program.block(block).fallthrough, 0)
+        };
+        Some(DynInst {
+            pc,
+            seq: u64::MAX,
+            op: st.op,
+            dst: st.dst,
+            srcs: st.srcs,
+            mem_addr,
+            taken,
+            next_pc: program.pc_of(nb, nidx),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::profile::WorkloadProfile;
+    use smtsim_isa::OpClass;
+
+    fn executor(seed: u64) -> Executor {
+        let wl = Arc::new(build(&WorkloadProfile::test_profile(), 7, 0x1000, 0x100_0000));
+        Executor::new(wl, seed)
+    }
+
+    #[test]
+    fn produces_an_endless_consistent_stream() {
+        let mut e = executor(1);
+        let mut last_next_pc = None;
+        for _ in 0..10_000 {
+            let d = e.next_inst();
+            if let Some(expect) = last_next_pc {
+                assert_eq!(d.pc, expect, "trace must follow its own next_pc");
+            }
+            last_next_pc = Some(d.next_pc);
+        }
+        assert_eq!(e.produced(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = executor(3);
+        let mut b = executor(3);
+        for _ in 0..5_000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let mut a = executor(5);
+        for _ in 0..1000 {
+            a.next_inst();
+        }
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn instruction_mix_tracks_profile() {
+        let mut e = executor(7);
+        let n = 50_000;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut branches = 0usize;
+        for _ in 0..n {
+            let d = e.next_inst();
+            match d.op {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                op if op.is_branch() => branches += 1,
+                _ => {}
+            }
+        }
+        let p = WorkloadProfile::test_profile();
+        let lf = loads as f64 / n as f64 * 1000.0;
+        // Loads land in the profile's neighbourhood. Dependence-shadow
+        // instructions (emitted per load) dilute the raw mix, so the
+        // band is wide: the *ordering* across profiles is what matters.
+        assert!(
+            lf > p.load_frac_pm as f64 * 0.3 && lf < p.load_frac_pm as f64 * 1.5,
+            "load rate {lf} vs {}",
+            p.load_frac_pm
+        );
+        assert!(stores > 0 && branches > 0);
+    }
+
+    #[test]
+    fn loop_branches_mostly_taken() {
+        let mut e = executor(9);
+        let (mut taken, mut total) = (0u64, 0u64);
+        for _ in 0..50_000 {
+            let d = e.next_inst();
+            if d.op.is_branch() {
+                total += 1;
+                taken += d.taken as u64;
+            }
+        }
+        assert!(total > 100);
+        // avg_trip = 16 ⇒ back-edges are taken ~15/16 of the time;
+        // diamond branches are biased. Overall taken rate must be high
+        // but not 100%.
+        let rate = taken as f64 / total as f64;
+        assert!((0.5..1.0).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn memory_addresses_nonzero_and_mixed() {
+        let mut e = executor(11);
+        let mut addrs = Vec::new();
+        for _ in 0..20_000 {
+            let d = e.next_inst();
+            if d.op.is_mem() {
+                assert!(d.mem_addr >= 0x100_0000, "addr {:#x}", d.mem_addr);
+                addrs.push(d.mem_addr);
+            }
+        }
+        // Some accesses must hit the large (missing) regions.
+        let big = addrs.iter().filter(|&&a| a > 0x200_0000).count();
+        assert!(big > 0, "expected accesses beyond the hot region");
+    }
+
+    #[test]
+    fn wrong_path_is_pure() {
+        let mut e = executor(13);
+        for _ in 0..100 {
+            e.next_inst();
+        }
+        let snapshot_seq = e.produced();
+        let pc = e.program().pc_of(e.program().entry(), 0);
+        let a = e.wrong_path(pc, 0);
+        let b = e.wrong_path(pc, 0);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        assert_eq!(e.produced(), snapshot_seq);
+    }
+
+    #[test]
+    fn wrong_path_outside_program_is_none() {
+        let e = executor(15);
+        assert_eq!(e.wrong_path(0x2, 0), None);
+        assert_eq!(e.wrong_path(0xFFFF_FFFF_0000, 0), None);
+    }
+
+    #[test]
+    fn wrong_path_instructions_marked() {
+        let e = executor(17);
+        let pc = e.program().pc_of(e.program().entry(), 0);
+        let d = e.wrong_path(pc, 3).unwrap();
+        assert_eq!(d.seq, u64::MAX);
+    }
+
+    #[test]
+    fn biased_outcomes_differ_across_seeds() {
+        // Branch outcomes must depend on the executor seed (two threads
+        // running the same binary don't see identical data).
+        let mut a = executor(100);
+        let mut b = executor(200);
+        let mut diffs = 0;
+        for _ in 0..20_000 {
+            let da = a.next_inst();
+            let db = b.next_inst();
+            if da.op.is_branch() && db.op.is_branch() && da.pc == db.pc && da.taken != db.taken {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "seeds should perturb biased branch outcomes");
+    }
+}

@@ -1,0 +1,45 @@
+//! # smtsim-workload
+//!
+//! Synthetic SPEC CPU2000-like workloads for the two-level-ROB
+//! reproduction (Loew & Ponomarev, ICPP 2008).
+//!
+//! The paper runs precompiled SPEC 2000 Alpha binaries under M-Sim. This
+//! crate substitutes a *generator*: for every benchmark named in the
+//! paper's Table 2 it synthesizes a static [`Program`]
+//! (`smtsim-isa`) whose timing-relevant characteristics — instruction
+//! mix, L2-miss frequency and overlap structure, per-load dependent
+//! counts (the paper's **Degree of Dependence**), branch predictability
+//! and loop structure — are calibrated to the benchmark's class. A
+//! deterministic functional [`Executor`] turns the program into the
+//! dynamic trace the pipeline consumes, including fabricated wrong-path
+//! instructions after branch mispredictions.
+//!
+//! Everything is reproducible: the same `(profile, seed)` yields the
+//! same program and the same trace on any platform.
+//!
+//! ```
+//! use smtsim_workload::{Workload, Executor};
+//! use std::sync::Arc;
+//!
+//! let wl = Arc::new(Workload::spec("art", 42, 0x1_0000, 0x1000_0000));
+//! let mut exec = Executor::new(wl, 7);
+//! let first = exec.next_inst();
+//! assert_eq!(first.seq, 0);
+//! ```
+//!
+//! [`Program`]: smtsim_isa::Program
+
+pub mod builder;
+pub mod exec;
+pub mod mix;
+pub mod profile;
+pub mod rng;
+pub mod spec;
+pub mod stream;
+
+pub use builder::{build, WellKnownStream, Workload};
+pub use exec::Executor;
+pub use mix::{mix, paper_mixes, Mix, MixClass};
+pub use profile::{IlpClass, WorkloadProfile};
+pub use rng::Rng;
+pub use stream::{StreamDesc, StreamState};

@@ -1,0 +1,217 @@
+//! Workload profiles: the tunable knobs from which a synthetic
+//! SPEC-2000-like program is generated.
+//!
+//! A profile captures what the timing model can observe about a
+//! benchmark: instruction mix, dependence structure (including the
+//! paper's Degree-of-Dependence distribution per load), memory footprint
+//! and access-pattern mix, and branch behaviour. `spec.rs` instantiates
+//! one profile per benchmark named in the paper's Table 2.
+
+/// Single-thread ILP classification used by the paper to assemble the
+/// Table 2 mixes ("low ILP benchmarks are memory bound and the high ILP
+/// benchmarks are execution bound").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IlpClass {
+    /// Memory-bound: frequent L2 misses dominate execution time.
+    Low,
+    /// Intermediate.
+    Mid,
+    /// Execution-bound: cache-resident, limited by FUs/dependences.
+    High,
+}
+
+/// All knobs of the synthetic program generator.
+///
+/// Fractions are in per-mille (`pm`) of the relevant population. The
+/// instruction mix fractions (`load/store/branch`) are of all dynamic
+/// instructions; the rest of the budget is computational ops split
+/// between integer and floating point by `fp_frac_pm`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (matches the paper's Table 2 entries).
+    pub name: &'static str,
+    /// Paper classification.
+    pub class: IlpClass,
+    /// Loads per 1000 instructions.
+    pub load_frac_pm: u16,
+    /// Stores per 1000 instructions.
+    pub store_frac_pm: u16,
+    /// Branches per 1000 instructions (conditional; loop back-edges are
+    /// additional and implied by block structure).
+    pub branch_frac_pm: u16,
+    /// Of computational ops, the floating-point fraction.
+    pub fp_frac_pm: u16,
+    /// Of computational ops, the long-latency (div/sqrt/mult) fraction.
+    pub longlat_frac_pm: u16,
+    /// Mean Degree of Dependence per *missing* load: the number of
+    /// instructions the generator makes (transitively) dependent on the
+    /// load in its shadow. Geometric-distributed, matching the paper's
+    /// right-skewed Figure 1.
+    pub dod_mean: f64,
+    /// Cap applied to sampled DoD values.
+    pub dod_cap: u32,
+    /// Of missing loads, the fraction with a *dense* dependence shadow:
+    /// DoD far above any useful threshold, packed immediately behind
+    /// the load (pointer-dereference-then-use-everything code). These
+    /// are the loads whose shadows clog the shared issue queue when
+    /// naively given a large window — the paper's Baseline_128
+    /// pathology — and which the DoD threshold exists to reject.
+    /// Chase loads are always dense in addition to this fraction.
+    pub dense_frac_pm: u16,
+    /// Mean instruction gap between a load's consecutive dependents.
+    /// Small gaps cluster the dependence shadow right behind the load;
+    /// large gaps spread it deep, so bigger instruction windows capture
+    /// more dependents (the growth the paper's Figures 3/7 show) and
+    /// deep windows hold issue-queue slots for the full miss latency
+    /// (the Baseline_128 pathology of §5.2).
+    pub dod_gap: f64,
+    /// Of a load's dependents, the fraction generated as a serial chain
+    /// (the rest fan out directly from the load's result).
+    pub chain_frac_pm: u16,
+    /// Fraction of loads bound to L2-missing streams.
+    pub miss_load_frac_pm: u16,
+    /// Of missing loads, the fraction that pointer-chase (address
+    /// depends on the previous chase result, serializing misses).
+    pub chase_frac_pm: u16,
+    /// Of missing non-chase loads, the fraction using strided streaming
+    /// (the rest use independent random lines).
+    pub stream_frac_pm: u16,
+    /// Size in bytes of the L2-missing data structure.
+    pub footprint: u64,
+    /// Size in bytes of the cache-resident hot region.
+    pub hot_footprint: u64,
+    /// Taken-probability bias of non-loop conditional branches
+    /// (per-mille). Heavily biased branches are what make the paper's
+    /// last-value DoD predictor accurate.
+    pub branch_bias_pm: u16,
+    /// Mean trip count of inner loops.
+    pub avg_trip: u32,
+    /// Inclusive range of body-block sizes (instructions).
+    pub block_size: (usize, usize),
+    /// Number of loop segments in the program's endless ring.
+    pub num_segments: usize,
+}
+
+impl WorkloadProfile {
+    /// A small, neutral profile for unit tests: moderately memory-bound,
+    /// small footprints so tests run fast.
+    pub fn test_profile() -> Self {
+        WorkloadProfile {
+            name: "test",
+            class: IlpClass::Mid,
+            load_frac_pm: 250,
+            store_frac_pm: 100,
+            branch_frac_pm: 100,
+            fp_frac_pm: 300,
+            longlat_frac_pm: 50,
+            dod_mean: 6.0,
+            dod_cap: 24,
+            dense_frac_pm: 250,
+            dod_gap: 6.0,
+            chain_frac_pm: 500,
+            miss_load_frac_pm: 200,
+            chase_frac_pm: 300,
+            stream_frac_pm: 500,
+            footprint: 16 << 20,
+            hot_footprint: 8 << 10,
+            branch_bias_pm: 900,
+            avg_trip: 16,
+            block_size: (6, 14),
+            num_segments: 3,
+        }
+    }
+
+    /// Sanity-checks internal consistency; used by generator and tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let mix = self.load_frac_pm as u32 + self.store_frac_pm as u32 + self.branch_frac_pm as u32;
+        if mix >= 1000 {
+            return Err(format!("{}: instruction mix exceeds 1000 pm", self.name));
+        }
+        for (what, pm) in [
+            ("dense", self.dense_frac_pm),
+            ("fp", self.fp_frac_pm),
+            ("longlat", self.longlat_frac_pm),
+            ("chain", self.chain_frac_pm),
+            ("miss_load", self.miss_load_frac_pm),
+            ("chase", self.chase_frac_pm),
+            ("stream", self.stream_frac_pm),
+            ("branch_bias", self.branch_bias_pm),
+        ] {
+            if pm > 1000 {
+                return Err(format!("{}: {what} fraction > 1000 pm", self.name));
+            }
+        }
+        if self.block_size.0 == 0 || self.block_size.0 > self.block_size.1 {
+            return Err(format!("{}: bad block size range", self.name));
+        }
+        if self.num_segments == 0 {
+            return Err(format!("{}: needs at least one segment", self.name));
+        }
+        if !self.footprint.is_power_of_two() {
+            return Err(format!("{}: footprint must be a power of two", self.name));
+        }
+        if self.avg_trip == 0 {
+            return Err(format!("{}: avg_trip must be >= 1", self.name));
+        }
+        if self.dod_gap.is_nan() || self.dod_gap < 0.0 {
+            return Err(format!("{}: dod_gap must be non-negative", self.name));
+        }
+        Ok(())
+    }
+
+    /// Expected L2 misses per 1000 instructions implied by the profile
+    /// (upper bound; chase streams revisit lines only after a full
+    /// period). Useful for calibration tests.
+    pub fn expected_miss_rate_pm(&self) -> f64 {
+        self.load_frac_pm as f64 * self.miss_load_frac_pm as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_profile_is_valid() {
+        WorkloadProfile::test_profile().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_mix() {
+        let mut p = WorkloadProfile::test_profile();
+        p.load_frac_pm = 600;
+        p.store_frac_pm = 300;
+        p.branch_frac_pm = 200;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_blocks() {
+        let mut p = WorkloadProfile::test_profile();
+        p.block_size = (10, 4);
+        assert!(p.validate().is_err());
+        p.block_size = (0, 4);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2_footprint() {
+        let mut p = WorkloadProfile::test_profile();
+        p.footprint = 3 << 20;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overrange_pm() {
+        let mut p = WorkloadProfile::test_profile();
+        p.chase_frac_pm = 1500;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn miss_rate_estimate() {
+        let p = WorkloadProfile::test_profile();
+        let pm = p.expected_miss_rate_pm();
+        assert!((pm - 50.0).abs() < 1e-9, "pm = {pm}");
+    }
+}

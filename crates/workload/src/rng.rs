@@ -1,0 +1,237 @@
+//! Deterministic, platform-independent random number generation.
+//!
+//! Everything in the workload generator flows through [`Rng`], a
+//! SplitMix64 generator. We implement it locally (rather than pulling in
+//! an external crate) so that a `(profile, seed)` pair produces the
+//! *identical* program and dynamic trace on every platform and toolchain
+//! forever — reproducibility of the paper's experiments depends on it.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA'14).
+///
+/// Passes BigCrush when used as a 64-bit generator; more than adequate
+/// for workload synthesis, and trivially seedable/splittable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            // Avoid the all-zeros fixed point pathologies by pre-mixing.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// subsystem (block sizes, branch outcomes, address scrambles...)
+    /// its own stream so adding draws in one place does not perturb
+    /// the others.
+    pub fn split(&mut self, tag: u64) -> Rng {
+        let s = self.next_u64() ^ tag.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        Rng::new(s)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping (slightly biased for huge
+        // n, irrelevant at our ranges).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `pm / 1000`.
+    #[inline]
+    pub fn chance_pm(&mut self, pm: u16) -> bool {
+        self.below(1000) < pm as u64
+    }
+
+    /// Geometric-ish draw with the given mean, clamped to `[0, cap]`.
+    ///
+    /// Used for Degree-of-Dependence sampling: the paper's Figure 1
+    /// shows a strongly right-skewed dependent count distribution, which
+    /// a geometric reproduces.
+    pub fn geometric(&mut self, mean: f64, cap: u32) -> u32 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        // Inverse-CDF sampling of Geometric(p) with p = 1/(1+mean).
+        let p = 1.0 / (1.0 + mean);
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        (v as u32).min(cap)
+    }
+
+    /// Picks an index according to integer weights. Returns 0 if all
+    /// weights are zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        weights.len() - 1
+    }
+}
+
+/// Stateless mixing hash used for per-instance branch outcomes:
+/// `hash(branch_id, instance) < threshold`. Deterministic regardless of
+/// how many other random draws happened.
+#[inline]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(32))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_bounds_hit() {
+        let mut r = Rng::new(9);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let v = r.range(3, 6);
+            assert!((3..=6).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 6;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn chance_pm_extremes() {
+        let mut r = Rng::new(11);
+        for _ in 0..100 {
+            assert!(!r.chance_pm(0));
+            assert!(r.chance_pm(1000));
+        }
+    }
+
+    #[test]
+    fn chance_pm_roughly_calibrated() {
+        let mut r = Rng::new(13);
+        let hits = (0..100_000).filter(|_| r.chance_pm(250)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn geometric_mean_roughly_right() {
+        let mut r = Rng::new(17);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(4.0, 1000) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((3.5..4.5).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_cap_respected() {
+        let mut r = Rng::new(19);
+        for _ in 0..10_000 {
+            assert!(r.geometric(50.0, 8) <= 8);
+        }
+    }
+
+    #[test]
+    fn geometric_zero_mean() {
+        let mut r = Rng::new(21);
+        assert_eq!(r.geometric(0.0, 10), 0);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = Rng::new(23);
+        for _ in 0..1000 {
+            let i = r.weighted(&[0, 5, 0, 3]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_all_zero_returns_zero() {
+        let mut r = Rng::new(25);
+        assert_eq!(r.weighted(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn weighted_distribution_sane() {
+        let mut r = Rng::new(27);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            counts[r.weighted(&[900, 100])] += 1;
+        }
+        assert!(counts[0] > 8_500 && counts[1] > 500, "{counts:?}");
+    }
+
+    #[test]
+    fn split_streams_independent() {
+        let mut parent = Rng::new(31);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn mix64_is_pure() {
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+    }
+}

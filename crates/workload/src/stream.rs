@@ -1,0 +1,291 @@
+//! Memory access-stream descriptors and their deterministic state.
+//!
+//! Each static load/store in a synthetic program is permanently bound to
+//! one stream (via [`smtsim_isa::StreamId`]). The stream determines the
+//! sequence of effective addresses the instruction produces across its
+//! dynamic instances — and therefore its cache behaviour, which is what
+//! the paper's mechanism keys off (L2 misses).
+
+use crate::rng::mix64;
+
+/// Static description of an access stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamDesc {
+    /// Sequential/strided sweep over a region, wrapping at the end.
+    /// With `stride` ≥ the L2 line size and `footprint` ≫ the L2
+    /// capacity, every access touches a new uncached line — the
+    /// streaming behaviour of `art`/`swim`-like codes.
+    Strided {
+        /// First byte of the region.
+        base: u64,
+        /// Bytes between consecutive accesses.
+        stride: u64,
+        /// Region size in bytes (must be a multiple of `stride`).
+        footprint: u64,
+    },
+    /// Pointer-chase over a scattered permutation of lines: consecutive
+    /// addresses are data-dependent in the program (the chase load feeds
+    /// its own next address), serializing misses — `mcf`-like.
+    Chase {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes; `footprint / line` must be a power of
+        /// two.
+        footprint: u64,
+        /// Line granularity of the chase.
+        line: u64,
+    },
+    /// Uniformly pseudo-random line within the region; independent
+    /// accesses, so misses can overlap (memory-level parallelism).
+    Random {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes (power of two).
+        footprint: u64,
+    },
+    /// Small cache-resident region cycled with a small stride — stack
+    /// frames and hot arrays; essentially always hits.
+    Hot {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        footprint: u64,
+        /// Bytes between consecutive accesses.
+        stride: u64,
+    },
+}
+
+impl StreamDesc {
+    /// Whether this stream is intended to miss the last-level cache
+    /// (used by generator bookkeeping and tests; the *actual* behaviour
+    /// is determined by the cache model).
+    pub fn is_missing(&self, l2_capacity: u64) -> bool {
+        match *self {
+            StreamDesc::Strided { footprint, .. }
+            | StreamDesc::Chase { footprint, .. }
+            | StreamDesc::Random { footprint, .. } => footprint > l2_capacity,
+            StreamDesc::Hot { .. } => false,
+        }
+    }
+
+    /// Is this a pointer-chase (serialized) stream?
+    pub fn is_chase(&self) -> bool {
+        matches!(self, StreamDesc::Chase { .. })
+    }
+}
+
+/// Per-thread dynamic state of one stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamState {
+    /// Access counter / chase position, meaning depends on the kind.
+    pos: u64,
+}
+
+impl StreamState {
+    /// Produces the next effective address and advances the stream.
+    pub fn next(&mut self, desc: &StreamDesc) -> u64 {
+        match *desc {
+            StreamDesc::Strided {
+                base,
+                stride,
+                footprint,
+            } => {
+                let addr = base + (self.pos * stride) % footprint.max(stride);
+                self.pos = self.pos.wrapping_add(1);
+                addr
+            }
+            StreamDesc::Chase {
+                base,
+                footprint,
+                line,
+            } => {
+                let nlines = (footprint / line).max(1);
+                debug_assert!(nlines.is_power_of_two(), "chase footprint/line must be 2^k");
+                // Full-period LCG over the line indices: a ≡ 5 (mod 8),
+                // c odd ⇒ period = nlines for power-of-two moduli.
+                self.pos = (self
+                    .pos
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
+                    & (nlines - 1);
+                base + self.pos * line
+            }
+            StreamDesc::Random { base, footprint } => {
+                let addr = (base + (mix64(base, self.pos) & (footprint - 1))) & !0x7;
+                self.pos = self.pos.wrapping_add(1);
+                base + (addr - base) % footprint
+            }
+            StreamDesc::Hot {
+                base,
+                footprint,
+                stride,
+            } => {
+                let addr = base + (self.pos * stride) % footprint.max(stride);
+                self.pos = self.pos.wrapping_add(1);
+                addr
+            }
+        }
+    }
+
+    /// A plausible address for a *wrong-path* instance of this stream:
+    /// derived from the descriptor and a wrong-path counter without
+    /// touching the committed stream position.
+    pub fn wrong_path_addr(&self, desc: &StreamDesc, wp_counter: u64) -> u64 {
+        match *desc {
+            StreamDesc::Strided {
+                base,
+                stride,
+                footprint,
+            } => base + ((self.pos + wp_counter) * stride) % footprint.max(stride),
+            StreamDesc::Chase {
+                base,
+                footprint,
+                line,
+            } => {
+                let nlines = (footprint / line).max(1);
+                base + (mix64(self.pos, wp_counter) & (nlines - 1)) * line
+            }
+            StreamDesc::Random { base, footprint } => {
+                (base + (mix64(base ^ 0xDEAD, self.pos ^ wp_counter) % footprint)) & !0x7
+            }
+            StreamDesc::Hot {
+                base,
+                footprint,
+                stride,
+            } => base + ((self.pos + wp_counter) * stride) % footprint.max(stride),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_wraps_and_advances() {
+        let d = StreamDesc::Strided {
+            base: 0x1000,
+            stride: 64,
+            footprint: 256,
+        };
+        let mut s = StreamState::default();
+        let addrs: Vec<u64> = (0..6).map(|_| s.next(&d)).collect();
+        assert_eq!(
+            addrs,
+            vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]
+        );
+    }
+
+    #[test]
+    fn chase_visits_all_lines_before_repeating() {
+        let d = StreamDesc::Chase {
+            base: 0,
+            footprint: 64 * 128,
+            line: 128,
+        };
+        let mut s = StreamState::default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let a = s.next(&d);
+            assert_eq!(a % 128, 0);
+            assert!(a < 64 * 128);
+            seen.insert(a);
+        }
+        // Full-period LCG: all 64 lines visited exactly once.
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn chase_addresses_are_scattered() {
+        let d = StreamDesc::Chase {
+            base: 0,
+            footprint: 1 << 20,
+            line: 128,
+        };
+        let mut s = StreamState::default();
+        let a = s.next(&d);
+        let b = s.next(&d);
+        let c = s.next(&d);
+        // Consecutive chase targets should not be neighbouring lines.
+        assert!(a.abs_diff(b) > 128);
+        assert!(b.abs_diff(c) > 128);
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let d = StreamDesc::Random {
+            base: 0x10_0000,
+            footprint: 1 << 16,
+        };
+        let mut s = StreamState::default();
+        for _ in 0..1000 {
+            let a = s.next(&d);
+            assert!((0x10_0000..0x10_0000 + (1 << 16)).contains(&a), "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn hot_region_is_small_and_cyclic() {
+        let d = StreamDesc::Hot {
+            base: 0x2000,
+            footprint: 128,
+            stride: 8,
+        };
+        let mut s = StreamState::default();
+        let first: Vec<u64> = (0..16).map(|_| s.next(&d)).collect();
+        let second: Vec<u64> = (0..16).map(|_| s.next(&d)).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().all(|&a| (0x2000..0x2000 + 128).contains(&a)));
+    }
+
+    #[test]
+    fn missing_classification() {
+        let l2 = 2 << 20;
+        assert!(StreamDesc::Chase {
+            base: 0,
+            footprint: 32 << 20,
+            line: 128
+        }
+        .is_missing(l2));
+        assert!(!StreamDesc::Hot {
+            base: 0,
+            footprint: 4096,
+            stride: 8
+        }
+        .is_missing(l2));
+        assert!(!StreamDesc::Strided {
+            base: 0,
+            stride: 64,
+            footprint: 64 << 10
+        }
+        .is_missing(l2));
+    }
+
+    #[test]
+    fn wrong_path_does_not_advance_state() {
+        let d = StreamDesc::Strided {
+            base: 0,
+            stride: 64,
+            footprint: 1 << 20,
+        };
+        let mut s = StreamState::default();
+        s.next(&d);
+        let snapshot = s.clone();
+        let _ = s.wrong_path_addr(&d, 1);
+        let _ = s.wrong_path_addr(&d, 2);
+        assert_eq!(s, snapshot);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let d = StreamDesc::Random {
+            base: 0,
+            footprint: 1 << 20,
+        };
+        let mut a = StreamState::default();
+        let mut b = StreamState::default();
+        for _ in 0..100 {
+            assert_eq!(a.next(&d), b.next(&d));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for workload generation and functional execution:
+//! any valid profile × seed must yield a well-formed, deterministic,
+//! front-end-consistent workload.
+
+use proptest::prelude::*;
+use smtsim_workload::{build, Executor, IlpClass, StreamDesc, WorkloadProfile};
+use std::sync::Arc;
+
+/// Strategy over valid profiles (bounded so tests stay fast).
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        100u16..350,           // load_frac_pm
+        20u16..150,            // store_frac_pm
+        0u16..1000,            // fp_frac_pm
+        0u16..200,             // miss_load_frac_pm
+        0u16..1000,            // chase_frac_pm
+        0u16..1000,            // dense_frac_pm
+        (0.0f64..12.0),        // dod_mean
+        (1.0f64..16.0),        // dod_gap
+        2usize..8,             // num_segments
+        1u32..64,              // avg_trip
+        (3usize..10, 10usize..30),
+    )
+        .prop_map(
+            |(load, store, fp, miss, chase, dense, dod, gap, segs, trip, (bmin, bmax))| {
+                WorkloadProfile {
+                    name: "prop",
+                    class: IlpClass::Mid,
+                    load_frac_pm: load,
+                    store_frac_pm: store,
+                    branch_frac_pm: 80,
+                    fp_frac_pm: fp,
+                    longlat_frac_pm: 60,
+                    dod_mean: dod,
+                    dod_cap: 28,
+                    dense_frac_pm: dense,
+                    dod_gap: gap,
+                    chain_frac_pm: 500,
+                    miss_load_frac_pm: miss,
+                    chase_frac_pm: chase,
+                    stream_frac_pm: 500,
+                    footprint: 8 << 20,
+                    hot_footprint: 8 << 10,
+                    branch_bias_pm: 900,
+                    avg_trip: trip,
+                    block_size: (bmin, bmax),
+                    num_segments: segs,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_are_well_formed(p in arb_profile(), seed in 0u64..1000) {
+        p.validate().unwrap();
+        let wl = build(&p, seed, 0x1_0000, 0x1000_0000);
+        prop_assert!(wl.program.num_insts() > 10);
+        // Every stream referenced exists; every branch target valid is
+        // checked by Program::new already.
+        for (_, b) in wl.program.iter_blocks() {
+            for inst in &b.insts {
+                if let Some(s) = inst.stream() {
+                    prop_assert!((s.0 as usize) < wl.streams.len());
+                }
+            }
+        }
+        // Static missing loads never exceed loads.
+        prop_assert!(wl.static_missing_loads <= wl.static_loads);
+    }
+
+    #[test]
+    fn trace_follows_its_own_next_pc(p in arb_profile(), seed in 0u64..100) {
+        let wl = Arc::new(build(&p, seed, 0x1_0000, 0x1000_0000));
+        let mut e = Executor::new(wl, seed ^ 0xABCD);
+        let mut expect = None;
+        for _ in 0..3_000 {
+            let d = e.next_inst();
+            if let Some(pc) = expect {
+                prop_assert_eq!(d.pc, pc, "front-end/trace divergence");
+            }
+            // Non-branches always continue sequentially (the hardware
+            // front-end invariant the generator must uphold).
+            if !d.op.is_branch() {
+                prop_assert_eq!(d.next_pc, d.pc + 4);
+            }
+            expect = Some(d.next_pc);
+        }
+    }
+
+    #[test]
+    fn executor_is_deterministic(p in arb_profile(), seed in 0u64..50) {
+        let wl = Arc::new(build(&p, seed, 0x1_0000, 0x1000_0000));
+        let mut a = Executor::new(wl.clone(), 7);
+        let mut b = Executor::new(wl, 7);
+        for _ in 0..1_000 {
+            prop_assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn memory_addresses_stay_inside_their_streams(p in arb_profile(), seed in 0u64..50) {
+        let wl = Arc::new(build(&p, seed, 0x1_0000, 0x1000_0000));
+        let regions: Vec<(u64, u64)> = wl
+            .streams
+            .iter()
+            .map(|s| match *s {
+                StreamDesc::Strided { base, footprint, .. }
+                | StreamDesc::Chase { base, footprint, .. }
+                | StreamDesc::Random { base, footprint }
+                | StreamDesc::Hot { base, footprint, .. } => (base, base + footprint.max(8)),
+            })
+            .collect();
+        let mut e = Executor::new(wl, 3);
+        for _ in 0..2_000 {
+            let d = e.next_inst();
+            if d.op.is_mem() {
+                prop_assert!(
+                    regions.iter().any(|&(lo, hi)| d.mem_addr >= lo && d.mem_addr < hi),
+                    "address {:#x} outside all stream regions",
+                    d.mem_addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_path_fabrication_is_pure_and_in_program(p in arb_profile(), seed in 0u64..50) {
+        let wl = Arc::new(build(&p, seed, 0x1_0000, 0x1000_0000));
+        let mut e = Executor::new(wl, 3);
+        for _ in 0..200 {
+            e.next_inst();
+        }
+        let snapshot = e.clone();
+        let pc = e.program().pc_of(e.program().entry(), 0);
+        for wp in 0..32 {
+            let a = e.wrong_path(pc, wp);
+            prop_assert!(a.is_some());
+        }
+        // State untouched by wrong-path queries: the next correct-path
+        // instruction matches a pre-query snapshot.
+        let mut s = snapshot.clone();
+        prop_assert_eq!(e.next_inst(), s.next_inst());
+    }
+
+    #[test]
+    fn loop_trip_counts_bound_branch_behaviour(trip in 1u32..50) {
+        // A loop branch with trip T is taken exactly T-1 times per T
+        // executions, forever.
+        use smtsim_isa::{BasicBlock, BlockId, BranchBehavior, StaticInst, Program};
+        let body = BasicBlock::new(
+            vec![
+                StaticInst::nop(),
+                StaticInst::branch(None, BranchBehavior::Loop { trip }, BlockId(0)),
+            ],
+            BlockId(1),
+        );
+        let wrap = BasicBlock::new(
+            vec![StaticInst::branch(None, BranchBehavior::Always, BlockId(0))],
+            BlockId(0),
+        );
+        let program = Program::new("loop", vec![body, wrap], BlockId(0), 0x1000);
+        let profile = WorkloadProfile::test_profile();
+        let wl = smtsim_workload::Workload {
+            profile,
+            program,
+            streams: vec![],
+            static_missing_loads: 0,
+            static_loads: 0,
+            static_missing_dod: 0,
+        };
+        let mut e = Executor::new(Arc::new(wl), 1);
+        let (mut taken, mut total) = (0u64, 0u64);
+        for _ in 0..trip * 40 {
+            let d = e.next_inst();
+            if d.op == smtsim_isa::OpClass::BranchCond {
+                total += 1;
+                taken += d.taken as u64;
+            }
+        }
+        if total > 0 {
+            let expect = (trip as u64 - 1) as f64 / trip as f64;
+            let got = taken as f64 / total as f64;
+            prop_assert!((got - expect).abs() < 0.15, "trip {trip}: {got} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Mix study: how one benchmark mix behaves under every ROB
+//! configuration, with the per-thread breakdown the aggregate FT metric
+//! hides — who holds the second level, who gets rejected, and what it
+//! costs the co-runners.
+//!
+//! ```sh
+//! cargo run --release -p smtsim-rob2 --example mix_study -- 5 30000
+//! ```
+//!
+//! The first argument is the Table 2 mix index (1..=11, default 1), the
+//! second the per-run commit budget (default 30 000).
+
+use smtsim_rob2::{Lab, RobConfig, TwoLevelConfig};
+use smtsim_workload::mix;
+
+fn main() {
+    let mix_idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    if !(1..=11).contains(&mix_idx) {
+        eprintln!("error: mix index {mix_idx} out of range 1..=11 (Table 2)");
+        std::process::exit(2);
+    }
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let mut lab = Lab::new(42).with_budgets(budget, budget);
+
+    let m = mix(mix_idx);
+    println!(
+        "{} ({:?}): {}\n",
+        m.name,
+        m.class,
+        m.benchmarks.join(" + ")
+    );
+
+    let configs = [
+        RobConfig::Baseline(32),
+        RobConfig::Baseline(128),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(3)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ];
+
+    for cfg in configs {
+        let r = lab.run_mix(mix_idx, cfg);
+        println!("{:<26} FT={:.4}  throughput={:.3} IPC", r.config, r.ft, r.throughput);
+        for (slot, bench) in m.benchmarks.iter().enumerate() {
+            let t = &r.stats.threads[slot];
+            println!(
+                "   {:<8} ipc={:.3} (alone {:.3}, weighted {:.3})  L2 misses={}  ROB-stall cycles={}",
+                bench, r.ipc[slot], r.single_ipc[slot], r.weighted[slot], t.l2_misses, t.rob_stall_cycles
+            );
+        }
+        if let Some(tl) = r.twolevel {
+            println!(
+                "   second level: {} allocations (avg tenure {:.0} cycles), {} DoD-rejections, {} busy-rejections",
+                tl.allocations,
+                tl.held_cycles as f64 / tl.allocations.max(1) as f64,
+                tl.rejected_dod,
+                tl.rejected_busy
+            );
+            if tl.pred_verified > 0 {
+                println!(
+                    "   DoD predictor: {:.1}% verified accuracy ({} cold starts)",
+                    tl.prediction_accuracy() * 100.0,
+                    tl.pred_cold
+                );
+            }
+        }
+        println!();
+    }
+}

