@@ -1,6 +1,11 @@
 //! Regenerates every table and figure into `results/`, printing a
 //! one-line summary per artifact. Honors the same `BUDGET`/`WARMUP`/
-//! `SEED`/`MIXES` environment knobs as the individual binaries.
+//! `SEED`/`MIXES` environment knobs as the individual binaries (plus
+//! the fault/integrity knobs — see `smtsim_bench::lab_from_env`).
+//!
+//! Sweeps are crash-isolated: a cell whose run fails (deadlock,
+//! invariant violation) renders as `n/a` in its figure and is listed in
+//! the final summary; the remaining cells still regenerate.
 //!
 //! ```sh
 //! BUDGET=40000 cargo run --release -p smtsim-bench --bin all_figures
@@ -24,13 +29,21 @@ fn main() -> std::io::Result<()> {
         Ok(())
     };
 
+    let mut failed: Vec<String> = Vec::new();
+
     write("table1", report::render_table1(&lab.machine))?;
     write("table2", report::render_table2())?;
 
     let f1 = figures::fig1(&mut lab, &mixes);
+    failed.extend(f1.failures.iter().cloned());
     write("fig1", report::render_histogram(&f1))?;
-    write("fig2", report::render_figure(&figures::fig2(&mut lab, &mixes)))?;
+
+    let f2 = figures::fig2(&mut lab, &mixes);
+    failed.extend(f2.failures.iter().cloned());
+    write("fig2", report::render_figure(&f2))?;
+
     let f3 = figures::fig3(&mut lab, &mixes);
+    failed.extend(f3.failures.iter().cloned());
     write(
         "fig3",
         format!(
@@ -39,10 +52,21 @@ fn main() -> std::io::Result<()> {
             (f3.pooled_mean() / f1.pooled_mean() - 1.0) * 100.0
         ),
     )?;
-    write("fig4", report::render_figure(&figures::fig4(&mut lab, &mixes)))?;
-    write("fig5", report::render_figure(&figures::fig5(&mut lab, &mixes)))?;
-    write("fig6", report::render_figure(&figures::fig6(&mut lab, &mixes)))?;
+
+    let f4 = figures::fig4(&mut lab, &mixes);
+    failed.extend(f4.failures.iter().cloned());
+    write("fig4", report::render_figure(&f4))?;
+
+    let f5 = figures::fig5(&mut lab, &mixes);
+    failed.extend(f5.failures.iter().cloned());
+    write("fig5", report::render_figure(&f5))?;
+
+    let f6 = figures::fig6(&mut lab, &mixes);
+    failed.extend(f6.failures.iter().cloned());
+    write("fig6", report::render_figure(&f6))?;
+
     let f7 = figures::fig7(&mut lab, &mixes);
+    failed.extend(f7.failures.iter().cloned());
     write(
         "fig7",
         format!(
@@ -51,18 +75,22 @@ fn main() -> std::io::Result<()> {
             (f7.pooled_mean() / f1.pooled_mean() - 1.0) * 100.0
         ),
     )?;
-    write(
-        "threshold_sweep",
-        report::render_figure(&figures::threshold_sweep(
-            &mut lab,
-            &mixes,
-            &[1, 2, 4, 8, 12, 16, 24, 32],
-        )),
-    )?;
-    write(
-        "ablation",
-        report::render_figure(&figures::ablation(&mut lab, &mixes)),
-    )?;
-    eprintln!("done");
+
+    let sweep = figures::threshold_sweep(&mut lab, &mixes, &[1, 2, 4, 8, 12, 16, 24, 32]);
+    failed.extend(sweep.failures.iter().cloned());
+    write("threshold_sweep", report::render_figure(&sweep))?;
+
+    let abl = figures::ablation(&mut lab, &mixes);
+    failed.extend(abl.failures.iter().cloned());
+    write("ablation", report::render_figure(&abl))?;
+
+    if failed.is_empty() {
+        eprintln!("done");
+    } else {
+        eprintln!("done with {} failed cell(s):", failed.len());
+        for f in &failed {
+            eprintln!("  failed: {f}");
+        }
+    }
     Ok(())
 }

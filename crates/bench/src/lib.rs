@@ -1,19 +1,45 @@
 //! Shared harness glue for the figure-regeneration binaries and
-//! Criterion benches.
+//! benches.
 //!
 //! Every table and figure of the paper's evaluation has a binary here
 //! (`cargo run --release -p smtsim-bench --bin fig2`) that prints the
-//! same rows/series the paper reports, and a Criterion bench target
-//! exercising the same code path at a reduced budget.
+//! same rows/series the paper reports, and a bench target exercising
+//! the same code path at a reduced budget.
 //!
 //! Environment knobs for the binaries:
 //!
-//! * `BUDGET` — committed instructions per run (default 40 000; the
-//!   paper uses 100 M SimPoints, see EXPERIMENTS.md for scaling notes).
+//! * `BUDGET` — committed instructions per multithreaded run (default
+//!   40 000; the paper uses 100 M SimPoints, see EXPERIMENTS.md for
+//!   scaling notes).
+//! * `ST_BUDGET` — committed instructions per *single-threaded*
+//!   normalization run (default: `BUDGET`). The two budgets are
+//!   distinct knobs: the multithreaded budget caps the contended run
+//!   while the single-threaded budget controls how long the healthy
+//!   reference each weighted IPC divides by is measured for.
 //! * `WARMUP` — functional warm-up instructions (default 60 000).
 //! * `SEED` — workload generation seed (default 42).
 //! * `MIXES` — comma-separated mix indices (default all 11).
+//!
+//! Integrity knobs (see DESIGN.md "Failure model & fault injection"):
+//!
+//! * `DEADLOCK_CYCLES` — watchdog threshold: cycles without a commit
+//!   before the run fails with a deadlock snapshot (default 1 000 000).
+//! * `INVARIANT_INTERVAL` — deep invariant-scan cadence in cycles;
+//!   `0` (the default) leaves only the cheap per-cycle checks on.
+//!
+//! Fault-injection knobs (all default off; 1-in-N denominators — `0`
+//! disables, `1` fires every opportunity):
+//!
+//! * `FAULT_SEED` — decision seed for all fault categories (default 0).
+//! * `FAULT_DROP_FILL` — 1-in-N L2 fills never delivered (deadlock).
+//! * `FAULT_DELAY_FILL` / `FAULT_DELAY_CYCLES` — 1-in-N fills delayed
+//!   by the given number of cycles (absorbed, not an error).
+//! * `FAULT_CORRUPT_DOD` — 1-in-N fill notifications with a garbled
+//!   DoD count (predictor noise).
+//! * `FAULT_WITHHOLD_RELEASE` — 1-in-N allocator fill notifications
+//!   suppressed (exercises two-level release fallback).
 
+use smtsim_pipeline::FaultPlan;
 use smtsim_rob2::Lab;
 
 /// Parses an environment integer, exiting with a clear message on a
@@ -28,15 +54,39 @@ fn env_u64(name: &str, default: u64) -> u64 {
     }
 }
 
-/// Reads `BUDGET`/`WARMUP`/`SEED` from the environment and builds the
-/// experiment driver.
+/// Reads the environment knobs from the module header and builds the
+/// experiment driver. The single-threaded normalization budget follows
+/// `ST_BUDGET`, defaulting to `BUDGET` — the two were conflated into
+/// one value here before the knob existed.
 pub fn lab_from_env() -> Lab {
     let budget = env_u64("BUDGET", 40_000);
+    let st_budget = env_u64("ST_BUDGET", budget);
     let warmup = env_u64("WARMUP", 60_000);
     let seed = env_u64("SEED", 42);
-    let mut lab = Lab::new(seed).with_budgets(budget, budget);
+    let mut lab = Lab::new(seed).with_budgets(budget, st_budget);
     lab.warmup = warmup;
+    lab.machine.deadlock_cycles = env_u64("DEADLOCK_CYCLES", lab.machine.deadlock_cycles);
+    lab.machine.invariant_interval = env_u64("INVARIANT_INTERVAL", lab.machine.invariant_interval);
+    if let Some(plan) = fault_plan_from_env() {
+        lab.set_fault(None, plan);
+    }
     lab
+}
+
+/// Builds a [`FaultPlan`] from the `FAULT_*` environment knobs, or
+/// `None` when every category is off (the common case: no plan is
+/// installed and the hooks stay on their zero-cost path).
+pub fn fault_plan_from_env() -> Option<FaultPlan> {
+    let plan = FaultPlan {
+        seed: env_u64("FAULT_SEED", 0),
+        drop_fill: env_u64("FAULT_DROP_FILL", 0) as u32,
+        delay_fill: env_u64("FAULT_DELAY_FILL", 0) as u32,
+        delay_cycles: env_u64("FAULT_DELAY_CYCLES", 300),
+        corrupt_dod: env_u64("FAULT_CORRUPT_DOD", 0) as u32,
+        withhold_release: env_u64("FAULT_WITHHOLD_RELEASE", 0) as u32,
+        ..FaultPlan::default()
+    };
+    plan.is_active().then_some(plan)
 }
 
 /// Reads `MIXES` from the environment (default: all 11 paper mixes),
@@ -75,8 +125,17 @@ mod tests {
     fn defaults_are_sane() {
         let lab = lab_from_env();
         assert!(lab.mt_budget > 0);
+        // Without ST_BUDGET the normalization budget follows BUDGET.
+        assert_eq!(lab.st_budget, lab.mt_budget);
+        // No FAULT_* knobs set: no plan installed anywhere.
+        assert!((1..=11).all(|m| lab.fault_for(m).is_none()));
         let mixes = mixes_from_env();
         assert!(!mixes.is_empty() && mixes.iter().all(|&m| (1..=11).contains(&m)));
+    }
+
+    #[test]
+    fn fault_plan_from_env_is_none_by_default() {
+        assert_eq!(fault_plan_from_env(), None);
     }
 
     #[test]

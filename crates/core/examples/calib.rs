@@ -1,8 +1,14 @@
 use smtsim_rob2::*;
 
 fn main() {
-    let mixes: Vec<usize> = std::env::args().nth(1).map(|s| s.split(',').map(|x| x.parse().unwrap()).collect()).unwrap_or(vec![1, 5, 9, 10]);
-    let budget: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mixes: Vec<usize> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or(vec![1, 5, 9, 10]);
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
     let mut lab = Lab::new(42).with_budgets(budget, budget);
     if std::env::var("PRIVATE_REGS").is_ok() {
         lab.machine.shared_regs = false;
@@ -35,7 +41,13 @@ fn main() {
     }
     println!();
     for (i, c) in configs.iter().enumerate().skip(1) {
-        println!("{} vs Baseline_32: {:+.2}%", c.label(), (avgs[i]/avgs[0]-1.0)*100.0);
+        println!(
+            "{} vs Baseline_32: {:+.2}%",
+            c.label(),
+            (avgs[i] / avgs[0] - 1.0) * 100.0
+        );
     }
 }
-fn short(s: &str) -> String { s.replace("2-Level ", "").replace("Baseline_", "B") }
+fn short(s: &str) -> String {
+    s.replace("2-Level ", "").replace("Baseline_", "B")
+}

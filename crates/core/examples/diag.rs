@@ -1,8 +1,14 @@
 use smtsim_rob2::*;
 
 fn main() {
-    let mix: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let budget: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mix: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
     let mut lab = Lab::new(42).with_budgets(budget, budget);
     for cfg in [
         RobConfig::Baseline(32),
@@ -12,8 +18,15 @@ fn main() {
         RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
     ] {
         let r = lab.run_mix(mix, cfg);
-        println!("== {} Mix{} FT={:.4} cycles={} iq_avg={:.1} iq_full={}",
-            r.config, mix, r.ft, r.stats.cycles, r.stats.avg_iq_occupancy(), r.stats.iq_full_cycles);
+        println!(
+            "== {} Mix{} FT={:.4} cycles={} iq_avg={:.1} iq_full={}",
+            r.config,
+            mix,
+            r.ft,
+            r.stats.cycles,
+            r.stats.avg_iq_occupancy(),
+            r.stats.iq_full_cycles
+        );
         for (i, t) in r.stats.threads.iter().enumerate() {
             println!("  t{i}: ipc={:.3} st={:.3} w={:.3} commit={} l2m={} robstall={} regstall={} iqstall={} capstall={} lsqstall={} robavg={:.1}",
                 r.ipc[i], r.single_ipc[i], r.weighted[i], t.committed, t.l2_misses,

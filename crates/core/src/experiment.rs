@@ -8,7 +8,8 @@
 use crate::metrics::{fair_throughput, weighted_ipc};
 use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
 use smtsim_pipeline::{
-    FixedRob, MachineConfig, RobAllocator, SimStats, Simulator, StopCondition,
+    FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, SimError, SimStats, Simulator,
+    StopCondition,
 };
 use smtsim_workload::mix;
 use std::collections::HashMap;
@@ -59,6 +60,9 @@ pub struct MixRun {
     pub stats: SimStats,
     /// Two-level allocator statistics, when applicable.
     pub twolevel: Option<TwoLevelStats>,
+    /// Faults actually injected during the multithreaded run (all zero
+    /// when no [`FaultPlan`] was installed for the mix).
+    pub faults: FaultStats,
 }
 
 /// Experiment driver with memoized normalization runs.
@@ -82,6 +86,11 @@ pub struct Lab {
     /// the paper's bar charts.
     pub norm: RobConfig,
     single_cache: HashMap<(usize, usize, String), f64>,
+    /// Fault plan applied to every multithreaded run (see
+    /// [`Lab::set_fault`]).
+    global_fault: Option<FaultPlan>,
+    /// Per-mix fault plans; these take precedence over `global_fault`.
+    mix_faults: HashMap<usize, FaultPlan>,
 }
 
 impl Lab {
@@ -96,6 +105,8 @@ impl Lab {
             warmup: 60_000,
             norm: RobConfig::Baseline(32),
             single_cache: HashMap::new(),
+            global_fault: None,
+            mix_faults: HashMap::new(),
         }
     }
 
@@ -106,41 +117,106 @@ impl Lab {
         self
     }
 
+    /// Installs a fault plan for multithreaded runs: `mix = None` sets a
+    /// lab-wide plan, `mix = Some(i)` targets one mix (and overrides the
+    /// lab-wide plan for it). Single-threaded normalization runs are
+    /// never faulted — they define the healthy reference every weighted
+    /// IPC is measured against.
+    pub fn set_fault(&mut self, mix: Option<usize>, plan: FaultPlan) {
+        match mix {
+            None => self.global_fault = Some(plan),
+            Some(i) => {
+                self.mix_faults.insert(i, plan);
+            }
+        }
+    }
+
+    /// Removes all installed fault plans.
+    pub fn clear_faults(&mut self) {
+        self.global_fault = None;
+        self.mix_faults.clear();
+    }
+
+    /// The plan a multithreaded run of `mix_idx` would use, if any.
+    pub fn fault_for(&self, mix_idx: usize) -> Option<&FaultPlan> {
+        self.mix_faults.get(&mix_idx).or(self.global_fault.as_ref())
+    }
+
     /// Single-threaded IPC of `slot` in `mix_idx` under `rob` — the
     /// thread running *alone* on that machine (memoized). `run_mix`
     /// always normalizes with [`Lab::norm`]; this method is public so
     /// studies can also compute per-configuration baselines.
     pub fn single_ipc(&mut self, mix_idx: usize, slot: usize, rob: RobConfig) -> f64 {
+        match self.try_single_ipc(mix_idx, slot, rob) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Lab::single_ipc`]: configuration errors,
+    /// deadlocks and invariant violations come back as [`SimError`]
+    /// instead of aborting the sweep.
+    pub fn try_single_ipc(
+        &mut self,
+        mix_idx: usize,
+        slot: usize,
+        rob: RobConfig,
+    ) -> Result<f64, SimError> {
         let key = (mix_idx, slot, rob.label());
         if let Some(&v) = self.single_cache.get(&key) {
-            return v;
+            return Ok(v);
         }
         let wl = Arc::new(mix(mix_idx).instantiate_single(slot, self.seed));
         let mut cfg = self.machine.clone();
         cfg.num_threads = 1;
         cfg.fetch_threads = 1;
-        let mut sim = Simulator::new(cfg, vec![wl], rob.build(), self.seed);
+        let mut sim = Simulator::try_new(cfg, vec![wl], rob.build(), self.seed)?;
         sim.warmup(self.warmup);
-        sim.run(StopCondition::AnyThreadCommitted(self.st_budget));
+        sim.try_run(StopCondition::AnyThreadCommitted(self.st_budget))?;
         let ipc = sim.stats().threads[0].ipc(sim.cycle());
         self.single_cache.insert(key, ipc);
-        ipc
+        Ok(ipc)
     }
 
     /// Runs `mix_idx` under `rob` and computes all metrics.
+    ///
+    /// # Panics
+    /// Panics on any [`SimError`]; use [`Lab::try_run_mix`] in sweeps
+    /// that must survive a poisoned cell.
     pub fn run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> MixRun {
+        match self.try_run_mix(mix_idx, rob) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Lab::run_mix`]. The multithreaded run uses
+    /// the fault plan installed via [`Lab::set_fault`] (if any); errors
+    /// from either the faulted run or the normalization runs are
+    /// returned instead of panicking, so a sweep can record the cell as
+    /// failed and continue.
+    pub fn try_run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> Result<MixRun, SimError> {
         let m = mix(mix_idx);
         let wls = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
-        let mut sim = Simulator::new(self.machine.clone(), wls, rob.build(), self.seed);
+        let mut sim = Simulator::try_new(self.machine.clone(), wls, rob.build(), self.seed)?;
+        if let Some(plan) = self.fault_for(mix_idx) {
+            sim.set_fault_plan(plan.clone());
+        }
         sim.warmup(self.warmup);
-        sim.run(StopCondition::AnyThreadCommitted(self.mt_budget));
+        let run_err = sim
+            .try_run(StopCondition::AnyThreadCommitted(self.mt_budget))
+            .err();
+        let faults = sim.fault_stats();
+        if let Some(e) = run_err {
+            return Err(e);
+        }
         let cycles = sim.cycle();
         let stats = sim.stats().clone();
         let ipc: Vec<f64> = stats.threads.iter().map(|t| t.ipc(cycles)).collect();
         let norm = self.norm;
         let single_ipc: Vec<f64> = (0..ipc.len())
-            .map(|slot| self.single_ipc(mix_idx, slot, norm))
-            .collect();
+            .map(|slot| self.try_single_ipc(mix_idx, slot, norm))
+            .collect::<Result<_, _>>()?;
         let weighted: Vec<f64> = ipc
             .iter()
             .zip(&single_ipc)
@@ -151,7 +227,7 @@ impl Lab {
             .as_any()
             .downcast_ref::<TwoLevelRob>()
             .map(|a| a.stats());
-        MixRun {
+        Ok(MixRun {
             mix: m.name.to_string(),
             config: rob.label(),
             ft: fair_throughput(&weighted),
@@ -161,7 +237,8 @@ impl Lab {
             weighted,
             stats,
             twolevel,
-        }
+            faults,
+        })
     }
 }
 
@@ -214,6 +291,42 @@ mod tests {
             RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)).label(),
             "2-Level P-ROB5"
         );
+    }
+
+    #[test]
+    fn try_run_mix_surfaces_deadlock_as_typed_error() {
+        let mut lab = small_lab();
+        lab.machine.deadlock_cycles = 3_000;
+        let mut plan = FaultPlan::new(5);
+        plan.drop_fill = 1; // every L2 fill lost: the first miss starves
+        lab.set_fault(Some(1), plan);
+        let err = lab
+            .try_run_mix(1, RobConfig::Baseline(32))
+            .expect_err("dropped fills must deadlock");
+        match err {
+            SimError::Deadlock { snapshot } => {
+                assert_eq!(snapshot.deadlock_cycles, 3_000);
+                assert!(!snapshot.threads.is_empty());
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        // The plan is scoped to mix 1; other mixes stay healthy.
+        assert!(lab.try_run_mix(2, RobConfig::Baseline(32)).is_ok());
+    }
+
+    #[test]
+    fn delay_faults_are_absorbed_and_counted() {
+        let mut lab = small_lab();
+        let mut plan = FaultPlan::new(9);
+        plan.delay_fill = 2;
+        plan.delay_cycles = 64;
+        lab.set_fault(None, plan);
+        let r = lab
+            .try_run_mix(1, RobConfig::Baseline(32))
+            .expect("slow DRAM is not a failure");
+        assert!(r.faults.delayed_fills > 0, "plan never fired");
+        lab.clear_faults();
+        assert!(lab.fault_for(1).is_none());
     }
 
     #[test]

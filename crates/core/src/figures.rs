@@ -6,7 +6,7 @@
 use crate::experiment::{Lab, MixRun, RobConfig};
 use crate::metrics::mean;
 use crate::twolevel::{Scheme, TwoLevelConfig};
-use smtsim_pipeline::DodHistogram;
+use smtsim_pipeline::{DodHistogram, SimError};
 
 /// All 11 paper mixes.
 pub const ALL_MIXES: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
@@ -16,22 +16,57 @@ pub const ALL_MIXES: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
 pub struct Series {
     /// Legend label.
     pub label: String,
-    /// `(mix name, value)` per mix.
-    pub points: Vec<(String, f64)>,
-    /// Arithmetic mean across mixes (the paper's "Average" bar).
+    /// `(mix name, value)` per mix; `None` marks a cell whose run
+    /// failed (rendered as `n/a`).
+    pub points: Vec<(String, Option<f64>)>,
+    /// Arithmetic mean across the mixes that produced a value (the
+    /// paper's "Average" bar). `NaN` when every cell failed.
     pub average: f64,
 }
 
 impl Series {
-    fn from_runs(label: impl Into<String>, runs: &[MixRun]) -> Self {
-        let points: Vec<(String, f64)> = runs.iter().map(|r| (r.mix.clone(), r.ft)).collect();
-        let average = mean(&runs.iter().map(|r| r.ft).collect::<Vec<_>>());
+    /// Builds a series from per-mix run results, recording one
+    /// single-line entry per failed cell into `failures`.
+    fn from_results(
+        label: impl Into<String>,
+        results: Vec<(String, Result<MixRun, SimError>)>,
+        failures: &mut Vec<String>,
+    ) -> Self {
+        let label = label.into();
+        let mut points = Vec::with_capacity(results.len());
+        for (mix_name, res) in results {
+            match res {
+                Ok(r) => points.push((mix_name, Some(r.ft))),
+                Err(e) => {
+                    failures.push(failure_line(&mix_name, &label, &e));
+                    points.push((mix_name, None));
+                }
+            }
+        }
+        let present: Vec<f64> = points.iter().filter_map(|(_, v)| *v).collect();
+        let average = if present.is_empty() {
+            f64::NAN
+        } else {
+            mean(&present)
+        };
         Series {
-            label: label.into(),
+            label,
             points,
             average,
         }
     }
+}
+
+/// One compact line describing a failed cell (first line of the error —
+/// deadlock snapshots are multi-line).
+fn failure_line(mix_name: &str, label: &str, e: &SimError) -> String {
+    let msg = e.to_string();
+    let first = msg.lines().next().unwrap_or("error").to_string();
+    format!("{mix_name} / {label}: {first}")
+}
+
+fn mix_name(m: usize) -> String {
+    smtsim_workload::mix(m).name.to_string()
 }
 
 /// A bar-chart style figure: several series over the same mixes.
@@ -41,6 +76,9 @@ pub struct FigureData {
     pub title: String,
     /// The series.
     pub series: Vec<Series>,
+    /// One line per failed `(mix, configuration)` cell; empty on a
+    /// fully healthy sweep.
+    pub failures: Vec<String>,
 }
 
 impl FigureData {
@@ -55,8 +93,11 @@ impl FigureData {
 pub struct HistogramData {
     /// Figure title.
     pub title: String,
-    /// `(mix name, histogram)` per mix.
+    /// `(mix name, histogram)` per mix; failed mixes are omitted and
+    /// listed in [`HistogramData::failures`].
     pub mixes: Vec<(String, DodHistogram)>,
+    /// One line per failed mix; empty on a fully healthy sweep.
+    pub failures: Vec<String>,
 }
 
 impl HistogramData {
@@ -71,30 +112,37 @@ impl HistogramData {
 }
 
 fn ft_figure(lab: &mut Lab, title: &str, configs: &[RobConfig], mixes: &[usize]) -> FigureData {
+    let mut failures = Vec::new();
     let series = configs
         .iter()
         .map(|cfg| {
-            let runs: Vec<MixRun> = mixes.iter().map(|&m| lab.run_mix(m, *cfg)).collect();
-            Series::from_runs(cfg.label(), &runs)
+            let results: Vec<(String, Result<MixRun, SimError>)> = mixes
+                .iter()
+                .map(|&m| (mix_name(m), lab.try_run_mix(m, *cfg)))
+                .collect();
+            Series::from_results(cfg.label(), results, &mut failures)
         })
         .collect();
     FigureData {
         title: title.to_string(),
         series,
+        failures,
     }
 }
 
 fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
-    let mixes = mixes
-        .iter()
-        .map(|&m| {
-            let run = lab.run_mix(m, cfg);
-            (run.mix.clone(), run.stats.dod_at_fill.clone())
-        })
-        .collect();
+    let mut failures = Vec::new();
+    let mut cols = Vec::with_capacity(mixes.len());
+    for &m in mixes {
+        match lab.try_run_mix(m, cfg) {
+            Ok(run) => cols.push((run.mix.clone(), run.stats.dod_at_fill.clone())),
+            Err(e) => failures.push(failure_line(&mix_name(m), &cfg.label(), &e)),
+        }
+    }
     HistogramData {
         title: title.to_string(),
-        mixes,
+        mixes: cols,
+        failures,
     }
 }
 
@@ -228,25 +276,28 @@ pub fn ablation(lab: &mut Lab, mixes: &[usize]) -> FigureData {
         c.l2_entries = l2;
         variants.push((format!("L2={l2}"), c));
     }
+    let mut failures = Vec::new();
     let series = variants
         .into_iter()
         .map(|(label, cfg)| {
-            let runs: Vec<MixRun> = mixes
+            let results: Vec<(String, Result<MixRun, SimError>)> = mixes
                 .iter()
-                .map(|&m| lab.run_mix(m, RobConfig::TwoLevel(cfg)))
+                .map(|&m| (mix_name(m), lab.try_run_mix(m, RobConfig::TwoLevel(cfg))))
                 .collect();
-            Series::from_runs(label, &runs)
+            Series::from_results(label, results, &mut failures)
         })
         .collect();
     FigureData {
         title: "Ablation: two-level design choices".to_string(),
         series,
+        failures,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smtsim_pipeline::FaultPlan;
 
     fn lab() -> Lab {
         Lab::new(11).with_budgets(6_000, 6_000)
@@ -270,8 +321,44 @@ mod tests {
         assert_eq!(f.series[2].label, "2-Level R-ROB16");
         for s in &f.series {
             assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|(_, v)| v.is_some()));
             assert!(s.average > 0.0);
         }
+        assert!(f.failures.is_empty());
+    }
+
+    #[test]
+    fn poisoned_cell_is_isolated_as_na() {
+        let mut lab = lab();
+        lab.machine.deadlock_cycles = 3_000;
+        let mut plan = FaultPlan::new(2);
+        plan.drop_fill = 1; // every fill for mix 1 is lost
+        lab.set_fault(Some(1), plan);
+        let f = fig2(&mut lab, &[1, 9]);
+        assert_eq!(f.failures.len(), 3, "one failure per configuration");
+        for s in &f.series {
+            assert!(s.points[0].1.is_none(), "poisoned cell must be n/a");
+            assert!(s.points[1].1.is_some(), "healthy cell must survive");
+            // The average is over surviving cells only.
+            assert!(s.average > 0.0 && s.average.is_finite());
+        }
+        for line in &f.failures {
+            assert!(line.contains("deadlock"), "failure line: {line}");
+            assert_eq!(line.lines().count(), 1, "failure lines are compact");
+        }
+    }
+
+    #[test]
+    fn poisoned_histogram_mix_is_skipped_with_note() {
+        let mut lab = lab();
+        lab.machine.deadlock_cycles = 3_000;
+        let mut plan = FaultPlan::new(3);
+        plan.drop_fill = 1;
+        lab.set_fault(Some(1), plan);
+        let h = fig1(&mut lab, &[1, 9]);
+        assert_eq!(h.mixes.len(), 1, "failed mix omitted");
+        assert_eq!(h.failures.len(), 1);
+        assert!(h.failures[0].contains("deadlock"));
     }
 
     #[test]
@@ -307,6 +394,7 @@ mod tests {
                     average: 1.3,
                 },
             ],
+            failures: vec![],
         };
         assert!((f.avg_improvement(1, 0) - 0.3).abs() < 1e-12);
     }

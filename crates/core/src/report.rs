@@ -24,31 +24,43 @@ pub fn render_figure(fig: &FigureData) -> String {
     }
     let _ = writeln!(out);
     let nrows = fig.series.first().map(|s| s.points.len()).unwrap_or(0);
+    let cell = |v: Option<f64>| match v {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "n/a".to_string(),
+    };
     for row in 0..nrows {
         let _ = write!(out, "{:<10}", fig.series[0].points[row].0);
         for s in &fig.series {
-            let _ = write!(out, " {:>w$.4}", s.points[row].1, w = width);
+            let _ = write!(out, " {:>w$}", cell(s.points[row].1), w = width);
         }
         let _ = writeln!(out);
     }
     let _ = write!(out, "{:<10}", "Average");
     for s in &fig.series {
-        let _ = write!(out, " {:>w$.4}", s.average, w = width);
+        let _ = write!(out, " {:>w$}", cell(Some(s.average)), w = width);
     }
     let _ = writeln!(out);
     // Relative improvements over the first series (the paper reports
-    // them against Baseline_32).
+    // them against Baseline_32). Omitted for series whose average is
+    // poisoned by failed cells.
     if fig.series.len() > 1 {
         let base = fig.series[0].average;
         for s in &fig.series[1..] {
-            let _ = writeln!(
-                out,
-                "{} vs {}: {:+.2}%",
-                s.label,
-                fig.series[0].label,
-                (s.average / base - 1.0) * 100.0
-            );
+            if base.is_finite() && s.average.is_finite() {
+                let _ = writeln!(
+                    out,
+                    "{} vs {}: {:+.2}%",
+                    s.label,
+                    fig.series[0].label,
+                    (s.average / base - 1.0) * 100.0
+                );
+            } else {
+                let _ = writeln!(out, "{} vs {}: n/a", s.label, fig.series[0].label);
+            }
         }
+    }
+    for f in &fig.failures {
+        let _ = writeln!(out, "failed: {f}");
     }
     out
 }
@@ -76,6 +88,9 @@ pub fn render_histogram(fig: &HistogramData) -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "pooled mean dependents: {:.3}", fig.pooled_mean());
+    for f in &fig.failures {
+        let _ = writeln!(out, "failed: {f}");
+    }
     out
 }
 
@@ -161,21 +176,54 @@ mod tests {
             series: vec![
                 Series {
                     label: "Baseline_32".into(),
-                    points: vec![("Mix 1".into(), 0.5), ("Mix 2".into(), 0.6)],
+                    points: vec![("Mix 1".into(), Some(0.5)), ("Mix 2".into(), Some(0.6))],
                     average: 0.55,
                 },
                 Series {
                     label: "R-ROB16".into(),
-                    points: vec![("Mix 1".into(), 0.7), ("Mix 2".into(), 0.8)],
+                    points: vec![("Mix 1".into(), Some(0.7)), ("Mix 2".into(), Some(0.8))],
                     average: 0.75,
                 },
             ],
+            failures: vec![],
         };
         let s = render_figure(&fig);
         assert!(s.contains("Mix 1"));
         assert!(s.contains("Average"));
         assert!(s.contains("R-ROB16 vs Baseline_32"));
         assert!(s.contains("+36.36%"));
+        assert!(!s.contains("n/a"));
+        assert!(!s.contains("failed:"));
+    }
+
+    #[test]
+    fn failed_cells_render_as_na_with_notes() {
+        let fig = FigureData {
+            title: "Test figure".into(),
+            series: vec![
+                Series {
+                    label: "Baseline_32".into(),
+                    points: vec![("Mix 1".into(), Some(0.5)), ("Mix 2".into(), Some(0.6))],
+                    average: 0.55,
+                },
+                Series {
+                    label: "R-ROB16".into(),
+                    points: vec![("Mix 1".into(), None), ("Mix 2".into(), None)],
+                    average: f64::NAN,
+                },
+            ],
+            failures: vec![
+                "Mix 1 / R-ROB16: deadlock: no commit for 3000 cycles".into(),
+                "Mix 2 / R-ROB16: deadlock: no commit for 3000 cycles".into(),
+            ],
+        };
+        let s = render_figure(&fig);
+        // Healthy cells still render; poisoned cells and the poisoned
+        // average render as n/a; the improvement line degrades too.
+        assert!(s.contains("0.5000"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("R-ROB16 vs Baseline_32: n/a"));
+        assert_eq!(s.matches("failed:").count(), 2);
     }
 
     #[test]
@@ -186,9 +234,20 @@ mod tests {
         let fig = HistogramData {
             title: "Hist".into(),
             mixes: vec![("Mix 1".into(), h)],
+            failures: vec![],
         };
         let s = render_histogram(&fig);
-        assert_eq!(s.lines().filter(|l| l.trim_start().chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)).count(), 31);
+        assert_eq!(
+            s.lines()
+                .filter(|l| l
+                    .trim_start()
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false))
+                .count(),
+            31
+        );
         assert!(s.contains("pooled mean"));
     }
 

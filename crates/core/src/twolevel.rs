@@ -283,7 +283,12 @@ impl TwoLevelRob {
 
     /// Evaluates one candidate. Returns `true` when the candidate is
     /// finished (allocated or rejected) and should be removed.
-    fn evaluate(&mut self, c: Candidate, view: &dyn RobQuery, now: Cycle) -> (bool, Option<Candidate>) {
+    fn evaluate(
+        &mut self,
+        c: Candidate,
+        view: &dyn RobQuery,
+        now: Cycle,
+    ) -> (bool, Option<Candidate>) {
         if !view.in_flight(c.thread, c.tag) {
             return (true, None);
         }
@@ -388,9 +393,7 @@ impl RobAllocator for TwoLevelRob {
                     }
                     over && drained
                 }
-                ReleasePolicy::DrainAndNoMiss => {
-                    drained && !view.has_pending_l2_miss(t.thread)
-                }
+                ReleasePolicy::DrainAndNoMiss => drained && !view.has_pending_l2_miss(t.thread),
                 ReleasePolicy::DrainOnly => drained,
             };
             if release {
@@ -540,6 +543,45 @@ impl RobAllocator for TwoLevelRob {
 
     fn max_capacity(&self) -> usize {
         self.cfg.l1_entries + self.cfg.l2_entries
+    }
+
+    fn conservation_bound(&self, num_threads: usize) -> usize {
+        // The second level is physically one partition: however tenure
+        // moves around, the machine can never hold more than every
+        // thread's private first level plus the shared entries once.
+        num_threads * self.cfg.l1_entries + self.cfg.l2_entries
+    }
+
+    fn audit(&self, view: &dyn RobQuery) -> Option<String> {
+        // Single-owner tenure bookkeeping: allocations and releases
+        // must bracket the live tenure exactly.
+        let live = self.tenure.is_some() as u64;
+        if self.stats.allocations != self.stats.releases + live {
+            return Some(format!(
+                "tenure accounting: {} allocations vs {} releases with {} live tenure",
+                self.stats.allocations, self.stats.releases, live
+            ));
+        }
+        if let Some(t) = self.tenure {
+            if t.thread >= view.num_threads() {
+                return Some(format!("tenure held by nonexistent thread {}", t.thread));
+            }
+        }
+        // Exclusive second level: every thread that does not hold the
+        // partition must fit in its private first level. (The holder may
+        // legally exceed it, including while draining.)
+        let owner = self.tenure.map(|t| t.thread);
+        for t in 0..view.num_threads() {
+            if Some(t) != owner && view.occupancy(t) > self.cfg.l1_entries {
+                return Some(format!(
+                    "t{t}: occupancy {} exceeds the private first level ({}) \
+                     without holding the partition (owner={owner:?})",
+                    view.occupancy(t),
+                    self.cfg.l1_entries
+                ));
+            }
+        }
+        None
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -918,7 +960,36 @@ mod tests {
             TwoLevelRob::new(TwoLevelConfig::p_rob(3)).name(),
             "2-Level P-ROB3"
         );
-        assert_eq!(TwoLevelRob::new(TwoLevelConfig::r_rob(16)).max_capacity(), 416);
+        assert_eq!(
+            TwoLevelRob::new(TwoLevelConfig::r_rob(16)).max_capacity(),
+            416
+        );
+    }
+
+    #[test]
+    fn conservation_bound_counts_shared_level_once() {
+        let a = TwoLevelRob::new(TwoLevelConfig::r_rob(16));
+        assert_eq!(a.conservation_bound(4), 4 * 32 + 384);
+        assert_eq!(a.conservation_bound(1), 32 + 384);
+    }
+
+    #[test]
+    fn audit_passes_consistent_states_and_catches_oversubscription() {
+        let mut a = TwoLevelRob::new(TwoLevelConfig::relaxed_r_rob(15));
+        let mut v = FakeView::new(2);
+        assert_eq!(a.audit(&v), None, "idle allocator is consistent");
+        v.in_flight[0] = vec![1];
+        v.oldest[0] = Some(1);
+        v.occupancy[0] = 30;
+        a.on_l2_miss(&v, miss(0, 1), 10);
+        assert_eq!(a.owner(), Some(0));
+        v.occupancy[0] = 200; // holder may exceed its first level
+        assert_eq!(a.audit(&v), None);
+        // A non-owner beyond its private first level means dispatch is
+        // consuming second-level entries the policy never granted.
+        v.occupancy[1] = 40;
+        let detail = a.audit(&v).expect("oversubscription must be caught");
+        assert!(detail.contains("t1"), "{detail}");
     }
 
     #[test]

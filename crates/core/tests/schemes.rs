@@ -2,9 +2,7 @@
 //! real pipeline traffic (complementing the state-machine unit tests
 //! and the paper-shape assertions).
 
-use smtsim_rob2::{
-    DodPredictorKind, Lab, ReleasePolicy, RobConfig, Scheme, TwoLevelConfig,
-};
+use smtsim_rob2::{DodPredictorKind, Lab, ReleasePolicy, RobConfig, Scheme, TwoLevelConfig};
 
 fn lab() -> Lab {
     let mut lab = Lab::new(42).with_budgets(15_000, 15_000);

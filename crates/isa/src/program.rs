@@ -243,7 +243,12 @@ impl Program {
     /// # Panics
     /// Panics if any block is empty, any successor (fall-through or
     /// branch target) is out of range, or `blocks` is empty.
-    pub fn new(name: impl Into<String>, blocks: Vec<BasicBlock>, entry: BlockId, pc_base: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        entry: BlockId,
+        pc_base: u64,
+    ) -> Self {
         assert!(!blocks.is_empty(), "program must have at least one block");
         assert!((entry.0 as usize) < blocks.len(), "entry out of range");
         let n = blocks.len() as u32;
@@ -319,7 +324,10 @@ impl Program {
             Ok(b) => b,
             Err(ins) => ins - 1,
         };
-        Some((BlockId(block as u32), (inst_idx - self.block_base[block]) as usize))
+        Some((
+            BlockId(block as u32),
+            (inst_idx - self.block_base[block]) as usize,
+        ))
     }
 
     /// Iterate `(BlockId, &BasicBlock)`.
@@ -386,7 +394,11 @@ mod tests {
         // b0: alu r1 r1 ; load r2 ; br(loop 4) -> b0 ; fall to b0
         let b0 = BasicBlock::new(
             vec![
-                StaticInst::compute(OpClass::IntAlu, ArchReg::int(1), [Some(ArchReg::int(1)), None]),
+                StaticInst::compute(
+                    OpClass::IntAlu,
+                    ArchReg::int(1),
+                    [Some(ArchReg::int(1)), None],
+                ),
                 StaticInst::load(ArchReg::int(2), Some(ArchReg::int(1)), StreamId(0)),
                 StaticInst::branch(
                     Some(ArchReg::int(2)),

@@ -7,8 +7,12 @@ use smtsim_isa::{BasicBlock, BlockId, BranchBehavior, OpClass, Program, StaticIn
 /// Strategy: a random well-formed program of `nblocks` blocks whose
 /// fall-throughs are sequential (the invariant generated programs obey).
 fn arb_program() -> impl Strategy<Value = Program> {
-    (2usize..12, 0u64..1u64 << 40, proptest::collection::vec(1usize..12, 2..12)).prop_map(
-        |(nblocks, base, sizes)| {
+    (
+        2usize..12,
+        0u64..1u64 << 40,
+        proptest::collection::vec(1usize..12, 2..12),
+    )
+        .prop_map(|(nblocks, base, sizes)| {
             let nblocks = nblocks.min(sizes.len());
             let blocks: Vec<BasicBlock> = (0..nblocks)
                 .map(|i| {
@@ -16,19 +20,14 @@ fn arb_program() -> impl Strategy<Value = Program> {
                         (0..sizes[i]).map(|_| StaticInst::nop()).collect();
                     if i == nblocks - 1 {
                         // Close the ring.
-                        insts.push(StaticInst::branch(
-                            None,
-                            BranchBehavior::Always,
-                            BlockId(0),
-                        ));
+                        insts.push(StaticInst::branch(None, BranchBehavior::Always, BlockId(0)));
                     }
                     let fall = if i + 1 < nblocks { i + 1 } else { 0 };
                     BasicBlock::new(insts, BlockId(fall as u32))
                 })
                 .collect();
             Program::new("prop", blocks, BlockId(0), base & !(INST_BYTES - 1))
-        },
-    )
+        })
 }
 
 proptest! {

@@ -200,10 +200,7 @@ impl Hierarchy {
     fn l2_access(&mut self, addr: u64, l2_time: Cycle) -> (Cycle, bool, Cycle) {
         let l2_lat = self.l2.config().hit_lat;
         let detect = l2_time + l2_lat;
-        let outstanding = self
-            .mshr
-            .lookup(self.l2.line_addr(addr), l2_time)
-            .is_some();
+        let outstanding = self.mshr.lookup(self.l2.line_addr(addr), l2_time).is_some();
         if self.l2.probe(addr) && !outstanding {
             (detect, false, detect)
         } else {
@@ -412,10 +409,7 @@ mod tests {
         let c = m.load(0x30_0000, 0);
         assert!(b.complete_at < a.complete_at + 100);
         // Third miss had to wait for an MSHR slot.
-        assert!(
-            c.complete_at >= a.complete_at + 500,
-            "{a:?} {b:?} {c:?}"
-        );
+        assert!(c.complete_at >= a.complete_at + 500, "{a:?} {b:?} {c:?}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Machine configuration (the paper's Table 1) and fetch-policy knobs.
 
+use crate::error::SimError;
 use smtsim_isa::FuTimings;
 use smtsim_mem::{CacheConfig, MemConfig};
 
@@ -93,6 +94,13 @@ pub struct MachineConfig {
     /// Watchdog: abort if no instruction commits for this many cycles
     /// (catches model deadlocks in development and CI).
     pub deadlock_cycles: u64,
+    /// Run the deep cross-structure invariant scan
+    /// ([`crate::Simulator::check_invariants`] plus the allocation
+    /// policy's self-audit) every this many cycles; `0` disables it.
+    /// The O(threads) conservation checks are always on regardless —
+    /// this knob only controls the O(machine-state) scan, which is too
+    /// slow for measurement runs but cheap insurance in tests and CI.
+    pub invariant_interval: u64,
 }
 
 impl MachineConfig {
@@ -121,6 +129,7 @@ impl MachineConfig {
             mem: MemConfig::icpp08(),
             redirect_penalty: 2,
             deadlock_cycles: 1_000_000,
+            invariant_interval: 0,
         }
     }
 
@@ -135,12 +144,13 @@ impl MachineConfig {
     }
 
     /// Validates structural constraints.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |reason: String| Err(SimError::InvalidConfig { reason });
         if self.num_threads == 0 || self.num_threads > smtsim_isa::MAX_THREADS {
-            return Err("num_threads out of range".into());
+            return fail("num_threads out of range".into());
         }
         if self.fetch_threads == 0 || self.fetch_threads > self.num_threads {
-            return Err("fetch_threads out of range".into());
+            return fail("fetch_threads out of range".into());
         }
         for (name, v) in [
             ("fetch_width", self.fetch_width),
@@ -152,19 +162,19 @@ impl MachineConfig {
             ("fetch_queue", self.fetch_queue),
         ] {
             if v == 0 {
-                return Err(format!("{name} must be nonzero"));
+                return fail(format!("{name} must be nonzero"));
             }
         }
         // Each thread permanently pins one physical register per
         // architectural register; there must be headroom to rename.
         if self.int_regs / self.num_threads <= smtsim_isa::NUM_ARCH_INT {
-            return Err(format!(
+            return fail(format!(
                 "int_regs {} cannot cover {} threads' architectural state",
                 self.int_regs, self.num_threads
             ));
         }
         if self.fp_regs / self.num_threads <= smtsim_isa::NUM_ARCH_FP {
-            return Err(format!(
+            return fail(format!(
                 "fp_regs {} cannot cover {} threads' architectural state",
                 self.fp_regs, self.num_threads
             ));
@@ -224,5 +234,22 @@ mod tests {
     #[test]
     fn dcra_default_share() {
         assert_eq!(DcraConfig::default().slow_share, 2);
+    }
+
+    #[test]
+    fn validate_returns_typed_error() {
+        let mut c = MachineConfig::icpp08();
+        c.iq_size = 0;
+        match c.validate() {
+            Err(SimError::InvalidConfig { reason }) => {
+                assert!(reason.contains("iq_size"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_interval_defaults_off() {
+        assert_eq!(MachineConfig::icpp08().invariant_interval, 0);
     }
 }

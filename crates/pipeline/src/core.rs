@@ -15,6 +15,8 @@
 //! extra latches.
 
 use crate::config::{FetchPolicyKind, MachineConfig};
+use crate::error::{DeadlockSnapshot, HeadSnapshot, SimError, ThreadSnapshot};
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::fu::FuPool;
 use crate::regfile::RegFiles;
 use crate::rob_policy::{RobAllocator, RobQuery};
@@ -133,12 +135,7 @@ impl RobQuery for RobView<'_> {
         self.threads[thread].rob_index(tag).is_some()
     }
 
-    fn count_unexecuted_younger(
-        &self,
-        thread: ThreadId,
-        tag: u64,
-        window: usize,
-    ) -> Option<u32> {
+    fn count_unexecuted_younger(&self, thread: ThreadId, tag: u64, window: usize) -> Option<u32> {
         let th = &self.threads[thread];
         let idx = th.rob_index(tag)?;
         let mut count = 0u32;
@@ -191,6 +188,13 @@ pub struct Simulator {
     pub(crate) dispatch_rr: usize,
     pub(crate) stats: SimStats,
     pub(crate) last_commit: Cycle,
+    /// Fault-injection state (inert by default).
+    pub(crate) fault: FaultState,
+    /// First integrity violation reported by a stage this cycle; the
+    /// stages cannot return `Result` without contorting the hot loops,
+    /// so they record the violation here and [`Simulator::try_step`]
+    /// surfaces it as [`SimError::InvariantViolation`] at cycle end.
+    pub(crate) integrity_violation: Option<String>,
 }
 
 impl Simulator {
@@ -202,26 +206,46 @@ impl Simulator {
     /// * `seed` — perturbs executor seeds (thread `t` uses `seed + t`).
     ///
     /// # Panics
-    /// Panics on invalid configuration or mismatched workload count.
+    /// Panics on invalid configuration or mismatched workload count;
+    /// [`Simulator::try_new`] reports the same conditions as
+    /// [`SimError::InvalidConfig`] instead.
     pub fn new(
         cfg: MachineConfig,
         workloads: Vec<Arc<Workload>>,
         alloc: Box<dyn RobAllocator>,
         seed: u64,
     ) -> Self {
-        cfg.validate().expect("invalid machine configuration");
-        assert_eq!(
-            workloads.len(),
-            cfg.num_threads,
-            "need one workload per hardware thread"
-        );
+        match Self::try_new(cfg, workloads, alloc, seed) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a simulator, reporting structural problems as
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(
+        cfg: MachineConfig,
+        workloads: Vec<Arc<Workload>>,
+        alloc: Box<dyn RobAllocator>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if workloads.len() != cfg.num_threads {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "need one workload per hardware thread: {} workloads for {} threads",
+                    workloads.len(),
+                    cfg.num_threads
+                ),
+            });
+        }
         let threads: Vec<Thread> = workloads
             .into_iter()
             .enumerate()
             .map(|(t, wl)| Thread::new(wl, seed.wrapping_add(t as u64)))
             .collect();
         let stats = SimStats::new(cfg.num_threads);
-        Simulator {
+        Ok(Simulator {
             regs: RegFiles::new(
                 cfg.int_regs / cfg.num_threads,
                 cfg.fp_regs / cfg.num_threads,
@@ -243,9 +267,22 @@ impl Simulator {
             dispatch_rr: 0,
             stats,
             last_commit: 0,
+            fault: FaultState::new(FaultPlan::default(), cfg.num_threads),
+            integrity_violation: None,
             threads,
             cfg,
-        }
+        })
+    }
+
+    /// Installs a fault-injection plan. Call before any timed cycles;
+    /// the decision counters restart from zero.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultState::new(plan, self.cfg.num_threads);
+    }
+
+    /// Counts of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats
     }
 
     /// Current cycle.
@@ -333,7 +370,8 @@ impl Simulator {
                 }
                 if di.op.is_mem() {
                     let hit = self.mem.peek_l1d(di.mem_addr);
-                    self.mem.warm_data(di.mem_addr, di.op == smtsim_isa::OpClass::Store);
+                    self.mem
+                        .warm_data(di.mem_addr, di.op == smtsim_isa::OpClass::Store);
                     if di.op == smtsim_isa::OpClass::Load {
                         self.loadhit.update(t, di.pc, hit);
                     }
@@ -341,8 +379,7 @@ impl Simulator {
                 if di.op == smtsim_isa::OpClass::BranchCond {
                     let h = self.gshare.history(t);
                     self.gshare.train(di.pc, h, di.taken);
-                    self.gshare
-                        .set_history(t, (h << 1) | di.taken as u16);
+                    self.gshare.set_history(t, (h << 1) | di.taken as u16);
                 }
                 if di.op.is_branch() && di.taken {
                     self.btb.update(di.pc, di.next_pc);
@@ -355,7 +392,34 @@ impl Simulator {
     }
 
     /// Advances the machine by one cycle.
+    ///
+    /// # Panics
+    /// Panics if the cycle surfaces a deadlock or an invariant
+    /// violation; [`Simulator::try_step`] reports these as [`SimError`]
+    /// instead.
     pub fn step(&mut self) {
+        if let Err(e) = self.try_step() {
+            panic!("{e}");
+        }
+    }
+
+    /// Advances the machine by one cycle, reporting integrity failures
+    /// as typed errors:
+    ///
+    /// * [`SimError::InvariantViolation`] — a stage observed
+    ///   inconsistent machine state, a cheap cross-structure check
+    ///   failed (ROB-entry conservation against the policy's physical
+    ///   budget, per-thread occupancy bounds), or — every
+    ///   `MachineConfig::invariant_interval` cycles — the deep scan
+    ///   ([`Simulator::check_invariants`]) or the allocation policy's
+    ///   self-audit found a mismatch.
+    /// * [`SimError::Deadlock`] — no instruction committed for
+    ///   `MachineConfig::deadlock_cycles` cycles; carries a
+    ///   [`DeadlockSnapshot`] of per-thread state.
+    ///
+    /// After an error the machine state is left as-is for post-mortem
+    /// inspection; continuing to step is not meaningful.
+    pub fn try_step(&mut self) -> Result<(), SimError> {
         self.process_events();
         self.commit_stage();
         self.issue_stage();
@@ -364,13 +428,56 @@ impl Simulator {
         self.policy_tick();
         self.sample_occupancy();
         self.now += 1;
-        if self.now - self.last_commit > self.cfg.deadlock_cycles {
-            self.deadlock_dump();
+        if let Some(detail) = self.integrity_violation.take() {
+            return Err(SimError::InvariantViolation {
+                cycle: self.now,
+                detail,
+            });
         }
+        self.conservation_check()?;
+        if self.cfg.invariant_interval > 0 && self.now.is_multiple_of(self.cfg.invariant_interval) {
+            if let Some(detail) = self.check_invariants() {
+                return Err(SimError::InvariantViolation {
+                    cycle: self.now,
+                    detail,
+                });
+            }
+            let view = RobView {
+                threads: &self.threads,
+            };
+            if let Some(detail) = self.alloc.audit(&view) {
+                return Err(SimError::InvariantViolation {
+                    cycle: self.now,
+                    detail: format!("policy audit ({}): {detail}", self.alloc.name()),
+                });
+            }
+        }
+        if self.now - self.last_commit > self.cfg.deadlock_cycles {
+            return Err(SimError::Deadlock {
+                snapshot: Box::new(self.deadlock_snapshot()),
+            });
+        }
+        Ok(())
     }
 
     /// Runs until `stop` is reached; returns the final statistics.
+    ///
+    /// # Panics
+    /// Panics if the run surfaces a deadlock or an invariant violation;
+    /// [`Simulator::try_run`] reports these as [`SimError`] instead.
     pub fn run(&mut self, stop: StopCondition) -> &SimStats {
+        if let Err(e) = self.try_run(stop) {
+            panic!("{e}");
+        }
+        &self.stats
+    }
+
+    /// Runs until `stop` is reached, reporting integrity failures as
+    /// typed errors (see [`Simulator::try_step`]). Statistics —
+    /// including the cycle count — are coherent up to the failing cycle
+    /// in both outcomes, so a sweep can record partial progress of a
+    /// poisoned cell.
+    pub fn try_run(&mut self, stop: StopCondition) -> Result<&SimStats, SimError> {
         loop {
             match stop {
                 StopCondition::AnyThreadCommitted(n) => {
@@ -389,10 +496,67 @@ impl Simulator {
                     }
                 }
             }
-            self.step();
+            if let Err(e) = self.try_step() {
+                self.stats.cycles = self.now;
+                return Err(e);
+            }
         }
         self.stats.cycles = self.now;
-        &self.stats
+        Ok(&self.stats)
+    }
+
+    /// Cheap always-on integrity checks: O(threads) per cycle.
+    ///
+    /// ROB-entry conservation — the machine must never hold more
+    /// entries than the policy's physical budget, globally or per
+    /// thread. Per-thread occupancy may legally exceed the *current*
+    /// capacity grant (capacity shrinks below occupancy while a
+    /// two-level extension drains), so the bounds checked here are the
+    /// physical maxima, which no correct dispatch sequence can exceed.
+    fn conservation_check(&self) -> Result<(), SimError> {
+        let mut total = 0usize;
+        let per_thread_max = self.alloc.max_capacity();
+        for (t, th) in self.threads.iter().enumerate() {
+            if th.rob.len() > per_thread_max {
+                return Err(SimError::InvariantViolation {
+                    cycle: self.now,
+                    detail: format!(
+                        "t{t}: ROB occupancy {} exceeds the policy's physical maximum {} ({})",
+                        th.rob.len(),
+                        per_thread_max,
+                        self.alloc.name()
+                    ),
+                });
+            }
+            total += th.rob.len();
+        }
+        let bound = self.alloc.conservation_bound(self.cfg.num_threads);
+        if total > bound {
+            return Err(SimError::InvariantViolation {
+                cycle: self.now,
+                detail: format!(
+                    "ROB-entry conservation: {total} entries in flight exceed the \
+                     policy's global budget {bound} ({})",
+                    self.alloc.name()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Records a stage-observed integrity violation (first one wins);
+    /// surfaced by [`Simulator::try_step`] at cycle end.
+    #[cold]
+    pub(crate) fn report_integrity(&mut self, detail: String) {
+        self.integrity_violation.get_or_insert(detail);
+    }
+
+    /// The ROB capacity dispatch consults for `thread` this cycle —
+    /// the policy's grant, unless a fault plan is lying about it.
+    #[inline]
+    pub(crate) fn dispatch_capacity(&mut self, t: ThreadId) -> usize {
+        let real = self.alloc.capacity(t);
+        self.fault.effective_capacity(t, real, self.now)
     }
 
     /// Runs the ROB policy's per-cycle hook.
@@ -522,7 +686,9 @@ impl Simulator {
             }
             let lsq_tags: Vec<u64> = th.lsq.iter().map(|e| e.tag).collect();
             if lsq_tags != mem_tags {
-                return Some(format!("t{t}: LSQ {lsq_tags:?} != ROB mem ops {mem_tags:?}"));
+                return Some(format!(
+                    "t{t}: LSQ {lsq_tags:?} != ROB mem ops {mem_tags:?}"
+                ));
             }
             if th.lsq.len() > self.cfg.lsq_size {
                 return Some(format!("t{t}: LSQ overflow"));
@@ -541,37 +707,38 @@ impl Simulator {
         None
     }
 
-    /// Panics with a diagnostic dump; called by the deadlock watchdog.
+    /// Captures the diagnostic state the deadlock watchdog reports.
     #[cold]
-    fn deadlock_dump(&self) -> ! {
-        let mut msg = format!(
-            "deadlock: no commit for {} cycles (now={}, policy={})\n",
-            self.cfg.deadlock_cycles,
-            self.now,
-            self.alloc.name()
-        );
-        for (t, th) in self.threads.iter().enumerate() {
-            let head = th.rob.front();
-            msg.push_str(&format!(
-                "  t{t}: rob={}/{} iq_use={} icount={} head={:?} halted={} stall_until={} wrong_path={} pend_l2={}\n",
-                th.rob.len(),
-                self.alloc.capacity(t),
-                self.iq_usage[t],
-                th.icount,
-                head.map(|h| (h.tag, h.di.op, h.issued, h.executed)),
-                th.fetch_halted,
-                th.fetch_stall_until,
-                th.in_wrong_path,
-                th.pending_l2_visible,
-            ));
+    fn deadlock_snapshot(&self) -> DeadlockSnapshot {
+        DeadlockSnapshot {
+            deadlock_cycles: self.cfg.deadlock_cycles,
+            now: self.now,
+            policy: self.alloc.name(),
+            threads: self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, th)| ThreadSnapshot {
+                    rob_len: th.rob.len(),
+                    rob_cap: self.alloc.capacity(t),
+                    iq_use: self.iq_usage[t],
+                    icount: th.icount,
+                    head: th.rob.front().map(|h| HeadSnapshot {
+                        tag: h.tag,
+                        op: h.di.op,
+                        issued: h.issued,
+                        executed: h.executed,
+                    }),
+                    fetch_halted: th.fetch_halted,
+                    fetch_stall_until: th.fetch_stall_until,
+                    in_wrong_path: th.in_wrong_path,
+                    pending_l2: th.pending_l2_visible,
+                })
+                .collect(),
+            iq_len: self.iq.len(),
+            iq_size: self.cfg.iq_size,
+            int_free_t0: self.regs.free_count(0, smtsim_isa::RegClass::Int),
+            fp_free_t0: self.regs.free_count(0, smtsim_isa::RegClass::Fp),
         }
-        msg.push_str(&format!(
-            "  iq={}/{} int_free(t0)={} fp_free(t0)={}\n",
-            self.iq.len(),
-            self.cfg.iq_size,
-            self.regs.free_count(0, smtsim_isa::RegClass::Int),
-            self.regs.free_count(0, smtsim_isa::RegClass::Fp),
-        ));
-        panic!("{msg}");
     }
 }

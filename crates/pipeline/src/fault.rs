@@ -1,0 +1,353 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes a reproducible set of model-level faults —
+//! lost or delayed L2-miss completions, corrupted DoD counts, withheld
+//! allocator notifications, and lying capacity grants — that exercise
+//! the simulator's integrity machinery (the deadlock watchdog and the
+//! invariant checker) and the graceful-degradation paths of ROB
+//! allocation policies.
+//!
+//! Faults are *counter-based*, not clock-based: each fault category
+//! keeps its own opportunity counter, and the decision for opportunity
+//! `k` is a pure hash of `(seed, category, k)`. The same seed and plan
+//! therefore produce the same faults at the same points of the
+//! instruction stream, independent of wall-clock time or host — the
+//! property the determinism suite asserts (same seed + same plan ⇒
+//! identical statistics and identical error).
+//!
+//! All knobs are **1-in-N denominators**: `0` disables the category,
+//! `1` fires on every opportunity, `N` fires on a pseudo-random 1/N of
+//! opportunities.
+
+use smtsim_isa::ThreadId;
+use smtsim_mem::Cycle;
+
+/// Category salts keep the per-category decision streams independent.
+const SALT_DROP: u64 = 0x9E6D_41A3_5C17_D2B5;
+const SALT_DELAY: u64 = 0x517C_C1B7_2722_0A95;
+const SALT_CORRUPT: u64 = 0xB492_B66F_BE98_F273;
+const SALT_WITHHOLD: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// splitmix64 finalizer — the same mixer the vendored proptest shim and
+/// the workload generators use for cheap, well-distributed hashing.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A reproducible fault-injection schedule. The default plan injects
+/// nothing and costs one branch per hook.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions (independent of the simulator
+    /// seed, so the same workload can be rerun under different fault
+    /// streams).
+    pub seed: u64,
+    /// 1-in-N L2-missing loads whose completion and fill events are
+    /// never scheduled: the load hangs forever and the thread starves.
+    /// The watchdog must surface this as [`SimError::Deadlock`].
+    ///
+    /// [`SimError::Deadlock`]: crate::SimError::Deadlock
+    pub drop_fill: u32,
+    /// 1-in-N L2-missing loads whose completion and fill are pushed
+    /// back by [`delay_cycles`](Self::delay_cycles) — a slow DRAM bank,
+    /// not a failure; the model must absorb it.
+    pub delay_fill: u32,
+    /// Extra latency applied by `delay_fill` faults.
+    pub delay_cycles: u64,
+    /// 1-in-N fill notifications whose hardware DoD count is replaced
+    /// with garbage before reaching the allocator — the predictor
+    /// trains on noise and the policy must merely lose accuracy, never
+    /// correctness.
+    pub corrupt_dod: u32,
+    /// 1-in-N fill notifications withheld from the allocator entirely
+    /// (the `on_l2_fill` upcall is skipped). Two-level policies whose
+    /// release condition waits on the trigger's fill must fall back to
+    /// their in-flight recheck rather than keep the second level
+    /// captive forever.
+    pub withhold_release: u32,
+    /// Dispatch consults a stuck-at-maximum capacity: once a thread has
+    /// seen an extended grant, the lie keeps reporting it after the
+    /// policy revokes it, letting occupancy exceed the policy's global
+    /// budget. The per-cycle conservation check must catch this as
+    /// [`SimError::InvariantViolation`].
+    ///
+    /// [`SimError::InvariantViolation`]: crate::SimError::InvariantViolation
+    pub capacity_latch: bool,
+    /// From this cycle on, dispatch sees zero ROB capacity for every
+    /// thread — total allocation starvation. The watchdog must surface
+    /// it as a deadlock with every thread showing `rob=0`.
+    pub capacity_zero_after: Option<Cycle>,
+}
+
+impl FaultPlan {
+    /// A plan with the given decision seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Does this plan inject anything at all? (Fast path: the default
+    /// plan short-circuits every hook.)
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.drop_fill != 0
+            || self.delay_fill != 0
+            || self.corrupt_dod != 0
+            || self.withhold_release != 0
+            || self.capacity_latch
+            || self.capacity_zero_after.is_some()
+    }
+
+    #[inline]
+    fn fires(&self, salt: u64, counter: u64, denom: u32) -> bool {
+        match denom {
+            0 => false,
+            1 => true,
+            n => mix(self.seed ^ salt ^ counter).is_multiple_of(n as u64),
+        }
+    }
+}
+
+/// Counts of faults actually injected — tests assert these to prove a
+/// plan exercised the paths it was meant to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Completions/fills never scheduled.
+    pub dropped_fills: u64,
+    /// Completions/fills pushed back by `delay_cycles`.
+    pub delayed_fills: u64,
+    /// DoD counts replaced with garbage.
+    pub corrupted_dod: u64,
+    /// Allocator fill notifications suppressed.
+    pub withheld_releases: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all categories.
+    pub fn total(&self) -> u64 {
+        self.dropped_fills + self.delayed_fills + self.corrupted_dod + self.withheld_releases
+    }
+}
+
+/// What the injector decided for one L2-missing load at issue time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FillFault {
+    /// Schedule normally.
+    None,
+    /// Never schedule completion or fill.
+    Drop,
+    /// Schedule both, `delay` cycles late.
+    Delay(u64),
+}
+
+/// Live injection state owned by the simulator: the immutable plan plus
+/// per-category opportunity counters, per-thread capacity latches and
+/// the fired-fault statistics.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    pub stats: FaultStats,
+    fills_seen: u64,
+    notifies_seen: u64,
+    /// Highest capacity grant ever observed per thread (capacity_latch).
+    latched: Vec<usize>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, num_threads: usize) -> Self {
+        FaultState {
+            plan,
+            stats: FaultStats::default(),
+            fills_seen: 0,
+            notifies_seen: 0,
+            latched: vec![0; num_threads],
+        }
+    }
+
+    /// Decision for an L2-missing load about to schedule its
+    /// completion/fill events. Drop takes precedence over delay when
+    /// both fire on the same opportunity.
+    #[inline]
+    pub fn on_l2_fill_scheduled(&mut self) -> FillFault {
+        if !self.plan.is_active() {
+            return FillFault::None;
+        }
+        let k = self.fills_seen;
+        self.fills_seen += 1;
+        if self.plan.fires(SALT_DROP, k, self.plan.drop_fill) {
+            self.stats.dropped_fills += 1;
+            return FillFault::Drop;
+        }
+        if self.plan.fires(SALT_DELAY, k, self.plan.delay_fill) {
+            self.stats.delayed_fills += 1;
+            return FillFault::Delay(self.plan.delay_cycles);
+        }
+        FillFault::None
+    }
+
+    /// Decision for a fill notification about to reach the allocator:
+    /// possibly corrupt the DoD count, possibly suppress the upcall.
+    /// Returns `(counted_dod, deliver)`.
+    #[inline]
+    pub fn on_fill_notify(&mut self, counted_dod: u32) -> (u32, bool) {
+        if !self.plan.is_active() {
+            return (counted_dod, true);
+        }
+        let k = self.notifies_seen;
+        self.notifies_seen += 1;
+        let mut dod = counted_dod;
+        if self.plan.fires(SALT_CORRUPT, k, self.plan.corrupt_dod) {
+            self.stats.corrupted_dod += 1;
+            // Saturating 5-bit garbage, guaranteed different from the
+            // true count.
+            dod = (counted_dod ^ (1 + (mix(self.plan.seed ^ k) % 31) as u32)) & 31;
+        }
+        if self
+            .plan
+            .fires(SALT_WITHHOLD, k, self.plan.withhold_release)
+        {
+            self.stats.withheld_releases += 1;
+            return (dod, false);
+        }
+        (dod, true)
+    }
+
+    /// The capacity dispatch actually sees, after any capacity lies.
+    #[inline]
+    pub fn effective_capacity(&mut self, t: ThreadId, real: usize, now: Cycle) -> usize {
+        if !self.plan.is_active() {
+            return real;
+        }
+        if let Some(after) = self.plan.capacity_zero_after {
+            if now >= after {
+                return 0;
+            }
+        }
+        if self.plan.capacity_latch {
+            let l = &mut self.latched[t];
+            *l = (*l).max(real);
+            return *l;
+        }
+        real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut st = FaultState::new(plan, 4);
+        for _ in 0..100 {
+            assert_eq!(st.on_l2_fill_scheduled(), FillFault::None);
+            assert_eq!(st.on_fill_notify(7), (7, true));
+            assert_eq!(st.effective_capacity(0, 32, 500), 32);
+        }
+        assert_eq!(st.stats.total(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan {
+            seed: 99,
+            drop_fill: 3,
+            delay_fill: 2,
+            delay_cycles: 400,
+            corrupt_dod: 4,
+            withhold_release: 5,
+            ..FaultPlan::default()
+        };
+        let run = |plan: &FaultPlan| {
+            let mut st = FaultState::new(plan.clone(), 4);
+            let fills: Vec<FillFault> = (0..64).map(|_| st.on_l2_fill_scheduled()).collect();
+            let notes: Vec<(u32, bool)> = (0..64).map(|i| st.on_fill_notify(i % 32)).collect();
+            (fills, notes, st.stats)
+        };
+        assert_eq!(run(&plan), run(&plan.clone()));
+        let other = FaultPlan {
+            seed: 100,
+            ..plan.clone()
+        };
+        assert_ne!(run(&plan).0, run(&other).0);
+    }
+
+    #[test]
+    fn denominator_one_always_fires() {
+        let plan = FaultPlan {
+            seed: 1,
+            drop_fill: 1,
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan, 1);
+        for _ in 0..10 {
+            assert_eq!(st.on_l2_fill_scheduled(), FillFault::Drop);
+        }
+        assert_eq!(st.stats.dropped_fills, 10);
+    }
+
+    #[test]
+    fn rates_are_roughly_one_in_n() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_fill: 8,
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan, 1);
+        let fired = (0..8000)
+            .filter(|_| st.on_l2_fill_scheduled() == FillFault::Drop)
+            .count();
+        // 1-in-8 over 8000 trials: expect ~1000, allow wide slack.
+        assert!((600..1400).contains(&fired), "fired {fired}");
+    }
+
+    #[test]
+    fn capacity_zero_after_threshold() {
+        let plan = FaultPlan {
+            capacity_zero_after: Some(1000),
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan, 2);
+        assert_eq!(st.effective_capacity(0, 32, 999), 32);
+        assert_eq!(st.effective_capacity(0, 32, 1000), 0);
+        assert_eq!(st.effective_capacity(1, 32, 5000), 0);
+    }
+
+    #[test]
+    fn capacity_latch_sticks_at_maximum() {
+        let plan = FaultPlan {
+            capacity_latch: true,
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan, 1);
+        assert_eq!(st.effective_capacity(0, 32, 0), 32);
+        assert_eq!(st.effective_capacity(0, 384, 1), 384);
+        // Policy revokes the extension; the lie keeps reporting it.
+        assert_eq!(st.effective_capacity(0, 32, 2), 384);
+    }
+
+    #[test]
+    fn corrupt_dod_changes_value_within_range() {
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt_dod: 1,
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan, 1);
+        for true_dod in 0..32 {
+            let (dod, deliver) = st.on_fill_notify(true_dod);
+            assert!(deliver);
+            assert_ne!(dod, true_dod);
+            assert!(dod < 32);
+        }
+        assert_eq!(st.stats.corrupted_dod, 32);
+    }
+}

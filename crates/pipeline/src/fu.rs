@@ -37,6 +37,9 @@ impl FuPool {
     ///
     /// # Panics
     /// Debug-panics if no unit is free ([`FuPool::can_issue`] first).
+    // invariant: every caller gates on can_issue in the same cycle, so
+    // a free unit must exist; there is no state to unwind if it doesn't.
+    #[allow(clippy::expect_used)]
     pub fn issue(&mut self, op: OpClass, now: Cycle) -> Cycle {
         let lat = self.timings.latency(op);
         if let Some(g) = op.fu_group() {

@@ -25,8 +25,18 @@
 //! assert!(stats.threads[0].committed >= 5_000);
 //! ```
 
+// The cycle loop is load-bearing for every experiment in the repo: a
+// stray unwrap in a stage turns a model bug into a process abort that
+// takes a whole sweep down. Production code must route failures through
+// `SimError` / `Simulator::report_integrity`; the few sites where an
+// Option is structurally impossible carry a local `#[allow]` with an
+// `// invariant:` justification. (Tests are exempt.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod core;
+pub mod error;
+pub mod fault;
 pub mod fu;
 pub mod regfile;
 pub mod rob_policy;
@@ -36,6 +46,8 @@ pub mod types;
 
 pub use config::{DcraConfig, FetchPolicyKind, MachineConfig};
 pub use core::{Simulator, StopCondition};
+pub use error::{DeadlockSnapshot, HeadSnapshot, SimError, ThreadSnapshot};
+pub use fault::{FaultPlan, FaultStats};
 pub use fu::FuPool;
 pub use regfile::{PhysReg, RegFiles};
 pub use rob_policy::{FixedRob, MissEvent, RobAllocator, RobQuery};

@@ -99,6 +99,10 @@ impl RegFiles {
                 for a in 0..class.arch_count() {
                     let file = &mut files[class.index()];
                     let pool = file.pool_of(t);
+                    // invariant: MachineConfig::validate guarantees the
+                    // pool covers every thread's architectural state
+                    // before a Simulator (and thus RegFiles) is built.
+                    #[allow(clippy::expect_used)]
                     let idx = file.free[pool]
                         .pop()
                         .expect("register file too small for architectural state");
@@ -107,10 +111,7 @@ impl RegFiles {
                         RegClass::Int => ArchReg::int(a as u8),
                         RegClass::Fp => ArchReg::fp(a as u8),
                     };
-                    map[arch.flat_index()] = PhysReg {
-                        class,
-                        idx,
-                    };
+                    map[arch.flat_index()] = PhysReg { class, idx };
                 }
             }
             maps.push(map);
@@ -245,7 +246,11 @@ mod tests {
         assert_eq!(r.map(0, arch), new);
         assert!(!r.is_ready(new));
         assert_eq!(r.free_count(0, RegClass::Int), 191);
-        assert_eq!(r.free_count(1, RegClass::Int), 192, "other threads unaffected");
+        assert_eq!(
+            r.free_count(1, RegClass::Int),
+            192,
+            "other threads unaffected"
+        );
         assert_eq!(r.usage(0, RegClass::Int), 1);
     }
 

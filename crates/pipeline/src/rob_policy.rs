@@ -30,12 +30,7 @@ pub trait RobQuery {
     /// whose position from the ROB head is below `window`, counting
     /// those with the result-valid bit clear. Returns `None` if `tag`
     /// is no longer in flight.
-    fn count_unexecuted_younger(
-        &self,
-        thread: ThreadId,
-        tag: u64,
-        window: usize,
-    ) -> Option<u32>;
+    fn count_unexecuted_younger(&self, thread: ThreadId, tag: u64, window: usize) -> Option<u32>;
     /// Does `thread` have an in-flight load with a detected,
     /// not-yet-filled L2 miss?
     fn has_pending_l2_miss(&self, thread: ThreadId) -> bool;
@@ -85,6 +80,29 @@ pub trait RobAllocator {
     /// Total ROB entries a single thread could ever hold (used for
     /// sizing diagnostics); for two-level designs this is L1 + L2.
     fn max_capacity(&self) -> usize;
+
+    /// Upper bound on the *total* ROB entries the machine may hold
+    /// across all threads under this policy — the conservation law the
+    /// simulator's per-cycle integrity check enforces (Σ occupancy must
+    /// never exceed it, even while capacity grants shrink below
+    /// occupancy during a drain).
+    ///
+    /// The default — every thread simultaneously at `max_capacity` —
+    /// is exact for fixed partitions; policies that share structure
+    /// between threads (a two-level ROB shares its second level)
+    /// override it with the tighter physical budget.
+    fn conservation_bound(&self, num_threads: usize) -> usize {
+        num_threads * self.max_capacity()
+    }
+
+    /// Deep self-audit: verify the policy's internal bookkeeping is
+    /// consistent with the machine state it has been told about,
+    /// returning a description of the first inconsistency. Called by
+    /// the simulator's periodic invariant scan
+    /// (`MachineConfig::invariant_interval`); `None` = consistent.
+    fn audit(&self, _view: &dyn RobQuery) -> Option<String> {
+        None
+    }
 
     /// Downcast hook so harnesses can retrieve policy-specific
     /// statistics after a run.
@@ -143,6 +161,13 @@ mod tests {
         assert_eq!(f.capacity(3), 32);
         assert_eq!(f.max_capacity(), 32);
         assert_eq!(f.name(), "Baseline_32");
+    }
+
+    #[test]
+    fn fixed_rob_conservation_is_exact_partition() {
+        let f = FixedRob::new(32);
+        assert_eq!(f.conservation_bound(4), 128);
+        assert_eq!(f.conservation_bound(1), 32);
     }
 
     #[test]

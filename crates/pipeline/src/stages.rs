@@ -3,8 +3,11 @@
 
 use crate::config::FetchPolicyKind;
 use crate::core::{Fetched, RobView, Simulator};
+use crate::fault::FillFault;
 use crate::rob_policy::{MissEvent, RobQuery};
-use crate::types::{BranchState, Event, EventKind, InstRef, InstState, IqEntry, LsqEntry, MemState};
+use crate::types::{
+    BranchState, Event, EventKind, InstRef, InstState, IqEntry, LsqEntry, MemState,
+};
 use smtsim_isa::{DynInst, OpClass, ThreadId, INST_BYTES};
 use std::cmp::Reverse;
 
@@ -159,7 +162,13 @@ impl Simulator {
         if !ev.wrong_path {
             self.stats.dod_at_fill.record(counted_full);
         }
-        self.alloc.on_l2_fill(&view, ev, counted_policy, self.now);
+        // Fault injection: the DoD count handed to the policy may be
+        // corrupted, or the notification suppressed altogether (a lost
+        // release — policies must degrade, not hang).
+        let (counted_policy, deliver) = self.fault.on_fill_notify(counted_policy);
+        if deliver {
+            self.alloc.on_l2_fill(&view, ev, counted_policy, self.now);
+        }
     }
 
     /// Entries scanned by the DoD counter (the 32-entry first level
@@ -191,24 +200,44 @@ impl Simulator {
                 if !committable {
                     break;
                 }
-                let i = self.threads[t].rob.pop_front().expect("checked above");
-                debug_assert!(!i.wrong_path, "wrong-path inst at commit");
-                // Architectural integrity: the committed stream is the
-                // functional trace, contiguous and in order.
-                debug_assert_eq!(
-                    i.di.seq,
-                    self.threads[t]
-                        .last_committed_seq
-                        .map(|s| s + 1)
-                        .unwrap_or(i.di.seq),
-                    "commit-order hole on thread {t}"
-                );
+                let Some(i) = self.threads[t].rob.pop_front() else {
+                    break; // unreachable: head presence checked above
+                };
+                // Architectural integrity (always-on cheap checks): the
+                // committed stream is the functional trace, contiguous
+                // and in order, and never wrong-path work.
+                if i.wrong_path {
+                    self.report_integrity(format!(
+                        "t{t}: wrong-path instruction tag {} reached commit",
+                        i.tag
+                    ));
+                    break;
+                }
+                if let Some(prev) = self.threads[t].last_committed_seq {
+                    if i.di.seq != prev + 1 {
+                        self.report_integrity(format!(
+                            "t{t}: commit-order hole: seq {} committed after seq {prev}",
+                            i.di.seq
+                        ));
+                        break;
+                    }
+                }
                 self.threads[t].last_committed_seq = Some(i.di.seq);
                 if i.di.op.is_mem() {
-                    let e = self.threads[t].lsq.pop_front().expect("LSQ in sync");
-                    debug_assert_eq!(e.tag, i.tag, "LSQ/ROB desync");
-                    if i.di.op == OpClass::Store {
-                        self.mem.store_commit(i.di.mem_addr, self.now);
+                    match self.threads[t].lsq.pop_front() {
+                        Some(e) if e.tag == i.tag => {
+                            if i.di.op == OpClass::Store {
+                                self.mem.store_commit(i.di.mem_addr, self.now);
+                            }
+                        }
+                        head => {
+                            self.report_integrity(format!(
+                                "t{t}: LSQ/ROB desync at commit: mem op tag {} vs LSQ head {:?}",
+                                i.tag,
+                                head.map(|e| e.tag)
+                            ));
+                            break;
+                        }
                     }
                 }
                 if let Some(old) = i.old_phys {
@@ -253,23 +282,31 @@ impl Simulator {
     }
 
     pub(crate) fn issue_stage(&mut self) {
-        // Collect ready candidates, oldest first.
+        // Collect ready candidates, oldest first. An IQ entry whose
+        // instruction is no longer in flight means squash cleanup
+        // missed it — an integrity violation, not a panic.
         let mut cands: Vec<(u64, InstRef)> = Vec::with_capacity(self.iq.len().min(16));
+        let mut stale: Option<String> = None;
         for e in &self.iq {
-            let i = self.inst(e.inst).unwrap_or_else(|| {
+            let Some(i) = self.inst(e.inst) else {
                 let th = &self.threads[e.inst.thread];
-                panic!(
-                    "IQ entry must be in flight: now={} entry={:?} rob=[{:?}..{:?}] len={}",
+                stale = Some(format!(
+                    "IQ entry not in flight: now={} entry={:?} rob=[{:?}..{:?}] len={}",
                     self.now,
                     e.inst,
                     th.rob.front().map(|i| i.tag),
                     th.rob.back().map(|i| i.tag),
                     th.rob.len()
-                )
-            });
+                ));
+                continue;
+            };
             if !i.issued && self.ready_to_issue(e.inst, i) {
                 cands.push((e.seq, e.inst));
             }
+        }
+        if let Some(detail) = stale {
+            self.report_integrity(detail);
+            return;
         }
         cands.sort_unstable_by_key(|&(seq, _)| seq);
         let mut width = self.cfg.issue_width;
@@ -277,7 +314,11 @@ impl Simulator {
             if width == 0 {
                 break;
             }
-            let op = self.inst(r).expect("candidate in flight").di.op;
+            let Some(i) = self.inst(r) else {
+                self.report_integrity(format!("issue candidate {r:?} vanished mid-cycle"));
+                return;
+            };
+            let op = i.di.op;
             if !self.fu.can_issue(op, self.now) {
                 continue; // structural hazard on this unit class
             }
@@ -310,11 +351,15 @@ impl Simulator {
     /// access for loads, and schedules completion.
     fn do_issue(&mut self, r: InstRef) {
         let (op, addr, pc, tag, wrong_path) = {
-            let i = self.inst(r).expect("in flight");
+            let Some(i) = self.inst(r) else {
+                self.report_integrity(format!("issuing vanished instruction {r:?}"));
+                return;
+            };
             (i.di.op, i.di.mem_addr, i.di.pc, i.tag, i.wrong_path)
         };
         let t = r.thread;
         let mut mem_state: Option<MemState> = None;
+        let mut fill_fault = FillFault::None;
         let complete_at;
         match op {
             OpClass::Load => {
@@ -339,7 +384,6 @@ impl Simulator {
                     }
                 } else {
                     let res = self.mem.load(addr, agen);
-                    complete_at = res.complete_at;
                     let _pred = self.loadhit.predict(t, pc);
                     self.loadhit.update(t, pc, !res.l1_miss);
                     mem_state = Some(MemState {
@@ -353,16 +397,30 @@ impl Simulator {
                         self.threads[t].pending_l1d += 1;
                     }
                     if res.l2_miss {
+                        // Fault injection: an L2-missing load's fill may
+                        // be delayed or lost entirely. The miss
+                        // *detection* still happens — the machine saw
+                        // the miss; it is the service that misbehaves.
+                        fill_fault = self.fault.on_l2_fill_scheduled();
+                        let delay = match fill_fault {
+                            FillFault::Delay(d) => d,
+                            _ => 0,
+                        };
+                        complete_at = res.complete_at + delay;
                         self.push_event(Event {
                             at: res.l2_miss_detected_at.max(self.now),
                             kind: EventKind::L2MissDetected,
                             inst: r,
                         });
-                        self.push_event(Event {
-                            at: res.complete_at.max(self.now),
-                            kind: EventKind::L2Fill,
-                            inst: r,
-                        });
+                        if fill_fault != FillFault::Drop {
+                            self.push_event(Event {
+                                at: complete_at.max(self.now),
+                                kind: EventKind::L2Fill,
+                                inst: r,
+                            });
+                        }
+                    } else {
+                        complete_at = res.complete_at;
                     }
                 }
                 if !wrong_path {
@@ -375,7 +433,10 @@ impl Simulator {
                 complete_at = self.fu.issue(op, self.now);
             }
         }
-        let i = self.inst_mut(r).expect("in flight");
+        let Some(i) = self.inst_mut(r) else {
+            self.report_integrity(format!("instruction {r:?} vanished during issue"));
+            return;
+        };
         i.issued = true;
         if let Some(m) = mem_state {
             i.mem = Some(m);
@@ -383,11 +444,15 @@ impl Simulator {
         if !wrong_path {
             self.stats.threads[t].issued += 1;
         }
-        self.push_event(Event {
-            at: complete_at.max(self.now + 1),
-            kind: EventKind::Complete,
-            inst: r,
-        });
+        // A dropped fill never completes: the load hangs until the
+        // watchdog notices the starved thread.
+        if fill_fault != FillFault::Drop {
+            self.push_event(Event {
+                at: complete_at.max(self.now + 1),
+                kind: EventKind::Complete,
+                inst: r,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -429,8 +494,10 @@ impl Simulator {
             let op = f.di.op;
             (op, f.di.dst.filter(|d| !d.is_zero()), op != OpClass::Nop)
         };
-        // Structural checks.
-        if self.threads[t].rob.len() >= self.alloc.capacity(t) {
+        // Structural checks. (Dispatch consults the capacity through
+        // the fault layer, which may be lying about it.)
+        let rob_cap = self.dispatch_capacity(t);
+        if self.threads[t].rob.len() >= rob_cap {
             self.stats.threads[t].rob_stall_cycles += 1;
             return false;
         }
@@ -454,13 +521,21 @@ impl Simulator {
         }
 
         // Commit to dispatching.
-        let f = self.threads[t].fetch_q.pop_front().expect("peeked");
+        let Some(f) = self.threads[t].fetch_q.pop_front() else {
+            return false; // unreachable: head presence checked above
+        };
         let src_phys = f.di.srcs.map(|s| s.map(|a| self.regs.map(t, a)));
         let (dst_phys, old_phys) = match dst {
-            Some(d) => {
-                let (new, old) = self.regs.rename_dst(t, d).expect("checked free_count");
-                (Some(new), Some(old))
-            }
+            Some(d) => match self.regs.rename_dst(t, d) {
+                Some((new, old)) => (Some(new), Some(old)),
+                None => {
+                    self.report_integrity(format!(
+                        "t{t}: rename_dst failed after free_count reported headroom"
+                    ));
+                    self.threads[t].fetch_q.push_front(f);
+                    return false;
+                }
+            },
             None => (None, None),
         };
         let tag = self.threads[t].next_tag;
@@ -571,9 +646,9 @@ impl Simulator {
                             break;
                         }
                     }
-                } else if let Some(front) = th.replay_q.front() {
+                } else if let Some(front) = th.replay_q.pop_front() {
                     debug_assert_eq!(front.pc, pc, "replay stream out of position");
-                    (th.replay_q.pop_front().expect("non-empty"), false)
+                    (front, false)
                 } else {
                     let d = th.exec.next_inst();
                     debug_assert_eq!(d.pc, pc, "front end diverged from trace");
@@ -594,7 +669,9 @@ impl Simulator {
                 let target = self.btb.predict(pc);
                 let eff_taken = dir && target.is_some();
                 let predicted_next = if eff_taken {
-                    target.expect("eff_taken")
+                    // eff_taken implies target.is_some(); the fallback
+                    // arm is unreachable.
+                    target.unwrap_or(pc + INST_BYTES)
                 } else {
                     pc + INST_BYTES
                 };
@@ -675,15 +752,21 @@ impl Simulator {
         let mut squashed = 0u64;
         loop {
             let th = &mut self.threads[thread];
-            let Some(back) = th.rob.back() else { break };
-            if back.tag < from_tag {
+            if th.rob.back().map(|b| b.tag < from_tag).unwrap_or(true) {
                 break;
             }
-            let i = th.rob.pop_back().expect("checked");
+            let Some(i) = th.rob.pop_back() else {
+                break; // unreachable: back presence checked above
+            };
             squashed += 1;
             if let (Some(new), Some(old)) = (i.dst_phys, i.old_phys) {
-                let arch = i.di.dst.expect("rename implies dst");
-                self.regs.squash_undo(thread, arch, new, old);
+                match i.di.dst {
+                    Some(arch) => self.regs.squash_undo(thread, arch, new, old),
+                    None => self.report_integrity(format!(
+                        "t{thread}: renamed instruction tag {} has no architectural dst",
+                        i.tag
+                    )),
+                }
             }
             let th = &mut self.threads[thread];
             if !i.executed {

@@ -3,7 +3,9 @@
 //! branch, store-to-load forwarding on a known pair, load serialization
 //! behind unresolved stores, and NOP flow.
 
-use smtsim_isa::{ArchReg, BasicBlock, BlockId, BranchBehavior, OpClass, Program, StaticInst, StreamId};
+use smtsim_isa::{
+    ArchReg, BasicBlock, BlockId, BranchBehavior, OpClass, Program, StaticInst, StreamId,
+};
 use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
 use smtsim_workload::{StreamDesc, Workload, WorkloadProfile};
 use std::sync::Arc;
@@ -57,7 +59,10 @@ fn pure_alu_loop_reaches_high_ipc() {
     let mut sim = machine(workload(p, vec![]), 1);
     let stats = sim.run(StopCondition::Cycles(10_000));
     let ipc = stats.threads[0].ipc(10_000);
-    assert!(ipc > 2.0, "independent ALU loop should exceed 2 IPC, got {ipc}");
+    assert!(
+        ipc > 2.0,
+        "independent ALU loop should exceed 2 IPC, got {ipc}"
+    );
 }
 
 #[test]
@@ -96,7 +101,11 @@ fn unbiased_branch_mispredicts_and_recovers() {
     let b0 = BasicBlock::new(
         vec![
             StaticInst::compute(OpClass::IntAlu, r1, [None, None]),
-            StaticInst::branch(Some(r1), BranchBehavior::Biased { taken_pm: 500 }, BlockId(2)),
+            StaticInst::branch(
+                Some(r1),
+                BranchBehavior::Biased { taken_pm: 500 },
+                BlockId(2),
+            ),
         ],
         BlockId(1),
     );
@@ -137,7 +146,11 @@ fn store_load_pair_forwards() {
         StaticInst::store(Some(r(2)), Some(r(3)), StreamId(0)),
         StaticInst::load(r(4), Some(r(3)), StreamId(0)),
         StaticInst::compute(OpClass::IntAlu, r(5), [Some(r(4)), None]),
-        StaticInst::branch(Some(r(5)), BranchBehavior::Loop { trip: 1 << 30 }, BlockId(0)),
+        StaticInst::branch(
+            Some(r(5)),
+            BranchBehavior::Loop { trip: 1 << 30 },
+            BlockId(0),
+        ),
     ];
     let p = Program::new(
         "fwd",
@@ -167,7 +180,11 @@ fn loads_wait_for_older_store_addresses() {
         StaticInst::compute(OpClass::IntDiv, r(2), [Some(r(2)), None]),
         StaticInst::store(Some(r(1)), Some(r(2)), StreamId(0)),
         StaticInst::load(r(4), Some(r(3)), StreamId(0)),
-        StaticInst::branch(Some(r(4)), BranchBehavior::Loop { trip: 1 << 30 }, BlockId(0)),
+        StaticInst::branch(
+            Some(r(4)),
+            BranchBehavior::Loop { trip: 1 << 30 },
+            BlockId(0),
+        ),
     ];
     let p = Program::new(
         "disamb",
@@ -180,7 +197,10 @@ fn loads_wait_for_older_store_addresses() {
     // 4 instructions per ~20-cycle divide ⇒ IPC ≈ 0.2; anything near 1
     // would mean loads bypassed the unresolved store.
     let ipc = stats.threads[0].ipc(20_000);
-    assert!(ipc < 0.45, "load must wait for the store's address: IPC {ipc}");
+    assert!(
+        ipc < 0.45,
+        "load must wait for the store's address: IPC {ipc}"
+    );
 }
 
 #[test]
@@ -202,7 +222,11 @@ fn nops_commit_without_issue_resources() {
     let t = &stats.threads[0];
     assert!(t.committed >= 5_000);
     // Only the loop branches needed the IQ; issued counts them alone.
-    assert!(t.issued < t.committed / 5, "NOPs must not issue: {}", t.issued);
+    assert!(
+        t.issued < t.committed / 5,
+        "NOPs must not issue: {}",
+        t.issued
+    );
 }
 
 #[test]

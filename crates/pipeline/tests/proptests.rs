@@ -3,7 +3,7 @@
 //! combinations.
 
 use proptest::prelude::*;
-use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+use smtsim_pipeline::{FaultPlan, FixedRob, MachineConfig, Simulator, StopCondition};
 use smtsim_workload::{spec, Workload};
 use std::sync::Arc;
 
@@ -92,6 +92,47 @@ proptest! {
         sim.run(StopCondition::Cycles(20_000));
         let avg = sim.stats().threads[0].rob_occupancy_sum as f64 / 20_000.0;
         prop_assert!(avg <= rob as f64 + 1e-9, "avg occupancy {avg} exceeds capacity {rob}");
+    }
+
+    #[test]
+    fn random_fault_plans_never_panic(
+        mix_idx in 1usize..=11,
+        seed in 0u64..8,
+        fseed in 0u64..1024,
+        drop in prop::sample::select(vec![0u32, 1, 7, 64]),
+        delay in prop::sample::select(vec![0u32, 1, 5]),
+        corrupt in prop::sample::select(vec![0u32, 1, 3]),
+        withhold in prop::sample::select(vec![0u32, 1, 2]),
+        latch in any::<bool>(),
+        starve in any::<bool>(),
+    ) {
+        // Whatever the plan, the outcome is a clean run or a typed
+        // SimError — never a panic or a hang past the watchdog.
+        let plan = FaultPlan {
+            seed: fseed,
+            drop_fill: drop,
+            delay_fill: delay,
+            delay_cycles: 700,
+            corrupt_dod: corrupt,
+            withhold_release: withhold,
+            capacity_latch: latch,
+            capacity_zero_after: starve.then_some(2_000),
+        };
+        let mut cfg = MachineConfig::icpp08();
+        cfg.deadlock_cycles = 3_000;
+        cfg.invariant_interval = 256;
+        let wls = smtsim_workload::mix(mix_idx)
+            .instantiate(seed)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let mut sim = Simulator::try_new(cfg, wls, Box::new(FixedRob::new(32)), seed)
+            .expect("Table 1 config is valid");
+        sim.set_fault_plan(plan);
+        match sim.try_run(StopCondition::Cycles(10_000)) {
+            Ok(stats) => prop_assert!(stats.total_committed() > 0),
+            Err(e) => prop_assert!(!e.kind().is_empty()),
+        }
     }
 
     #[test]

@@ -53,7 +53,11 @@ fn memory_bound_thread_sees_l2_misses() {
     let mut sim = single("art", 5);
     let stats = sim.run(StopCondition::AnyThreadCommitted(30_000));
     let t = &stats.threads[0];
-    assert!(t.l2_misses > 50, "art must miss the L2 ({} misses)", t.l2_misses);
+    assert!(
+        t.l2_misses > 50,
+        "art must miss the L2 ({} misses)",
+        t.l2_misses
+    );
     assert!(t.loads > 1_000);
     // Misses per kilo-instruction should be material for a Low-class
     // benchmark.
@@ -102,7 +106,10 @@ fn mispredicts_occur_and_recover() {
     let mut sim = single("parser", 13);
     let stats = sim.run(StopCondition::AnyThreadCommitted(20_000));
     let t = &stats.threads[0];
-    assert!(t.mispredicts > 10, "branchy parser must mispredict sometimes");
+    assert!(
+        t.mispredicts > 10,
+        "branchy parser must mispredict sometimes"
+    );
     assert!(t.squashed > 0, "mispredicts must squash wrong-path work");
     assert!(
         t.wrong_path_fetched > 0,

@@ -2,9 +2,7 @@
 //! covering the squash-heavy paths (mispredict recovery, FLUSH replay)
 //! and the commit-order integrity assertion.
 
-use smtsim_pipeline::{
-    DcraConfig, FetchPolicyKind, FixedRob, MachineConfig, Simulator,
-};
+use smtsim_pipeline::{DcraConfig, FetchPolicyKind, FixedRob, MachineConfig, Simulator};
 use smtsim_workload::{mix, Workload};
 use std::sync::Arc;
 
@@ -69,12 +67,7 @@ fn stall_policy_stays_consistent() {
 
 #[test]
 fn big_rob_under_dcra_stays_consistent() {
-    let mut sim = stressed(
-        FetchPolicyKind::Dcra(DcraConfig::default()),
-        1,
-        128,
-        17,
-    );
+    let mut sim = stressed(FetchPolicyKind::Dcra(DcraConfig::default()), 1, 128, 17);
     run_checked(&mut sim, 60_000, 97);
     assert!(sim.stats().total_committed() > 3_000);
 }

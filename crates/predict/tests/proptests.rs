@@ -2,7 +2,9 @@
 //! masking, and training semantics under arbitrary stimulus.
 
 use proptest::prelude::*;
-use smtsim_predict::{Btb, DodPredictor, Gshare, LastValueDod, LoadHitPredictor, PathDod, ThresholdBitDod};
+use smtsim_predict::{
+    Btb, DodPredictor, Gshare, LastValueDod, LoadHitPredictor, PathDod, ThresholdBitDod,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -18,7 +20,7 @@ proptest! {
     }
 
     #[test]
-    fn gshare_restore_is_exact(bits in 2u32..12, pre in any::<u16>(), actual: bool) {
+    fn gshare_restore_is_exact(bits in 2u32..12, pre in any::<u16>(), actual in any::<bool>()) {
         let mut g = Gshare::new(512, bits);
         let mask = (1u16 << bits) - 1;
         g.set_history(0, pre);
@@ -103,7 +105,7 @@ proptest! {
     }
 
     #[test]
-    fn constant_behaviour_is_learned_perfectly(hit: bool, n in 32usize..128) {
+    fn constant_behaviour_is_learned_perfectly(hit in any::<bool>(), n in 32usize..128) {
         let mut p = LoadHitPredictor::new(1024);
         let pc = 0x4000;
         for _ in 0..n {

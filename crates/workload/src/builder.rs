@@ -262,7 +262,9 @@ impl Gen {
         self.wrote_tainted(dst);
         let chain = self.rng.chance_pm(self.p.chain_frac_pm);
         let gap = self.obligations[i].gap;
-        let next_gap = self.rng.geometric(gap, (gap as u32).saturating_mul(6).max(4));
+        let next_gap = self
+            .rng
+            .geometric(gap, (gap as u32).saturating_mul(6).max(4));
         let o = &mut self.obligations[i];
         o.remaining -= 1;
         o.ready_in = next_gap;
@@ -498,7 +500,13 @@ pub fn build(profile: &WorkloadProfile, seed: u64, pc_base: u64, data_base: u64)
     // so targets are computable before bodies are generated.
     let seg_count = profile.num_segments;
     let diamond: Vec<bool> = (0..seg_count)
-        .map(|_| rng.chance_pm(if profile.branch_frac_pm > 80 { 700 } else { 250 }))
+        .map(|_| {
+            rng.chance_pm(if profile.branch_frac_pm > 80 {
+                700
+            } else {
+                250
+            })
+        })
         .collect();
     let mut seg_start = Vec::with_capacity(seg_count);
     let mut next_id = 0u32;
@@ -524,9 +532,10 @@ pub fn build(profile: &WorkloadProfile, seed: u64, pc_base: u64, data_base: u64)
         // Fall-through chains are strictly sequential; the last
         // segment's tail falls into the wrap block.
         let (bmin, bmax) = profile.block_size;
-        let trip = rng
-            .range((profile.avg_trip as u64 / 2).max(1), profile.avg_trip as u64 * 2)
-            as u32;
+        let trip = rng.range(
+            (profile.avg_trip as u64 / 2).max(1),
+            profile.avg_trip as u64 * 2,
+        ) as u32;
         if diamond[s] {
             let alt_id = head_id + 1;
             let tail_id = head_id + 2;

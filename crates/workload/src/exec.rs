@@ -203,7 +203,12 @@ mod tests {
     use smtsim_isa::OpClass;
 
     fn executor(seed: u64) -> Executor {
-        let wl = Arc::new(build(&WorkloadProfile::test_profile(), 7, 0x1000, 0x100_0000));
+        let wl = Arc::new(build(
+            &WorkloadProfile::test_profile(),
+            7,
+            0x1000,
+            0x100_0000,
+        ));
         Executor::new(wl, seed)
     }
 

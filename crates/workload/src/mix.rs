@@ -30,17 +30,61 @@ pub struct Mix {
 pub fn paper_mixes() -> Vec<Mix> {
     use MixClass::*;
     vec![
-        Mix { name: "Mix 1", class: FourLow, benchmarks: ["ammp", "art", "mgrid", "apsi"] },
-        Mix { name: "Mix 2", class: FourLow, benchmarks: ["art", "mgrid", "apsi", "parser"] },
-        Mix { name: "Mix 3", class: FourLow, benchmarks: ["ammp", "mgrid", "apsi", "parser"] },
-        Mix { name: "Mix 4", class: FourLow, benchmarks: ["art", "mgrid", "apsi", "vortex"] },
-        Mix { name: "Mix 5", class: ThreeLowOneMid, benchmarks: ["ammp", "apsi", "parser", "crafty"] },
-        Mix { name: "Mix 6", class: ThreeLowOneMid, benchmarks: ["art", "apsi", "parser", "gap"] },
-        Mix { name: "Mix 7", class: ThreeLowOneMid, benchmarks: ["ammp", "apsi", "vortex", "eon"] },
-        Mix { name: "Mix 8", class: TwoLowTwoMid, benchmarks: ["art", "parser", "vpr", "gzip"] },
-        Mix { name: "Mix 9", class: TwoLowTwoMid, benchmarks: ["mgrid", "parser", "perlbmk", "mcf"] },
-        Mix { name: "Mix 10", class: FourHigh, benchmarks: ["lucas", "twolf", "bzip2", "wupwise"] },
-        Mix { name: "Mix 11", class: FourHigh, benchmarks: ["equake", "mesa", "swim", "twolf"] },
+        Mix {
+            name: "Mix 1",
+            class: FourLow,
+            benchmarks: ["ammp", "art", "mgrid", "apsi"],
+        },
+        Mix {
+            name: "Mix 2",
+            class: FourLow,
+            benchmarks: ["art", "mgrid", "apsi", "parser"],
+        },
+        Mix {
+            name: "Mix 3",
+            class: FourLow,
+            benchmarks: ["ammp", "mgrid", "apsi", "parser"],
+        },
+        Mix {
+            name: "Mix 4",
+            class: FourLow,
+            benchmarks: ["art", "mgrid", "apsi", "vortex"],
+        },
+        Mix {
+            name: "Mix 5",
+            class: ThreeLowOneMid,
+            benchmarks: ["ammp", "apsi", "parser", "crafty"],
+        },
+        Mix {
+            name: "Mix 6",
+            class: ThreeLowOneMid,
+            benchmarks: ["art", "apsi", "parser", "gap"],
+        },
+        Mix {
+            name: "Mix 7",
+            class: ThreeLowOneMid,
+            benchmarks: ["ammp", "apsi", "vortex", "eon"],
+        },
+        Mix {
+            name: "Mix 8",
+            class: TwoLowTwoMid,
+            benchmarks: ["art", "parser", "vpr", "gzip"],
+        },
+        Mix {
+            name: "Mix 9",
+            class: TwoLowTwoMid,
+            benchmarks: ["mgrid", "parser", "perlbmk", "mcf"],
+        },
+        Mix {
+            name: "Mix 10",
+            class: FourHigh,
+            benchmarks: ["lucas", "twolf", "bzip2", "wupwise"],
+        },
+        Mix {
+            name: "Mix 11",
+            class: FourHigh,
+            benchmarks: ["equake", "mesa", "swim", "twolf"],
+        },
     ]
 }
 
@@ -69,7 +113,12 @@ impl Mix {
             .enumerate()
             .map(|(t, name)| {
                 let base = Self::THREAD_SPACE * t as u64;
-                Workload::spec(name, seed.wrapping_add(t as u64), base + 0x1_0000, base + 0x1000_0000)
+                Workload::spec(
+                    name,
+                    seed.wrapping_add(t as u64),
+                    base + 0x1_0000,
+                    base + 0x1000_0000,
+                )
             })
             .collect()
     }
@@ -79,7 +128,12 @@ impl Mix {
     pub fn instantiate_single(&self, thread: usize, seed: u64) -> Workload {
         let name = self.benchmarks[thread];
         let base = Self::THREAD_SPACE * thread as u64;
-        Workload::spec(name, seed.wrapping_add(thread as u64), base + 0x1_0000, base + 0x1000_0000)
+        Workload::spec(
+            name,
+            seed.wrapping_add(thread as u64),
+            base + 0x1_0000,
+            base + 0x1000_0000,
+        )
     }
 }
 

@@ -589,7 +589,9 @@ mod tests {
 
     #[test]
     fn integer_benchmarks_have_no_fp() {
-        for name in ["parser", "vortex", "crafty", "gap", "gzip", "perlbmk", "mcf", "bzip2"] {
+        for name in [
+            "parser", "vortex", "crafty", "gap", "gzip", "perlbmk", "mcf", "bzip2",
+        ] {
             assert_eq!(profile(name).fp_frac_pm, 0, "{name}");
         }
     }

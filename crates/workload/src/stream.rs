@@ -170,10 +170,7 @@ mod tests {
         };
         let mut s = StreamState::default();
         let addrs: Vec<u64> = (0..6).map(|_| s.next(&d)).collect();
-        assert_eq!(
-            addrs,
-            vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]
-        );
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
     }
 
     #[test]
@@ -220,7 +217,10 @@ mod tests {
         let mut s = StreamState::default();
         for _ in 0..1000 {
             let a = s.next(&d);
-            assert!((0x10_0000..0x10_0000 + (1 << 16)).contains(&a), "addr {a:#x}");
+            assert!(
+                (0x10_0000..0x10_0000 + (1 << 16)).contains(&a),
+                "addr {a:#x}"
+            );
         }
     }
 

@@ -9,16 +9,16 @@ use std::sync::Arc;
 /// Strategy over valid profiles (bounded so tests stay fast).
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        100u16..350,           // load_frac_pm
-        20u16..150,            // store_frac_pm
-        0u16..1000,            // fp_frac_pm
-        0u16..200,             // miss_load_frac_pm
-        0u16..1000,            // chase_frac_pm
-        0u16..1000,            // dense_frac_pm
-        (0.0f64..12.0),        // dod_mean
-        (1.0f64..16.0),        // dod_gap
-        2usize..8,             // num_segments
-        1u32..64,              // avg_trip
+        100u16..350,    // load_frac_pm
+        20u16..150,     // store_frac_pm
+        0u16..1000,     // fp_frac_pm
+        0u16..200,      // miss_load_frac_pm
+        0u16..1000,     // chase_frac_pm
+        0u16..1000,     // dense_frac_pm
+        (0.0f64..12.0), // dod_mean
+        (1.0f64..16.0), // dod_gap
+        2usize..8,      // num_segments
+        1u32..64,       // avg_trip
         (3usize..10, 10usize..30),
     )
         .prop_map(

@@ -29,12 +29,7 @@ fn main() {
     let mut lab = Lab::new(42).with_budgets(budget, budget);
 
     let m = mix(mix_idx);
-    println!(
-        "{} ({:?}): {}\n",
-        m.name,
-        m.class,
-        m.benchmarks.join(" + ")
-    );
+    println!("{} ({:?}): {}\n", m.name, m.class, m.benchmarks.join(" + "));
 
     let configs = [
         RobConfig::Baseline(32),
@@ -48,7 +43,10 @@ fn main() {
 
     for cfg in configs {
         let r = lab.run_mix(mix_idx, cfg);
-        println!("{:<26} FT={:.4}  throughput={:.3} IPC", r.config, r.ft, r.throughput);
+        println!(
+            "{:<26} FT={:.4}  throughput={:.3} IPC",
+            r.config, r.ft, r.throughput
+        );
         for (slot, bench) in m.benchmarks.iter().enumerate() {
             let t = &r.stats.threads[slot];
             println!(

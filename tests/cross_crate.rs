@@ -86,7 +86,10 @@ fn workload_statistics_flow_into_simulation() {
     let art = run(missing);
     let swim = run(clean);
     assert!(art > 200, "art must miss heavily: {art}");
-    assert!(swim < art / 5, "swim ({swim}) must miss far less than art ({art})");
+    assert!(
+        swim < art / 5,
+        "swim ({swim}) must miss far less than art ({art})"
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Reproducibility: every simulation is a pure function of
 //! `(configuration, workload seed)` — DESIGN.md §8.
 
-use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+use smtsim_pipeline::{FaultPlan, FixedRob, MachineConfig, SimError, Simulator, StopCondition};
 use smtsim_rob2::{Lab, RobConfig, TwoLevelConfig};
 use smtsim_workload::mix;
 use std::sync::Arc;
@@ -60,13 +60,80 @@ fn lab_results_are_reproducible() {
     assert_eq!(run(), run());
 }
 
+/// Runs Mix 2 under `plan` and digests everything observable: the
+/// typed outcome, the cycle count, per-thread stats and the fired-fault
+/// counters.
+fn faulted_fingerprint(
+    plan: &FaultPlan,
+) -> (
+    Result<(), SimError>,
+    u64,
+    Vec<u64>,
+    smtsim_pipeline::FaultStats,
+) {
+    let mut cfg = MachineConfig::icpp08();
+    cfg.deadlock_cycles = 3_000;
+    cfg.invariant_interval = 250;
+    let wls = mix(2).instantiate(9).into_iter().map(Arc::new).collect();
+    let mut sim =
+        Simulator::try_new(cfg, wls, Box::new(FixedRob::new(32)), 9).expect("valid config");
+    sim.set_fault_plan(plan.clone());
+    let res = sim
+        .try_run(StopCondition::AnyThreadCommitted(5_000))
+        .map(|_| ());
+    let mut v = Vec::new();
+    for t in sim.stats().threads.iter() {
+        v.extend([t.committed, t.fetched, t.issued, t.squashed, t.l2_misses]);
+    }
+    (res, sim.cycle(), v, sim.fault_stats())
+}
+
+#[test]
+fn benign_fault_plans_reproduce_identical_stats() {
+    let plan = FaultPlan {
+        seed: 5,
+        delay_fill: 2,
+        delay_cycles: 350,
+        corrupt_dod: 3,
+        ..FaultPlan::default()
+    };
+    let a = faulted_fingerprint(&plan);
+    assert!(a.0.is_ok(), "delays and noise must be absorbed: {:?}", a.0);
+    assert!(a.3.total() > 0, "plan never fired");
+    assert_eq!(a, faulted_fingerprint(&plan));
+}
+
+#[test]
+fn fatal_fault_plans_reproduce_identical_errors() {
+    let plan = FaultPlan {
+        seed: 5,
+        drop_fill: 1,
+        ..FaultPlan::default()
+    };
+    let a = faulted_fingerprint(&plan);
+    let b = faulted_fingerprint(&plan);
+    // Same seed + same plan ⇒ the same typed error with the same
+    // snapshot, at the same cycle, with identical statistics.
+    assert!(matches!(a.0, Err(SimError::Deadlock { .. })), "{:?}", a.0);
+    assert!(a.3.dropped_fills > 0, "plan never fired");
+    assert_eq!(a, b);
+}
+
 #[test]
 fn workload_generation_is_platform_independent_constants() {
     // Pin a few generator outputs: if these change, every recorded
     // experiment in EXPERIMENTS.md is invalidated, so fail loudly.
     let wl = smtsim_workload::Workload::spec("art", 42, 0x1_0000, 0x1000_0000);
-    let a = (wl.program.num_insts(), wl.static_loads, wl.static_missing_loads);
+    let a = (
+        wl.program.num_insts(),
+        wl.static_loads,
+        wl.static_missing_loads,
+    );
     let wl2 = smtsim_workload::Workload::spec("art", 42, 0x1_0000, 0x1000_0000);
-    let b = (wl2.program.num_insts(), wl2.static_loads, wl2.static_missing_loads);
+    let b = (
+        wl2.program.num_insts(),
+        wl2.static_loads,
+        wl2.static_missing_loads,
+    );
     assert_eq!(a, b);
 }

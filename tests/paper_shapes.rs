@@ -44,7 +44,10 @@ fn reactive_two_level_beats_both_baselines() {
         RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
         &MEMORY_MIXES,
     );
-    assert!(r16 > b32, "R-ROB16 ({r16:.4}) must beat Baseline_32 ({b32:.4})");
+    assert!(
+        r16 > b32,
+        "R-ROB16 ({r16:.4}) must beat Baseline_32 ({b32:.4})"
+    );
     assert!(
         r16 > b128 * 1.15,
         "R-ROB16 ({r16:.4}) must clearly beat Baseline_128 ({b128:.4})"
@@ -105,7 +108,11 @@ fn figure1_dod_distribution_is_small_and_skewed() {
     let fig = figures::fig1(&mut lab, &[1, 2, 4]);
     for (name, h) in &fig.mixes {
         assert!(h.samples > 50, "{name}: too few fill samples");
-        assert!(h.mean() < 16.0, "{name}: mean DoD {:.2} not small", h.mean());
+        assert!(
+            h.mean() < 16.0,
+            "{name}: mean DoD {:.2} not small",
+            h.mean()
+        );
         // Right-skew: the lower half of the range holds most mass.
         let low: u64 = h.bins()[..16].iter().sum();
         assert!(
@@ -143,8 +150,16 @@ fn dod_threshold_matters() {
     // paper's threshold must beat it on memory-bound mixes.
     let mut lab = lab();
     let mixes = [1usize, 4];
-    let t1 = avg_ft(&mut lab, RobConfig::TwoLevel(TwoLevelConfig::r_rob(1)), &mixes);
-    let t16 = avg_ft(&mut lab, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)), &mixes);
+    let t1 = avg_ft(
+        &mut lab,
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(1)),
+        &mixes,
+    );
+    let t16 = avg_ft(
+        &mut lab,
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        &mixes,
+    );
     assert!(
         t16 >= t1,
         "threshold 16 ({t16:.4}) should do at least as well as threshold 1 ({t1:.4})"
