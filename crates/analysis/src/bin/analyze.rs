@@ -1,0 +1,193 @@
+//! Static analyzer CLI: lint generated workloads, dump dependence
+//! graphs, and print DoD bounds.
+//!
+//! ```text
+//! analyze [--spec NAME | --mix N] [--seed S] [--window W]
+//!         [--lint] [--bounds] [--dot PATH] [--json PATH] [--quiet]
+//! ```
+//!
+//! * `--spec NAME` analyzes one synthetic SPEC benchmark; `--mix N`
+//!   analyzes all four programs of Table 2 mix `N` (default: every
+//!   mix, i.e. the full seeded corpus).
+//! * `--lint` exits non-zero when any error-severity finding fires —
+//!   the CI contract.
+//! * `--dot` / `--json` dump the dependence graph (`-` = stdout; with
+//!   multiple programs the program name is appended to the path).
+//! * `--bounds` prints the per-load static DoD table.
+//!
+//! Fully offline and deterministic: same arguments, same bytes.
+
+use smtsim_analysis::{dod, lint, DepGraph, DodAnalysis};
+use smtsim_workload::{mix, Workload};
+use std::process::ExitCode;
+
+struct Args {
+    spec: Option<String>,
+    mix: Option<usize>,
+    seed: u64,
+    window: usize,
+    lint: bool,
+    bounds: bool,
+    dot: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        spec: None,
+        mix: None,
+        seed: 42,
+        window: dod::L1_WINDOW,
+        lint: false,
+        bounds: false,
+        dot: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--spec" => a.spec = Some(value("--spec")?),
+            "--mix" => {
+                let v = value("--mix")?;
+                a.mix = Some(v.parse().map_err(|_| format!("bad --mix value {v:?}"))?);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                a.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--window" => {
+                let v = value("--window")?;
+                a.window = v.parse().map_err(|_| format!("bad --window value {v:?}"))?;
+            }
+            "--lint" => a.lint = true,
+            "--bounds" => a.bounds = true,
+            "--dot" => a.dot = Some(value("--dot")?),
+            "--json" => a.json = Some(value("--json")?),
+            "--quiet" => a.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: analyze [--spec NAME | --mix N] [--seed S] [--window W] \
+                     [--lint] [--bounds] [--dot PATH] [--json PATH] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if a.spec.is_some() && a.mix.is_some() {
+        return Err("--spec and --mix are mutually exclusive".into());
+    }
+    Ok(a)
+}
+
+/// Writes `content` to `path` (`-` = stdout); with several programs in
+/// one invocation, `suffix` disambiguates file names.
+fn dump(path: &str, suffix: Option<&str>, content: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        return Ok(());
+    }
+    let path = match suffix {
+        Some(s) => format!("{path}.{s}"),
+        None => path.to_string(),
+    };
+    std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn analyze_one(w: &Workload, a: &Args, suffix: Option<&str>) -> Result<bool, String> {
+    let p = &w.program;
+    let findings = lint::lint_workload(w);
+    let analysis = DodAnalysis::compute(p, a.window);
+    let errors = lint::has_errors(&findings);
+
+    if !a.quiet {
+        println!(
+            "{}: {} blocks, {} insts, {} loads ({} to missing streams), window {}",
+            p.name(),
+            p.num_blocks(),
+            p.num_insts(),
+            analysis.loads.len(),
+            w.static_missing_loads,
+            a.window,
+        );
+        for f in &findings {
+            println!("  {f}");
+        }
+        let inexact = analysis.loads.iter().filter(|l| !l.exact).count();
+        let max_max = analysis.loads.iter().map(|l| l.max).max().unwrap_or(0);
+        println!("  static DoD: max-over-loads {max_max}, {inexact} load(s) hit the state budget");
+    }
+    if a.bounds {
+        for l in &analysis.loads {
+            println!(
+                "  {:#010x} b{}+{}  dod in [{}, {}]{}",
+                l.pc,
+                l.block.0,
+                l.idx,
+                l.min,
+                l.max,
+                if l.exact { "" } else { " (conservative)" }
+            );
+        }
+    }
+    if a.dot.is_some() || a.json.is_some() {
+        let g = DepGraph::build(p);
+        if let Some(path) = &a.dot {
+            dump(
+                path,
+                suffix.map(|s| format!("{s}.dot")).as_deref(),
+                &g.to_dot(p),
+            )?;
+        }
+        if let Some(path) = &a.json {
+            dump(
+                path,
+                suffix.map(|s| format!("{s}.json")).as_deref(),
+                &g.to_json(p),
+            )?;
+        }
+    }
+    Ok(errors)
+}
+
+fn main() -> ExitCode {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workloads: Vec<Workload> = if let Some(name) = &a.spec {
+        vec![Workload::spec(name, a.seed, 0x1_0000, 0x1000_0000)]
+    } else {
+        let mixes: Vec<usize> = match a.mix {
+            Some(m) => vec![m],
+            None => (1..=11).collect(),
+        };
+        mixes
+            .iter()
+            .flat_map(|&m| mix(m).instantiate(a.seed))
+            .collect()
+    };
+    let many = workloads.len() > 1;
+    let mut any_errors = false;
+    for (i, w) in workloads.iter().enumerate() {
+        let suffix = many.then(|| format!("{i}-{}", w.program.name()));
+        match analyze_one(w, &a, suffix.as_deref()) {
+            Ok(errors) => any_errors |= errors,
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if a.lint && any_errors {
+        eprintln!("analyze: lint errors found");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

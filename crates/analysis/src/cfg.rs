@@ -1,0 +1,267 @@
+//! Control-flow scaffolding shared by every pass: semantic successor
+//! edges, reachability, and strongly connected components.
+//!
+//! The edges used here are *semantic*, not structural: a branch whose
+//! behaviour makes one direction impossible contributes only the
+//! possible edge. [`BranchBehavior::Always`] never falls through,
+//! [`BranchBehavior::Loop`] with `trip == 1` never takes (the back-edge
+//! fires `trip - 1` times per loop entry), and a
+//! [`BranchBehavior::Biased`] branch with a saturated per-mille
+//! probability is one-directional. Analysing the structural graph
+//! instead would both miss dead code (a never-taken edge keeps a block
+//! "reachable") and weaken dependence bounds (impossible paths widen
+//! the min/max interval).
+
+use smtsim_isa::{BasicBlock, BlockId, BranchBehavior, Program};
+
+/// Semantic successor blocks of `block`, in a fixed (taken-first)
+/// order. Every block has at least one successor: programs are endless.
+pub fn successors(block: &BasicBlock) -> Vec<BlockId> {
+    match block.terminator().and_then(|t| t.branch_info()) {
+        None => vec![block.fallthrough],
+        Some((behavior, target)) => match behavior {
+            BranchBehavior::Always => vec![target],
+            BranchBehavior::Loop { trip } if trip <= 1 => vec![block.fallthrough],
+            BranchBehavior::Biased { taken_pm: 0 } => vec![block.fallthrough],
+            BranchBehavior::Biased { taken_pm } if taken_pm >= 1000 => vec![target],
+            BranchBehavior::Loop { .. } | BranchBehavior::Biased { .. } => {
+                vec![target, block.fallthrough]
+            }
+        },
+    }
+}
+
+/// Blocks reachable from the entry over semantic edges.
+/// `reachable(p)[b]` is `true` iff block `b` can execute.
+pub fn reachable(p: &Program) -> Vec<bool> {
+    let mut seen = vec![false; p.num_blocks()];
+    let mut stack = vec![p.entry()];
+    seen[p.entry().0 as usize] = true;
+    while let Some(b) = stack.pop() {
+        for s in successors(p.block(b)) {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Semantic predecessor lists for every block.
+pub fn predecessors(p: &Program) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); p.num_blocks()];
+    for (id, b) in p.iter_blocks() {
+        for s in successors(b) {
+            preds[s.0 as usize].push(id);
+        }
+    }
+    preds
+}
+
+/// Strongly connected components of the semantic CFG, as a component
+/// id per block (ids are arbitrary but dense). Uses Kosaraju's
+/// algorithm with explicit stacks so deep CFGs cannot overflow the call
+/// stack.
+pub fn scc_ids(p: &Program) -> Vec<u32> {
+    let n = p.num_blocks();
+    // Pass 1: finish-order DFS on the forward graph.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        // (block, next-successor-index) stack frames.
+        let mut stack = vec![(root, 0usize)];
+        seen[root] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = successors(p.block(BlockId(b as u32)));
+            if *i < succs.len() {
+                let s = succs[*i].0 as usize;
+                *i += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: DFS on the transposed graph in reverse finish order.
+    let preds = predecessors(p);
+    let mut comp = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    for &root in order.iter().rev() {
+        if comp[root] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![root];
+        comp[root] = next_id;
+        while let Some(b) = stack.pop() {
+            for pb in &preds[b] {
+                let pb = pb.0 as usize;
+                if comp[pb] == u32::MAX {
+                    comp[pb] = next_id;
+                    stack.push(pb);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    comp
+}
+
+/// Dense global instruction indexing over a program: maps between
+/// `(block, idx)` positions, flat indices, and PCs.
+pub struct InstIndex {
+    /// Flat index of the first instruction of each block.
+    base: Vec<u32>,
+    total: u32,
+}
+
+impl InstIndex {
+    /// Builds the index for `p`.
+    pub fn new(p: &Program) -> Self {
+        let mut base = Vec::with_capacity(p.num_blocks());
+        let mut total = 0u32;
+        for (_, b) in p.iter_blocks() {
+            base.push(total);
+            total += u32::try_from(b.insts.len()).expect("block larger than u32");
+        }
+        InstIndex { base, total }
+    }
+
+    /// Total instruction count.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Flat index of instruction `idx` of `block`.
+    pub fn flat(&self, block: BlockId, idx: usize) -> u32 {
+        self.base[block.0 as usize] + idx as u32
+    }
+
+    /// Inverse of [`InstIndex::flat`].
+    pub fn position(&self, flat: u32) -> (BlockId, usize) {
+        let b = match self.base.binary_search(&flat) {
+            Ok(b) => b,
+            Err(ins) => ins - 1,
+        };
+        (BlockId(b as u32), (flat - self.base[b]) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{ArchReg, OpClass, StaticInst};
+
+    fn blk(n: usize, term: Option<StaticInst>, fall: u32) -> BasicBlock {
+        let mut insts = vec![
+            StaticInst::compute(
+                OpClass::IntAlu,
+                ArchReg::int(1),
+                [Some(ArchReg::int(1)), None]
+            );
+            n
+        ];
+        if let Some(t) = term {
+            insts.push(t);
+        }
+        BasicBlock::new(insts, BlockId(fall))
+    }
+
+    fn br(b: BranchBehavior, target: u32) -> StaticInst {
+        StaticInst::branch(Some(ArchReg::int(1)), b, BlockId(target))
+    }
+
+    #[test]
+    fn always_branch_has_single_successor() {
+        let p = Program::new(
+            "t",
+            vec![
+                blk(1, Some(br(BranchBehavior::Always, 0)), 1),
+                blk(1, None, 0),
+            ],
+            BlockId(0),
+            0,
+        );
+        assert_eq!(successors(p.block(BlockId(0))), vec![BlockId(0)]);
+        let r = reachable(&p);
+        assert!(r[0]);
+        assert!(!r[1], "fallthrough of an Always branch never executes");
+    }
+
+    #[test]
+    fn trip_one_loop_never_takes() {
+        let p = Program::new(
+            "t",
+            vec![
+                blk(1, Some(br(BranchBehavior::Loop { trip: 1 }, 0)), 1),
+                blk(1, None, 0),
+            ],
+            BlockId(0),
+            0,
+        );
+        assert_eq!(successors(p.block(BlockId(0))), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn biased_saturation_is_one_directional() {
+        let mk = |pm| {
+            Program::new(
+                "t",
+                vec![
+                    blk(1, Some(br(BranchBehavior::Biased { taken_pm: pm }, 0)), 1),
+                    blk(1, None, 0),
+                ],
+                BlockId(0),
+                0,
+            )
+        };
+        assert_eq!(successors(mk(0).block(BlockId(0))), vec![BlockId(1)]);
+        assert_eq!(successors(mk(1000).block(BlockId(0))), vec![BlockId(0)]);
+        assert_eq!(
+            successors(mk(500).block(BlockId(0))),
+            vec![BlockId(0), BlockId(1)]
+        );
+    }
+
+    #[test]
+    fn scc_separates_ring_from_trap() {
+        // b0 -> b1 -> b0 is the ring; b2 is a trap self-loop.
+        let p = Program::new(
+            "t",
+            vec![
+                blk(1, None, 1),
+                blk(1, Some(br(BranchBehavior::Biased { taken_pm: 500 }, 0)), 2),
+                blk(1, Some(br(BranchBehavior::Always, 2)), 0),
+            ],
+            BlockId(0),
+            0,
+        );
+        let ids = scc_ids(&p);
+        assert_eq!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn inst_index_round_trips() {
+        let p = Program::new(
+            "t",
+            vec![blk(3, None, 1), blk(2, None, 0)],
+            BlockId(0),
+            0x1000,
+        );
+        let ix = InstIndex::new(&p);
+        assert_eq!(ix.total(), 5);
+        assert_eq!(ix.flat(BlockId(1), 1), 4);
+        for f in 0..5 {
+            let (b, i) = ix.position(f);
+            assert_eq!(ix.flat(b, i), f);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The interprocedural (cross-block) def-use / data-dependence graph.
+//!
+//! Built from reaching definitions over the semantic CFG: an edge
+//! `def -> use` means the value written by instruction `def` can still
+//! be in its destination register when instruction `use` reads that
+//! register on some executable path. A use that can be reached by
+//! *program entry itself* (no prior def on some path from the entry)
+//! records an entry-use — the input of the use-before-def lint.
+//!
+//! The graph serializes to Graphviz DOT and to a small hand-rolled
+//! JSON dialect (the workspace builds offline with no serde), both
+//! deterministic byte-for-byte.
+
+use crate::cfg::{predecessors, reachable, successors, InstIndex};
+use smtsim_isa::{ArchReg, BlockId, Program};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One def-use edge: `def` (flat instruction index) reaches `use_` for
+/// register `reg`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DepEdge {
+    /// Defining instruction (flat index).
+    pub def: u32,
+    /// Using instruction (flat index).
+    pub use_: u32,
+    /// The register carrying the dependence.
+    pub reg: ArchReg,
+}
+
+/// A read that may observe the machine's initial register state (no
+/// def on some semantic path from the entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EntryUse {
+    /// The reading instruction (flat index).
+    pub use_: u32,
+    /// The possibly-undefined register.
+    pub reg: ArchReg,
+}
+
+/// The dependence graph of one program.
+pub struct DepGraph {
+    ix: InstIndex,
+    /// Def-use edges, sorted.
+    pub edges: Vec<DepEdge>,
+    /// Reads reachable from the entry without an intervening def.
+    pub entry_uses: Vec<EntryUse>,
+}
+
+/// Sentinel reaching-"definition" standing for the program entry.
+const ENTRY_DEF: u32 = u32::MAX;
+
+impl DepGraph {
+    /// Builds the graph for `p`.
+    pub fn build(p: &Program) -> Self {
+        let ix = InstIndex::new(p);
+        let live = reachable(p);
+        let preds = predecessors(p);
+        let nb = p.num_blocks();
+        let mut edges = BTreeSet::new();
+        let mut entry_uses = BTreeSet::new();
+        // Per-register reaching-defs fixpoint at block granularity.
+        // Registers are independent, so solve one at a time; each
+        // solve is O(blocks × defs-of-reg) per iteration and the def
+        // sets are tiny.
+        for flat_reg in 0..ArchReg::FLAT_COUNT {
+            let reg = unflatten(flat_reg);
+            if reg.is_zero() {
+                continue;
+            }
+            // Block-local transfer: last def of `reg` in the block.
+            let mut gen_def = vec![None; nb];
+            let mut reads_reg = vec![false; nb];
+            for (id, b) in p.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    if inst.srcs.contains(&Some(reg)) {
+                        reads_reg[id.0 as usize] = true;
+                    }
+                    if inst.dst == Some(reg) {
+                        gen_def[id.0 as usize] = Some(ix.flat(id, i));
+                    }
+                }
+            }
+            if gen_def.iter().all(Option::is_none) && !reads_reg.iter().any(|&r| r) {
+                continue;
+            }
+            // in[b] / out[b]: sets of flat def indices (ENTRY_DEF =
+            // program entry).
+            let mut r_in: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nb];
+            let mut r_out: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nb];
+            let entry = p.entry().0 as usize;
+            r_in[entry].insert(ENTRY_DEF);
+            let mut work: Vec<usize> = (0..nb).filter(|&b| live[b]).collect();
+            while let Some(b) = work.pop() {
+                let mut inn = std::mem::take(&mut r_in[b]);
+                for pr in &preds[b] {
+                    inn.extend(r_out[pr.0 as usize].iter().copied());
+                }
+                if b == entry {
+                    inn.insert(ENTRY_DEF);
+                }
+                r_in[b] = inn;
+                let out: BTreeSet<u32> = match gen_def[b] {
+                    Some(d) => std::iter::once(d).collect(),
+                    None => r_in[b].clone(),
+                };
+                if out != r_out[b] {
+                    r_out[b] = out;
+                    for s in successors(p.block(BlockId(b as u32))) {
+                        if live[s.0 as usize] {
+                            work.push(s.0 as usize);
+                        }
+                    }
+                }
+            }
+            // Walk each live block recording an edge per (reaching
+            // def, use) pair.
+            for (id, b) in p.iter_blocks() {
+                if !live[id.0 as usize] {
+                    continue;
+                }
+                let mut current = r_in[id.0 as usize].clone();
+                for (i, inst) in b.insts.iter().enumerate() {
+                    let use_ = ix.flat(id, i);
+                    if inst.srcs.contains(&Some(reg)) {
+                        for &d in &current {
+                            if d == ENTRY_DEF {
+                                entry_uses.insert(EntryUse { use_, reg });
+                            } else {
+                                edges.insert(DepEdge { def: d, use_, reg });
+                            }
+                        }
+                    }
+                    if inst.dst == Some(reg) {
+                        current.clear();
+                        current.insert(use_);
+                    }
+                }
+            }
+        }
+        DepGraph {
+            ix,
+            edges: edges.into_iter().collect(),
+            entry_uses: entry_uses.into_iter().collect(),
+        }
+    }
+
+    /// Number of instructions indexed.
+    pub fn num_insts(&self) -> u32 {
+        self.ix.total()
+    }
+
+    /// Renders the graph as Graphviz DOT, one node per instruction
+    /// clustered by basic block.
+    pub fn to_dot(&self, p: &Program) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", p.name());
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for (id, b) in p.iter_blocks() {
+            let _ = writeln!(out, "  subgraph cluster_b{} {{", id.0);
+            let _ = writeln!(out, "    label=\"b{}\";", id.0);
+            for (i, inst) in b.insts.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    i{} [label=\"{:#x}: {}\"];",
+                    self.ix.flat(id, i),
+                    p.pc_of(id, i),
+                    inst
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  i{} -> i{} [label=\"{}\"];", e.def, e.use_, e.reg);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Renders the graph as JSON: instruction list plus edge list.
+    pub fn to_json(&self, p: &Program) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"program\":\"{}\",\"insts\":[", p.name());
+        let mut first = true;
+        for (id, b) in p.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"id\":{},\"block\":{},\"pc\":{},\"text\":\"{}\"}}",
+                    self.ix.flat(id, i),
+                    id.0,
+                    p.pc_of(id, i),
+                    inst
+                );
+            }
+        }
+        out.push_str("],\"edges\":[");
+        for (n, e) in self.edges.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"def\":{},\"use\":{},\"reg\":\"{}\"}}",
+                e.def, e.use_, e.reg
+            );
+        }
+        out.push_str("],\"entry_uses\":[");
+        for (n, e) in self.entry_uses.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"use\":{},\"reg\":\"{}\"}}", e.use_, e.reg);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Inverse of [`ArchReg::flat_index`].
+fn unflatten(flat: usize) -> ArchReg {
+    if flat < smtsim_isa::NUM_ARCH_INT {
+        ArchReg::int(flat as u8)
+    } else {
+        ArchReg::fp((flat - smtsim_isa::NUM_ARCH_INT) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{BasicBlock, OpClass, StaticInst, StreamId};
+
+    fn alu(dst: u8, src: u8) -> StaticInst {
+        StaticInst::compute(
+            OpClass::IntAlu,
+            ArchReg::int(dst),
+            [Some(ArchReg::int(src)), None],
+        )
+    }
+
+    #[test]
+    fn straight_line_edges() {
+        // i0: r1 <- r9 ; i1: r2 <- r1 ; i2: r3 <- r2.
+        let b0 = BasicBlock::new(vec![alu(1, 9), alu(2, 1), alu(3, 2)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let g = DepGraph::build(&p);
+        assert!(g.edges.contains(&DepEdge {
+            def: 0,
+            use_: 1,
+            reg: ArchReg::int(1)
+        }));
+        assert!(g.edges.contains(&DepEdge {
+            def: 1,
+            use_: 2,
+            reg: ArchReg::int(2)
+        }));
+        // r9 is never defined: entry use.
+        assert!(g.entry_uses.contains(&EntryUse {
+            use_: 0,
+            reg: ArchReg::int(9)
+        }));
+    }
+
+    #[test]
+    fn cross_block_and_ring_edges() {
+        // b0: r1 <- r1 ; b1: r2 <- r1 ; ring. The def in b0 reaches the
+        // use in b1 across the block boundary, and b0's own use of r1
+        // sees the def from the previous ring iteration.
+        let b0 = BasicBlock::new(vec![alu(1, 1)], BlockId(1));
+        let b1 = BasicBlock::new(vec![alu(2, 1)], BlockId(0));
+        let p = Program::new("t", vec![b0, b1], BlockId(0), 0);
+        let g = DepGraph::build(&p);
+        assert!(g.edges.contains(&DepEdge {
+            def: 0,
+            use_: 1,
+            reg: ArchReg::int(1)
+        }));
+        assert!(g.edges.contains(&DepEdge {
+            def: 0,
+            use_: 0,
+            reg: ArchReg::int(1)
+        }));
+        // First iteration reads the initial machine state.
+        assert!(g.entry_uses.contains(&EntryUse {
+            use_: 0,
+            reg: ArchReg::int(1)
+        }));
+    }
+
+    #[test]
+    fn dot_and_json_are_deterministic_and_complete() {
+        let b0 = BasicBlock::new(
+            vec![
+                StaticInst::load(ArchReg::int(1), None, StreamId(0)),
+                alu(2, 1),
+            ],
+            BlockId(0),
+        );
+        let p = Program::new("two", vec![b0], BlockId(0), 0x1000);
+        let g = DepGraph::build(&p);
+        let dot = g.to_dot(&p);
+        assert_eq!(dot, DepGraph::build(&p).to_dot(&p));
+        assert!(dot.contains("digraph \"two\""));
+        assert!(dot.contains("i0 -> i1"));
+        let json = g.to_json(&p);
+        assert_eq!(json, DepGraph::build(&p).to_json(&p));
+        assert!(json.contains("\"def\":0"));
+        assert!(json.contains("\"entry_uses\""));
+        assert_eq!(g.num_insts(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Exact static Degree-of-Dependence bounds.
+//!
+//! The paper's DoD hardware (§4.1) *approximates* the number of
+//! instructions dependent on an L2-missing load by counting unexecuted
+//! ROB entries in the first-level window behind it. Because smtsim
+//! programs are static CFGs with fixed register dataflow, the true
+//! quantity is statically computable: for every static load this pass
+//! explores all semantic CFG paths of `window` instructions following
+//! the load, propagating a register taint set seeded with the load's
+//! destination, and reports the **min and max** number of (transitively)
+//! dependent instructions over those paths.
+//!
+//! Soundness contract used by the pipeline oracle: any dynamic window
+//! behind the load is a prefix of some semantic path, and taint
+//! counting is monotone in path length, so the *exact dependent count*
+//! observed at fill time never exceeds [`LoadBounds::max`]. The `min`
+//! only applies to full-length windows (a dynamic window is truncated
+//! when fewer than `window` younger instructions are in flight).
+//!
+//! Taint follows the machine's hardwired-zero rule
+//! ([`ArchReg::is_zero`]): writes to `r31`/`f31` are discarded and
+//! reads return a constant, so dependence never flows through them.
+
+use crate::cfg::{successors, InstIndex};
+use smtsim_isa::{ArchReg, BlockId, OpClass, Program, StaticInst};
+use std::collections::BTreeMap;
+
+/// Entries the paper's 5-bit counter scans: the 32-entry first level
+/// minus the load itself.
+pub const L1_WINDOW: usize = 31;
+
+/// Memoization-state budget per load. Beyond it the pass abandons
+/// exactness for that load and reports the conservative interval
+/// `[0, remaining]` (still sound, never tight). Generated workloads
+/// stay orders of magnitude below this; the guard exists for
+/// adversarial CFGs (e.g. 31 consecutive single-instruction branch
+/// blocks would otherwise enumerate 2^31 paths).
+const STATE_BUDGET: usize = 1 << 17;
+
+/// Static dependence interval of one load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadBounds {
+    /// The load's PC.
+    pub pc: u64,
+    /// Containing block.
+    pub block: BlockId,
+    /// Index within the block.
+    pub idx: usize,
+    /// Fewest dependent instructions over any full `window`-length path.
+    pub min: u32,
+    /// Most dependent instructions over any path of up to `window`
+    /// instructions.
+    pub max: u32,
+    /// `false` when the state budget was exhausted and the interval
+    /// widened to the conservative fallback.
+    pub exact: bool,
+}
+
+/// Per-program static DoD analysis result.
+pub struct DodAnalysis {
+    /// Window length used (instructions scanned behind the load).
+    pub window: usize,
+    /// One entry per static load, ascending by PC.
+    pub loads: Vec<LoadBounds>,
+}
+
+impl DodAnalysis {
+    /// Computes bounds for every static load of `p` with the given
+    /// window (use [`L1_WINDOW`] to match the pipeline's counter).
+    pub fn compute(p: &Program, window: usize) -> Self {
+        let ix = InstIndex::new(p);
+        let mut loads = Vec::new();
+        for (id, b) in p.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if inst.op != OpClass::Load {
+                    continue;
+                }
+                let (min, max, exact) = bound_one(p, &ix, id, i, inst, window);
+                loads.push(LoadBounds {
+                    pc: p.pc_of(id, i),
+                    block: id,
+                    idx: i,
+                    min,
+                    max,
+                    exact,
+                });
+            }
+        }
+        loads.sort_by_key(|l| l.pc);
+        DodAnalysis { window, loads }
+    }
+
+    /// Bound entry for the load at `pc`, if any.
+    pub fn for_pc(&self, pc: u64) -> Option<&LoadBounds> {
+        self.loads
+            .binary_search_by_key(&pc, |l| l.pc)
+            .ok()
+            .map(|i| &self.loads[i])
+    }
+
+    /// The `pc -> max` table the pipeline oracle consumes.
+    pub fn max_map(&self) -> BTreeMap<u64, u32> {
+        self.loads.iter().map(|l| (l.pc, l.max)).collect()
+    }
+
+    /// Were all loads bounded exactly (no state-budget fallback)?
+    pub fn all_exact(&self) -> bool {
+        self.loads.iter().all(|l| l.exact)
+    }
+}
+
+/// Taint bit for `r`, or 0 for absent/hardwired-zero registers.
+#[inline]
+fn taint_bit(r: Option<ArchReg>) -> u64 {
+    match r {
+        Some(r) if !r.is_zero() => 1u64 << r.flat_index(),
+        _ => 0,
+    }
+}
+
+/// Applies one instruction to the taint set; returns `(dependent,
+/// new_taint)`. An instruction is dependent when any source carries
+/// taint; its destination then joins the taint set, otherwise the
+/// destination is overwritten with an independent value and leaves it.
+#[inline]
+fn step_taint(inst: &StaticInst, taint: u64) -> (bool, u64) {
+    let dependent = inst.srcs.iter().any(|&s| taint_bit(s) & taint != 0);
+    let dst = taint_bit(inst.dst);
+    let taint = if dependent { taint | dst } else { taint & !dst };
+    (dependent, taint)
+}
+
+struct Explorer<'a> {
+    p: &'a Program,
+    ix: &'a InstIndex,
+    /// `(flat position, taint, remaining) -> (min, max)`.
+    memo: BTreeMap<(u32, u64, u32), (u32, u32)>,
+    exhausted: bool,
+}
+
+impl Explorer<'_> {
+    /// Dependents along every path starting at flat position `pos` with
+    /// `remaining` window slots left.
+    fn explore(&mut self, pos: u32, taint: u64, remaining: u32) -> (u32, u32) {
+        if remaining == 0 || taint == 0 {
+            return (0, 0);
+        }
+        let key = (pos, taint, remaining);
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+        if self.exhausted || self.memo.len() >= STATE_BUDGET {
+            self.exhausted = true;
+            return (0, remaining);
+        }
+        let (block, idx) = self.ix.position(pos);
+        let b = self.p.block(block);
+        let inst = &b.insts[idx];
+        let (dependent, taint) = step_taint(inst, taint);
+        let c = u32::from(dependent);
+        let last = idx + 1 == b.insts.len();
+        let (min, max) = if !last {
+            self.explore(pos + 1, taint, remaining - 1)
+        } else {
+            let mut min = u32::MAX;
+            let mut max = 0;
+            for s in successors(b) {
+                let (lo, hi) = self.explore(self.ix.flat(s, 0), taint, remaining - 1);
+                min = min.min(lo);
+                max = max.max(hi);
+            }
+            (min, max)
+        };
+        let out = (c + min, c + max);
+        if !self.exhausted {
+            self.memo.insert(key, out);
+        }
+        out
+    }
+}
+
+fn bound_one(
+    p: &Program,
+    ix: &InstIndex,
+    block: BlockId,
+    idx: usize,
+    load: &StaticInst,
+    window: usize,
+) -> (u32, u32, bool) {
+    let seed = taint_bit(load.dst);
+    if seed == 0 {
+        // A load into the hardwired zero register can have no
+        // dependents.
+        return (0, 0, true);
+    }
+    let mut ex = Explorer {
+        p,
+        ix,
+        memo: BTreeMap::new(),
+        exhausted: false,
+    };
+    let b = p.block(block);
+    let remaining = u32::try_from(window).unwrap_or(u32::MAX);
+    let (min, max) = if idx + 1 < b.insts.len() {
+        ex.explore(ix.flat(block, idx + 1), seed, remaining)
+    } else {
+        let mut min = u32::MAX;
+        let mut max = 0;
+        for s in successors(b) {
+            let (lo, hi) = ex.explore(ix.flat(s, 0), seed, remaining);
+            min = min.min(lo);
+            max = max.max(hi);
+        }
+        (min, max)
+    };
+    (min, max, !ex.exhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{BasicBlock, BranchBehavior, StreamId};
+
+    fn ld(dst: u8, addr: Option<u8>) -> StaticInst {
+        StaticInst::load(ArchReg::int(dst), addr.map(ArchReg::int), StreamId(0))
+    }
+
+    fn alu(dst: u8, a: u8, b: Option<u8>) -> StaticInst {
+        StaticInst::compute(
+            OpClass::IntAlu,
+            ArchReg::int(dst),
+            [Some(ArchReg::int(a)), b.map(ArchReg::int)],
+        )
+    }
+
+    #[test]
+    fn straight_line_chain_counts_transitively() {
+        // load r1; r2 <- r1; r3 <- r2; r4 <- r5 (independent); ring.
+        let b0 = BasicBlock::new(
+            vec![
+                ld(1, None),
+                alu(2, 1, None),
+                alu(3, 2, None),
+                alu(4, 5, None),
+            ],
+            BlockId(0),
+        );
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let a = DodAnalysis::compute(&p, 3);
+        assert_eq!(a.loads.len(), 1);
+        let l = &a.loads[0];
+        assert_eq!((l.min, l.max), (2, 2));
+        assert!(l.exact);
+    }
+
+    #[test]
+    fn kill_stops_the_chain() {
+        // load r1; r1 <- r5 (overwrite kills taint); r2 <- r1.
+        let b0 = BasicBlock::new(
+            vec![ld(1, None), alu(1, 5, None), alu(2, 1, None)],
+            BlockId(0),
+        );
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let a = DodAnalysis::compute(&p, 2);
+        let l = &a.loads[0];
+        assert_eq!((l.min, l.max), (0, 0));
+    }
+
+    #[test]
+    fn zero_register_never_carries_dependence() {
+        // load r31 (hardwired); r2 <- r31 reads a constant.
+        let b0 = BasicBlock::new(vec![ld(31, None), alu(2, 31, None)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let l = &DodAnalysis::compute(&p, 8).loads[0];
+        assert_eq!((l.min, l.max), (0, 0));
+    }
+
+    #[test]
+    fn branch_divergence_widens_the_interval() {
+        // b0: load r1; biased branch -> b2 (taken skips the dependent).
+        // b1: r2 <- r1; r3 <- r1   (2 dependents, fallthrough path)
+        // b2: r4 <- r5             (independent, both paths converge)
+        let b0 = BasicBlock::new(
+            vec![
+                ld(1, None),
+                StaticInst::branch(
+                    Some(ArchReg::int(5)),
+                    BranchBehavior::Biased { taken_pm: 500 },
+                    BlockId(2),
+                ),
+            ],
+            BlockId(1),
+        );
+        let b1 = BasicBlock::new(vec![alu(2, 1, None), alu(3, 1, None)], BlockId(2));
+        let b2 = BasicBlock::new(vec![alu(4, 5, None)], BlockId(0));
+        let p = Program::new("t", vec![b0, b1, b2], BlockId(0), 0);
+        let a = DodAnalysis::compute(&p, 4);
+        let l = &a.loads[0];
+        // Taken path: branch, b2, wraps to b0 (load re-defines r1 -> no
+        // further dependents). Fallthrough: branch, r2<-r1, r3<-r1, b2.
+        assert_eq!((l.min, l.max), (0, 2));
+    }
+
+    #[test]
+    fn window_truncates_the_count() {
+        // Chain of 6 dependents but window of 3 sees only 3.
+        let mut insts = vec![ld(1, None)];
+        for d in 2..8 {
+            insts.push(alu(d, d - 1, None));
+        }
+        let b0 = BasicBlock::new(insts, BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let l = &DodAnalysis::compute(&p, 3).loads[0];
+        assert_eq!((l.min, l.max), (3, 3));
+    }
+
+    #[test]
+    fn self_chase_load_re_taints_across_the_ring() {
+        // Pointer chase: load r1 <- [r1]; the wrapped-around next
+        // instance of the load itself is address-dependent.
+        let b0 = BasicBlock::new(vec![ld(1, Some(1)), alu(2, 5, None)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let l = &DodAnalysis::compute(&p, 4).loads[0];
+        // Window after the load: alu(indep), load(dep), alu(indep),
+        // load(dep) -> exactly 2 dependents on every path.
+        assert_eq!((l.min, l.max), (2, 2));
+    }
+
+    #[test]
+    fn max_map_and_lookup_agree() {
+        let b0 = BasicBlock::new(vec![ld(1, None), alu(2, 1, None)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0x4000);
+        let a = DodAnalysis::compute(&p, L1_WINDOW);
+        let m = a.max_map();
+        assert_eq!(m.len(), 1);
+        assert_eq!(a.for_pc(0x4000).map(|l| l.max), m.get(&0x4000).copied());
+        assert!(a.for_pc(0x4004).is_none());
+        assert!(a.all_exact());
+    }
+}

@@ -1,0 +1,294 @@
+//! Well-formedness lints over generated programs.
+//!
+//! Severity semantics: `Error` findings describe programs the
+//! simulator cannot execute meaningfully (dangling stream handles,
+//! code that can never run, traps that halt forward progress through
+//! the ring); `analyze --lint` fails on them. `Warning` findings
+//! describe legal-but-suspicious shapes — in particular reads that may
+//! observe the machine's *initial* register state, which the executor
+//! defines (every architectural register starts defined), but which a
+//! generator normally only produces for the well-known convention
+//! registers (`BASE`-style address anchors).
+
+use crate::cfg::{reachable, scc_ids, successors};
+use crate::depgraph::DepGraph;
+use smtsim_isa::{InstRole, Program};
+use smtsim_workload::Workload;
+use std::fmt;
+
+/// Lint rule identifiers (stable names for reports and CI logs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// A register read may happen before any write on some path from
+    /// the entry (the read observes initial machine state).
+    UseBeforeDef,
+    /// A block can never execute (no semantic path from the entry).
+    UnreachableBlock,
+    /// A reachable cycle with no semantic exit edge: once entered,
+    /// control never returns to the rest of the program, so loop
+    /// trip counts and stream cursors outside it stop advancing — no
+    /// commit progress through the ring.
+    NoProgressLoop,
+    /// A load/store references a stream id with no descriptor.
+    UndefinedStream,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::UseBeforeDef => "use-before-def",
+            Rule::UnreachableBlock => "unreachable-block",
+            Rule::NoProgressLoop => "no-progress-loop",
+            Rule::UndefinedStream => "undefined-stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Finding severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable.
+    Warning,
+    /// The program is ill-formed for simulation purposes.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Severity of this occurrence.
+    pub severity: Severity,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]: {}", self.rule, self.message)
+    }
+}
+
+/// Lints `p`. `stream_count` is the length of the workload's stream
+/// descriptor table (`None` skips the stream check when only a bare
+/// program is available).
+pub fn lint_program(p: &Program, stream_count: Option<usize>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let live = reachable(p);
+
+    for (b, &ok) in live.iter().enumerate() {
+        if !ok {
+            out.push(Finding {
+                rule: Rule::UnreachableBlock,
+                severity: Severity::Error,
+                message: format!("block b{b} is unreachable from the entry"),
+            });
+        }
+    }
+
+    // Trap loops: a sink SCC (no semantic edge leaving it) that is
+    // reachable but does not contain the entry. Every block has a
+    // successor, so a sink SCC is necessarily a cycle.
+    let scc = scc_ids(p);
+    let num_sccs = scc.iter().map(|&c| c + 1).max().unwrap_or(0);
+    let mut has_exit = vec![false; num_sccs as usize];
+    for (id, b) in p.iter_blocks() {
+        for s in successors(b) {
+            if scc[s.0 as usize] != scc[id.0 as usize] {
+                has_exit[scc[id.0 as usize] as usize] = true;
+            }
+        }
+    }
+    let entry_scc = scc[p.entry().0 as usize];
+    for (id, _) in p.iter_blocks() {
+        let c = scc[id.0 as usize];
+        let first_of_scc = scc.iter().position(|&x| x == c) == Some(id.0 as usize);
+        if live[id.0 as usize] && !has_exit[c as usize] && c != entry_scc && first_of_scc {
+            let members: Vec<String> = scc
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x == c)
+                .map(|(b, _)| format!("b{b}"))
+                .collect();
+            out.push(Finding {
+                rule: Rule::NoProgressLoop,
+                severity: Severity::Error,
+                message: format!(
+                    "reachable loop {{{}}} has no exit: the ring beyond it never commits again",
+                    members.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Stream handles must index the descriptor table.
+    if let Some(n) = stream_count {
+        for (id, b) in p.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let InstRole::Mem { stream } = inst.role {
+                    if stream.0 as usize >= n {
+                        out.push(Finding {
+                            rule: Rule::UndefinedStream,
+                            severity: Severity::Error,
+                            message: format!(
+                                "{:#x} ({inst}) references stream s{} but only {n} descriptors exist",
+                                p.pc_of(id, i),
+                                stream.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Reads that may observe initial machine state, reported once per
+    // register (the first offending instruction, by flat index).
+    let g = DepGraph::build(p);
+    let mut seen_regs = Vec::new();
+    for eu in &g.entry_uses {
+        if seen_regs.contains(&eu.reg) {
+            continue;
+        }
+        seen_regs.push(eu.reg);
+        out.push(Finding {
+            rule: Rule::UseBeforeDef,
+            severity: Severity::Warning,
+            message: format!(
+                "{} may be read before any def (first at flat inst {}); \
+                 the read observes initial machine state",
+                eu.reg, eu.use_
+            ),
+        });
+    }
+
+    out
+}
+
+/// Lints a full workload (program + stream descriptor table).
+pub fn lint_workload(w: &Workload) -> Vec<Finding> {
+    lint_program(&w.program, Some(w.streams.len()))
+}
+
+/// Do any findings have `Error` severity?
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{ArchReg, BasicBlock, BlockId, BranchBehavior, OpClass, StaticInst, StreamId};
+
+    fn alu(dst: u8, src: u8) -> StaticInst {
+        StaticInst::compute(
+            OpClass::IntAlu,
+            ArchReg::int(dst),
+            [Some(ArchReg::int(src)), None],
+        )
+    }
+
+    fn findings_for(p: &Program, rule: Rule) -> Vec<Finding> {
+        lint_program(p, None)
+            .into_iter()
+            .filter(|f| f.rule == rule)
+            .collect()
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        // b0 always branches to itself; b1 can never run.
+        let b0 = BasicBlock::new(
+            vec![StaticInst::branch(None, BranchBehavior::Always, BlockId(0))],
+            BlockId(1),
+        );
+        let b1 = BasicBlock::new(vec![alu(1, 1)], BlockId(0));
+        let p = Program::new("t", vec![b0, b1], BlockId(0), 0);
+        let f = findings_for(&p, Rule::UnreachableBlock);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("b1"));
+        assert!(has_errors(&lint_program(&p, None)));
+    }
+
+    #[test]
+    fn trap_loop_detected() {
+        // Ring b0 -> b1(biased) -> {b0 | b2}; b2 always loops on itself.
+        let b0 = BasicBlock::new(vec![alu(1, 1)], BlockId(1));
+        let b1 = BasicBlock::new(
+            vec![StaticInst::branch(
+                Some(ArchReg::int(1)),
+                BranchBehavior::Biased { taken_pm: 500 },
+                BlockId(0),
+            )],
+            BlockId(2),
+        );
+        let b2 = BasicBlock::new(
+            vec![StaticInst::branch(None, BranchBehavior::Always, BlockId(2))],
+            BlockId(0),
+        );
+        let p = Program::new("t", vec![b0, b1, b2], BlockId(0), 0);
+        let f = findings_for(&p, Rule::NoProgressLoop);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("b2"));
+    }
+
+    #[test]
+    fn entry_scc_is_not_a_trap() {
+        // The whole ring is one SCC containing the entry: clean.
+        let b0 = BasicBlock::new(vec![alu(1, 1)], BlockId(1));
+        let b1 = BasicBlock::new(vec![alu(2, 1)], BlockId(0));
+        let p = Program::new("t", vec![b0, b1], BlockId(0), 0);
+        assert!(findings_for(&p, Rule::NoProgressLoop).is_empty());
+        assert!(findings_for(&p, Rule::UnreachableBlock).is_empty());
+    }
+
+    #[test]
+    fn undefined_stream_detected() {
+        let b0 = BasicBlock::new(
+            vec![StaticInst::load(ArchReg::int(1), None, StreamId(9))],
+            BlockId(0),
+        );
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let f: Vec<Finding> = lint_program(&p, Some(7))
+            .into_iter()
+            .filter(|f| f.rule == Rule::UndefinedStream)
+            .collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Error);
+        // With enough descriptors the finding disappears.
+        assert!(lint_program(&p, Some(10))
+            .iter()
+            .all(|f| f.rule != Rule::UndefinedStream));
+    }
+
+    #[test]
+    fn use_before_def_is_a_warning() {
+        // r9 is read but never written anywhere.
+        let b0 = BasicBlock::new(vec![alu(1, 9)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let f = findings_for(&p, Rule::UseBeforeDef);
+        assert!(f.iter().any(|f| f.message.contains("r9")));
+        assert!(f.iter().all(|f| f.severity == Severity::Warning));
+        assert!(!has_errors(&f));
+    }
+
+    #[test]
+    fn generated_workloads_are_error_free() {
+        let w = Workload::spec("art", 7, 0x1_0000, 0x1000_0000);
+        let findings = lint_workload(&w);
+        assert!(
+            !has_errors(&findings),
+            "generator produced an ill-formed program: {:?}",
+            findings
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-block register liveness over the semantic CFG.
+//!
+//! Classic backward may-analysis: a register is live at a point when
+//! some semantic path from that point reads it before writing it.
+//! Register sets are `u64` bitmasks over [`ArchReg::flat_index`]
+//! (64 architectural registers across both classes); the hardwired
+//! zero registers are never considered live — reads of them return a
+//! constant, not a carried value.
+
+use crate::cfg::{predecessors, successors};
+use smtsim_isa::{ArchReg, BlockId, Program};
+
+/// Bit for `r` in a liveness mask (0 for absent/zero registers).
+#[inline]
+fn bit(r: Option<ArchReg>) -> u64 {
+    match r {
+        Some(r) if !r.is_zero() => 1u64 << r.flat_index(),
+        _ => 0,
+    }
+}
+
+/// Liveness fixpoint result.
+pub struct Liveness {
+    /// Registers live at block entry, indexed by block.
+    pub live_in: Vec<u64>,
+    /// Registers live at block exit, indexed by block.
+    pub live_out: Vec<u64>,
+}
+
+impl Liveness {
+    /// Computes liveness for `p`.
+    pub fn compute(p: &Program) -> Self {
+        let n = p.num_blocks();
+        // Per-block transfer masks: `used` = read before any write in
+        // the block, `defined` = written anywhere in the block.
+        let mut used = vec![0u64; n];
+        let mut defined = vec![0u64; n];
+        for (id, b) in p.iter_blocks() {
+            let (u, d) = (&mut used[id.0 as usize], &mut defined[id.0 as usize]);
+            for inst in &b.insts {
+                for &s in &inst.srcs {
+                    let sb = bit(s);
+                    if sb & *d == 0 {
+                        *u |= sb;
+                    }
+                }
+                *d |= bit(inst.dst);
+            }
+        }
+        let preds = predecessors(p);
+        let mut live_in = vec![0u64; n];
+        let mut live_out = vec![0u64; n];
+        // Worklist iteration to fixpoint (sets only grow).
+        let mut work: Vec<usize> = (0..n).collect();
+        while let Some(b) = work.pop() {
+            let out = successors(p.block(BlockId(b as u32)))
+                .iter()
+                .fold(0u64, |m, s| m | live_in[s.0 as usize]);
+            live_out[b] = out;
+            let inn = used[b] | (out & !defined[b]);
+            if inn != live_in[b] {
+                live_in[b] = inn;
+                for pr in &preds[b] {
+                    work.push(pr.0 as usize);
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Is `r` live at the entry of `block`?
+    pub fn live_at_entry(&self, block: BlockId, r: ArchReg) -> bool {
+        !r.is_zero() && self.live_in[block.0 as usize] & (1u64 << r.flat_index()) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{BasicBlock, OpClass, StaticInst};
+
+    fn alu(dst: u8, src: u8) -> StaticInst {
+        StaticInst::compute(
+            OpClass::IntAlu,
+            ArchReg::int(dst),
+            [Some(ArchReg::int(src)), None],
+        )
+    }
+
+    #[test]
+    fn straight_ring_liveness() {
+        // b0: r1 <- r2 ; b1: r2 <- r1 ; ring. Both r1 and r2 circulate.
+        let b0 = BasicBlock::new(vec![alu(1, 2)], BlockId(1));
+        let b1 = BasicBlock::new(vec![alu(2, 1)], BlockId(0));
+        let p = Program::new("t", vec![b0, b1], BlockId(0), 0);
+        let lv = Liveness::compute(&p);
+        assert!(lv.live_at_entry(BlockId(0), ArchReg::int(2)));
+        assert!(lv.live_at_entry(BlockId(1), ArchReg::int(1)));
+        // r1 is re-defined in b0 before any read on the path from b0.
+        assert!(!lv.live_at_entry(BlockId(0), ArchReg::int(1)));
+    }
+
+    #[test]
+    fn define_before_use_kills_liveness() {
+        // b0: r3 <- r4 ; r5 <- r3. r3 is defined before its only use.
+        let b0 = BasicBlock::new(vec![alu(3, 4), alu(5, 3)], BlockId(0));
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let lv = Liveness::compute(&p);
+        assert!(!lv.live_at_entry(BlockId(0), ArchReg::int(3)));
+        assert!(lv.live_at_entry(BlockId(0), ArchReg::int(4)));
+    }
+
+    #[test]
+    fn zero_register_is_never_live() {
+        let b0 = BasicBlock::new(
+            vec![StaticInst::compute(
+                OpClass::IntAlu,
+                ArchReg::int(1),
+                [Some(ArchReg::int(31)), None],
+            )],
+            BlockId(0),
+        );
+        let p = Program::new("t", vec![b0], BlockId(0), 0);
+        let lv = Liveness::compute(&p);
+        assert!(!lv.live_at_entry(BlockId(0), ArchReg::int(31)));
+    }
+}

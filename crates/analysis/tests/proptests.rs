@@ -1,0 +1,112 @@
+//! Property tests of the static DoD analysis: for arbitrary generated
+//! workloads, a dynamic register-taint walk over the correct-path
+//! instruction stream never finds more dependents in a first-level
+//! window than the static per-load bound — the soundness contract the
+//! pipeline oracle relies on.
+
+use proptest::prelude::*;
+use smtsim_analysis::{has_errors, lint_workload, DodAnalysis, L1_WINDOW};
+use smtsim_isa::{ArchReg, OpClass};
+use smtsim_workload::{exec::Executor, spec, Workload};
+use std::sync::Arc;
+
+fn arb_bench() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(spec::BENCHMARKS.to_vec())
+}
+
+/// Taint bit for `r` under the hardwired-zero rule — must mirror the
+/// analysis (`smtsim-analysis`) and the pipeline's exact-count walk.
+fn bit(r: Option<ArchReg>) -> u64 {
+    match r {
+        Some(r) if !r.is_zero() => 1u64 << r.flat_index(),
+        _ => 0,
+    }
+}
+
+/// Exact dependent count of the load at `trace[i]` over the next
+/// `window` correct-path instructions.
+fn dynamic_dependents(trace: &[smtsim_isa::DynInst], i: usize, window: usize) -> u32 {
+    let mut taint = bit(trace[i].dst);
+    let mut count = 0;
+    if taint == 0 {
+        return 0;
+    }
+    for d in trace.iter().skip(i + 1).take(window) {
+        let dependent = d.srcs.iter().any(|&s| bit(s) & taint != 0);
+        let dst = bit(d.dst);
+        if dependent {
+            count += 1;
+            taint |= dst;
+        } else {
+            taint &= !dst;
+            if taint == 0 {
+                break;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamic_dependents_never_exceed_static_max(bench in arb_bench(), seed in 0u64..64) {
+        let wl = Arc::new(Workload::spec(bench, seed, 0x1_0000, 0x1000_0000));
+        let analysis = DodAnalysis::compute(&wl.program, L1_WINDOW);
+        prop_assert!(analysis.all_exact(), "generated CFGs stay within the state budget");
+        let mut ex = Executor::new(wl, seed);
+        let trace: Vec<_> = (0..4_000).map(|_| ex.next_inst()).collect();
+        let mut loads_checked = 0u64;
+        for i in 0..trace.len() {
+            if trace[i].op != OpClass::Load {
+                continue;
+            }
+            let b = analysis.for_pc(trace[i].pc);
+            prop_assert!(b.is_some(), "executed load {:#x} missing from the analysis", trace[i].pc);
+            let b = b.unwrap();
+            let exact = dynamic_dependents(&trace, i, L1_WINDOW);
+            prop_assert!(
+                exact <= b.max,
+                "load {:#x} at seq {i}: {exact} dynamic dependents exceed static max {}",
+                trace[i].pc, b.max
+            );
+            // A full-length dynamic window is one complete semantic
+            // path, so the static minimum binds it from below.
+            if i + L1_WINDOW < trace.len() {
+                prop_assert!(
+                    exact >= b.min,
+                    "load {:#x} at seq {i}: {exact} dynamic dependents under static min {}",
+                    trace[i].pc, b.min
+                );
+            }
+            loads_checked += 1;
+        }
+        prop_assert!(loads_checked > 0, "trace of 4k instructions must contain loads");
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_generated_workloads_lint_clean(bench in arb_bench(), seed in 0u64..32) {
+        let wl = Workload::spec(bench, seed, 0x1_0000, 0x1000_0000);
+        let a = DodAnalysis::compute(&wl.program, L1_WINDOW);
+        let b = DodAnalysis::compute(&wl.program, L1_WINDOW);
+        prop_assert_eq!(a.loads, b.loads);
+        // Generator output must be well-formed: warnings are allowed
+        // (the BASE register convention reads before any local def),
+        // errors are not.
+        let findings = lint_workload(&wl);
+        prop_assert!(!has_errors(&findings), "lint errors: {:?}", findings);
+    }
+
+    #[test]
+    fn widening_the_window_is_monotone(bench in arb_bench(), seed in 0u64..16) {
+        let wl = Workload::spec(bench, seed, 0x1_0000, 0x1000_0000);
+        let narrow = DodAnalysis::compute(&wl.program, 8);
+        let wide = DodAnalysis::compute(&wl.program, L1_WINDOW);
+        for (n, w) in narrow.loads.iter().zip(&wide.loads) {
+            prop_assert_eq!(n.pc, w.pc);
+            prop_assert!(n.max <= w.max, "load {:#x}: max shrank {} -> {}", n.pc, n.max, w.max);
+            prop_assert!(n.min <= w.min, "load {:#x}: min shrank {} -> {}", n.pc, n.min, w.min);
+        }
+    }
+}

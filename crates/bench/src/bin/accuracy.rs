@@ -1,0 +1,15 @@
+//! DoD-accuracy table: the dynamic §4.1 counter and §4.2 predictor
+//! cross-checked against the static dependence bounds, per mix, under
+//! R-ROB16 and P-ROB5.
+fn main() {
+    let mut lab = smtsim_bench::lab_from_env();
+    let acc = smtsim_rob2::figures::accuracy(&mut lab, &smtsim_bench::mixes_from_env());
+    print!("{}", smtsim_rob2::report::render_accuracy(&acc));
+    if acc.total_violations() > 0 {
+        eprintln!(
+            "error: {} fill(s) exceeded the static DoD bound",
+            acc.total_violations()
+        );
+        std::process::exit(1);
+    }
+}

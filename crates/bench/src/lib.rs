@@ -39,18 +39,30 @@
 //! * `FAULT_WITHHOLD_RELEASE` — 1-in-N allocator fill notifications
 //!   suppressed (exercises two-level release fallback).
 
-use smtsim_pipeline::FaultPlan;
+use smtsim_pipeline::{FaultPlan, SimError};
 use smtsim_rob2::Lab;
 
-/// Parses an environment integer, exiting with a clear message on a
-/// malformed value (a silent fallback would hide a typo'd budget).
-fn env_u64(name: &str, default: u64) -> u64 {
+/// Parses an environment integer. A missing variable yields `default`;
+/// a malformed value is a typed [`SimError::InvalidConfig`] naming the
+/// variable (a silent fallback would hide a typo'd budget).
+pub fn try_env_u64(name: &str, default: u64) -> Result<u64, SimError> {
     match std::env::var(name) {
-        Err(_) => default,
-        Ok(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("error: {name}={v} is not an integer");
-            std::process::exit(2);
+        Err(_) => Ok(default),
+        Ok(v) => v.trim().parse().map_err(|_| SimError::InvalidConfig {
+            reason: format!("{name}={v} is not an unsigned integer"),
         }),
+    }
+}
+
+/// Unwraps a fallible knob read for the figure binaries: prints the
+/// typed error and exits with status 2.
+fn exit_on_config_error<T>(r: Result<T, SimError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -58,56 +70,76 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// experiment driver. The single-threaded normalization budget follows
 /// `ST_BUDGET`, defaulting to `BUDGET` — the two were conflated into
 /// one value here before the knob existed.
-pub fn lab_from_env() -> Lab {
-    let budget = env_u64("BUDGET", 40_000);
-    let st_budget = env_u64("ST_BUDGET", budget);
-    let warmup = env_u64("WARMUP", 60_000);
-    let seed = env_u64("SEED", 42);
+pub fn try_lab_from_env() -> Result<Lab, SimError> {
+    let budget = try_env_u64("BUDGET", 40_000)?;
+    let st_budget = try_env_u64("ST_BUDGET", budget)?;
+    let warmup = try_env_u64("WARMUP", 60_000)?;
+    let seed = try_env_u64("SEED", 42)?;
     let mut lab = Lab::new(seed).with_budgets(budget, st_budget);
     lab.warmup = warmup;
-    lab.machine.deadlock_cycles = env_u64("DEADLOCK_CYCLES", lab.machine.deadlock_cycles);
-    lab.machine.invariant_interval = env_u64("INVARIANT_INTERVAL", lab.machine.invariant_interval);
-    if let Some(plan) = fault_plan_from_env() {
+    lab.machine.deadlock_cycles = try_env_u64("DEADLOCK_CYCLES", lab.machine.deadlock_cycles)?;
+    lab.machine.invariant_interval =
+        try_env_u64("INVARIANT_INTERVAL", lab.machine.invariant_interval)?;
+    if let Some(plan) = try_fault_plan_from_env()? {
         lab.set_fault(None, plan);
     }
-    lab
+    Ok(lab)
+}
+
+/// Infallible form of [`try_lab_from_env`] for the figure binaries:
+/// exits with status 2 on a malformed knob.
+pub fn lab_from_env() -> Lab {
+    exit_on_config_error(try_lab_from_env())
 }
 
 /// Builds a [`FaultPlan`] from the `FAULT_*` environment knobs, or
 /// `None` when every category is off (the common case: no plan is
 /// installed and the hooks stay on their zero-cost path).
-pub fn fault_plan_from_env() -> Option<FaultPlan> {
+pub fn try_fault_plan_from_env() -> Result<Option<FaultPlan>, SimError> {
     let plan = FaultPlan {
-        seed: env_u64("FAULT_SEED", 0),
-        drop_fill: env_u64("FAULT_DROP_FILL", 0) as u32,
-        delay_fill: env_u64("FAULT_DELAY_FILL", 0) as u32,
-        delay_cycles: env_u64("FAULT_DELAY_CYCLES", 300),
-        corrupt_dod: env_u64("FAULT_CORRUPT_DOD", 0) as u32,
-        withhold_release: env_u64("FAULT_WITHHOLD_RELEASE", 0) as u32,
+        seed: try_env_u64("FAULT_SEED", 0)?,
+        drop_fill: try_env_u64("FAULT_DROP_FILL", 0)? as u32,
+        delay_fill: try_env_u64("FAULT_DELAY_FILL", 0)? as u32,
+        delay_cycles: try_env_u64("FAULT_DELAY_CYCLES", 300)?,
+        corrupt_dod: try_env_u64("FAULT_CORRUPT_DOD", 0)? as u32,
+        withhold_release: try_env_u64("FAULT_WITHHOLD_RELEASE", 0)? as u32,
         ..FaultPlan::default()
     };
-    plan.is_active().then_some(plan)
+    Ok(plan.is_active().then_some(plan))
 }
 
-/// Reads `MIXES` from the environment (default: all 11 paper mixes),
-/// exiting with a clear message on malformed or out-of-range entries.
-pub fn mixes_from_env() -> Vec<usize> {
+/// Infallible form of [`try_fault_plan_from_env`]: exits with status 2
+/// on a malformed knob.
+pub fn fault_plan_from_env() -> Option<FaultPlan> {
+    exit_on_config_error(try_fault_plan_from_env())
+}
+
+/// Reads `MIXES` from the environment (default: all 11 paper mixes); a
+/// malformed or out-of-range entry is a typed
+/// [`SimError::InvalidConfig`].
+pub fn try_mixes_from_env() -> Result<Vec<usize>, SimError> {
     let Ok(v) = std::env::var("MIXES") else {
-        return smtsim_rob2::ALL_MIXES.to_vec();
+        return Ok(smtsim_rob2::ALL_MIXES.to_vec());
     };
     v.split(',')
         .map(|x| {
-            let idx: usize = x.trim().parse().unwrap_or_else(|_| {
-                eprintln!("error: MIXES entry '{x}' is not an integer");
-                std::process::exit(2);
-            });
+            let idx: usize = x.trim().parse().map_err(|_| SimError::InvalidConfig {
+                reason: format!("MIXES entry '{x}' is not an integer"),
+            })?;
             if !(1..=11).contains(&idx) {
-                eprintln!("error: MIXES entry {idx} out of range 1..=11");
-                std::process::exit(2);
+                return Err(SimError::InvalidConfig {
+                    reason: format!("MIXES entry {idx} out of range 1..=11"),
+                });
             }
-            idx
+            Ok(idx)
         })
         .collect()
+}
+
+/// Infallible form of [`try_mixes_from_env`] for the figure binaries:
+/// exits with status 2 on a malformed entry.
+pub fn mixes_from_env() -> Vec<usize> {
+    exit_on_config_error(try_mixes_from_env())
 }
 
 /// A small lab for Criterion benches: low budget, reduced warm-up.
@@ -120,9 +152,16 @@ pub fn bench_lab(seed: u64) -> Lab {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Tests below mutate process-global environment variables; they
+    /// serialize on this lock so the parallel test harness can't
+    /// observe each other's knobs.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn defaults_are_sane() {
+        let _g = ENV_LOCK.lock().unwrap();
         let lab = lab_from_env();
         assert!(lab.mt_budget > 0);
         // Without ST_BUDGET the normalization budget follows BUDGET.
@@ -135,7 +174,50 @@ mod tests {
 
     #[test]
     fn fault_plan_from_env_is_none_by_default() {
+        let _g = ENV_LOCK.lock().unwrap();
         assert_eq!(fault_plan_from_env(), None);
+    }
+
+    #[test]
+    fn malformed_env_integer_is_a_typed_config_error() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SMTSIM_TEST_KNOB", "40k");
+        let err = try_env_u64("SMTSIM_TEST_KNOB", 1).expect_err("'40k' must not parse");
+        std::env::remove_var("SMTSIM_TEST_KNOB");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("SMTSIM_TEST_KNOB=40k"), "{err}");
+        // Missing and well-formed values still succeed.
+        assert_eq!(try_env_u64("SMTSIM_TEST_KNOB", 7).unwrap(), 7);
+        std::env::set_var("SMTSIM_TEST_KNOB", " 12 ");
+        assert_eq!(try_env_u64("SMTSIM_TEST_KNOB", 7).unwrap(), 12);
+        std::env::remove_var("SMTSIM_TEST_KNOB");
+    }
+
+    #[test]
+    fn malformed_budget_fails_lab_construction() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("ST_BUDGET", "lots");
+        let Err(err) = try_lab_from_env() else {
+            panic!("ST_BUDGET=lots must be rejected")
+        };
+        std::env::remove_var("ST_BUDGET");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("ST_BUDGET=lots"), "{err}");
+    }
+
+    #[test]
+    fn malformed_and_out_of_range_mixes_are_typed_config_errors() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("MIXES", "1,two,3");
+        let err = try_mixes_from_env().expect_err("'two' must not parse");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("'two'"), "{err}");
+        std::env::set_var("MIXES", "1,12");
+        let err = try_mixes_from_env().expect_err("12 is out of range");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::env::set_var("MIXES", "2, 9");
+        assert_eq!(try_mixes_from_env().unwrap(), vec![2, 9]);
+        std::env::remove_var("MIXES");
     }
 
     #[test]

@@ -1,3 +1,5 @@
+//! Quick calibration sweep: FT per mix under a handful of ROB
+//! configurations at a caller-chosen budget (dev tool, not a figure).
 use smtsim_rob2::*;
 
 fn main() {

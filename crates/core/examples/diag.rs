@@ -1,3 +1,5 @@
+//! Single-mix diagnostic dump: per-thread IPC, stalls and DoD stats
+//! under one configuration (dev tool, not a figure).
 use smtsim_rob2::*;
 
 fn main() {

@@ -7,13 +7,25 @@
 
 use crate::metrics::{fair_throughput, weighted_ipc};
 use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
+use smtsim_analysis::{DodAnalysis, L1_WINDOW};
 use smtsim_pipeline::{
-    FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, SimError, SimStats, Simulator,
-    StopCondition,
+    DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, SimError, SimStats,
+    Simulator, StopCondition,
 };
-use smtsim_workload::mix;
-use std::collections::HashMap;
+use smtsim_workload::{mix, Workload};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Static per-load DoD bound tables for a set of workloads, one table
+/// per hardware thread. The bounds come from the interprocedural
+/// dependence analysis (`smtsim-analysis`) over the same first-level
+/// window the hardware counter scans; the simulator cross-checks its
+/// exact dependent count against them at every L2 fill.
+fn static_bounds(wls: &[Arc<Workload>]) -> Vec<DodBounds> {
+    wls.iter()
+        .map(|w| DodBounds::new(DodAnalysis::compute(&w.program, L1_WINDOW).max_map()))
+        .collect()
+}
 
 /// A ROB configuration under test.
 #[derive(Clone, Copy, Debug)]
@@ -85,12 +97,12 @@ pub struct Lab {
     /// (Baseline_32 alone), so FT values are directly comparable across
     /// the paper's bar charts.
     pub norm: RobConfig,
-    single_cache: HashMap<(usize, usize, String), f64>,
+    single_cache: BTreeMap<(usize, usize, String), f64>,
     /// Fault plan applied to every multithreaded run (see
     /// [`Lab::set_fault`]).
     global_fault: Option<FaultPlan>,
     /// Per-mix fault plans; these take precedence over `global_fault`.
-    mix_faults: HashMap<usize, FaultPlan>,
+    mix_faults: BTreeMap<usize, FaultPlan>,
 }
 
 impl Lab {
@@ -104,9 +116,9 @@ impl Lab {
             st_budget: 60_000,
             warmup: 60_000,
             norm: RobConfig::Baseline(32),
-            single_cache: HashMap::new(),
+            single_cache: BTreeMap::new(),
             global_fault: None,
-            mix_faults: HashMap::new(),
+            mix_faults: BTreeMap::new(),
         }
     }
 
@@ -167,10 +179,12 @@ impl Lab {
             return Ok(v);
         }
         let wl = Arc::new(mix(mix_idx).instantiate_single(slot, self.seed));
+        let bounds = static_bounds(std::slice::from_ref(&wl));
         let mut cfg = self.machine.clone();
         cfg.num_threads = 1;
         cfg.fetch_threads = 1;
         let mut sim = Simulator::try_new(cfg, vec![wl], rob.build(), self.seed)?;
+        sim.set_dod_bounds(bounds);
         sim.warmup(self.warmup);
         sim.try_run(StopCondition::AnyThreadCommitted(self.st_budget))?;
         let ipc = sim.stats().threads[0].ipc(sim.cycle());
@@ -197,8 +211,10 @@ impl Lab {
     /// failed and continue.
     pub fn try_run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> Result<MixRun, SimError> {
         let m = mix(mix_idx);
-        let wls = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
+        let wls: Vec<Arc<Workload>> = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
+        let bounds = static_bounds(&wls);
         let mut sim = Simulator::try_new(self.machine.clone(), wls, rob.build(), self.seed)?;
+        sim.set_dod_bounds(bounds);
         if let Some(plan) = self.fault_for(mix_idx) {
             sim.set_fault_plan(plan.clone());
         }

@@ -6,7 +6,7 @@
 use crate::experiment::{Lab, MixRun, RobConfig};
 use crate::metrics::mean;
 use crate::twolevel::{Scheme, TwoLevelConfig};
-use smtsim_pipeline::{DodHistogram, SimError};
+use smtsim_pipeline::{DodHistogram, DodOracleStats, SimError};
 
 /// All 11 paper mixes.
 pub const ALL_MIXES: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
@@ -236,6 +236,82 @@ pub fn fig7(lab: &mut Lab, mixes: &[usize]) -> HistogramData {
     )
 }
 
+/// One row of the DoD-accuracy table: how well the dynamic machinery
+/// (the §4.1 hardware counter and, for P-ROB, the §4.2 predictor)
+/// tracked the static-analysis ground truth in one mix × configuration
+/// run.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    /// "Mix 1" .. "Mix 11".
+    pub mix: String,
+    /// Configuration label.
+    pub config: String,
+    /// Oracle cross-check counters for the run (checked fills,
+    /// bound violations, exact/counter-error means).
+    pub oracle: DodOracleStats,
+    /// Verified prediction accuracy, for predictive configurations.
+    pub pred_accuracy: Option<f64>,
+    /// Predictor table coverage, for predictive configurations.
+    pub pred_coverage: Option<f64>,
+}
+
+/// The DoD-accuracy table: per mix × configuration oracle and
+/// predictor quality metrics.
+#[derive(Clone, Debug)]
+pub struct AccuracyData {
+    /// Table title.
+    pub title: String,
+    /// One row per healthy mix × configuration cell.
+    pub rows: Vec<AccuracyRow>,
+    /// One line per failed cell; empty on a fully healthy sweep.
+    pub failures: Vec<String>,
+}
+
+impl AccuracyData {
+    /// Total bound violations across all rows (must be zero on a
+    /// healthy simulator).
+    pub fn total_violations(&self) -> u64 {
+        self.rows.iter().map(|r| r.oracle.violations).sum()
+    }
+}
+
+/// DoD-accuracy table over `mixes`: the dynamic DoD counter and the
+/// P-ROB predictor cross-checked against the static dependence bounds,
+/// under the paper's reactive (R-ROB16) and predictive (P-ROB5)
+/// configurations.
+pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
+    let configs = [
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ];
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for cfg in configs {
+        for &m in mixes {
+            match lab.try_run_mix(m, cfg) {
+                Ok(run) => {
+                    let predictive = run
+                        .twolevel
+                        .filter(|tl| tl.pred_hits + tl.pred_cold > 0 || tl.cov_lookups > 0);
+                    rows.push(AccuracyRow {
+                        mix: run.mix,
+                        config: run.config,
+                        oracle: run.stats.dod_oracle,
+                        pred_accuracy: predictive.map(|tl| tl.prediction_accuracy()),
+                        pred_coverage: predictive.map(|tl| tl.coverage()),
+                    });
+                }
+                Err(e) => failures.push(failure_line(&mix_name(m), &cfg.label(), &e)),
+            }
+        }
+    }
+    AccuracyData {
+        title: "DoD accuracy: dynamic counter & predictor vs. static bounds".to_string(),
+        rows,
+        failures,
+    }
+}
+
 /// §5.2 text: DoD-threshold sweep for the reactive scheme
 /// ("thresholds ranging from 1 to 16"; higher values clog the IQ).
 pub fn threshold_sweep(lab: &mut Lab, mixes: &[usize], thresholds: &[u32]) -> FigureData {
@@ -376,6 +452,30 @@ mod tests {
         let f = threshold_sweep(&mut lab, &[1], &[4, 16]);
         assert_eq!(f.series.len(), 3);
         assert_eq!(f.series[1].label, "2-Level R-ROB4");
+    }
+
+    #[test]
+    fn accuracy_table_checks_fills_without_violations() {
+        let mut lab = lab();
+        let a = accuracy(&mut lab, &[1]);
+        assert_eq!(a.rows.len(), 2, "R-ROB16 and P-ROB5 rows");
+        assert!(a.failures.is_empty());
+        assert_eq!(a.total_violations(), 0, "static bound must hold");
+        for r in &a.rows {
+            assert!(
+                r.oracle.checked > 0,
+                "{}: the oracle must see fills",
+                r.config
+            );
+            // Exact dependents can never exceed the §4.1 counter, so
+            // the mean error is exactly the counter's MLP overcount.
+            assert!(r.oracle.mean_exact() >= 0.0);
+        }
+        let p_rob = a.rows.iter().find(|r| r.config.contains("P-ROB")).unwrap();
+        assert!(p_rob.pred_accuracy.is_some(), "P-ROB exposes accuracy");
+        assert!(p_rob.pred_coverage.is_some(), "P-ROB exposes coverage");
+        let r_rob = a.rows.iter().find(|r| r.config.contains("R-ROB")).unwrap();
+        assert!(r_rob.pred_accuracy.is_none(), "R-ROB has no predictor");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod report;
 pub mod twolevel;
 
 pub use experiment::{Lab, MixRun, RobConfig};
-pub use figures::{FigureData, HistogramData, Series, ALL_MIXES};
+pub use figures::{AccuracyData, AccuracyRow, FigureData, HistogramData, Series, ALL_MIXES};
 pub use metrics::{fair_throughput, harmonic_mean, improvement, mean, weighted_ipc};
 pub use twolevel::{
     DodPredictorKind, ReleasePolicy, Scheme, TwoLevelConfig, TwoLevelRob, TwoLevelStats,

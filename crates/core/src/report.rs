@@ -1,7 +1,7 @@
 //! Text rendering of figures and tables, in the row/series layout the
 //! paper's charts use.
 
-use crate::figures::{FigureData, HistogramData};
+use crate::figures::{AccuracyData, FigureData, HistogramData};
 use smtsim_pipeline::MachineConfig;
 use smtsim_workload::paper_mixes;
 use std::fmt::Write;
@@ -23,7 +23,7 @@ pub fn render_figure(fig: &FigureData) -> String {
         let _ = write!(out, " {:>w$}", s.label, w = width);
     }
     let _ = writeln!(out);
-    let nrows = fig.series.first().map(|s| s.points.len()).unwrap_or(0);
+    let nrows = fig.series.first().map_or(0, |s| s.points.len());
     let cell = |v: Option<f64>| match v {
         Some(v) if v.is_finite() => format!("{v:.4}"),
         _ => "n/a".to_string(),
@@ -89,6 +89,49 @@ pub fn render_histogram(fig: &HistogramData) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "pooled mean dependents: {:.3}", fig.pooled_mean());
     for f in &fig.failures {
+        let _ = writeln!(out, "failed: {f}");
+    }
+    out
+}
+
+/// Renders the DoD-accuracy table: one row per mix × configuration,
+/// with the oracle cross-check (checked fills, bound violations, mean
+/// exact dependents, mean counter error) and — for predictive
+/// configurations — the §4.2 predictor's accuracy and coverage.
+pub fn render_accuracy(acc: &AccuracyData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", acc.title);
+    let _ = writeln!(
+        out,
+        "{:<8} {:<22} {:>8} {:>5} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "mix", "config", "checked", "viol", "exact", "ctr-err", "overshoot", "pred-acc", "coverage"
+    );
+    let ratio = |v: Option<f64>| match v {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".to_string(),
+    };
+    for r in &acc.rows {
+        let o = &r.oracle;
+        let _ = writeln!(
+            out,
+            "{:<8} {:<22} {:>8} {:>5} {:>8.2} {:>8.2} {:>9} {:>8} {:>8}",
+            r.mix,
+            r.config,
+            o.checked,
+            o.violations,
+            o.mean_exact(),
+            o.mean_counter_error(),
+            o.counter_overshoot,
+            ratio(r.pred_accuracy),
+            ratio(r.pred_coverage),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total bound violations: {} (exact dependents must stay within the static bound)",
+        acc.total_violations()
+    );
+    for f in &acc.failures {
         let _ = writeln!(out, "failed: {f}");
     }
     out
@@ -243,12 +286,59 @@ mod tests {
                     .trim_start()
                     .chars()
                     .next()
-                    .map(|c| c.is_ascii_digit())
-                    .unwrap_or(false))
+                    .is_some_and(|c| c.is_ascii_digit()))
                 .count(),
             31
         );
         assert!(s.contains("pooled mean"));
+    }
+
+    #[test]
+    fn accuracy_rendering_shows_oracle_and_predictor_columns() {
+        use crate::figures::{AccuracyData, AccuracyRow};
+        use smtsim_pipeline::DodOracleStats;
+        let acc = AccuracyData {
+            title: "DoD accuracy".into(),
+            rows: vec![
+                AccuracyRow {
+                    mix: "Mix 1".into(),
+                    config: "2-Level R-ROB16".into(),
+                    oracle: DodOracleStats {
+                        checked: 100,
+                        violations: 0,
+                        exact_sum: 250,
+                        counter_err_sum: 50,
+                        counter_overshoot: 30,
+                    },
+                    pred_accuracy: None,
+                    pred_coverage: None,
+                },
+                AccuracyRow {
+                    mix: "Mix 1".into(),
+                    config: "2-Level P-ROB5".into(),
+                    oracle: DodOracleStats {
+                        checked: 80,
+                        violations: 1,
+                        exact_sum: 160,
+                        counter_err_sum: 0,
+                        counter_overshoot: 0,
+                    },
+                    pred_accuracy: Some(0.875),
+                    pred_coverage: Some(0.5),
+                },
+            ],
+            failures: vec!["Mix 2 / 2-Level P-ROB5: deadlock".into()],
+        };
+        let s = render_accuracy(&acc);
+        assert!(s.contains("2.50"), "mean exact: {s}");
+        assert!(s.contains("0.50"), "mean counter error: {s}");
+        assert!(s.contains("87.5%"), "prediction accuracy: {s}");
+        assert!(s.contains("50.0%"), "coverage: {s}");
+        // The reactive row has no predictor: both ratios render as '-'.
+        let reactive = s.lines().find(|l| l.contains("R-ROB16")).unwrap();
+        assert_eq!(reactive.matches(" -").count(), 2, "{reactive}");
+        assert!(s.contains("total bound violations: 1"));
+        assert_eq!(s.matches("failed:").count(), 1);
     }
 
     #[test]

@@ -174,6 +174,12 @@ pub struct TwoLevelStats {
     pub pred_correct: u64,
     /// Verified predictions total.
     pub pred_verified: u64,
+    /// Predictor table lookups, counted inside the predictor itself
+    /// (predictive only; includes both decision and verification
+    /// lookups).
+    pub cov_lookups: u64,
+    /// Lookups that found a live tagged entry.
+    pub cov_hits: u64,
 }
 
 impl TwoLevelStats {
@@ -183,6 +189,16 @@ impl TwoLevelStats {
             0.0
         } else {
             self.pred_correct as f64 / self.pred_verified as f64
+        }
+    }
+
+    /// Predictor coverage in `[0, 1]`: the fraction of table lookups
+    /// that found information (`DodPredictor::coverage`).
+    pub fn coverage(&self) -> f64 {
+        if self.cov_lookups == 0 {
+            0.0
+        } else {
+            self.cov_hits as f64 / self.cov_lookups as f64
         }
     }
 }
@@ -252,9 +268,14 @@ impl TwoLevelRob {
         self.tenure.map(|t| t.thread)
     }
 
-    /// Statistics so far.
+    /// Statistics so far. Coverage counters are read out of the
+    /// predictor at call time, so they reflect every lookup up to now.
     pub fn stats(&self) -> TwoLevelStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(p) = &self.predictor {
+            (s.cov_lookups, s.cov_hits) = p.coverage();
+        }
+        s
     }
 
     /// The configuration.

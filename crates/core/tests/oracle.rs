@@ -1,0 +1,67 @@
+//! End-to-end static-DoD-oracle cross-check: the `Lab` installs the
+//! analysis pass's per-load bounds into every simulation, and the
+//! pipeline compares its exact dependent count against them at each
+//! correct-path L2 fill.
+//!
+//! Run with `--features dod-oracle` (CI does) to escalate any bound
+//! violation into a `SimError::InvariantViolation` instead of a
+//! statistic — either way these assertions require zero violations.
+
+use smtsim_rob2::{Lab, RobConfig, TwoLevelConfig};
+
+fn lab() -> Lab {
+    Lab::new(23).with_budgets(10_000, 10_000)
+}
+
+#[test]
+fn dynamic_dod_stays_within_static_bounds_across_schemes() {
+    let mut lab = lab();
+    for cfg in [
+        RobConfig::Baseline(32),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ] {
+        for mix in [1, 2, 6] {
+            let r = lab
+                .try_run_mix(mix, cfg)
+                .unwrap_or_else(|e| panic!("mix {mix} / {}: {e}", cfg.label()));
+            let o = r.stats.dod_oracle;
+            // Every static load has a bound, so every correct-path fill
+            // the DoD histogram samples must also be cross-checked.
+            assert_eq!(
+                o.checked, r.stats.dod_at_fill.samples,
+                "mix {mix} / {}: a sampled fill escaped the oracle",
+                r.config
+            );
+            assert!(
+                o.checked > 0,
+                "mix {mix} / {}: oracle never fired — bounds not installed?",
+                r.config
+            );
+            assert_eq!(
+                o.violations, 0,
+                "mix {mix} / {}: exact dependents exceeded the static bound",
+                r.config
+            );
+            // Dependents of an unserviced load cannot have executed, so
+            // the exact count is a subset of what the §4.1 counter
+            // scans: the counter can only overcount, never undercount.
+            assert!(
+                o.counter_err_sum == 0 || o.counter_overshoot > 0,
+                "mix {mix} / {}: counter error without overshoot means the \
+                 counter undercounted, which the model forbids",
+                r.config
+            );
+        }
+    }
+}
+
+#[test]
+fn single_threaded_normalization_runs_are_checked_too() {
+    let mut lab = lab();
+    let r = lab.run_mix(2, RobConfig::Baseline(32));
+    // run_mix triggers the memoized single-threaded runs; the oracle
+    // stats of the multithreaded run itself must be populated.
+    assert!(r.stats.dod_oracle.checked > 0);
+    assert_eq!(r.stats.dod_oracle.violations, 0);
+}

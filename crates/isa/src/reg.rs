@@ -47,7 +47,9 @@ impl RegClass {
 }
 
 /// An architectural register name: a class plus an index within the class.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// Ordering is `(class, idx)` — all integer registers before all FP —
+/// giving analyses a deterministic register ordering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArchReg {
     class: RegClass,
     idx: u8,

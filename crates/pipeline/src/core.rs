@@ -19,7 +19,7 @@ use crate::error::{DeadlockSnapshot, HeadSnapshot, SimError, ThreadSnapshot};
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::fu::FuPool;
 use crate::regfile::RegFiles;
-use crate::rob_policy::{RobAllocator, RobQuery};
+use crate::rob_policy::{DodBounds, RobAllocator, RobQuery, DOD_WINDOW};
 use crate::stats::SimStats;
 use crate::types::{BranchState, Event, InstRef, InstState, IqEntry, LsqEntry};
 use smtsim_isa::{DynInst, ThreadId};
@@ -111,6 +111,47 @@ impl Thread {
     pub fn rob_index(&self, tag: u64) -> Option<usize> {
         self.rob.binary_search_by(|i| i.tag.cmp(&tag)).ok()
     }
+
+    /// The *exact* number of instructions among the first `window` ROB
+    /// entries younger than `idx` that transitively depend, through
+    /// registers, on the result of the instruction at `idx` — the
+    /// quantity the paper's DoD counter (unexecuted entries, §4.1)
+    /// approximates.
+    ///
+    /// The taint walk mirrors `smtsim-analysis`: an instruction is
+    /// dependent iff it reads a tainted register; a dependent write
+    /// extends the taint, an independent write kills it. Hardwired zero
+    /// registers never carry taint. The walk stops at the first
+    /// wrong-path entry — its operands are fabricated, and everything
+    /// behind it will be squashed.
+    pub fn exact_dependents(&self, idx: usize, window: usize) -> u32 {
+        let bit = |r: Option<smtsim_isa::ArchReg>| match r {
+            Some(r) if !r.is_zero() => 1u64 << r.flat_index(),
+            _ => 0u64,
+        };
+        let mut taint = bit(self.rob[idx].di.dst);
+        let mut count = 0u32;
+        if taint == 0 {
+            return 0;
+        }
+        for e in self.rob.iter().skip(idx + 1).take(window) {
+            if e.wrong_path {
+                break;
+            }
+            let dependent = e.di.srcs.iter().any(|&s| bit(s) & taint != 0);
+            let dst = bit(e.di.dst);
+            if dependent {
+                count += 1;
+                taint |= dst;
+            } else {
+                taint &= !dst;
+                if taint == 0 {
+                    break;
+                }
+            }
+        }
+        count
+    }
 }
 
 /// Read-only ROB view handed to [`RobAllocator`] implementations.
@@ -195,6 +236,8 @@ pub struct Simulator {
     /// so they record the violation here and [`Simulator::try_step`]
     /// surfaces it as [`SimError::InvariantViolation`] at cycle end.
     pub(crate) integrity_violation: Option<String>,
+    /// Static DoD bound tables, one per thread (empty = oracle off).
+    pub(crate) dod_bounds: Vec<DodBounds>,
 }
 
 impl Simulator {
@@ -269,9 +312,62 @@ impl Simulator {
             last_commit: 0,
             fault: FaultState::new(FaultPlan::default(), cfg.num_threads),
             integrity_violation: None,
+            dod_bounds: Vec::new(),
             threads,
             cfg,
         })
+    }
+
+    /// Installs static DoD bound tables, one per thread, enabling the
+    /// oracle cross-check at every correct-path L2 fill (see
+    /// [`DodBounds`]). Violations are always counted in
+    /// `SimStats::dod_oracle`; with the `dod-oracle` feature enabled
+    /// they additionally fail the cycle as
+    /// [`SimError::InvariantViolation`].
+    ///
+    /// # Panics
+    /// Panics unless exactly one table per hardware thread is given.
+    pub fn set_dod_bounds(&mut self, bounds: Vec<DodBounds>) {
+        assert_eq!(
+            bounds.len(),
+            self.cfg.num_threads,
+            "need one DoD bound table per hardware thread"
+        );
+        self.dod_bounds = bounds;
+    }
+
+    /// Cross-checks one correct-path L2 fill against the static DoD
+    /// bound for the load's PC. `counted` is the hardware counter value
+    /// over the same first-level window, *before* fault injection.
+    pub(crate) fn oracle_check(&mut self, r: InstRef, pc: u64, counted: u32) {
+        if self.dod_bounds.is_empty() {
+            return;
+        }
+        let Some(max) = self.dod_bounds[r.thread].lookup(pc) else {
+            return;
+        };
+        let th = &self.threads[r.thread];
+        let Some(idx) = th.rob_index(r.tag) else {
+            return;
+        };
+        let exact = th.exact_dependents(idx, DOD_WINDOW);
+        let o = &mut self.stats.dod_oracle;
+        o.checked += 1;
+        o.exact_sum += exact as u64;
+        o.counter_err_sum += counted.abs_diff(exact) as u64;
+        if counted > exact {
+            o.counter_overshoot += 1;
+        }
+        if exact > max {
+            o.violations += 1;
+            #[cfg(feature = "dod-oracle")]
+            self.report_integrity(format!(
+                "DoD oracle: load {pc:#x} (t{} tag {}) has {exact} dependent \
+                 instructions in its first-level window at fill, exceeding \
+                 the static dependence bound {max}",
+                r.thread, r.tag
+            ));
+        }
     }
 
     /// Installs a fault-injection plan. Call before any timed cycles;
@@ -617,9 +713,8 @@ impl Simulator {
     /// this model, so the issue queue is the resource DCRA arbitrates.
     pub(crate) fn dcra_caps(&self) -> Vec<usize> {
         let n = self.cfg.num_threads;
-        let dcra = match self.cfg.fetch_policy {
-            FetchPolicyKind::Dcra(d) => d,
-            _ => return vec![usize::MAX; n],
+        let FetchPolicyKind::Dcra(dcra) = self.cfg.fetch_policy else {
+            return vec![usize::MAX; n];
         };
         // Classification: a thread with an outstanding L1-D miss is
         // memory-demanding ("slow") and receives `slow_share` times the
@@ -740,5 +835,104 @@ impl Simulator {
             int_free_t0: self.regs.free_count(0, smtsim_isa::RegClass::Int),
             fp_free_t0: self.regs.free_count(0, smtsim_isa::RegClass::Fp),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_isa::{ArchReg, OpClass};
+
+    /// A thread whose ROB is filled with hand-built entries, bypassing
+    /// the pipeline (only the taint walk is under test).
+    fn thread_with(entries: Vec<(Option<ArchReg>, [Option<ArchReg>; 2], bool)>) -> Thread {
+        let wl = Arc::new(Workload::spec("gzip", 1, 0x1_0000, 0x1000_0000));
+        let mut th = Thread::new(wl, 0);
+        for (tag, (dst, srcs, wrong_path)) in entries.into_iter().enumerate() {
+            th.rob.push_back(InstState {
+                tag: tag as u64,
+                seq: tag as u64,
+                di: DynInst {
+                    pc: 0x1_0000 + tag as u64 * 4,
+                    seq: tag as u64,
+                    op: OpClass::IntAlu,
+                    dst,
+                    srcs,
+                    mem_addr: 0,
+                    taken: false,
+                    next_pc: 0,
+                },
+                wrong_path,
+                dst_phys: None,
+                old_phys: None,
+                src_phys: [None, None],
+                issued: false,
+                executed: false,
+                dispatched_at: 0,
+                branch: None,
+                mem: None,
+                dod_hist: 0,
+            });
+        }
+        th
+    }
+
+    fn r(i: u8) -> Option<ArchReg> {
+        Some(ArchReg::int(i))
+    }
+
+    #[test]
+    fn exact_dependents_follows_transitive_chain() {
+        // load r1; r2 <- r1; r3 <- r2; r4 <- r5 (independent).
+        let th = thread_with(vec![
+            (r(1), [None, None], false),
+            (r(2), [r(1), None], false),
+            (r(3), [r(2), None], false),
+            (r(4), [r(5), None], false),
+        ]);
+        assert_eq!(th.exact_dependents(0, DOD_WINDOW), 2);
+    }
+
+    #[test]
+    fn exact_dependents_kill_ends_dependence() {
+        // load r1; r1 <- r6 (overwrite kills the taint); r7 <- r1.
+        let th = thread_with(vec![
+            (r(1), [None, None], false),
+            (r(1), [r(6), None], false),
+            (r(7), [r(1), None], false),
+        ]);
+        assert_eq!(th.exact_dependents(0, DOD_WINDOW), 0);
+    }
+
+    #[test]
+    fn exact_dependents_ignores_zero_register() {
+        // A load whose dst is the hardwired zero has no dependents.
+        let th = thread_with(vec![
+            (r(31), [None, None], false),
+            (r(2), [r(31), None], false),
+        ]);
+        assert_eq!(th.exact_dependents(0, DOD_WINDOW), 0);
+    }
+
+    #[test]
+    fn exact_dependents_stops_at_wrong_path() {
+        let th = thread_with(vec![
+            (r(1), [None, None], false),
+            (r(2), [r(1), None], false),
+            (r(3), [r(1), None], true), // wrong path: walk stops here
+            (r(4), [r(1), None], false),
+        ]);
+        assert_eq!(th.exact_dependents(0, DOD_WINDOW), 1);
+    }
+
+    #[test]
+    fn exact_dependents_respects_window() {
+        let mut entries = vec![(r(1), [None, None], false)];
+        for _ in 0..40 {
+            entries.push((r(2), [r(1), None], false));
+        }
+        let th = thread_with(entries);
+        assert_eq!(th.exact_dependents(0, DOD_WINDOW), DOD_WINDOW as u32);
+        assert_eq!(th.exact_dependents(0, 5), 5);
     }
 }

@@ -47,7 +47,7 @@ impl FuPool {
             let unit = self.busy_until[gi]
                 .iter()
                 .position(|&b| b <= now)
-                .expect("no free unit; call can_issue first");
+                .expect("no free unit; call can_issue first"); // xtask: allow-unwrap
             self.busy_until[gi][unit] = now + lat.issue as Cycle;
             self.issues[gi] += 1;
         }

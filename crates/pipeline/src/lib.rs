@@ -50,6 +50,6 @@ pub use error::{DeadlockSnapshot, HeadSnapshot, SimError, ThreadSnapshot};
 pub use fault::{FaultPlan, FaultStats};
 pub use fu::FuPool;
 pub use regfile::{PhysReg, RegFiles};
-pub use rob_policy::{FixedRob, MissEvent, RobAllocator, RobQuery};
-pub use stats::{DodHistogram, SimStats, ThreadStats};
+pub use rob_policy::{DodBounds, FixedRob, MissEvent, RobAllocator, RobQuery, DOD_WINDOW};
+pub use stats::{DodHistogram, DodOracleStats, SimStats, ThreadStats};
 pub use types::{InstRef, InstState};

@@ -104,7 +104,7 @@ impl RegFiles {
                     // before a Simulator (and thus RegFiles) is built.
                     #[allow(clippy::expect_used)]
                     let idx = file.free[pool]
-                        .pop()
+                        .pop() // xtask: allow-unwrap
                         .expect("register file too small for architectural state");
                     file.ready[idx as usize] = true;
                     let arch = match class {

@@ -15,6 +15,53 @@
 
 use smtsim_isa::ThreadId;
 use smtsim_mem::Cycle;
+use std::collections::BTreeMap;
+
+/// Entries the paper's 5-bit DoD counter scans: the 32-entry first
+/// level minus the missing load itself.
+pub const DOD_WINDOW: usize = 31;
+
+/// Static per-load upper bounds on the number of *register-dependent*
+/// instructions that can appear within the first [`DOD_WINDOW`] younger
+/// instructions of a load, computed offline by the `smtsim-analysis`
+/// dependence pass over the workload's program and installed via
+/// `Simulator::set_dod_bounds`.
+///
+/// The pipeline uses the table as an oracle: at every L2 fill it walks
+/// the register taint forward from the load over the younger
+/// correct-path ROB entries — the *exact* dependent count the hardware
+/// DoD counter of §4.1 approximates — and checks it never exceeds the
+/// static bound. Note the oracle constrains the exact count, not the
+/// hardware counter itself: the counter reads "unexecuted", which also
+/// picks up independent instructions stalled behind overlapping misses,
+/// so it may legitimately exceed the static dependence bound. The gap
+/// between the two is recorded as the counter-error statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DodBounds {
+    max: BTreeMap<u64, u32>,
+}
+
+impl DodBounds {
+    /// Wraps a `load pc -> static max dependents` table.
+    pub fn new(max: BTreeMap<u64, u32>) -> Self {
+        DodBounds { max }
+    }
+
+    /// The static bound for the load at `pc`, if analyzed.
+    pub fn lookup(&self, pc: u64) -> Option<u32> {
+        self.max.get(&pc).copied()
+    }
+
+    /// Number of loads with a bound.
+    pub fn len(&self) -> usize {
+        self.max.len()
+    }
+
+    /// True when no load has a bound.
+    pub fn is_empty(&self) -> bool {
+        self.max.is_empty()
+    }
+}
 
 /// Read-only view of the ROBs offered to allocation policies.
 pub trait RobQuery {
@@ -174,5 +221,17 @@ mod tests {
     #[should_panic]
     fn zero_entries_rejected() {
         let _ = FixedRob::new(0);
+    }
+
+    #[test]
+    fn dod_bounds_lookup() {
+        let empty = DodBounds::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.lookup(0x100), None);
+        let b = DodBounds::new(BTreeMap::from([(0x100u64, 5u32), (0x104, 0)]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.lookup(0x100), Some(5));
+        assert_eq!(b.lookup(0x104), Some(0));
+        assert_eq!(b.lookup(0x108), None);
     }
 }

@@ -41,7 +41,7 @@ impl Simulator {
         let wrong_path = i.wrong_path;
         let dst = i.dst_phys;
         let branch = i.branch;
-        let l1_missed = i.mem.map(|m| m.l1_miss).unwrap_or(false);
+        let l1_missed = i.mem.is_some_and(|m| m.l1_miss);
 
         if let Some(d) = dst {
             self.regs.set_ready(d, true);
@@ -141,9 +141,6 @@ impl Simulator {
                 th.flush_gate = None;
             }
         }
-        let view = RobView {
-            threads: &self.threads,
-        };
         // Two counts are taken at service time:
         // * the *policy* count — the paper's 5-bit hardware counter
         //   scanning the first-level window behind the load (what
@@ -152,21 +149,34 @@ impl Simulator {
         //   the same 5 bits) — the quantity Figures 1/3/7 plot, which
         //   grows as deeper windows capture more of the dependence
         //   shadow.
-        let counted_policy = view
-            .count_unexecuted_younger(r.thread, r.tag, self.cfg_dod_window())
-            .unwrap_or(0);
-        let counted_full = view
-            .count_unexecuted_younger(r.thread, r.tag, usize::MAX)
-            .unwrap_or(0)
-            .min(31);
+        let (counted_policy, counted_full) = {
+            let view = RobView {
+                threads: &self.threads,
+            };
+            (
+                view.count_unexecuted_younger(r.thread, r.tag, self.cfg_dod_window())
+                    .unwrap_or(0),
+                view.count_unexecuted_younger(r.thread, r.tag, usize::MAX)
+                    .unwrap_or(0)
+                    .min(31),
+            )
+        };
         if !ev.wrong_path {
             self.stats.dod_at_fill.record(counted_full);
+            // Static-oracle cross-check, on the true counter value
+            // (fault injection may corrupt the copy handed to the
+            // policy below, but the oracle audits the machine, not the
+            // fault plan).
+            self.oracle_check(r, ev.pc, counted_policy);
         }
         // Fault injection: the DoD count handed to the policy may be
         // corrupted, or the notification suppressed altogether (a lost
         // release — policies must degrade, not hang).
         let (counted_policy, deliver) = self.fault.on_fill_notify(counted_policy);
         if deliver {
+            let view = RobView {
+                threads: &self.threads,
+            };
             self.alloc.on_l2_fill(&view, ev, counted_policy, self.now);
         }
     }
@@ -174,7 +184,7 @@ impl Simulator {
     /// Entries scanned by the DoD counter (the 32-entry first level
     /// minus the load itself).
     fn cfg_dod_window(&self) -> usize {
-        31
+        crate::rob_policy::DOD_WINDOW
     }
 
     // ------------------------------------------------------------------
@@ -192,11 +202,7 @@ impl Simulator {
             }
             let t = (start + k) % n;
             while budget > 0 {
-                let committable = self.threads[t]
-                    .rob
-                    .front()
-                    .map(|h| h.executed)
-                    .unwrap_or(false);
+                let committable = self.threads[t].rob.front().is_some_and(|h| h.executed);
                 if !committable {
                     break;
                 }
@@ -752,7 +758,7 @@ impl Simulator {
         let mut squashed = 0u64;
         loop {
             let th = &mut self.threads[thread];
-            if th.rob.back().map(|b| b.tag < from_tag).unwrap_or(true) {
+            if th.rob.back().is_none_or(|b| b.tag < from_tag) {
                 break;
             }
             let Some(i) = th.rob.pop_back() else {
@@ -809,7 +815,7 @@ impl Simulator {
         // 4. LSQ: truncate from the back.
         {
             let th = &mut self.threads[thread];
-            while th.lsq.back().map(|e| e.tag >= from_tag).unwrap_or(false) {
+            while th.lsq.back().is_some_and(|e| e.tag >= from_tag) {
                 th.lsq.pop_back();
             }
         }
@@ -822,10 +828,10 @@ impl Simulator {
             th.fetch_halted = false;
             th.fetch_pc = resume_pc;
             th.last_fetch_line = u64::MAX;
-            if th.redirect_tag.map(|rt| rt >= from_tag).unwrap_or(false) {
+            if th.redirect_tag.is_some_and(|rt| rt >= from_tag) {
                 th.redirect_tag = None;
             }
-            if th.flush_gate.map(|g| g >= from_tag).unwrap_or(false) {
+            if th.flush_gate.is_some_and(|g| g >= from_tag) {
                 th.flush_gate = None;
             }
             if collect_replay {

@@ -68,6 +68,54 @@ impl Default for DodHistogram {
     }
 }
 
+/// Results of the static-DoD-oracle cross-check. Populated only when a
+/// bounds table is installed (`Simulator::set_dod_bounds`); all zero
+/// otherwise.
+///
+/// Two quantities are compared per correct-path L2 fill whose load has
+/// a static bound: the *exact* dependent count (register-taint walk
+/// over the younger correct-path ROB entries in the first-level window)
+/// and the hardware counter's approximation (unexecuted entries in the
+/// same window, §4.1). The exact count must stay within the static
+/// bound; the counter may exceed it (independent instructions stalled
+/// behind overlapping misses are unexecuted too), and that gap is the
+/// counter error reported here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DodOracleStats {
+    /// Fills cross-checked against a static bound.
+    pub checked: u64,
+    /// Fills whose exact dependent count exceeded the static bound —
+    /// always recorded; escalated to a simulation error under the
+    /// `dod-oracle` feature.
+    pub violations: u64,
+    /// Sum of exact dependent counts (mean = / `checked`).
+    pub exact_sum: u64,
+    /// Sum of `|counter - exact|` over checked fills.
+    pub counter_err_sum: u64,
+    /// Fills where the hardware counter exceeded the exact count.
+    pub counter_overshoot: u64,
+}
+
+impl DodOracleStats {
+    /// Mean exact dependent count per checked fill.
+    pub fn mean_exact(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.exact_sum as f64 / self.checked as f64
+        }
+    }
+
+    /// Mean absolute error of the hardware counter vs. the exact count.
+    pub fn mean_counter_error(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.counter_err_sum as f64 / self.checked as f64
+        }
+    }
+}
+
 /// Per-thread statistics.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadStats {
@@ -143,6 +191,8 @@ pub struct SimStats {
     /// `smtsim_rob2::TwoLevelStats`, retrieved through
     /// `Simulator::allocator()`.
     pub dod_at_fill: DodHistogram,
+    /// Static-oracle cross-check counters (see [`DodOracleStats`]).
+    pub dod_oracle: DodOracleStats,
 }
 
 impl SimStats {
@@ -236,6 +286,22 @@ mod tests {
         s.threads[1].committed = 80;
         assert_eq!(s.total_committed(), 200);
         assert!((s.throughput_ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_stats_means() {
+        let z = DodOracleStats::default();
+        assert_eq!(z.mean_exact(), 0.0);
+        assert_eq!(z.mean_counter_error(), 0.0);
+        let o = DodOracleStats {
+            checked: 4,
+            violations: 0,
+            exact_sum: 8,
+            counter_err_sum: 2,
+            counter_overshoot: 1,
+        };
+        assert!((o.mean_exact() - 2.0).abs() < 1e-12);
+        assert!((o.mean_counter_error() - 0.5).abs() < 1e-12);
     }
 
     #[test]

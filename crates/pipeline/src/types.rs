@@ -87,7 +87,7 @@ impl InstState {
     /// True when the entry is an L2-missing load whose data has not yet
     /// returned (i.e. `executed` still false).
     pub fn pending_l2_miss(&self) -> bool {
-        !self.executed && self.mem.map(|m| m.l2_miss).unwrap_or(false)
+        !self.executed && self.mem.is_some_and(|m| m.l2_miss)
     }
 }
 

@@ -307,6 +307,72 @@ mod tests {
     }
 
     #[test]
+    fn last_value_alias_store_evicts_prior_entry() {
+        let mut p = LastValueDod::new(16);
+        let pc = 0x100;
+        let alias = pc + (16 << 2) * 7; // same index, different tag
+        p.store(pc, 3);
+        p.store(alias, 9);
+        // Direct-mapped: the alias displaced the original static load,
+        // which must now read as cold rather than return the alias's
+        // count.
+        assert_eq!(p.lookup(pc), None);
+        assert_eq!(p.lookup(alias), Some(9));
+        assert_eq!(p.predict_below(pc, 0, 31), None);
+    }
+
+    #[test]
+    fn cold_entries_predict_none_across_designs() {
+        let mut predictors: Vec<Box<dyn DodPredictor>> = vec![
+            Box::new(LastValueDod::new(64)),
+            Box::new(ThresholdBitDod::new(64, 16)),
+            Box::new(PathDod::new(64)),
+        ];
+        for p in &mut predictors {
+            assert_eq!(p.predict_below(0x700, 5, 16), None, "cold entry");
+            let (lookups, hits) = p.coverage();
+            assert_eq!((lookups, hits), (1, 0), "cold lookup counted, no hit");
+        }
+    }
+
+    #[test]
+    fn threshold_bit_retrains_and_respects_constructor_threshold() {
+        let mut p = ThresholdBitDod::new(64, 16);
+        let pc = 0x200;
+        p.update(pc, 0, 20);
+        assert_eq!(p.predict_below(pc, 0, 16), Some(false));
+        // A query at a foreign threshold is refused without disturbing
+        // the trained bit.
+        assert_eq!(p.predict_below(pc, 0, 8), None);
+        assert_eq!(p.predict_below(pc, 0, 16), Some(false));
+        // Retraining with a small count flips the stored bit.
+        p.update(pc, 0, 3);
+        assert_eq!(p.predict_below(pc, 0, 16), Some(true));
+        // Changing thresholds means building a new predictor: the same
+        // count classifies differently against a tighter threshold.
+        let mut q = ThresholdBitDod::new(64, 4);
+        q.update(pc, 0, 5);
+        assert_eq!(q.predict_below(pc, 0, 4), Some(false));
+        assert_eq!(q.predict_below(pc, 0, 16), None, "foreign threshold");
+    }
+
+    #[test]
+    fn path_qualified_tag_rejects_cross_pc_aliases() {
+        let mut p = PathDod::new(16);
+        // (0x100>>2) & 15 == (0x200>>2) & 15 == 0, but the PC tags
+        // differ: the second update evicts the first.
+        p.update(0x100, 0, 2);
+        p.update(0x200, 0, 2);
+        assert_eq!(p.predict_below(0x100, 0, 8), None, "evicted by alias");
+        assert_eq!(p.predict_below(0x200, 0, 8), Some(true));
+        // Same PC, two histories that xor into the same slot: the tag
+        // matches, so the entry is shared and the last training wins.
+        p.update(0x100, 0, 2);
+        p.update(0x100, 16, 12);
+        assert_eq!(p.predict_below(0x100, 0, 8), Some(false));
+    }
+
+    #[test]
     fn trait_objects_work() {
         let mut predictors: Vec<Box<dyn DodPredictor>> = vec![
             Box::new(LastValueDod::new(64)),

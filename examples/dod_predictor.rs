@@ -12,14 +12,14 @@
 use smtsim_rob2::{DodPredictorKind, Lab, RobConfig, Scheme, TwoLevelConfig};
 
 fn main() {
-    let mixes: Vec<usize> = std::env::args()
-        .nth(1)
-        .map(|s| {
+    let mixes: Vec<usize> = std::env::args().nth(1).map_or_else(
+        || vec![1, 3, 9],
+        |s| {
             s.split(',')
                 .map(|x| x.parse().expect("mix index"))
                 .collect()
-        })
-        .unwrap_or_else(|| vec![1, 3, 9]);
+        },
+    );
     let mut lab = Lab::new(42).with_budgets(30_000, 30_000);
 
     println!("2-Level P-ROB5 with each §4.2 predictor design\n");

@@ -18,7 +18,7 @@ fn fingerprint(seed: u64, two_level: bool) -> Vec<u64> {
     sim.warmup(20_000);
     sim.run(StopCondition::AnyThreadCommitted(8_000));
     let mut v = vec![sim.cycle()];
-    for t in sim.stats().threads.iter() {
+    for t in &sim.stats().threads {
         v.extend([
             t.committed,
             t.fetched,
@@ -82,7 +82,7 @@ fn faulted_fingerprint(
         .try_run(StopCondition::AnyThreadCommitted(5_000))
         .map(|_| ());
     let mut v = Vec::new();
-    for t in sim.stats().threads.iter() {
+    for t in &sim.stats().threads {
         v.extend([t.committed, t.fetched, t.issued, t.squashed, t.l2_misses]);
     }
     (res, sim.cycle(), v, sim.fault_stats())

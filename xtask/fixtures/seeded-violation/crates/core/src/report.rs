@@ -1,0 +1,15 @@
+//! Seeded lint-violation fixture: a HashMap iteration feeding report
+//! output — exactly the nondeterminism the hash-collections rule bans.
+//! This file is NOT part of the workspace build; `cargo xtask` tests
+//! scan it to prove the lint fails on a real violation.
+
+use std::collections::HashMap;
+
+pub fn render(rows: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    // Iteration order varies run to run -> bytes differ.
+    for (k, v) in rows {
+        out.push_str(&format!("{k}: {v}\n"));
+    }
+    out
+}

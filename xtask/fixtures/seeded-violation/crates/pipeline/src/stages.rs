@@ -1,0 +1,9 @@
+//! Seeded fixture: a panicking extractor in a pipeline hot path.
+
+pub fn commit(head: Option<u64>) -> u64 {
+    head.unwrap()
+}
+
+pub fn rename(slot: Option<u32>) -> u32 {
+    slot.expect("free list empty")
+}

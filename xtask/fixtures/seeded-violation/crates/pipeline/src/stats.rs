@@ -1,0 +1,5 @@
+//! Seeded fixture: a narrowing cast truncating a stats counter.
+
+pub fn record(total_committed: u64) -> u32 {
+    total_committed as u32
+}

@@ -1,0 +1,309 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! The only subcommand today is `lint`: source-level checks that
+//! rustc/clippy cannot express because they are *policy*, not
+//! language rules:
+//!
+//! * **hash-collections** — `HashMap`/`HashSet` in production sources.
+//!   Their iteration order is nondeterministic per process, so a hash
+//!   collection anywhere near simulator state or report/figure output
+//!   silently breaks byte-for-byte reproducibility. Use
+//!   `BTreeMap`/`BTreeSet` (or annotate the line with
+//!   `// xtask: allow-hash-collection — <reason>` for a keyed lookup
+//!   that provably never iterates).
+//! * **unwrap-in-pipeline** — `.unwrap()` / `.expect(` in
+//!   `crates/pipeline` hot paths. The simulator reports integrity
+//!   failures as typed `SimError`s; a panic in a stage poisons a whole
+//!   sweep instead of one cell. Marker: `// xtask: allow-unwrap`.
+//! * **lossy-cast-in-stats** — narrowing `as` casts in stats/metrics
+//!   accounting files, where a truncated counter produces a plausible
+//!   but wrong figure. Marker: `// xtask: allow-lossy-cast`.
+//!
+//! Test code is exempt: `tests/` directories, and everything at or
+//! below the first `#[cfg(test)]` line of a file (the workspace
+//! convention keeps the test module last).
+//!
+//! Run as `cargo xtask lint` (alias in `.cargo/config.toml`). Exits 1
+//! when violations are found, printing `path:line: [rule] message`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic output. `skip_tests` drops `tests/` directories.
+fn rust_sources(dir: &Path, skip_tests: bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if skip_tests && (name == "tests" || name == "benches" || name == "target") {
+                continue;
+            }
+            rust_sources(&path, skip_tests, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The code portion of a source line: strips `//` comments (including
+/// doc comments) so prose mentioning `HashMap` never trips the lint.
+/// String literals containing `//` are not handled — acceptable for a
+/// policy lint over this workspace.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does `lines[idx]` carry `marker` on the same or the previous line?
+fn allowed(lines: &[&str], idx: usize, marker: &str) -> bool {
+    lines[idx].contains(marker) || (idx > 0 && lines[idx - 1].contains(marker))
+}
+
+/// Index of the first `#[cfg(test)]`-style line, i.e. where the file's
+/// test module begins; everything from there on is exempt.
+fn test_code_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(") && t.contains("test")
+        })
+        .unwrap_or(lines.len())
+}
+
+/// Scans one production source file.
+fn scan_file(path: &Path, in_pipeline: bool, is_stats: bool, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let end = test_code_start(&lines);
+    for (idx, raw) in lines.iter().enumerate().take(end) {
+        let code = code_of(raw);
+        let lineno = idx + 1;
+        for coll in ["HashMap", "HashSet"] {
+            if code.contains(coll) && !allowed(&lines, idx, "xtask: allow-hash-collection") {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    rule: "hash-collections",
+                    message: format!(
+                        "{coll} in production code: iteration order is nondeterministic; \
+                         use BTreeMap/BTreeSet or annotate `// xtask: allow-hash-collection`"
+                    ),
+                });
+            }
+        }
+        if in_pipeline
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed(&lines, idx, "xtask: allow-unwrap")
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "unwrap-in-pipeline",
+                message: "panicking extractor in a pipeline hot path: report a typed \
+                          SimError (or annotate `// xtask: allow-unwrap`)"
+                    .into(),
+            });
+        }
+        if is_stats && !allowed(&lines, idx, "xtask: allow-lossy-cast") {
+            for cast in [
+                " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+            ] {
+                // Require a word boundary after the cast so ` as u32`
+                // does not also match inside ` as u32x4`-style names.
+                let mut search = code;
+                while let Some(i) = search.find(cast) {
+                    let after = &search[i + cast.len()..];
+                    if after.chars().next().is_none_or(|c| !c.is_alphanumeric()) {
+                        out.push(Violation {
+                            file: path.to_path_buf(),
+                            line: lineno,
+                            rule: "lossy-cast-in-stats",
+                            message: format!(
+                                "narrowing `{}` in stats accounting can silently truncate \
+                                 a counter; widen instead (or annotate \
+                                 `// xtask: allow-lossy-cast`)",
+                                cast.trim_start()
+                            ),
+                        });
+                        break;
+                    }
+                    search = &search[i + cast.len()..];
+                }
+            }
+        }
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root`; returns the
+/// violations sorted by file and line.
+fn run_lints(root: &Path) -> Vec<Violation> {
+    // Scope: the simulator production crates. `xtask` itself and the
+    // vendored proptest shim are not simulator state/output.
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates"), true, &mut files);
+    let mut out = Vec::new();
+    for f in &files {
+        let rel = f.strip_prefix(root).unwrap_or(f);
+        let in_pipeline = rel.starts_with("crates/pipeline/src");
+        let stem = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let is_stats = stem == "stats.rs" || stem == "metrics.rs";
+        scan_file(f, in_pipeline, is_stats, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_default();
+    // `--root` serves the self-tests and lets CI lint a checkout from
+    // anywhere; default is the manifest's parent (the workspace root).
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let mut rest = Vec::new();
+    while let Some(a) = args.next() {
+        if a == "--root" {
+            match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("xtask: --root requires a value");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    match cmd.as_str() {
+        "lint" if rest.is_empty() => {
+            let violations = run_lints(&root);
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root PATH]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded-violation")
+    }
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..")
+    }
+
+    #[test]
+    fn seeded_hashmap_violation_fails() {
+        // The fixture plants a HashMap iteration in a report-output
+        // path; the lint must refuse it.
+        let violations = run_lints(&fixture_root());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "hash-collections"
+                    && v.file.ends_with("crates/core/src/report.rs")),
+            "expected a hash-collections violation, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_unwrap_and_cast_violations_fail() {
+        let violations = run_lints(&fixture_root());
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == "unwrap-in-pipeline"
+                && v.file.ends_with("crates/pipeline/src/stages.rs")));
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == "lossy-cast-in-stats"
+                && v.file.ends_with("crates/pipeline/src/stats.rs")));
+    }
+
+    #[test]
+    fn fixture_allowed_lines_are_clean() {
+        // The fixture also contains annotated lines and test-module
+        // lines that must NOT fire.
+        let violations = run_lints(&fixture_root());
+        for v in &violations {
+            assert!(
+                !v.file.ends_with("crates/core/src/allowed.rs"),
+                "annotated/test code flagged: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let violations = run_lints(&repo_root());
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn comment_mentions_do_not_fire() {
+        assert_eq!(code_of("let x = 1; // HashMap is banned"), "let x = 1; ");
+        assert_eq!(code_of("/// HashMap docs"), "");
+    }
+
+    #[test]
+    fn test_module_detection() {
+        let lines = vec!["fn a() {}", "#[cfg(test)]", "mod tests {}"];
+        assert_eq!(test_code_start(&lines), 1);
+        let no_tests = vec!["fn a() {}"];
+        assert_eq!(test_code_start(&no_tests), 1);
+    }
+}
