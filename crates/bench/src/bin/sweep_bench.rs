@@ -1,0 +1,108 @@
+//! Wall-clock benchmark of the two-phase sweep engine: times the same
+//! figure-sweep cell matrix serially (`jobs = 1`) and fanned out
+//! (`SMTSIM_JOBS`, default 4), verifies the rendered output is
+//! byte-identical, and records the measurement to `BENCH_sweep.json`.
+//!
+//! The cell matrix is the union of the paper's FT figures (Figures
+//! 2/4/5/6: six configurations × `MIXES`), i.e. the workload a full
+//! figure regeneration dispatches. Budgets follow the usual
+//! `BUDGET`/`ST_BUDGET`/`WARMUP`/`SEED`/`MIXES` knobs so the recorded
+//! numbers can be reproduced at any scale:
+//!
+//! ```sh
+//! BUDGET=40000 SMTSIM_JOBS=4 cargo run --release -p smtsim-bench --bin sweep_bench
+//! ```
+//!
+//! Exits 1 if the serial and parallel sweeps disagree (they are
+//! defined to be byte-identical) — turning a determinism regression
+//! into a hard failure wherever this runs.
+
+use smtsim_rob2::{figures, report};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Renders every FT figure of the paper once and returns the
+/// concatenated text — the byte-comparable product of one full sweep.
+fn full_figure_sweep(lab: &mut smtsim_rob2::Lab, mixes: &[usize]) -> String {
+    let mut out = String::new();
+    for fig in [
+        figures::fig2(lab, mixes),
+        figures::fig4(lab, mixes),
+        figures::fig5(lab, mixes),
+        figures::fig6(lab, mixes),
+    ] {
+        out.push_str(&report::render_figure(&fig));
+    }
+    out
+}
+
+/// Number of multithreaded cells the sweep dispatches (for the
+/// record): Figures 2/4/5 have 3 configurations each, Figure 6 has 4.
+fn cell_count(mixes: usize) -> usize {
+    (3 + 3 + 3 + 4) * mixes
+}
+
+fn main() {
+    let mixes = smtsim_bench::mixes_from_env();
+    let base = smtsim_bench::lab_from_env();
+    let jobs = base.jobs.unwrap_or(4).max(2);
+
+    let time = |jobs: usize| {
+        let mut lab = smtsim_bench::lab_from_env();
+        lab.jobs = Some(jobs);
+        let t0 = Instant::now();
+        let text = full_figure_sweep(&mut lab, &mixes);
+        (t0.elapsed(), text)
+    };
+
+    eprintln!(
+        "sweep_bench: {} cells, budget={} st_budget={} warmup={} seed={}",
+        cell_count(mixes.len()),
+        base.mt_budget,
+        base.st_budget,
+        base.warmup,
+        base.seed
+    );
+    let (serial, serial_text) = time(1);
+    eprintln!("serial  (jobs=1): {serial:.2?}");
+    let (parallel, parallel_text) = time(jobs);
+    eprintln!("parallel (jobs={jobs}): {parallel:.2?}");
+
+    let identical = serial_text == parallel_text;
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    eprintln!("speedup: {speedup:.2}x  identical_output: {identical}");
+
+    // Hand-rolled JSON: the workspace is dependency-free by design.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sweep_bench\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"FT figures 2/4/5/6 over {} mixes ({} multithreaded cells + phase-1 normalization)\",",
+        mixes.len(),
+        cell_count(mixes.len())
+    );
+    let _ = writeln!(json, "  \"budget\": {},", base.mt_budget);
+    let _ = writeln!(json, "  \"st_budget\": {},", base.st_budget);
+    let _ = writeln!(json, "  \"warmup\": {},", base.warmup);
+    let _ = writeln!(json, "  \"seed\": {},", base.seed);
+    let _ = writeln!(json, "  \"hardware_threads\": {},", {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"serial_ms\": {},", serial.as_millis());
+    let _ = writeln!(json, "  \"parallel_ms\": {},", parallel.as_millis());
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"identical_output\": {identical}");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write("BENCH_sweep.json", &json) {
+        eprintln!("error: cannot write BENCH_sweep.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote BENCH_sweep.json");
+
+    if !identical {
+        eprintln!("error: serial and parallel sweep output differ");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,9 @@
 //! * `WARMUP` — functional warm-up instructions (default 60 000).
 //! * `SEED` — workload generation seed (default 42).
 //! * `MIXES` — comma-separated mix indices (default all 11).
+//! * `SMTSIM_JOBS` — worker threads for the phase-2 sweep fan-out
+//!   (default `0` = the machine's available parallelism; `1` forces
+//!   the serial path). Figure output is byte-identical at any value.
 //!
 //! Integrity knobs (see DESIGN.md "Failure model & fault injection"):
 //!
@@ -77,6 +80,10 @@ pub fn try_lab_from_env() -> Result<Lab, SimError> {
     let seed = try_env_u64("SEED", 42)?;
     let mut lab = Lab::new(seed).with_budgets(budget, st_budget);
     lab.warmup = warmup;
+    // 0 (the default) delegates to the machine's available
+    // parallelism; any explicit value pins the worker count.
+    let jobs = try_env_u64("SMTSIM_JOBS", 0)?;
+    lab.jobs = (jobs > 0).then_some(jobs as usize);
     lab.machine.deadlock_cycles = try_env_u64("DEADLOCK_CYCLES", lab.machine.deadlock_cycles)?;
     lab.machine.invariant_interval =
         try_env_u64("INVARIANT_INTERVAL", lab.machine.invariant_interval)?;
@@ -170,6 +177,24 @@ mod tests {
         assert!((1..=11).all(|m| lab.fault_for(m).is_none()));
         let mixes = mixes_from_env();
         assert!(!mixes.is_empty() && mixes.iter().all(|&m| (1..=11).contains(&m)));
+    }
+
+    #[test]
+    fn smtsim_jobs_knob_pins_the_worker_count() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SMTSIM_JOBS", "4");
+        let lab = lab_from_env();
+        assert_eq!(lab.jobs, Some(4));
+        assert_eq!(lab.effective_jobs(), 4);
+        std::env::set_var("SMTSIM_JOBS", "0");
+        assert_eq!(lab_from_env().jobs, None, "0 means auto");
+        std::env::set_var("SMTSIM_JOBS", "four");
+        let Err(err) = try_lab_from_env() else {
+            panic!("SMTSIM_JOBS=four must be rejected")
+        };
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("SMTSIM_JOBS=four"), "{err}");
+        std::env::remove_var("SMTSIM_JOBS");
     }
 
     #[test]

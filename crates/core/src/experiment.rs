@@ -2,8 +2,16 @@
 //! computes the paper's metrics.
 //!
 //! The [`Lab`] memoizes the single-threaded normalization runs (one per
-//! `(mix, thread-slot)`) so sweeping many ROB configurations — as every
-//! figure does — pays the normalization cost once.
+//! `(mix, thread-slot)`, keyed by the full run-relevant state — see
+//! [`NormKey`]) so sweeping many ROB configurations — as every figure
+//! does — pays the normalization cost once.
+//!
+//! Sweeps run in two phases ([`Lab::sweep`]): phase 1 serially
+//! precomputes every normalization run the cells need into an
+//! immutable [`NormTable`]; phase 2 fans the `mix × config` cells out
+//! across scoped worker threads (`SMTSIM_JOBS` via the figure
+//! binaries), each panic-isolated, and merges results in input order —
+//! so rendered figures are byte-identical at any job count.
 
 use crate::metrics::{fair_throughput, weighted_ipc};
 use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
@@ -14,6 +22,9 @@ use smtsim_pipeline::{
 };
 use smtsim_workload::{mix, Workload};
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Static per-load DoD bound tables for a set of workloads, one table
@@ -49,6 +60,16 @@ impl RobConfig {
     pub fn label(&self) -> String {
         self.build().name()
     }
+
+    /// Canonical value fingerprint: a string derived from every
+    /// configuration field. Unlike [`RobConfig::label`] — which names
+    /// only the scheme and threshold — this distinguishes two distinct
+    /// configurations that happen to share a display name (e.g. two
+    /// `2-Level R-ROB16`s with different second-level sizes), so it is
+    /// what the normalization cache keys on.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 /// Result of one mix × configuration run.
@@ -77,6 +98,77 @@ pub struct MixRun {
     pub faults: FaultStats,
 }
 
+/// Cache key of one memoized normalization run. Every input that can
+/// change the measured single-threaded IPC participates: the workload
+/// (`mix`, `slot`, `seed`), the run length (`st_budget`, `warmup`),
+/// the reference ROB configuration (by value fingerprint, not display
+/// label) and the machine configuration. Mutating any of these on the
+/// [`Lab`] therefore misses the cache instead of silently serving an
+/// IPC measured under the old state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct NormKey {
+    mix: usize,
+    slot: usize,
+    config: String,
+    st_budget: u64,
+    warmup: u64,
+    seed: u64,
+    machine: String,
+}
+
+/// Immutable product of a sweep's phase 1: the single-threaded
+/// reference IPC (or the typed error its run produced) for every
+/// `(mix, slot)` the sweep's cells need, all measured under
+/// [`Lab::norm`]. Computed serially in deterministic `(mix, slot)`
+/// order, then shared read-only by the phase-2 workers.
+#[derive(Clone, Debug)]
+pub struct NormTable {
+    entries: BTreeMap<(usize, usize), Result<f64, SimError>>,
+}
+
+impl NormTable {
+    /// The reference IPC of `(mix, slot)`, or the error its
+    /// normalization run produced. A missing entry (the table was
+    /// built for a different mix set) is an [`SimError::InvalidConfig`].
+    pub fn get(&self, mix: usize, slot: usize) -> Result<f64, SimError> {
+        match self.entries.get(&(mix, slot)) {
+            Some(r) => r.clone(),
+            None => Err(SimError::InvalidConfig {
+                reason: format!("normalization table has no entry for mix {mix} slot {slot}"),
+            }),
+        }
+    }
+
+    /// Number of `(mix, slot)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One cell of a sweep: a mix index under a ROB configuration.
+pub type SweepCell = (usize, RobConfig);
+
+/// Runs `f` with panics converted to [`SimError::CellPanic`], so one
+/// poisoned sweep cell degrades to an `n/a` figure cell instead of
+/// killing the whole sweep (or a worker thread).
+fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, SimError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SimError::CellPanic { reason }
+    })
+}
+
 /// Experiment driver with memoized normalization runs.
 pub struct Lab {
     /// The multithreaded machine (defaults to Table 1).
@@ -97,7 +189,13 @@ pub struct Lab {
     /// (Baseline_32 alone), so FT values are directly comparable across
     /// the paper's bar charts.
     pub norm: RobConfig,
-    single_cache: BTreeMap<(usize, usize, String), f64>,
+    /// Worker threads for [`Lab::sweep`]: `None` (the default) uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// serial path. The figure binaries set this from the
+    /// `SMTSIM_JOBS` environment knob. The sweep output is
+    /// byte-identical at any job count.
+    pub jobs: Option<usize>,
+    single_cache: BTreeMap<NormKey, f64>,
     /// Fault plan applied to every multithreaded run (see
     /// [`Lab::set_fault`]).
     global_fault: Option<FaultPlan>,
@@ -116,6 +214,7 @@ impl Lab {
             st_budget: 60_000,
             warmup: 60_000,
             norm: RobConfig::Baseline(32),
+            jobs: None,
             single_cache: BTreeMap::new(),
             global_fault: None,
             mix_faults: BTreeMap::new(),
@@ -174,7 +273,7 @@ impl Lab {
         slot: usize,
         rob: RobConfig,
     ) -> Result<f64, SimError> {
-        let key = (mix_idx, slot, rob.label());
+        let key = self.norm_key(mix_idx, slot, rob);
         if let Some(&v) = self.single_cache.get(&key) {
             return Ok(v);
         }
@@ -192,24 +291,74 @@ impl Lab {
         Ok(ipc)
     }
 
-    /// Runs `mix_idx` under `rob` and computes all metrics.
-    ///
-    /// # Panics
-    /// Panics on any [`SimError`]; use [`Lab::try_run_mix`] in sweeps
-    /// that must survive a poisoned cell.
-    pub fn run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> MixRun {
-        match self.try_run_mix(mix_idx, rob) {
-            Ok(r) => r,
-            Err(e) => panic!("{e}"),
+    /// The cache key a normalization run of `(mix, slot)` under `rob`
+    /// would use given the lab's *current* state.
+    fn norm_key(&self, mix_idx: usize, slot: usize, rob: RobConfig) -> NormKey {
+        NormKey {
+            mix: mix_idx,
+            slot,
+            config: rob.fingerprint(),
+            st_budget: self.st_budget,
+            warmup: self.warmup,
+            seed: self.seed,
+            machine: format!("{:?}", self.machine),
         }
     }
 
-    /// Fallible form of [`Lab::run_mix`]. The multithreaded run uses
-    /// the fault plan installed via [`Lab::set_fault`] (if any); errors
-    /// from either the faulted run or the normalization runs are
-    /// returned instead of panicking, so a sweep can record the cell as
-    /// failed and continue.
-    pub fn try_run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> Result<MixRun, SimError> {
+    /// Number of distinct normalization runs currently memoized
+    /// (distinct [`NormKey`]s — mutating budgets, seed, warm-up or the
+    /// machine grows this rather than overwriting entries).
+    pub fn cached_norm_runs(&self) -> usize {
+        self.single_cache.len()
+    }
+
+    /// Worker-thread count a sweep would use right now: [`Lab::jobs`]
+    /// if set, otherwise the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs
+            .or_else(|| {
+                std::thread::available_parallelism()
+                    .ok()
+                    .map(NonZeroUsize::get)
+            })
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Phase 1 of a sweep: computes (and memoizes) the normalization
+    /// run of every `(mix, slot)` in `mixes` under [`Lab::norm`],
+    /// serially, in ascending `(mix, slot)` order, and snapshots the
+    /// results into an immutable [`NormTable`]. A mix whose very
+    /// instantiation panics is skipped here — its phase-2 cells hit
+    /// the same panic and report it per cell.
+    pub fn norm_table(&mut self, mixes: &[usize]) -> NormTable {
+        let mut sorted: Vec<usize> = mixes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut entries = BTreeMap::new();
+        let norm = self.norm;
+        for m in sorted {
+            let Ok(slots) = catch_cell(|| mix(m).benchmarks.len()) else {
+                continue;
+            };
+            for slot in 0..slots {
+                let r = catch_cell(|| self.try_single_ipc(m, slot, norm)).and_then(|r| r);
+                entries.insert((m, slot), r);
+            }
+        }
+        NormTable { entries }
+    }
+
+    /// Runs one `mix × config` cell against a phase-1 normalization
+    /// table. Takes `&self` — a cell mutates no lab state, which is
+    /// what lets [`Lab::sweep`] fan cells out across threads while
+    /// sharing one `Lab` and one [`NormTable`].
+    pub fn run_cell(
+        &self,
+        mix_idx: usize,
+        rob: RobConfig,
+        norm: &NormTable,
+    ) -> Result<MixRun, SimError> {
         let m = mix(mix_idx);
         let wls: Vec<Arc<Workload>> = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
         let bounds = static_bounds(&wls);
@@ -229,9 +378,8 @@ impl Lab {
         let cycles = sim.cycle();
         let stats = sim.stats().clone();
         let ipc: Vec<f64> = stats.threads.iter().map(|t| t.ipc(cycles)).collect();
-        let norm = self.norm;
         let single_ipc: Vec<f64> = (0..ipc.len())
-            .map(|slot| self.try_single_ipc(mix_idx, slot, norm))
+            .map(|slot| norm.get(mix_idx, slot))
             .collect::<Result<_, _>>()?;
         let weighted: Vec<f64> = ipc
             .iter()
@@ -255,6 +403,89 @@ impl Lab {
             twolevel,
             faults,
         })
+    }
+
+    /// Runs a batch of `mix × config` cells and returns their results
+    /// in input order.
+    ///
+    /// Phase 1 serially precomputes every normalization run the cells
+    /// need ([`Lab::norm_table`]); the immutable table is then shared
+    /// read-only by phase 2, which fans the cells out across
+    /// [`Lab::effective_jobs`] scoped worker threads pulling from a
+    /// shared work queue. Each cell is panic-isolated: a panicking
+    /// cell yields [`SimError::CellPanic`] — rendered `n/a` by the
+    /// figure layer — instead of killing the sweep. Results are merged
+    /// by input index, so the output (and every figure rendered from
+    /// it) is byte-identical at any job count, including the serial
+    /// `jobs = 1` path.
+    pub fn sweep(&mut self, cells: &[SweepCell]) -> Vec<Result<MixRun, SimError>> {
+        let mixes: Vec<usize> = cells.iter().map(|&(m, _)| m).collect();
+        let norm = self.norm_table(&mixes);
+        let jobs = self.effective_jobs().min(cells.len().max(1));
+        let this: &Lab = self;
+        if jobs <= 1 {
+            return cells
+                .iter()
+                .map(|&(m, cfg)| catch_cell(|| this.run_cell(m, cfg, &norm)).and_then(|r| r))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let norm = &norm;
+            let next = &next;
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(m, cfg)) = cells.get(i) else {
+                                break;
+                            };
+                            out.push((
+                                i,
+                                catch_cell(|| this.run_cell(m, cfg, norm)).and_then(|r| r),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut merged: Vec<Option<Result<MixRun, SimError>>> =
+                cells.iter().map(|_| None).collect();
+            for h in handles {
+                let chunk = h.join().expect("workers catch cell panics");
+                for (i, r) in chunk {
+                    merged[i] = Some(r);
+                }
+            }
+            merged
+                .into_iter()
+                .map(|o| o.expect("the work queue visits every cell index"))
+                .collect()
+        })
+    }
+
+    /// Runs `mix_idx` under `rob` and computes all metrics.
+    ///
+    /// # Panics
+    /// Panics on any [`SimError`]; use [`Lab::try_run_mix`] in sweeps
+    /// that must survive a poisoned cell.
+    pub fn run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> MixRun {
+        match self.try_run_mix(mix_idx, rob) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Lab::run_mix`]. The multithreaded run uses
+    /// the fault plan installed via [`Lab::set_fault`] (if any); errors
+    /// from either the faulted run or the normalization runs are
+    /// returned instead of panicking, so a sweep can record the cell as
+    /// failed and continue.
+    pub fn try_run_mix(&mut self, mix_idx: usize, rob: RobConfig) -> Result<MixRun, SimError> {
+        let norm = self.norm_table(&[mix_idx]);
+        self.run_cell(mix_idx, rob, &norm)
     }
 }
 
@@ -343,6 +574,110 @@ mod tests {
         assert!(r.faults.delayed_fills > 0, "plan never fired");
         lab.clear_faults();
         assert!(lab.fault_for(1).is_none());
+    }
+
+    #[test]
+    fn cache_invalidated_by_st_budget_change() {
+        let mut lab = small_lab();
+        let a = lab.single_ipc(1, 0, RobConfig::Baseline(32));
+        assert_eq!(lab.cached_norm_runs(), 1);
+        // Regression: this used to hit the stale 8k-budget entry and
+        // silently serve it for the 2k-budget request.
+        lab.st_budget = 2_000;
+        let b = lab.single_ipc(1, 0, RobConfig::Baseline(32));
+        assert_eq!(lab.cached_norm_runs(), 2, "budget change must miss");
+        assert_ne!(a, b, "stale normalization IPC served across budgets");
+        // Restoring the budget serves the originally measured value.
+        lab.st_budget = 8_000;
+        assert_eq!(lab.single_ipc(1, 0, RobConfig::Baseline(32)), a);
+        assert_eq!(lab.cached_norm_runs(), 2);
+    }
+
+    #[test]
+    fn cache_invalidated_by_seed_warmup_and_machine_changes() {
+        let mut lab = small_lab();
+        let base = lab.single_ipc(1, 1, RobConfig::Baseline(32));
+        lab.seed = 8;
+        let _ = lab.single_ipc(1, 1, RobConfig::Baseline(32));
+        assert_eq!(lab.cached_norm_runs(), 2, "seed change must miss");
+        lab.warmup = 4_000;
+        let _ = lab.single_ipc(1, 1, RobConfig::Baseline(32));
+        assert_eq!(lab.cached_norm_runs(), 3, "warm-up change must miss");
+        lab.machine.mem.first_chunk += 400;
+        let slow = lab.single_ipc(1, 1, RobConfig::Baseline(32));
+        assert_eq!(lab.cached_norm_runs(), 4, "machine change must miss");
+        // Slot 1 of Mix 1 is art (memory-bound): much slower DRAM must
+        // change its alone-IPC, which the stale cache used to hide.
+        assert_ne!(base, slow);
+    }
+
+    #[test]
+    fn cache_distinguishes_configs_with_equal_labels() {
+        let mut lab = small_lab();
+        let a_cfg = TwoLevelConfig::r_rob(16);
+        let mut b_cfg = a_cfg;
+        b_cfg.l2_entries = 32;
+        let a = RobConfig::TwoLevel(a_cfg);
+        let b = RobConfig::TwoLevel(b_cfg);
+        // Same display name, different machine: the old label-based
+        // key collapsed these into one cache entry.
+        assert_eq!(a.label(), b.label());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let _ = lab.single_ipc(1, 1, a);
+        let _ = lab.single_ipc(1, 1, b);
+        assert_eq!(
+            lab.cached_norm_runs(),
+            2,
+            "equal labels used to collide into one normalization entry"
+        );
+    }
+
+    #[test]
+    fn sweep_is_identical_serial_parallel_and_to_the_direct_api() {
+        let cells: Vec<SweepCell> = vec![
+            (1, RobConfig::Baseline(32)),
+            (2, RobConfig::Baseline(32)),
+            (1, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16))),
+            (9, RobConfig::Baseline(128)),
+        ];
+        let run = |jobs: usize| {
+            let mut lab = small_lab();
+            lab.jobs = Some(jobs);
+            format!("{:?}", lab.sweep(&cells))
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "job count changed sweep results");
+        let mut lab = small_lab();
+        let direct: Vec<Result<MixRun, SimError>> =
+            cells.iter().map(|&(m, c)| lab.try_run_mix(m, c)).collect();
+        assert_eq!(serial, format!("{direct:?}"));
+    }
+
+    #[test]
+    fn sweep_isolates_panicking_cells() {
+        let mut lab = small_lab();
+        lab.jobs = Some(2);
+        // Mix 99 does not exist: instantiating it panics. The sweep
+        // must convert that to a typed per-cell error, not die.
+        let rs = lab.sweep(&[(1, RobConfig::Baseline(32)), (99, RobConfig::Baseline(32))]);
+        assert!(rs[0].is_ok(), "healthy cell poisoned: {:?}", rs[0]);
+        match &rs[1] {
+            Err(SimError::CellPanic { reason }) => {
+                assert!(reason.contains("out of range"), "{reason}");
+            }
+            other => panic!("expected CellPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn norm_table_covers_requested_mixes_and_reports_missing() {
+        let mut lab = small_lab();
+        let t = lab.norm_table(&[2, 1, 1]);
+        assert_eq!(t.len(), 8, "4 slots per mix, duplicates collapsed");
+        assert!(!t.is_empty());
+        assert!(t.get(1, 3).is_ok());
+        let missing = t.get(5, 0).expect_err("mix 5 was not requested");
+        assert_eq!(missing.kind(), "invalid-config");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! as text, and `smtsim-bench` wraps each in a binary and a Criterion
 //! bench.
 
-use crate::experiment::{Lab, MixRun, RobConfig};
+use crate::experiment::{Lab, MixRun, RobConfig, SweepCell};
 use crate::metrics::mean;
 use crate::twolevel::{Scheme, TwoLevelConfig};
 use smtsim_pipeline::{DodHistogram, DodOracleStats, SimError};
@@ -82,8 +82,10 @@ pub struct FigureData {
 }
 
 impl FigureData {
-    /// Average improvement of `series[idx]` over `series[base]`.
-    pub fn avg_improvement(&self, idx: usize, base: usize) -> f64 {
+    /// Average improvement of `series[idx]` over `series[base]`, when
+    /// both averages are well-defined — `None` for a degenerate or
+    /// poisoned baseline (e.g. a series whose every cell failed).
+    pub fn avg_improvement(&self, idx: usize, base: usize) -> Option<f64> {
         crate::metrics::improvement(self.series[idx].average, self.series[base].average)
     }
 }
@@ -112,15 +114,37 @@ impl HistogramData {
 }
 
 fn ft_figure(lab: &mut Lab, title: &str, configs: &[RobConfig], mixes: &[usize]) -> FigureData {
-    let mut failures = Vec::new();
-    let series = configs
+    let variants: Vec<(String, RobConfig)> = configs.iter().map(|c| (c.label(), *c)).collect();
+    ft_sweep(lab, title, variants, mixes)
+}
+
+/// Shared FT-figure driver: one series per labeled configuration, all
+/// `mix × config` cells dispatched through [`Lab::sweep`] as one batch
+/// (one phase-1 normalization pass, one phase-2 fan-out) and sliced
+/// back per series in input order.
+fn ft_sweep(
+    lab: &mut Lab,
+    title: &str,
+    variants: Vec<(String, RobConfig)>,
+    mixes: &[usize],
+) -> FigureData {
+    let cells: Vec<SweepCell> = variants
         .iter()
-        .map(|cfg| {
-            let results: Vec<(String, Result<MixRun, SimError>)> = mixes
+        .flat_map(|(_, cfg)| {
+            let cfg = *cfg;
+            mixes.iter().map(move |&m| (m, cfg))
+        })
+        .collect();
+    let mut results = lab.sweep(&cells).into_iter();
+    let mut failures = Vec::new();
+    let series = variants
+        .into_iter()
+        .map(|(label, _)| {
+            let rows: Vec<(String, Result<MixRun, SimError>)> = mixes
                 .iter()
-                .map(|&m| (mix_name(m), lab.try_run_mix(m, *cfg)))
+                .map(|&m| (mix_name(m), results.next().expect("one result per cell")))
                 .collect();
-            Series::from_results(cfg.label(), results, &mut failures)
+            Series::from_results(label, rows, &mut failures)
         })
         .collect();
     FigureData {
@@ -131,10 +155,12 @@ fn ft_figure(lab: &mut Lab, title: &str, configs: &[RobConfig], mixes: &[usize])
 }
 
 fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
+    let cells: Vec<SweepCell> = mixes.iter().map(|&m| (m, cfg)).collect();
+    let results = lab.sweep(&cells);
     let mut failures = Vec::new();
     let mut cols = Vec::with_capacity(mixes.len());
-    for &m in mixes {
-        match lab.try_run_mix(m, cfg) {
+    for (&m, res) in mixes.iter().zip(results) {
+        match res {
             Ok(run) => cols.push((run.mix.clone(), run.stats.dod_at_fill.clone())),
             Err(e) => failures.push(failure_line(&mix_name(m), &cfg.label(), &e)),
         }
@@ -284,11 +310,16 @@ pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
         RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
         RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
     ];
+    let cells: Vec<SweepCell> = configs
+        .iter()
+        .flat_map(|&cfg| mixes.iter().map(move |&m| (m, cfg)))
+        .collect();
+    let mut results = lab.sweep(&cells).into_iter();
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for cfg in configs {
         for &m in mixes {
-            match lab.try_run_mix(m, cfg) {
+            match results.next().expect("one result per cell") {
                 Ok(run) => {
                     let predictive = run
                         .twolevel
@@ -352,22 +383,11 @@ pub fn ablation(lab: &mut Lab, mixes: &[usize]) -> FigureData {
         c.l2_entries = l2;
         variants.push((format!("L2={l2}"), c));
     }
-    let mut failures = Vec::new();
-    let series = variants
+    let variants: Vec<(String, RobConfig)> = variants
         .into_iter()
-        .map(|(label, cfg)| {
-            let results: Vec<(String, Result<MixRun, SimError>)> = mixes
-                .iter()
-                .map(|&m| (mix_name(m), lab.try_run_mix(m, RobConfig::TwoLevel(cfg))))
-                .collect();
-            Series::from_results(label, results, &mut failures)
-        })
+        .map(|(label, cfg)| (label, RobConfig::TwoLevel(cfg)))
         .collect();
-    FigureData {
-        title: "Ablation: two-level design choices".to_string(),
-        series,
-        failures,
-    }
+    ft_sweep(lab, "Ablation: two-level design choices", variants, mixes)
 }
 
 #[cfg(test)]
@@ -496,6 +516,30 @@ mod tests {
             ],
             failures: vec![],
         };
-        assert!((f.avg_improvement(1, 0) - 0.3).abs() < 1e-12);
+        let d = f.avg_improvement(1, 0).expect("healthy averages");
+        assert!((d - 0.3).abs() < 1e-12);
+        // A poisoned baseline makes the comparison undefined, not +0 %.
+        assert_eq!(f.avg_improvement(0, 1).map(|_| ()), Some(()));
+        let mut poisoned = f.clone();
+        poisoned.series[0].average = f64::NAN;
+        assert_eq!(poisoned.avg_improvement(1, 0), None);
+    }
+
+    #[test]
+    fn figures_are_identical_at_any_job_count() {
+        let render = |jobs: usize| {
+            let mut lab = lab();
+            lab.jobs = Some(jobs);
+            let fig = fig2(&mut lab, &[1, 9]);
+            let hist = fig1(&mut lab, &[1, 9]);
+            (
+                crate::report::render_figure(&fig),
+                crate::report::render_histogram(&hist),
+            )
+        };
+        let serial = render(1);
+        let parallel = render(4);
+        assert_eq!(serial.0, parallel.0, "FT figure differs across job counts");
+        assert_eq!(serial.1, parallel.1, "histogram differs across job counts");
     }
 }

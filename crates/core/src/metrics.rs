@@ -44,12 +44,18 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Relative improvement of `new` over `base`, e.g. `0.30` = +30 %.
-pub fn improvement(new: f64, base: f64) -> f64 {
-    if base <= 0.0 {
-        0.0
+/// Relative improvement of `new` over `base`, e.g. `Some(0.30)` =
+/// +30 %.
+///
+/// Returns `None` when the comparison is undefined: a starved or
+/// poisoned baseline (`base ≤ 0`, which previously rendered as a
+/// misleading "+0 %") or a non-finite operand (a sweep average whose
+/// cells all failed is `NaN`). Report tables render `None` as `n/a`.
+pub fn improvement(new: f64, base: f64) -> Option<f64> {
+    if base > 0.0 && base.is_finite() && new.is_finite() {
+        Some(new / base - 1.0)
     } else {
-        new / base - 1.0
+        None
     }
 }
 
@@ -84,8 +90,26 @@ mod tests {
     fn mean_and_improvement() {
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
-        assert!((improvement(1.3, 1.0) - 0.3).abs() < 1e-12);
-        assert_eq!(improvement(1.0, 0.0), 0.0);
+        let d = improvement(1.3, 1.0).expect("healthy baseline");
+        assert!((d - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_over_degenerate_baseline_is_undefined() {
+        // A starved baseline used to report "+0 %" — indistinguishable
+        // from a genuinely unchanged result. It must be `None` now.
+        assert_eq!(improvement(1.0, 0.0), None);
+        assert_eq!(improvement(1.0, -0.5), None);
+        assert_eq!(improvement(0.0, 0.0), None);
+        // Poisoned sweep averages are NaN; comparisons against or of
+        // them are undefined, not zero.
+        assert_eq!(improvement(f64::NAN, 1.0), None);
+        assert_eq!(improvement(1.0, f64::NAN), None);
+        assert_eq!(improvement(f64::INFINITY, 1.0), None);
+        // A regression is still a well-defined (negative) improvement.
+        assert_eq!(improvement(0.5, 1.0), Some(-0.5));
+        // And a zero over a healthy baseline is exactly -100 %.
+        assert_eq!(improvement(0.0, 2.0), Some(-1.0));
     }
 
     #[test]

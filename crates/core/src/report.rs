@@ -41,21 +41,25 @@ pub fn render_figure(fig: &FigureData) -> String {
     }
     let _ = writeln!(out);
     // Relative improvements over the first series (the paper reports
-    // them against Baseline_32). Omitted for series whose average is
-    // poisoned by failed cells.
+    // them against Baseline_32). `n/a` for series whose average is
+    // poisoned by failed cells — and for a starved (zero) baseline,
+    // which used to render as a misleading percentage.
     if fig.series.len() > 1 {
         let base = fig.series[0].average;
         for s in &fig.series[1..] {
-            if base.is_finite() && s.average.is_finite() {
-                let _ = writeln!(
-                    out,
-                    "{} vs {}: {:+.2}%",
-                    s.label,
-                    fig.series[0].label,
-                    (s.average / base - 1.0) * 100.0
-                );
-            } else {
-                let _ = writeln!(out, "{} vs {}: n/a", s.label, fig.series[0].label);
+            match crate::metrics::improvement(s.average, base) {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "{} vs {}: {:+.2}%",
+                        s.label,
+                        fig.series[0].label,
+                        d * 100.0
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{} vs {}: n/a", s.label, fig.series[0].label);
+                }
             }
         }
     }
@@ -267,6 +271,34 @@ mod tests {
         assert!(s.contains("n/a"));
         assert!(s.contains("R-ROB16 vs Baseline_32: n/a"));
         assert_eq!(s.matches("failed:").count(), 2);
+    }
+
+    #[test]
+    fn starved_baseline_renders_improvement_as_na() {
+        // A baseline whose average is 0 (every thread starved) used to
+        // make the improvement line claim "+0 %"; it must be n/a.
+        let fig = FigureData {
+            title: "Test figure".into(),
+            series: vec![
+                Series {
+                    label: "Baseline_32".into(),
+                    points: vec![("Mix 1".into(), Some(0.0))],
+                    average: 0.0,
+                },
+                Series {
+                    label: "R-ROB16".into(),
+                    points: vec![("Mix 1".into(), Some(0.7))],
+                    average: 0.7,
+                },
+            ],
+            failures: vec![],
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("R-ROB16 vs Baseline_32: n/a"), "{s}");
+        assert!(
+            !s.contains('%'),
+            "no percentage against a starved baseline: {s}"
+        );
     }
 
     #[test]

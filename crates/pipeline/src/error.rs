@@ -44,6 +44,14 @@ pub enum SimError {
         /// Which constraint was violated.
         reason: String,
     },
+    /// A sweep cell panicked. The crash-isolated sweep engine
+    /// (`Lab::sweep` in `smtsim-rob2`) catches the unwind, converts it
+    /// to this typed error and keeps the remaining cells running; the
+    /// cell renders as `n/a` like any other failed cell.
+    CellPanic {
+        /// The panic payload, when it was a string (the common case).
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -54,6 +62,7 @@ impl SimError {
             SimError::Deadlock { .. } => "deadlock",
             SimError::InvariantViolation { .. } => "invariant-violation",
             SimError::InvalidConfig { .. } => "invalid-config",
+            SimError::CellPanic { .. } => "panic",
         }
     }
 }
@@ -67,6 +76,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            SimError::CellPanic { reason } => {
+                write!(f, "cell panicked: {reason}")
             }
         }
     }
@@ -216,6 +228,16 @@ mod tests {
         };
         assert!(e.to_string().contains("cycle 42"));
         assert_eq!(e.kind(), "invariant-violation");
+    }
+
+    #[test]
+    fn cell_panic_display() {
+        let e = SimError::CellPanic {
+            reason: "mix index 99 out of range 1..=11".into(),
+        };
+        assert!(e.to_string().contains("cell panicked"));
+        assert!(e.to_string().contains("out of range"));
+        assert_eq!(e.kind(), "panic");
     }
 
     #[test]

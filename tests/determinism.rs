@@ -50,6 +50,29 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn sweep_is_byte_identical_at_any_job_count() {
+    // The parallel sweep engine is defined to produce the serial
+    // result: identical MixRun vectors (full-precision Debug digest)
+    // and identical rendered figure text at every job count.
+    let cells = [
+        (2, RobConfig::Baseline(32)),
+        (6, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16))),
+        (2, RobConfig::TwoLevel(TwoLevelConfig::p_rob(5))),
+    ];
+    let run = |jobs: usize| {
+        let mut lab = Lab::new(17).with_budgets(6_000, 6_000);
+        lab.warmup = 10_000;
+        lab.jobs = Some(jobs);
+        let runs = format!("{:?}", lab.sweep(&cells));
+        let fig = smtsim_rob2::figures::fig2(&mut lab, &[2, 6]);
+        (runs, smtsim_rob2::report::render_figure(&fig))
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(2));
+    assert_eq!(serial, run(4));
+}
+
+#[test]
 fn lab_results_are_reproducible() {
     let run = || {
         let mut lab = Lab::new(17).with_budgets(6_000, 6_000);

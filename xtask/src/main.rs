@@ -1,8 +1,17 @@
 //! `cargo xtask` — workspace automation.
 //!
-//! The only subcommand today is `lint`: source-level checks that
-//! rustc/clippy cannot express because they are *policy*, not
-//! language rules:
+//! Subcommands:
+//!
+//! * `lint` — source-level policy checks (below);
+//! * `determinism` — runs representative figure binaries at
+//!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless their
+//!   stdout is byte-identical: the parallel sweep engine is *defined*
+//!   to produce the serial output at any job count. Budget knobs
+//!   (`BUDGET`/`WARMUP`/`MIXES`…) are honored when already set in the
+//!   environment; otherwise a fast CI-scale budget is used.
+//!
+//! `lint` checks are things rustc/clippy cannot express because they
+//! are *policy*, not language rules:
 //!
 //! * **hash-collections** — `HashMap`/`HashSet` in production sources.
 //!   Their iteration order is nondeterministic per process, so a hash
@@ -186,6 +195,76 @@ fn run_lints(root: &Path) -> Vec<Violation> {
     out
 }
 
+/// Runs one figure binary at the given job count and captures stdout.
+/// Budget knobs already present in the environment win; otherwise a
+/// fast CI-scale budget keeps the check under a minute.
+fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String> {
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--release", "-q", "-p", "smtsim-bench", "--bin", bin])
+        .env("SMTSIM_JOBS", jobs.to_string());
+    for (k, v) in [("BUDGET", "8000"), ("WARMUP", "10000"), ("MIXES", "1,2,9")] {
+        if std::env::var_os(k).is_none() {
+            cmd.env(k, v);
+        }
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| format!("cannot spawn cargo for {bin}: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "{bin} (SMTSIM_JOBS={jobs}) failed with {}:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The `determinism` subcommand: byte-compares serial vs. 4-way
+/// parallel output of one FT figure, one DoD histogram and the
+/// accuracy table (the three figure kinds the sweep engine feeds).
+fn run_determinism(root: &Path) -> ExitCode {
+    let mut failed = false;
+    for bin in ["fig2", "fig1", "accuracy"] {
+        let serial = match run_figure_bin(root, bin, 1) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask determinism: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let parallel = match run_figure_bin(root, bin, 4) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask determinism: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if serial == parallel {
+            println!("xtask determinism: {bin}: identical at jobs 1 and 4");
+        } else {
+            failed = true;
+            eprintln!("xtask determinism: {bin}: OUTPUT DIFFERS between jobs 1 and 4");
+            for (n, (a, b)) in serial.lines().zip(parallel.lines()).enumerate() {
+                if a != b {
+                    eprintln!("  first divergence at line {}:", n + 1);
+                    eprintln!("    jobs=1: {a}");
+                    eprintln!("    jobs=4: {b}");
+                    break;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_default();
@@ -220,8 +299,9 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "determinism" if rest.is_empty() => run_determinism(&root),
         _ => {
-            eprintln!("usage: cargo xtask lint [--root PATH]");
+            eprintln!("usage: cargo xtask <lint|determinism> [--root PATH]");
             ExitCode::from(2)
         }
     }
