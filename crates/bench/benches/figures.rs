@@ -19,10 +19,7 @@ use std::time::{Duration, Instant};
 const BENCH_MIXES: [usize; 2] = [1, 10];
 
 fn iters() -> u32 {
-    std::env::var("BENCH_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5)
+    smtsim_bench::BenchEnv::read().bench_iters
 }
 
 /// Times `f` over a warm-up pass plus `iters()` measured passes.

@@ -1,7 +1,8 @@
 //! Ablation A1 (DESIGN.md §6): sensitivity of the two-level design
 //! choices (recheck cadence, CDR delay, release policy, L2 size).
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let fig = smtsim_rob2::figures::ablation(&mut lab, &smtsim_bench::mixes_from_env());
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let fig = smtsim_rob2::figures::ablation(&mut lab, &env.mixes);
     print!("{}", smtsim_rob2::report::render_figure(&fig));
 }

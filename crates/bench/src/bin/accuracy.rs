@@ -2,8 +2,9 @@
 //! cross-checked against the static dependence bounds, per mix, under
 //! R-ROB16 and P-ROB5.
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let acc = smtsim_rob2::figures::accuracy(&mut lab, &smtsim_bench::mixes_from_env());
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let acc = smtsim_rob2::figures::accuracy(&mut lab, &env.mixes);
     print!("{}", smtsim_rob2::report::render_accuracy(&acc));
     if acc.total_violations() > 0 {
         eprintln!(

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure into `results/`, printing a
 //! one-line summary per artifact. Honors the same `BUDGET`/`WARMUP`/
 //! `SEED`/`MIXES` environment knobs as the individual binaries (plus
-//! the fault/integrity knobs — see `smtsim_bench::lab_from_env`).
+//! the fault/integrity knobs — see `smtsim_bench::BenchEnv`).
 //!
 //! Sweeps are crash-isolated: a cell whose run fails (deadlock,
 //! invariant violation, panic) renders as `n/a` in its figure and is
@@ -20,8 +20,9 @@ use std::fs;
 
 fn main() -> std::io::Result<()> {
     fs::create_dir_all("results")?;
-    let mixes = smtsim_bench::mixes_from_env();
-    let mut lab = smtsim_bench::lab_from_env();
+    let env = smtsim_bench::BenchEnv::read();
+    let mixes = env.mixes.clone();
+    let mut lab = env.lab();
     eprintln!(
         "budget={} warmup={} seed={} jobs={} mixes={mixes:?}",
         lab.mt_budget,

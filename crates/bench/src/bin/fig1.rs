@@ -1,7 +1,8 @@
 //! Figure 1: instructions dependent on a long-latency load, observed
 //! in the ROB at miss service time, on the Baseline_32 machine.
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let fig = smtsim_rob2::figures::fig1(&mut lab, &smtsim_bench::mixes_from_env());
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let fig = smtsim_rob2::figures::fig1(&mut lab, &env.mixes);
     print!("{}", smtsim_rob2::report::render_histogram(&fig));
 }

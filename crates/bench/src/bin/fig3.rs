@@ -1,8 +1,9 @@
 //! Figure 3: DoD distribution under 2-Level R-ROB16 (+56 % mean
 //! captured dependents over Figure 1 in the paper).
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let mixes = smtsim_bench::mixes_from_env();
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let mixes = env.mixes;
     let base = smtsim_rob2::figures::fig1(&mut lab, &mixes);
     let fig = smtsim_rob2::figures::fig3(&mut lab, &mixes);
     print!("{}", smtsim_rob2::report::render_histogram(&fig));

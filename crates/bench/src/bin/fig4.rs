@@ -1,6 +1,7 @@
 //! Figure 4: fair throughput of 2-Level Relaxed R-ROB15.
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let fig = smtsim_rob2::figures::fig4(&mut lab, &smtsim_bench::mixes_from_env());
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let fig = smtsim_rob2::figures::fig4(&mut lab, &env.mixes);
     print!("{}", smtsim_rob2::report::render_figure(&fig));
 }

@@ -1,6 +1,7 @@
 //! Figure 5: fair throughput of 2-Level CDR-ROB15 (32-cycle snapshot).
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let fig = smtsim_rob2::figures::fig5(&mut lab, &smtsim_bench::mixes_from_env());
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let fig = smtsim_rob2::figures::fig5(&mut lab, &env.mixes);
     print!("{}", smtsim_rob2::report::render_figure(&fig));
 }

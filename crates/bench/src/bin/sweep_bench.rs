@@ -43,13 +43,13 @@ fn cell_count(mixes: usize) -> usize {
 }
 
 fn main() {
-    let mixes = smtsim_bench::mixes_from_env();
-    let base = smtsim_bench::lab_from_env();
+    let env = smtsim_bench::BenchEnv::read();
+    let mixes = env.mixes.clone();
+    let base = env.lab();
     let jobs = base.jobs.unwrap_or(4).max(2);
 
     let time = |jobs: usize| {
-        let mut lab = smtsim_bench::lab_from_env();
-        lab.jobs = Some(jobs);
+        let mut lab = env.lab().with_jobs(Some(jobs));
         let t0 = Instant::now();
         let text = full_figure_sweep(&mut lab, &mixes);
         (t0.elapsed(), text)

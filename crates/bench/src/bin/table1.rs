@@ -1,5 +1,5 @@
 //! Regenerates Table 1: the simulated machine configuration.
 fn main() {
-    let lab = smtsim_bench::lab_from_env();
-    print!("{}", smtsim_rob2::report::render_table1(&lab.machine));
+    let env = smtsim_bench::BenchEnv::read();
+    print!("{}", smtsim_rob2::report::render_table1(&env.lab().machine));
 }

@@ -1,10 +1,8 @@
 //! §5.2: DoD-threshold sweep of the reactive scheme (1..16).
 fn main() {
-    let mut lab = smtsim_bench::lab_from_env();
-    let fig = smtsim_rob2::figures::threshold_sweep(
-        &mut lab,
-        &smtsim_bench::mixes_from_env(),
-        &[1, 2, 4, 8, 12, 16, 24, 32],
-    );
+    let env = smtsim_bench::BenchEnv::read();
+    let mut lab = env.lab();
+    let fig =
+        smtsim_rob2::figures::threshold_sweep(&mut lab, &env.mixes, &[1, 2, 4, 8, 12, 16, 24, 32]);
     print!("{}", smtsim_rob2::report::render_figure(&fig));
 }

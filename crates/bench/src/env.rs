@@ -1,0 +1,150 @@
+//! The single funnel for environment-knob parsing.
+//!
+//! Every knob the harness binaries and benches consume is read here,
+//! once, into a typed [`BenchEnv`] — no other module in the workspace
+//! reads `std::env::var` (enforced by `cargo xtask lint`). The knob
+//! table lives on the crate root (`smtsim-bench` module docs) and in
+//! EXPERIMENTS.md §"Environment knobs"; keep all three in sync when
+//! adding a knob.
+
+use smtsim_pipeline::{FaultPlan, MachineConfig, SimError};
+use smtsim_rob2::Lab;
+
+/// Parses an environment integer. A missing variable yields `default`;
+/// a malformed value is a typed [`SimError::InvalidConfig`] naming the
+/// variable (a silent fallback would hide a typo'd budget).
+pub fn try_env_u64(name: &str, default: u64) -> Result<u64, SimError> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(v) => v.trim().parse().map_err(|_| SimError::InvalidConfig {
+            reason: format!("{name}={v} is not an unsigned integer"),
+        }),
+    }
+}
+
+/// Reads `MIXES` (comma-separated mix indices, default: all 11 paper
+/// mixes); a malformed or out-of-range entry is a typed
+/// [`SimError::InvalidConfig`].
+fn try_mixes() -> Result<Vec<usize>, SimError> {
+    let Ok(v) = std::env::var("MIXES") else {
+        return Ok(smtsim_rob2::ALL_MIXES.to_vec());
+    };
+    v.split(',')
+        .map(|x| {
+            let idx: usize = x.trim().parse().map_err(|_| SimError::InvalidConfig {
+                reason: format!("MIXES entry '{x}' is not an integer"),
+            })?;
+            if !(1..=11).contains(&idx) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("MIXES entry {idx} out of range 1..=11"),
+                });
+            }
+            Ok(idx)
+        })
+        .collect()
+}
+
+/// Builds a [`FaultPlan`] from the `FAULT_*` knobs, or `None` when
+/// every category is off (the common case: no plan is installed and
+/// the hooks stay on their zero-cost path).
+fn try_fault_plan() -> Result<Option<FaultPlan>, SimError> {
+    let plan = FaultPlan {
+        seed: try_env_u64("FAULT_SEED", 0)?,
+        drop_fill: try_env_u64("FAULT_DROP_FILL", 0)? as u32,
+        delay_fill: try_env_u64("FAULT_DELAY_FILL", 0)? as u32,
+        delay_cycles: try_env_u64("FAULT_DELAY_CYCLES", 300)?,
+        corrupt_dod: try_env_u64("FAULT_CORRUPT_DOD", 0)? as u32,
+        withhold_release: try_env_u64("FAULT_WITHHOLD_RELEASE", 0)? as u32,
+        ..FaultPlan::default()
+    };
+    Ok(plan.is_active().then_some(plan))
+}
+
+/// Every environment knob the harness consumes, parsed once into typed
+/// fields. See the crate-root docs for the knob table.
+#[derive(Clone, Debug)]
+pub struct BenchEnv {
+    /// `BUDGET` — committed instructions per multithreaded run.
+    pub budget: u64,
+    /// `ST_BUDGET` — committed instructions per single-threaded
+    /// normalization run (defaults to `BUDGET`).
+    pub st_budget: u64,
+    /// `WARMUP` — functional warm-up instructions per thread.
+    pub warmup: u64,
+    /// `SEED` — workload generation seed.
+    pub seed: u64,
+    /// `MIXES` — the mix indices to run (default: all 11).
+    pub mixes: Vec<usize>,
+    /// `SMTSIM_JOBS` — sweep worker threads (`None` = available
+    /// parallelism; output is byte-identical at any value).
+    pub jobs: Option<usize>,
+    /// `DEADLOCK_CYCLES` — commitless-cycle watchdog threshold.
+    pub deadlock_cycles: u64,
+    /// `INVARIANT_INTERVAL` — deep invariant-scan cadence (0 = off).
+    pub invariant_interval: u64,
+    /// `FAULT_*` — the fault plan, when any category is enabled.
+    pub fault: Option<FaultPlan>,
+    /// `BENCH_ITERS` — timed iterations per bench target.
+    pub bench_iters: u32,
+}
+
+impl BenchEnv {
+    /// Reads and validates every knob. The first malformed knob comes
+    /// back as a typed [`SimError::InvalidConfig`] naming the variable.
+    pub fn from_env() -> Result<BenchEnv, SimError> {
+        let machine = MachineConfig::icpp08();
+        let budget = try_env_u64("BUDGET", 40_000)?;
+        let jobs = try_env_u64("SMTSIM_JOBS", 0)?;
+        let bench_iters = try_env_u64("BENCH_ITERS", 5)?;
+        Ok(BenchEnv {
+            budget,
+            st_budget: try_env_u64("ST_BUDGET", budget)?,
+            warmup: try_env_u64("WARMUP", 60_000)?,
+            seed: try_env_u64("SEED", 42)?,
+            mixes: try_mixes()?,
+            // 0 (the default) delegates to the machine's available
+            // parallelism; any explicit value pins the worker count.
+            jobs: (jobs > 0).then_some(jobs as usize),
+            deadlock_cycles: try_env_u64("DEADLOCK_CYCLES", machine.deadlock_cycles)?,
+            invariant_interval: try_env_u64("INVARIANT_INTERVAL", machine.invariant_interval)?,
+            fault: try_fault_plan()?,
+            bench_iters: u32::try_from(bench_iters).map_err(|_| SimError::InvalidConfig {
+                reason: format!("BENCH_ITERS={bench_iters} exceeds u32"),
+            })?,
+        })
+    }
+
+    /// Infallible form of [`BenchEnv::from_env`] for the figure
+    /// binaries: prints the typed error and exits with status 2.
+    pub fn read() -> BenchEnv {
+        exit_on_config_error(BenchEnv::from_env())
+    }
+
+    /// Builds the experiment driver this environment describes: budgets,
+    /// warm-up, seed, job count, integrity knobs and (if any `FAULT_*`
+    /// category is on) a lab-wide fault plan.
+    pub fn lab(&self) -> Lab {
+        let mut lab = Lab::new(self.seed)
+            .with_budgets(self.budget, self.st_budget)
+            .with_warmup(self.warmup)
+            .with_jobs(self.jobs);
+        lab.machine.deadlock_cycles = self.deadlock_cycles;
+        lab.machine.invariant_interval = self.invariant_interval;
+        if let Some(plan) = &self.fault {
+            lab.set_fault(None, plan.clone());
+        }
+        lab
+    }
+}
+
+/// Unwraps a fallible knob read for the figure binaries: prints the
+/// typed error and exits with status 2.
+pub(crate) fn exit_on_config_error<T>(r: Result<T, SimError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

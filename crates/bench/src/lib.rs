@@ -6,7 +6,10 @@
 //! same rows/series the paper reports, and a bench target exercising
 //! the same code path at a reduced budget.
 //!
-//! Environment knobs for the binaries:
+//! All environment knobs are parsed in one place — [`BenchEnv`] — and
+//! no other module in the workspace reads `std::env::var` (enforced by
+//! `cargo xtask lint`). The table below is the authoritative knob
+//! list; EXPERIMENTS.md §"Environment knobs" mirrors it.
 //!
 //! * `BUDGET` — committed instructions per multithreaded run (default
 //!   40 000; the paper uses 100 M SimPoints, see EXPERIMENTS.md for
@@ -22,6 +25,8 @@
 //! * `SMTSIM_JOBS` — worker threads for the phase-2 sweep fan-out
 //!   (default `0` = the machine's available parallelism; `1` forces
 //!   the serial path). Figure output is byte-identical at any value.
+//! * `BENCH_ITERS` — timed iterations per bench target (default 5;
+//!   consumed by `cargo bench -p smtsim-bench`).
 //!
 //! Integrity knobs (see DESIGN.md "Failure model & fault injection"):
 //!
@@ -42,118 +47,56 @@
 //! * `FAULT_WITHHOLD_RELEASE` — 1-in-N allocator fill notifications
 //!   suppressed (exercises two-level release fallback).
 
+pub mod env;
+
+pub use env::{try_env_u64, BenchEnv};
+
 use smtsim_pipeline::{FaultPlan, SimError};
 use smtsim_rob2::Lab;
 
-/// Parses an environment integer. A missing variable yields `default`;
-/// a malformed value is a typed [`SimError::InvalidConfig`] naming the
-/// variable (a silent fallback would hide a typo'd budget).
-pub fn try_env_u64(name: &str, default: u64) -> Result<u64, SimError> {
-    match std::env::var(name) {
-        Err(_) => Ok(default),
-        Ok(v) => v.trim().parse().map_err(|_| SimError::InvalidConfig {
-            reason: format!("{name}={v} is not an unsigned integer"),
-        }),
-    }
-}
-
-/// Unwraps a fallible knob read for the figure binaries: prints the
-/// typed error and exits with status 2.
-fn exit_on_config_error<T>(r: Result<T, SimError>) -> T {
-    match r {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    }
-}
-
 /// Reads the environment knobs from the module header and builds the
-/// experiment driver. The single-threaded normalization budget follows
-/// `ST_BUDGET`, defaulting to `BUDGET` — the two were conflated into
-/// one value here before the knob existed.
+/// experiment driver. Thin wrapper over [`BenchEnv::from_env`] +
+/// [`BenchEnv::lab`].
 pub fn try_lab_from_env() -> Result<Lab, SimError> {
-    let budget = try_env_u64("BUDGET", 40_000)?;
-    let st_budget = try_env_u64("ST_BUDGET", budget)?;
-    let warmup = try_env_u64("WARMUP", 60_000)?;
-    let seed = try_env_u64("SEED", 42)?;
-    let mut lab = Lab::new(seed).with_budgets(budget, st_budget);
-    lab.warmup = warmup;
-    // 0 (the default) delegates to the machine's available
-    // parallelism; any explicit value pins the worker count.
-    let jobs = try_env_u64("SMTSIM_JOBS", 0)?;
-    lab.jobs = (jobs > 0).then_some(jobs as usize);
-    lab.machine.deadlock_cycles = try_env_u64("DEADLOCK_CYCLES", lab.machine.deadlock_cycles)?;
-    lab.machine.invariant_interval =
-        try_env_u64("INVARIANT_INTERVAL", lab.machine.invariant_interval)?;
-    if let Some(plan) = try_fault_plan_from_env()? {
-        lab.set_fault(None, plan);
-    }
-    Ok(lab)
+    BenchEnv::from_env().map(|e| e.lab())
 }
 
 /// Infallible form of [`try_lab_from_env`] for the figure binaries:
 /// exits with status 2 on a malformed knob.
 pub fn lab_from_env() -> Lab {
-    exit_on_config_error(try_lab_from_env())
+    BenchEnv::read().lab()
 }
 
 /// Builds a [`FaultPlan`] from the `FAULT_*` environment knobs, or
-/// `None` when every category is off (the common case: no plan is
-/// installed and the hooks stay on their zero-cost path).
+/// `None` when every category is off. Thin wrapper over
+/// [`BenchEnv::from_env`].
 pub fn try_fault_plan_from_env() -> Result<Option<FaultPlan>, SimError> {
-    let plan = FaultPlan {
-        seed: try_env_u64("FAULT_SEED", 0)?,
-        drop_fill: try_env_u64("FAULT_DROP_FILL", 0)? as u32,
-        delay_fill: try_env_u64("FAULT_DELAY_FILL", 0)? as u32,
-        delay_cycles: try_env_u64("FAULT_DELAY_CYCLES", 300)?,
-        corrupt_dod: try_env_u64("FAULT_CORRUPT_DOD", 0)? as u32,
-        withhold_release: try_env_u64("FAULT_WITHHOLD_RELEASE", 0)? as u32,
-        ..FaultPlan::default()
-    };
-    Ok(plan.is_active().then_some(plan))
+    BenchEnv::from_env().map(|e| e.fault)
 }
 
 /// Infallible form of [`try_fault_plan_from_env`]: exits with status 2
 /// on a malformed knob.
 pub fn fault_plan_from_env() -> Option<FaultPlan> {
-    exit_on_config_error(try_fault_plan_from_env())
+    BenchEnv::read().fault
 }
 
-/// Reads `MIXES` from the environment (default: all 11 paper mixes); a
-/// malformed or out-of-range entry is a typed
-/// [`SimError::InvalidConfig`].
+/// Reads `MIXES` from the environment (default: all 11 paper mixes).
+/// Thin wrapper over [`BenchEnv::from_env`].
 pub fn try_mixes_from_env() -> Result<Vec<usize>, SimError> {
-    let Ok(v) = std::env::var("MIXES") else {
-        return Ok(smtsim_rob2::ALL_MIXES.to_vec());
-    };
-    v.split(',')
-        .map(|x| {
-            let idx: usize = x.trim().parse().map_err(|_| SimError::InvalidConfig {
-                reason: format!("MIXES entry '{x}' is not an integer"),
-            })?;
-            if !(1..=11).contains(&idx) {
-                return Err(SimError::InvalidConfig {
-                    reason: format!("MIXES entry {idx} out of range 1..=11"),
-                });
-            }
-            Ok(idx)
-        })
-        .collect()
+    BenchEnv::from_env().map(|e| e.mixes)
 }
 
 /// Infallible form of [`try_mixes_from_env`] for the figure binaries:
 /// exits with status 2 on a malformed entry.
 pub fn mixes_from_env() -> Vec<usize> {
-    exit_on_config_error(try_mixes_from_env())
+    BenchEnv::read().mixes
 }
 
 /// A small lab for Criterion benches: low budget, reduced warm-up.
 pub fn bench_lab(seed: u64) -> Lab {
-    let mut lab = Lab::new(seed).with_budgets(4_000, 4_000);
-    lab.warmup = 10_000;
-    lab
+    Lab::new(seed)
+        .with_budgets(4_000, 4_000)
+        .with_warmup(10_000)
 }
 
 #[cfg(test)]
@@ -169,14 +112,19 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let _g = ENV_LOCK.lock().unwrap();
-        let lab = lab_from_env();
-        assert!(lab.mt_budget > 0);
+        let env = BenchEnv::from_env().expect("clean environment parses");
+        assert!(env.budget > 0);
         // Without ST_BUDGET the normalization budget follows BUDGET.
-        assert_eq!(lab.st_budget, lab.mt_budget);
+        assert_eq!(env.st_budget, env.budget);
+        assert_eq!(env.bench_iters, 5);
+        assert!(env.fault.is_none());
+        let lab = env.lab();
+        assert_eq!(lab.mt_budget, env.budget);
+        assert_eq!(lab.st_budget, env.st_budget);
+        assert_eq!(lab.warmup, env.warmup);
         // No FAULT_* knobs set: no plan installed anywhere.
         assert!((1..=11).all(|m| lab.fault_for(m).is_none()));
-        let mixes = mixes_from_env();
-        assert!(!mixes.is_empty() && mixes.iter().all(|&m| (1..=11).contains(&m)));
+        assert!(!env.mixes.is_empty() && env.mixes.iter().all(|&m| (1..=11).contains(&m)));
     }
 
     #[test]
@@ -243,6 +191,17 @@ mod tests {
         std::env::set_var("MIXES", "2, 9");
         assert_eq!(try_mixes_from_env().unwrap(), vec![2, 9]);
         std::env::remove_var("MIXES");
+    }
+
+    #[test]
+    fn bench_iters_knob_is_parsed_and_bounded() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("BENCH_ITERS", "9");
+        assert_eq!(BenchEnv::from_env().unwrap().bench_iters, 9);
+        std::env::set_var("BENCH_ITERS", "9999999999999");
+        let err = BenchEnv::from_env().expect_err("must not overflow u32");
+        assert_eq!(err.kind(), "invalid-config");
+        std::env::remove_var("BENCH_ITERS");
     }
 
     #[test]

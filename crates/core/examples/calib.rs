@@ -12,6 +12,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
     let mut lab = Lab::new(42).with_budgets(budget, budget);
+    // Dev-tool toggle, deliberately outside the BenchEnv funnel: the
+    // bench crate sits above this one in the dependency graph.
+    // xtask: allow-env-read
     if std::env::var("PRIVATE_REGS").is_ok() {
         lab.machine.shared_regs = false;
         eprintln!("(per-thread register partitions)");

@@ -16,6 +16,7 @@
 use crate::metrics::{fair_throughput, weighted_ipc};
 use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
 use smtsim_analysis::{DodAnalysis, L1_WINDOW};
+use smtsim_obs::{Episode, EpisodeReconstructor, MetricsRegistry, TraceEvent, TraceLog, Tracer};
 use smtsim_pipeline::{
     DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, SimError, SimStats,
     Simulator, StopCondition,
@@ -96,6 +97,23 @@ pub struct MixRun {
     /// Faults actually injected during the multithreaded run (all zero
     /// when no [`FaultPlan`] was installed for the mix).
     pub faults: FaultStats,
+}
+
+/// Result of one mix × configuration run with tracing armed: the
+/// [`MixRun`] metrics plus the raw event stream and the two standard
+/// reductions over it (complete L2-miss episodes and the metrics
+/// registry). Produced by [`Lab::run_cell_traced`] / [`Lab::sweep_traced`].
+#[derive(Clone, Debug)]
+pub struct TracedMixRun {
+    /// The ordinary run result (identical to the untraced run: tracing
+    /// observes the simulation without perturbing it).
+    pub run: MixRun,
+    /// The raw `(cycle, event)` stream, in emission order.
+    pub events: Vec<(u64, TraceEvent)>,
+    /// L2-miss episodes reconstructed from the stream.
+    pub episodes: Vec<Episode>,
+    /// Counters and histograms folded from the stream.
+    pub metrics: MetricsRegistry,
 }
 
 /// Cache key of one memoized normalization run. Every input that can
@@ -223,9 +241,47 @@ impl Lab {
 
     /// Overrides the commit budgets.
     pub fn with_budgets(mut self, mt: u64, st: u64) -> Self {
-        self.mt_budget = mt;
-        self.st_budget = st;
+        self.change_state(|lab| {
+            lab.mt_budget = mt;
+            lab.st_budget = st;
+        });
         self
+    }
+
+    /// Overrides the functional warm-up length (instructions per
+    /// thread).
+    #[must_use]
+    pub fn with_warmup(mut self, insts: u64) -> Self {
+        self.change_state(|lab| lab.warmup = insts);
+        self
+    }
+
+    /// Overrides the sweep worker-thread count (`None` = available
+    /// parallelism; the sweep output is byte-identical either way).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
+        self.change_state(|lab| lab.jobs = jobs);
+        self
+    }
+
+    /// Overrides the reference configuration for single-threaded
+    /// normalization runs.
+    #[must_use]
+    pub fn with_norm(mut self, norm: RobConfig) -> Self {
+        self.change_state(|lab| lab.norm = norm);
+        self
+    }
+
+    /// The single funnel for builder-style state changes. The
+    /// normalization cache needs no flushing here *by construction*:
+    /// every run-relevant field participates in [`NormKey`], so a
+    /// changed field misses the cache instead of hitting a stale entry
+    /// (and restoring the old value legitimately re-hits the old
+    /// entry). Route any new `with_*` mutation through this point — if
+    /// the cache ever grows state [`NormKey`] cannot see, this is the
+    /// one place that must learn to invalidate it.
+    fn change_state(&mut self, apply: impl FnOnce(&mut Self)) {
+        apply(self);
     }
 
     /// Installs a fault plan for multithreaded runs: `mix = None` sets a
@@ -282,9 +338,10 @@ impl Lab {
         let mut cfg = self.machine.clone();
         cfg.num_threads = 1;
         cfg.fetch_threads = 1;
-        let mut sim = Simulator::try_new(cfg, vec![wl], rob.build(), self.seed)?;
-        sim.set_dod_bounds(bounds);
-        sim.warmup(self.warmup);
+        let mut sim = Simulator::builder(cfg, vec![wl], rob.build(), self.seed)
+            .dod_bounds(bounds)
+            .warmup(self.warmup)
+            .build()?;
         sim.try_run(StopCondition::AnyThreadCommitted(self.st_budget))?;
         let ipc = sim.stats().threads[0].ipc(sim.cycle());
         self.single_cache.insert(key, ipc);
@@ -359,15 +416,55 @@ impl Lab {
         rob: RobConfig,
         norm: &NormTable,
     ) -> Result<MixRun, SimError> {
+        self.run_cell_inner(mix_idx, rob, norm, smtsim_obs::NoopTracer)
+            .map(|(run, _)| run)
+    }
+
+    /// [`Lab::run_cell`] with tracing armed: the multithreaded run
+    /// collects the full structured event stream (warm-up excluded),
+    /// which is folded into episodes and metrics. The [`MixRun`] inside
+    /// is identical to the untraced cell's — tracing is observational.
+    pub fn run_cell_traced(
+        &self,
+        mix_idx: usize,
+        rob: RobConfig,
+        norm: &NormTable,
+    ) -> Result<TracedMixRun, SimError> {
+        let (run, log) = self.run_cell_inner(mix_idx, rob, norm, TraceLog::new())?;
+        let events = log.into_events();
+        let episodes = EpisodeReconstructor::from_events(&events);
+        let metrics = MetricsRegistry::from_events(&events);
+        Ok(TracedMixRun {
+            run,
+            events,
+            episodes,
+            metrics,
+        })
+    }
+
+    /// Shared body of [`Lab::run_cell`] and [`Lab::run_cell_traced`]:
+    /// builds the simulator through [`Simulator::builder`] (bounds →
+    /// fault plan → warm-up, tracing armed last), runs the mix and
+    /// computes the metrics. Returns the tracer so traced callers can
+    /// fold the collected stream.
+    fn run_cell_inner<T: Tracer>(
+        &self,
+        mix_idx: usize,
+        rob: RobConfig,
+        norm: &NormTable,
+        tracer: T,
+    ) -> Result<(MixRun, T), SimError> {
         let m = mix(mix_idx);
         let wls: Vec<Arc<Workload>> = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
         let bounds = static_bounds(&wls);
-        let mut sim = Simulator::try_new(self.machine.clone(), wls, rob.build(), self.seed)?;
-        sim.set_dod_bounds(bounds);
+        let mut builder = Simulator::builder(self.machine.clone(), wls, rob.build(), self.seed)
+            .dod_bounds(bounds)
+            .warmup(self.warmup)
+            .tracer(tracer);
         if let Some(plan) = self.fault_for(mix_idx) {
-            sim.set_fault_plan(plan.clone());
+            builder = builder.fault_plan(plan.clone());
         }
-        sim.warmup(self.warmup);
+        let mut sim = builder.build()?;
         let run_err = sim
             .try_run(StopCondition::AnyThreadCommitted(self.mt_budget))
             .err();
@@ -391,7 +488,7 @@ impl Lab {
             .as_any()
             .downcast_ref::<TwoLevelRob>()
             .map(|a| a.stats());
-        Ok(MixRun {
+        let run = MixRun {
             mix: m.name.to_string(),
             config: rob.label(),
             ft: fair_throughput(&weighted),
@@ -402,7 +499,8 @@ impl Lab {
             stats,
             twolevel,
             faults,
-        })
+        };
+        Ok((run, sim.into_tracer()))
     }
 
     /// Runs a batch of `mix × config` cells and returns their results
@@ -419,14 +517,34 @@ impl Lab {
     /// it) is byte-identical at any job count, including the serial
     /// `jobs = 1` path.
     pub fn sweep(&mut self, cells: &[SweepCell]) -> Vec<Result<MixRun, SimError>> {
+        self.sweep_with(cells, |lab, m, cfg, norm| lab.run_cell(m, cfg, norm))
+    }
+
+    /// [`Lab::sweep`] with tracing armed on every cell (see
+    /// [`Lab::run_cell_traced`]). Same two-phase structure, same
+    /// panic isolation, same input-order merge — the traced output is
+    /// byte-identical at any job count.
+    pub fn sweep_traced(&mut self, cells: &[SweepCell]) -> Vec<Result<TracedMixRun, SimError>> {
+        self.sweep_with(cells, |lab, m, cfg, norm| lab.run_cell_traced(m, cfg, norm))
+    }
+
+    /// The sweep engine shared by [`Lab::sweep`] and
+    /// [`Lab::sweep_traced`]: phase-1 normalization, phase-2 fan-out
+    /// over a shared work queue, input-order merge.
+    fn sweep_with<R: Send>(
+        &mut self,
+        cells: &[SweepCell],
+        run: impl Fn(&Lab, usize, RobConfig, &NormTable) -> Result<R, SimError> + Sync,
+    ) -> Vec<Result<R, SimError>> {
         let mixes: Vec<usize> = cells.iter().map(|&(m, _)| m).collect();
         let norm = self.norm_table(&mixes);
         let jobs = self.effective_jobs().min(cells.len().max(1));
         let this: &Lab = self;
+        let run = &run;
         if jobs <= 1 {
             return cells
                 .iter()
-                .map(|&(m, cfg)| catch_cell(|| this.run_cell(m, cfg, &norm)).and_then(|r| r))
+                .map(|&(m, cfg)| catch_cell(|| run(this, m, cfg, &norm)).and_then(|r| r))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -442,17 +560,13 @@ impl Lab {
                             let Some(&(m, cfg)) = cells.get(i) else {
                                 break;
                             };
-                            out.push((
-                                i,
-                                catch_cell(|| this.run_cell(m, cfg, norm)).and_then(|r| r),
-                            ));
+                            out.push((i, catch_cell(|| run(this, m, cfg, norm)).and_then(|r| r)));
                         }
                         out
                     })
                 })
                 .collect();
-            let mut merged: Vec<Option<Result<MixRun, SimError>>> =
-                cells.iter().map(|_| None).collect();
+            let mut merged: Vec<Option<Result<R, SimError>>> = cells.iter().map(|_| None).collect();
             for h in handles {
                 let chunk = h.join().expect("workers catch cell panics");
                 for (i, r) in chunk {

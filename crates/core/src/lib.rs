@@ -37,7 +37,7 @@ pub mod metrics;
 pub mod report;
 pub mod twolevel;
 
-pub use experiment::{Lab, MixRun, RobConfig};
+pub use experiment::{Lab, MixRun, NormTable, RobConfig, SweepCell, TracedMixRun};
 pub use figures::{AccuracyData, AccuracyRow, FigureData, HistogramData, Series, ALL_MIXES};
 pub use metrics::{fair_throughput, harmonic_mean, improvement, mean, weighted_ipc};
 pub use twolevel::{

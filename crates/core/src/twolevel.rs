@@ -27,6 +27,7 @@
 
 use smtsim_isa::ThreadId;
 use smtsim_mem::Cycle;
+use smtsim_obs::{DenyReason, DodSource, TraceEvent};
 use smtsim_pipeline::{MissEvent, RobAllocator, RobQuery};
 use smtsim_predict::{DodPredictor, LastValueDod, PathDod, ThresholdBitDod};
 
@@ -237,6 +238,11 @@ pub struct TwoLevelRob {
     candidates: Vec<Candidate>,
     predictor: Option<Box<dyn DodPredictor>>,
     stats: TwoLevelStats,
+    /// When armed (via [`RobAllocator::set_tracing`]), allocation
+    /// decisions append [`TraceEvent`]s here for the simulator to drain
+    /// once per cycle.
+    tracing: bool,
+    trace: Vec<(Cycle, TraceEvent)>,
 }
 
 impl TwoLevelRob {
@@ -260,7 +266,44 @@ impl TwoLevelRob {
             candidates: Vec::new(),
             predictor,
             stats: TwoLevelStats::default(),
+            tracing: false,
+            trace: Vec::new(),
         }
+    }
+
+    /// Buffers a trace event when tracing is armed.
+    fn emit(&mut self, now: Cycle, ev: TraceEvent) {
+        if self.tracing {
+            self.trace.push((now, ev));
+        }
+    }
+
+    /// Traces the DoD count taken for an allocation decision.
+    fn sample_count(&mut self, c: Candidate, count: u32, now: Cycle) {
+        if count != u32::MAX {
+            self.emit(
+                now,
+                TraceEvent::DodSampled {
+                    thread: c.thread,
+                    tag: c.tag,
+                    value: count,
+                    source: DodSource::CounterAtDecision,
+                },
+            );
+        }
+    }
+
+    /// Records a DoD-threshold rejection (stat + trace event).
+    fn reject_dod(&mut self, c: Candidate, now: Cycle) {
+        self.stats.rejected_dod += 1;
+        self.emit(
+            now,
+            TraceEvent::L2RobDenied {
+                thread: c.thread,
+                tag: c.tag,
+                reason: DenyReason::HighDod,
+            },
+        );
     }
 
     /// Current holder of the second-level partition.
@@ -289,7 +332,7 @@ impl TwoLevelRob {
         self.cfg.l1_entries - 1
     }
 
-    fn allocate(&mut self, thread: ThreadId, trigger_tag: u64) {
+    fn allocate(&mut self, thread: ThreadId, trigger_tag: u64, now: Cycle) {
         debug_assert!(self.tenure.is_none());
         self.tenure = Some(Tenure {
             thread,
@@ -297,6 +340,13 @@ impl TwoLevelRob {
             draining: false,
         });
         self.stats.allocations += 1;
+        self.emit(
+            now,
+            TraceEvent::L2RobAllocated {
+                thread,
+                tag: trigger_tag,
+            },
+        );
         // Other candidates of the same thread are subsumed by this
         // tenure; other threads keep waiting for the partition.
         self.candidates.retain(|c| c.thread != thread);
@@ -317,6 +367,14 @@ impl TwoLevelRob {
             // Partition busy: keep the candidacy alive (it may free
             // before the miss is serviced).
             self.stats.rejected_busy += 1;
+            self.emit(
+                now,
+                TraceEvent::L2RobDenied {
+                    thread: c.thread,
+                    tag: c.tag,
+                    reason: DenyReason::Busy,
+                },
+            );
             return (
                 false,
                 Some(Candidate {
@@ -351,25 +409,27 @@ impl TwoLevelRob {
                 let count = view
                     .count_unexecuted_younger(c.thread, c.tag, self.count_window())
                     .unwrap_or(u32::MAX);
+                self.sample_count(c, count, now);
                 if count < self.cfg.dod_threshold {
-                    self.allocate(c.thread, c.tag);
+                    self.allocate(c.thread, c.tag, now);
                 } else {
-                    self.stats.rejected_dod += 1;
+                    self.reject_dod(c, now);
                 }
                 (true, None)
             }
             Scheme::CountDelayed { .. } => {
                 if c.counted_ok {
-                    self.allocate(c.thread, c.tag);
+                    self.allocate(c.thread, c.tag, now);
                     return (true, None);
                 }
                 let count = view
                     .count_unexecuted_younger(c.thread, c.tag, self.count_window())
                     .unwrap_or(u32::MAX);
+                self.sample_count(c, count, now);
                 if count < self.cfg.dod_threshold {
-                    self.allocate(c.thread, c.tag);
+                    self.allocate(c.thread, c.tag, now);
                 } else {
-                    self.stats.rejected_dod += 1;
+                    self.reject_dod(c, now);
                 }
                 (true, None)
             }
@@ -378,7 +438,7 @@ impl TwoLevelRob {
                 // anything still pending passed the prediction and was
                 // only waiting for the partition.
                 debug_assert_eq!(c.predicted_below, Some(true));
-                self.allocate(c.thread, c.tag);
+                self.allocate(c.thread, c.tag, now);
                 (true, None)
             }
         }
@@ -420,6 +480,13 @@ impl RobAllocator for TwoLevelRob {
             if release {
                 self.tenure = None;
                 self.stats.releases += 1;
+                self.emit(
+                    now,
+                    TraceEvent::L2RobReleased {
+                        thread: t.thread,
+                        trigger_tag: t.trigger_tag,
+                    },
+                );
             }
         }
         // Candidate evaluation.
@@ -480,14 +547,43 @@ impl RobAllocator for TwoLevelRob {
                     .expect("predictive scheme has predictor")
                     .predict_below(ev.pc, ev.hist, self.cfg.dod_threshold);
                 match pred {
-                    None => self.stats.pred_cold += 1,
+                    None => {
+                        self.stats.pred_cold += 1;
+                        self.emit(
+                            now,
+                            TraceEvent::L2RobDenied {
+                                thread: ev.thread,
+                                tag: ev.tag,
+                                reason: DenyReason::ColdPredictor,
+                            },
+                        );
+                    }
                     Some(below) => {
                         self.stats.pred_hits += 1;
+                        // The predictor yields a below-threshold verdict,
+                        // not a numeric DoD; trace it as 0/1.
+                        self.emit(
+                            now,
+                            TraceEvent::DodSampled {
+                                thread: ev.thread,
+                                tag: ev.tag,
+                                value: u32::from(below),
+                                source: DodSource::Predictor,
+                            },
+                        );
                         if below {
                             if self.tenure.is_none() {
-                                self.allocate(ev.thread, ev.tag);
+                                self.allocate(ev.thread, ev.tag, now);
                             } else {
                                 self.stats.rejected_busy += 1;
+                                self.emit(
+                                    now,
+                                    TraceEvent::L2RobDenied {
+                                        thread: ev.thread,
+                                        tag: ev.tag,
+                                        reason: DenyReason::Busy,
+                                    },
+                                );
                                 // Keep waiting for the partition.
                                 self.candidates.push(Candidate {
                                     thread: ev.thread,
@@ -499,6 +595,14 @@ impl RobAllocator for TwoLevelRob {
                             }
                         } else {
                             self.stats.rejected_dod += 1;
+                            self.emit(
+                                now,
+                                TraceEvent::L2RobDenied {
+                                    thread: ev.thread,
+                                    tag: ev.tag,
+                                    reason: DenyReason::HighDod,
+                                },
+                            );
                         }
                     }
                 }
@@ -607,6 +711,17 @@ impl RobAllocator for TwoLevelRob {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        if !enabled {
+            self.trace.clear();
+        }
+    }
+
+    fn drain_trace(&mut self) -> Vec<(Cycle, TraceEvent)> {
+        std::mem::take(&mut self.trace)
     }
 }
 

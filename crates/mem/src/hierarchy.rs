@@ -14,6 +14,7 @@
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::mshr::Mshr;
 use crate::Cycle;
+use smtsim_obs::TraceEvent;
 
 /// Main-memory and bus timing (Table 1: "64 bit wide, 500 cycle first
 /// chunk access, 2 cycle interchunk access").
@@ -106,6 +107,11 @@ pub struct Hierarchy {
     /// Earliest cycle the bus can start a new transfer.
     bus_free: Cycle,
     stats: HierarchyStats,
+    /// When true, fills append [`TraceEvent`]s to `trace` (drained by
+    /// the simulator once per cycle). Off by default: the tracing
+    /// branch is a single predictable-false test on the fill path.
+    tracing: bool,
+    trace: Vec<(Cycle, TraceEvent)>,
 }
 
 impl Hierarchy {
@@ -119,7 +125,23 @@ impl Hierarchy {
             mem,
             bus_free: 0,
             stats: HierarchyStats::default(),
+            tracing: false,
+            trace: Vec::new(),
         }
+    }
+
+    /// Enables or disables fill tracing (see [`Hierarchy::drain_trace`]).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        if !enabled {
+            self.trace.clear();
+        }
+    }
+
+    /// Drains the buffered trace events accumulated since the last
+    /// drain (always empty when tracing is disabled).
+    pub fn drain_trace(&mut self) -> Vec<(Cycle, TraceEvent)> {
+        std::mem::take(&mut self.trace)
     }
 
     /// The paper's full Table 1 hierarchy.
@@ -179,6 +201,15 @@ impl Hierarchy {
         let fill_done = transfer_start + transfer;
         self.bus_free = fill_done;
         self.stats.bus_busy_cycles += transfer;
+        if self.tracing {
+            self.trace.push((
+                req_time,
+                TraceEvent::MemFillScheduled {
+                    line_addr,
+                    complete_at: fill_done,
+                },
+            ));
+        }
         // `start` is when the MSHR slot frees; inserting "at" that time
         // keeps occupancy within capacity.
         self.mshr.insert(line_addr, fill_done, start);

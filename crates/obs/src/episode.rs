@@ -1,0 +1,487 @@
+//! Folding the flat event stream back into complete L2-miss episodes:
+//! detect → decision(s) → fill → release, with cycle timestamps.
+//!
+//! An *episode* is keyed by `(thread, tag)` of the missing load. The
+//! allocation policy may deny the episode several times (the 10-cycle
+//! recheck), grant it, and — once granted — the eventual
+//! `L2RobReleased` carries the trigger tag, which is how the release
+//! is matched back to the episode that opened the tenure.
+
+use crate::event::{DenyReason, DodSource, TraceEvent};
+use crate::{Cycle, ThreadId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One reconstructed L2-miss episode.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Episode {
+    /// Thread that issued the missing load.
+    pub thread: ThreadId,
+    /// ROB tag of the missing load.
+    pub tag: u64,
+    /// Static PC of the load (0 when the detect event was not seen).
+    pub pc: u64,
+    /// Cycle the miss was detected.
+    pub detected_at: Option<Cycle>,
+    /// Whether the load was wrong-path at detection time.
+    pub wrong_path: bool,
+    /// Every denial the episode accumulated, in order.
+    pub denials: Vec<(Cycle, DenyReason)>,
+    /// Cycle the second-level partition was granted, if ever.
+    pub allocated_at: Option<Cycle>,
+    /// DoD sampled at decision time (counter or predictor).
+    pub dod_at_decision: Option<u32>,
+    /// DoD counter value read when the fill arrived.
+    pub dod_at_fill: Option<u32>,
+    /// Cycle the miss data returned.
+    pub filled_at: Option<Cycle>,
+    /// Cycle the tenure anchored on this episode released the partition.
+    pub released_at: Option<Cycle>,
+    /// Cycle the load was squashed, if a squash removed it first.
+    pub squashed_at: Option<Cycle>,
+}
+
+impl Episode {
+    /// Whether the episode was granted the shared partition.
+    #[must_use]
+    pub fn allocated(&self) -> bool {
+        self.allocated_at.is_some()
+    }
+
+    /// Tenure length in cycles, when both endpoints were observed.
+    #[must_use]
+    pub fn held_cycles(&self) -> Option<Cycle> {
+        match (self.allocated_at, self.released_at) {
+            (Some(a), Some(r)) => Some(r.saturating_sub(a)),
+            _ => None,
+        }
+    }
+
+    /// Miss latency in cycles (detect → fill), when both were observed.
+    #[must_use]
+    pub fn miss_latency(&self) -> Option<Cycle> {
+        match (self.detected_at, self.filled_at) {
+            (Some(d), Some(f)) => Some(f.saturating_sub(d)),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate episode statistics for one simulation (one sweep cell).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EpisodeSummary {
+    /// Total reconstructed episodes.
+    pub episodes: usize,
+    /// Episodes that were granted the partition.
+    pub allocated: usize,
+    /// Granted episodes whose release was also observed.
+    pub released: usize,
+    /// Episodes denied at least once.
+    pub denied: usize,
+    /// Denials by reason: `(busy, high_dod, cold_predictor)`.
+    pub denials_by_reason: (u64, u64, u64),
+    /// Episodes that were denied first and granted later (recheck wins).
+    pub denied_then_granted: usize,
+    /// Episodes whose load was squashed.
+    pub squashed: usize,
+    /// Wrong-path episodes.
+    pub wrong_path: usize,
+    /// Sum/count of observed tenure lengths.
+    pub held_sum: u64,
+    /// Number of episodes contributing to `held_sum`.
+    pub held_n: u64,
+    /// Sum/count of observed detect→fill latencies.
+    pub latency_sum: u64,
+    /// Number of episodes contributing to `latency_sum`.
+    pub latency_n: u64,
+}
+
+impl EpisodeSummary {
+    /// Fold `episodes` into a summary.
+    #[must_use]
+    pub fn from_episodes(episodes: &[Episode]) -> Self {
+        let mut s = Self::default();
+        for e in episodes {
+            s.episodes += 1;
+            if e.allocated() {
+                s.allocated += 1;
+                if e.released_at.is_some() {
+                    s.released += 1;
+                }
+                if !e.denials.is_empty() {
+                    s.denied_then_granted += 1;
+                }
+            }
+            if !e.denials.is_empty() {
+                s.denied += 1;
+            }
+            for (_, r) in &e.denials {
+                match r {
+                    DenyReason::Busy => s.denials_by_reason.0 += 1,
+                    DenyReason::HighDod => s.denials_by_reason.1 += 1,
+                    DenyReason::ColdPredictor => s.denials_by_reason.2 += 1,
+                }
+            }
+            if e.squashed_at.is_some() {
+                s.squashed += 1;
+            }
+            if e.wrong_path {
+                s.wrong_path += 1;
+            }
+            if let Some(h) = e.held_cycles() {
+                s.held_sum += h;
+                s.held_n += 1;
+            }
+            if let Some(l) = e.miss_latency() {
+                s.latency_sum += l;
+                s.latency_n += 1;
+            }
+        }
+        s
+    }
+
+    /// Mean tenure length, when any tenure completed.
+    #[must_use]
+    pub fn mean_held(&self) -> Option<f64> {
+        mean(self.held_sum, self.held_n)
+    }
+
+    /// Mean detect→fill latency, when any episode completed.
+    #[must_use]
+    pub fn mean_latency(&self) -> Option<f64> {
+        mean(self.latency_sum, self.latency_n)
+    }
+
+    /// One fixed-width table row (see [`summary_table_header`]).
+    #[must_use]
+    pub fn render_row(&self, label: &str) -> String {
+        let fmt_mean = |m: Option<f64>| m.map_or_else(|| "n/a".to_owned(), |v| format!("{v:.1}"));
+        let (busy, dod, cold) = self.denials_by_reason;
+        format!(
+            "{label:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9}\n",
+            self.episodes,
+            self.allocated,
+            self.released,
+            busy,
+            dod,
+            cold,
+            self.denied_then_granted,
+            fmt_mean(self.mean_held()),
+            fmt_mean(self.mean_latency()),
+        )
+    }
+}
+
+/// Exact mean of two u64 tallies without lossy casts.
+fn mean(sum: u64, n: u64) -> Option<f64> {
+    if n == 0 {
+        return None;
+    }
+    let to_f64 = |v: u64| u32::try_from(v).map_or_else(|_| f64::from(u32::MAX), f64::from);
+    Some(to_f64(sum) / to_f64(n))
+}
+
+/// Header line matching [`EpisodeSummary::render_row`].
+#[must_use]
+pub fn summary_table_header() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9}",
+        "mix/config",
+        "episod",
+        "alloc",
+        "relsd",
+        "d.busy",
+        "d.dod",
+        "d.cold",
+        "re-won",
+        "held.avg",
+        "lat.avg"
+    );
+    out
+}
+
+/// Folds a `(cycle, event)` stream into [`Episode`]s.
+#[derive(Clone, Debug, Default)]
+pub struct EpisodeReconstructor {
+    /// Completed + in-progress episodes keyed by `(thread, tag)`.
+    episodes: BTreeMap<(ThreadId, u64), Episode>,
+    /// The trigger tag of the open tenure per thread, to match
+    /// releases that arrive without a grant in the stream (none today,
+    /// but keeps the fold total).
+    open_tenure: BTreeMap<ThreadId, u64>,
+}
+
+impl EpisodeReconstructor {
+    /// An empty reconstructor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build episodes directly from an event stream.
+    #[must_use]
+    pub fn from_events(events: &[(Cycle, TraceEvent)]) -> Vec<Episode> {
+        let mut rec = Self::new();
+        for (cycle, ev) in events {
+            rec.feed(*cycle, ev);
+        }
+        rec.finish()
+    }
+
+    fn entry(&mut self, thread: ThreadId, tag: u64) -> &mut Episode {
+        self.episodes
+            .entry((thread, tag))
+            .or_insert_with(|| Episode {
+                thread,
+                tag,
+                ..Episode::default()
+            })
+    }
+
+    /// Fold one event.
+    pub fn feed(&mut self, cycle: Cycle, event: &TraceEvent) {
+        match *event {
+            TraceEvent::L2MissDetected {
+                thread,
+                tag,
+                pc,
+                wrong_path,
+            } => {
+                let e = self.entry(thread, tag);
+                e.pc = pc;
+                e.wrong_path = wrong_path;
+                e.detected_at = Some(cycle);
+            }
+            TraceEvent::L2Fill {
+                thread,
+                tag,
+                wrong_path,
+            } => {
+                let e = self.entry(thread, tag);
+                e.filled_at = Some(cycle);
+                // A fill can arrive after the path was resolved wrong;
+                // keep the episode marked wrong-path either way.
+                e.wrong_path |= wrong_path;
+            }
+            TraceEvent::DodSampled {
+                thread,
+                tag,
+                value,
+                source,
+            } => {
+                let e = self.entry(thread, tag);
+                match source {
+                    DodSource::CounterAtFill => e.dod_at_fill = Some(value),
+                    DodSource::CounterAtDecision | DodSource::Predictor => {
+                        e.dod_at_decision = Some(value);
+                    }
+                }
+            }
+            TraceEvent::L2RobAllocated { thread, tag } => {
+                self.entry(thread, tag).allocated_at = Some(cycle);
+                self.open_tenure.insert(thread, tag);
+            }
+            TraceEvent::L2RobDenied {
+                thread,
+                tag,
+                reason,
+            } => {
+                self.entry(thread, tag).denials.push((cycle, reason));
+            }
+            TraceEvent::L2RobReleased {
+                thread,
+                trigger_tag,
+            } => {
+                self.entry(thread, trigger_tag).released_at = Some(cycle);
+                self.open_tenure.remove(&thread);
+            }
+            TraceEvent::Squash { thread, first_tag } => {
+                for ((t, tag), e) in self.episodes.range_mut((thread, first_tag)..) {
+                    if *t != thread {
+                        break;
+                    }
+                    if e.squashed_at.is_none() && *tag >= first_tag {
+                        e.squashed_at = Some(cycle);
+                    }
+                }
+            }
+            TraceEvent::ThreadStall { .. }
+            | TraceEvent::RobOccupancy { .. }
+            | TraceEvent::MemFillScheduled { .. } => {}
+        }
+    }
+
+    /// Finish the fold, yielding episodes ordered by `(thread, tag)`.
+    #[must_use]
+    pub fn finish(self) -> Vec<Episode> {
+        self.episodes.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detect(thread: ThreadId, tag: u64, pc: u64) -> TraceEvent {
+        TraceEvent::L2MissDetected {
+            thread,
+            tag,
+            pc,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn denied_then_granted_on_recheck_is_one_episode() {
+        // The Reactive scheme re-evaluates a waiting candidate every 10
+        // cycles: a Busy denial at t=100 followed by a grant at t=110
+        // must fold into a single episode that records both.
+        let events = vec![
+            (100, detect(1, 40, 0x4000)),
+            (
+                100,
+                TraceEvent::L2RobDenied {
+                    thread: 1,
+                    tag: 40,
+                    reason: DenyReason::Busy,
+                },
+            ),
+            (110, TraceEvent::L2RobAllocated { thread: 1, tag: 40 }),
+            (
+                400,
+                TraceEvent::L2Fill {
+                    thread: 1,
+                    tag: 40,
+                    wrong_path: false,
+                },
+            ),
+            (
+                405,
+                TraceEvent::L2RobReleased {
+                    thread: 1,
+                    trigger_tag: 40,
+                },
+            ),
+        ];
+        let eps = EpisodeReconstructor::from_events(&events);
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.denials, vec![(100, DenyReason::Busy)]);
+        assert_eq!(e.allocated_at, Some(110));
+        assert_eq!(e.released_at, Some(405));
+        assert_eq!(e.held_cycles(), Some(295));
+        assert_eq!(e.miss_latency(), Some(300));
+        let s = EpisodeSummary::from_episodes(&eps);
+        assert_eq!(s.denied_then_granted, 1);
+        assert_eq!(s.denials_by_reason, (1, 0, 0));
+    }
+
+    #[test]
+    fn fill_during_wrong_path_marks_episode_wrong_path() {
+        // The load was fetched down a correct-looking path, missed, and
+        // was wrong-path by the time the fill arrived: the episode must
+        // be flagged so per-mix accounting can exclude it.
+        let events = vec![
+            (50, detect(0, 7, 0x100)),
+            (
+                200,
+                TraceEvent::L2Fill {
+                    thread: 0,
+                    tag: 7,
+                    wrong_path: true,
+                },
+            ),
+        ];
+        let eps = EpisodeReconstructor::from_events(&events);
+        assert_eq!(eps.len(), 1);
+        assert!(eps[0].wrong_path);
+        assert!(!eps[0].allocated());
+        assert_eq!(eps[0].miss_latency(), Some(150));
+        assert_eq!(EpisodeSummary::from_episodes(&eps).wrong_path, 1);
+    }
+
+    #[test]
+    fn release_on_squash_closes_the_tenure() {
+        // A squash removes the trigger load; the allocator drains and
+        // releases. The episode must carry both the squash cycle and
+        // the release cycle, matched through the trigger tag.
+        let events = vec![
+            (10, detect(2, 90, 0x8000)),
+            (10, TraceEvent::L2RobAllocated { thread: 2, tag: 90 }),
+            (
+                30,
+                TraceEvent::Squash {
+                    thread: 2,
+                    first_tag: 88,
+                },
+            ),
+            (
+                31,
+                TraceEvent::L2RobReleased {
+                    thread: 2,
+                    trigger_tag: 90,
+                },
+            ),
+        ];
+        let eps = EpisodeReconstructor::from_events(&events);
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.squashed_at, Some(30));
+        assert_eq!(e.released_at, Some(31));
+        assert_eq!(e.held_cycles(), Some(21));
+        let s = EpisodeSummary::from_episodes(&eps);
+        assert_eq!((s.allocated, s.released, s.squashed), (1, 1, 1));
+    }
+
+    #[test]
+    fn squash_only_hits_tags_at_or_after_first_tag_on_that_thread() {
+        let events = vec![
+            (5, detect(1, 10, 0x1)),
+            (5, detect(1, 20, 0x2)),
+            (5, detect(2, 15, 0x3)),
+            (
+                9,
+                TraceEvent::Squash {
+                    thread: 1,
+                    first_tag: 15,
+                },
+            ),
+        ];
+        let eps = EpisodeReconstructor::from_events(&events);
+        assert_eq!(eps.len(), 3);
+        let by_key: BTreeMap<_, _> = eps.iter().map(|e| ((e.thread, e.tag), e)).collect();
+        assert_eq!(by_key[&(1, 10)].squashed_at, None);
+        assert_eq!(by_key[&(1, 20)].squashed_at, Some(9));
+        assert_eq!(by_key[&(2, 15)].squashed_at, None, "other thread untouched");
+    }
+
+    #[test]
+    fn dod_samples_route_to_decision_and_fill_slots() {
+        let events = vec![
+            (1, detect(0, 3, 0x10)),
+            (
+                1,
+                TraceEvent::DodSampled {
+                    thread: 0,
+                    tag: 3,
+                    value: 4,
+                    source: DodSource::CounterAtDecision,
+                },
+            ),
+            (
+                90,
+                TraceEvent::DodSampled {
+                    thread: 0,
+                    tag: 3,
+                    value: 6,
+                    source: DodSource::CounterAtFill,
+                },
+            ),
+        ];
+        let eps = EpisodeReconstructor::from_events(&events);
+        assert_eq!(eps[0].dod_at_decision, Some(4));
+        assert_eq!(eps[0].dod_at_fill, Some(6));
+    }
+}

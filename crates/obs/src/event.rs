@@ -1,0 +1,211 @@
+//! The typed event vocabulary emitted by the pipeline, the ROB
+//! allocation policy and the memory hierarchy.
+//!
+//! Every variant carries only plain integers/enums so events are
+//! `Copy`-cheap to construct in the hot path and trivially serializable
+//! (see [`crate::json`]). Variant and field names are part of the JSONL
+//! format documented in EXPERIMENTS.md — treat renames as breaking.
+
+use crate::{Cycle, ThreadId};
+
+/// Why the shared second-level ROB partition was *not* granted to a
+/// candidate miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DenyReason {
+    /// The partition is currently owned by another tenure.
+    Busy,
+    /// The degree-of-dependence count was at/above the scheme threshold.
+    HighDod,
+    /// The DoD predictor had no confident entry for this PC (P-ROB only).
+    ColdPredictor,
+}
+
+/// Where a sampled degree-of-dependence value came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DodSource {
+    /// The dependence counter consulted at allocation-decision time.
+    CounterAtDecision,
+    /// The dependence counter read when the miss data returned.
+    CounterAtFill,
+    /// A PC-indexed predictor lookup (P-ROB scheme).
+    Predictor,
+}
+
+/// What resource a thread failed to dispatch into this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallKind {
+    /// No reorder-buffer capacity under the active allocation grant.
+    RobFull,
+    /// The shared issue queue is full.
+    IqFull,
+    /// The DCRA per-thread cap is exhausted.
+    DcraCap,
+    /// The load/store queue is full.
+    LsqFull,
+    /// No free rename registers.
+    NoRegs,
+}
+
+/// One observable moment in a simulation, stamped with the cycle it
+/// occurred at by the [`crate::Tracer`] that records it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The L2 informed the core that a load missed (start of an episode).
+    L2MissDetected {
+        /// Thread that issued the missing load.
+        thread: ThreadId,
+        /// ROB tag of the missing load.
+        tag: u64,
+        /// Static PC of the load.
+        pc: u64,
+        /// Whether the load was on a mispredicted (wrong) path.
+        wrong_path: bool,
+    },
+    /// The miss data returned from memory (end of the memory episode).
+    L2Fill {
+        /// Thread that issued the missing load.
+        thread: ThreadId,
+        /// ROB tag of the missing load.
+        tag: u64,
+        /// Whether the load was on a wrong path when the fill arrived.
+        wrong_path: bool,
+    },
+    /// A degree-of-dependence value was sampled.
+    DodSampled {
+        /// Thread the sample belongs to.
+        thread: ThreadId,
+        /// ROB tag of the triggering load.
+        tag: u64,
+        /// The sampled dependence count.
+        value: u32,
+        /// Where the value came from.
+        source: DodSource,
+    },
+    /// The shared second-level partition was granted to `thread` for
+    /// the miss identified by `tag`.
+    L2RobAllocated {
+        /// Thread the partition was granted to.
+        thread: ThreadId,
+        /// ROB tag of the trigger load.
+        tag: u64,
+    },
+    /// An allocation request was denied.
+    L2RobDenied {
+        /// Thread whose request was denied.
+        thread: ThreadId,
+        /// ROB tag of the candidate load.
+        tag: u64,
+        /// Why the request was denied.
+        reason: DenyReason,
+    },
+    /// The tenure anchored on `trigger_tag` released the partition.
+    L2RobReleased {
+        /// Thread that held the partition.
+        thread: ThreadId,
+        /// ROB tag of the load whose miss triggered the tenure.
+        trigger_tag: u64,
+    },
+    /// A thread could not dispatch this cycle.
+    ThreadStall {
+        /// The stalled thread.
+        thread: ThreadId,
+        /// The resource that blocked dispatch.
+        kind: StallKind,
+    },
+    /// Periodic per-thread reorder-buffer occupancy sample.
+    RobOccupancy {
+        /// Thread being sampled.
+        thread: ThreadId,
+        /// Number of in-flight instructions in the thread's ROB.
+        occupancy: u32,
+    },
+    /// A branch misprediction squashed the thread from `first_tag` on.
+    Squash {
+        /// The squashed thread.
+        thread: ThreadId,
+        /// Oldest tag removed by the squash.
+        first_tag: u64,
+    },
+    /// The memory hierarchy scheduled a fill from DRAM.
+    MemFillScheduled {
+        /// Cache-line address being filled.
+        line_addr: u64,
+        /// Cycle the transfer completes.
+        complete_at: Cycle,
+    },
+}
+
+impl TraceEvent {
+    /// The hardware thread this event belongs to, if it is per-thread.
+    #[must_use]
+    pub fn thread(&self) -> Option<ThreadId> {
+        match *self {
+            TraceEvent::L2MissDetected { thread, .. }
+            | TraceEvent::L2Fill { thread, .. }
+            | TraceEvent::DodSampled { thread, .. }
+            | TraceEvent::L2RobAllocated { thread, .. }
+            | TraceEvent::L2RobDenied { thread, .. }
+            | TraceEvent::L2RobReleased { thread, .. }
+            | TraceEvent::ThreadStall { thread, .. }
+            | TraceEvent::RobOccupancy { thread, .. }
+            | TraceEvent::Squash { thread, .. } => Some(thread),
+            TraceEvent::MemFillScheduled { .. } => None,
+        }
+    }
+
+    /// A stable, lowercase name for the variant (the JSONL `event` key
+    /// and the metrics-counter key prefix).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::L2MissDetected { .. } => "l2_miss_detected",
+            TraceEvent::L2Fill { .. } => "l2_fill",
+            TraceEvent::DodSampled { .. } => "dod_sampled",
+            TraceEvent::L2RobAllocated { .. } => "l2_rob_allocated",
+            TraceEvent::L2RobDenied { .. } => "l2_rob_denied",
+            TraceEvent::L2RobReleased { .. } => "l2_rob_released",
+            TraceEvent::ThreadStall { .. } => "thread_stall",
+            TraceEvent::RobOccupancy { .. } => "rob_occupancy",
+            TraceEvent::Squash { .. } => "squash",
+            TraceEvent::MemFillScheduled { .. } => "mem_fill_scheduled",
+        }
+    }
+}
+
+impl DenyReason {
+    /// Stable lowercase name (JSONL field value / metrics-key suffix).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DenyReason::Busy => "busy",
+            DenyReason::HighDod => "high_dod",
+            DenyReason::ColdPredictor => "cold_predictor",
+        }
+    }
+}
+
+impl DodSource {
+    /// Stable lowercase name (JSONL field value / metrics-key suffix).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DodSource::CounterAtDecision => "counter_at_decision",
+            DodSource::CounterAtFill => "counter_at_fill",
+            DodSource::Predictor => "predictor",
+        }
+    }
+}
+
+impl StallKind {
+    /// Stable lowercase name (JSONL field value / metrics-key suffix).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallKind::RobFull => "rob_full",
+            StallKind::IqFull => "iq_full",
+            StallKind::DcraCap => "dcra_cap",
+            StallKind::LsqFull => "lsq_full",
+            StallKind::NoRegs => "no_regs",
+        }
+    }
+}

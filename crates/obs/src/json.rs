@@ -1,0 +1,208 @@
+//! Hand-rolled JSONL encoding for traces and episodes.
+//!
+//! The workspace is dependency-free by design (no serde); every field
+//! here is an integer, a bool or a static enum name, so the encoding
+//! is a few `write!`s. One event (or episode) per line, keys in a
+//! fixed order — byte-identical output is the point (the `trace` bin
+//! is under `xtask determinism`).
+
+use crate::episode::Episode;
+use crate::event::TraceEvent;
+use crate::Cycle;
+use std::fmt::Write as _;
+
+/// Encode one `(cycle, event)` pair as a single JSON line (no trailing
+/// newline).
+#[must_use]
+pub fn event_line(cycle: Cycle, event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"cycle\":{cycle},\"event\":\"{}\"", event.name());
+    match *event {
+        TraceEvent::L2MissDetected {
+            thread,
+            tag,
+            pc,
+            wrong_path,
+        } => {
+            let _ = write!(
+                s,
+                ",\"thread\":{thread},\"tag\":{tag},\"pc\":{pc},\"wrong_path\":{wrong_path}"
+            );
+        }
+        TraceEvent::L2Fill {
+            thread,
+            tag,
+            wrong_path,
+        } => {
+            let _ = write!(
+                s,
+                ",\"thread\":{thread},\"tag\":{tag},\"wrong_path\":{wrong_path}"
+            );
+        }
+        TraceEvent::DodSampled {
+            thread,
+            tag,
+            value,
+            source,
+        } => {
+            let _ = write!(
+                s,
+                ",\"thread\":{thread},\"tag\":{tag},\"value\":{value},\"source\":\"{}\"",
+                source.name()
+            );
+        }
+        TraceEvent::L2RobAllocated { thread, tag } => {
+            let _ = write!(s, ",\"thread\":{thread},\"tag\":{tag}");
+        }
+        TraceEvent::L2RobDenied {
+            thread,
+            tag,
+            reason,
+        } => {
+            let _ = write!(
+                s,
+                ",\"thread\":{thread},\"tag\":{tag},\"reason\":\"{}\"",
+                reason.name()
+            );
+        }
+        TraceEvent::L2RobReleased {
+            thread,
+            trigger_tag,
+        } => {
+            let _ = write!(s, ",\"thread\":{thread},\"trigger_tag\":{trigger_tag}");
+        }
+        TraceEvent::ThreadStall { thread, kind } => {
+            let _ = write!(s, ",\"thread\":{thread},\"kind\":\"{}\"", kind.name());
+        }
+        TraceEvent::RobOccupancy { thread, occupancy } => {
+            let _ = write!(s, ",\"thread\":{thread},\"occupancy\":{occupancy}");
+        }
+        TraceEvent::Squash { thread, first_tag } => {
+            let _ = write!(s, ",\"thread\":{thread},\"first_tag\":{first_tag}");
+        }
+        TraceEvent::MemFillScheduled {
+            line_addr,
+            complete_at,
+        } => {
+            let _ = write!(
+                s,
+                ",\"line_addr\":{line_addr},\"complete_at\":{complete_at}"
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Encode a whole trace as JSONL (one event per line, trailing newline).
+#[must_use]
+pub fn trace_jsonl(events: &[(Cycle, TraceEvent)]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for (cycle, ev) in events {
+        out.push_str(&event_line(*cycle, ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Encode one reconstructed episode as a single JSON line.
+#[must_use]
+pub fn episode_line(e: &Episode) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |x| x.to_string());
+    let opt32 = |v: Option<u32>| v.map_or_else(|| "null".to_owned(), |x| x.to_string());
+    let mut s = String::with_capacity(160);
+    let _ = write!(
+        s,
+        "{{\"thread\":{},\"tag\":{},\"pc\":{},\"wrong_path\":{},\"detected_at\":{},\"allocated_at\":{},\"filled_at\":{},\"released_at\":{},\"squashed_at\":{},\"dod_at_decision\":{},\"dod_at_fill\":{},\"denials\":[",
+        e.thread,
+        e.tag,
+        e.pc,
+        e.wrong_path,
+        opt(e.detected_at),
+        opt(e.allocated_at),
+        opt(e.filled_at),
+        opt(e.released_at),
+        opt(e.squashed_at),
+        opt32(e.dod_at_decision),
+        opt32(e.dod_at_fill),
+    );
+    for (i, (cycle, reason)) in e.denials.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"cycle\":{cycle},\"reason\":\"{}\"}}", reason.name());
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Encode reconstructed episodes as JSONL.
+#[must_use]
+pub fn episodes_jsonl(episodes: &[Episode]) -> String {
+    let mut out = String::with_capacity(episodes.len() * 160);
+    for e in episodes {
+        out.push_str(&episode_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DenyReason, DodSource};
+
+    #[test]
+    fn event_lines_are_stable_json() {
+        let line = event_line(
+            42,
+            &TraceEvent::DodSampled {
+                thread: 1,
+                tag: 9,
+                value: 3,
+                source: DodSource::Predictor,
+            },
+        );
+        assert_eq!(
+            line,
+            "{\"cycle\":42,\"event\":\"dod_sampled\",\"thread\":1,\"tag\":9,\"value\":3,\"source\":\"predictor\"}"
+        );
+    }
+
+    #[test]
+    fn episode_lines_include_denials() {
+        let e = Episode {
+            thread: 0,
+            tag: 5,
+            pc: 16,
+            detected_at: Some(10),
+            denials: vec![(10, DenyReason::Busy), (20, DenyReason::HighDod)],
+            allocated_at: Some(30),
+            ..Episode::default()
+        };
+        let line = episode_line(&e);
+        assert!(line.starts_with("{\"thread\":0,\"tag\":5,\"pc\":16,"));
+        assert!(line.contains("\"allocated_at\":30"));
+        assert!(line.contains("\"filled_at\":null"));
+        assert!(line.ends_with(
+            "\"denials\":[{\"cycle\":10,\"reason\":\"busy\"},{\"cycle\":20,\"reason\":\"high_dod\"}]}"
+        ));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_item() {
+        let events = vec![
+            (1, TraceEvent::L2RobAllocated { thread: 0, tag: 1 }),
+            (
+                2,
+                TraceEvent::L2RobReleased {
+                    thread: 0,
+                    trigger_tag: 1,
+                },
+            ),
+        ];
+        let text = trace_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -1,0 +1,35 @@
+//! Observability layer: structured tracing, a metrics registry, and
+//! L2-miss episode analytics — DESIGN.md §Observability.
+//!
+//! The paper's argument runs through micro-episodes: an L2 miss is
+//! detected, the degree-of-dependence counter is consulted, the shared
+//! second-level ROB partition is (or is not) allocated, and eventually
+//! released. This crate gives every layer of the simulator a typed
+//! vocabulary for those moments ([`TraceEvent`]), a sink abstraction
+//! that costs nothing when disabled ([`Tracer`] / [`NoopTracer`]), an
+//! aggregator ([`MetricsRegistry`]) and a reconstructor that folds the
+//! flat event stream back into complete episodes ([`EpisodeReconstructor`]).
+//!
+//! This crate is a dependency leaf: it defines its own `Cycle` /
+//! `ThreadId` aliases (structurally identical to the ones in
+//! `smtsim-mem` / `smtsim-isa`) so that the memory hierarchy, the
+//! pipeline and the experiment layer can all emit events without
+//! introducing dependency cycles.
+
+pub mod episode;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+/// Simulation time in cycles (alias-compatible with `smtsim_mem::Cycle`).
+pub type Cycle = u64;
+
+/// Hardware-thread index (alias-compatible with `smtsim_isa::ThreadId`).
+pub type ThreadId = usize;
+
+pub use episode::{summary_table_header, Episode, EpisodeReconstructor, EpisodeSummary};
+pub use event::{DenyReason, DodSource, StallKind, TraceEvent};
+pub use json::{episode_line, episodes_jsonl, event_line, trace_jsonl};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use tracer::{NoopTracer, TraceLog, Tracer};

@@ -1,0 +1,299 @@
+//! A registry of named counters and histograms aggregated from the
+//! event stream, per thread and (at the experiment layer) per scheme.
+//!
+//! Keys are deterministic: `BTreeMap`-backed so iteration order — and
+//! therefore every rendered table — is stable across runs and job
+//! counts (the repo-wide hash-collection lint enforces this).
+
+use crate::event::TraceEvent;
+use crate::Cycle;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A streaming histogram: count/sum/min/max plus a small fixed set of
+/// power-of-two buckets (enough shape for DoD values and occupancies
+/// without unbounded memory).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `buckets[i]` counts samples with value < 2^i; the last bucket
+    /// counts everything at/above the penultimate bound.
+    pub buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    /// Number of power-of-two buckets.
+    pub const BUCKETS: usize = 10;
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+        let mut idx = 0;
+        while idx + 1 < Self::BUCKETS && value >= (1u64 << idx) {
+            idx += 1;
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean of the recorded samples (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Counter magnitudes here are bounded by run length (≪ 2^53),
+        // so the into-f64 conversions are exact.
+        let sum: u32 = u32::try_from(self.sum.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        let count: u32 = u32::try_from(self.count.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        if u64::from(sum) == self.sum && u64::from(count) == self.count {
+            Some(f64::from(sum) / f64::from(count))
+        } else {
+            // Fallback for astronomically long runs: integer mean.
+            let whole = self.sum / self.count;
+            let w = u32::try_from(whole.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+            Some(f64::from(w))
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// Named counters and histograms folded from a trace.
+///
+/// Counter keys follow `"{event}[.{qualifier}].t{thread}"` (e.g.
+/// `l2_rob_denied.high_dod.t2`), plus an unsuffixed machine-wide
+/// total per event kind.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a registry by absorbing every event in `events`.
+    #[must_use]
+    pub fn from_events(events: &[(Cycle, TraceEvent)]) -> Self {
+        let mut reg = Self::new();
+        for (cycle, ev) in events {
+            reg.absorb(*cycle, ev);
+        }
+        reg
+    }
+
+    /// Increment the named counter.
+    pub fn bump(&mut self, key: &str) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += 1;
+        } else {
+            self.counters.insert(key.to_owned(), 1);
+        }
+    }
+
+    /// Record a histogram sample under `key`.
+    pub fn observe(&mut self, key: &str, value: u64) {
+        self.histograms
+            .entry(key.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Read a counter (0 when never bumped).
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Read a histogram, if any samples were recorded under `key`.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold one event into the registry.
+    pub fn absorb(&mut self, _cycle: Cycle, event: &TraceEvent) {
+        let name = event.name();
+        self.bump(name);
+        if let Some(t) = event.thread() {
+            self.bump(&format!("{name}.t{t}"));
+        }
+        match *event {
+            TraceEvent::L2RobDenied { thread, reason, .. } => {
+                self.bump(&format!("{name}.{}", reason.name()));
+                self.bump(&format!("{name}.{}.t{thread}", reason.name()));
+            }
+            TraceEvent::ThreadStall { thread, kind } => {
+                self.bump(&format!("{name}.{}", kind.name()));
+                self.bump(&format!("{name}.{}.t{thread}", kind.name()));
+            }
+            TraceEvent::DodSampled { value, source, .. } => {
+                self.observe(&format!("dod.{}", source.name()), u64::from(value));
+            }
+            TraceEvent::RobOccupancy { thread, occupancy } => {
+                self.observe(&format!("rob_occupancy.t{thread}"), u64::from(occupancy));
+            }
+            _ => {}
+        }
+    }
+
+    /// Merge another registry into this one (used when aggregating
+    /// per-cell registries per scheme).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Render the registry as a deterministic plain-text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        for (k, h) in &self.histograms {
+            let mean = h.mean().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{k}: count={} sum={} min={} max={} mean={mean:.2}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DenyReason, DodSource, StallKind};
+
+    #[test]
+    fn histogram_tracks_shape() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 9, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 913);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 900);
+        assert!((h.mean().unwrap() - 182.6).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // value 0 (< 1)
+        assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn registry_folds_events_per_thread_and_reason() {
+        let events = vec![
+            (
+                1,
+                TraceEvent::L2RobDenied {
+                    thread: 2,
+                    tag: 5,
+                    reason: DenyReason::HighDod,
+                },
+            ),
+            (
+                2,
+                TraceEvent::L2RobDenied {
+                    thread: 2,
+                    tag: 5,
+                    reason: DenyReason::Busy,
+                },
+            ),
+            (
+                3,
+                TraceEvent::ThreadStall {
+                    thread: 0,
+                    kind: StallKind::RobFull,
+                },
+            ),
+            (
+                4,
+                TraceEvent::DodSampled {
+                    thread: 0,
+                    tag: 9,
+                    value: 7,
+                    source: DodSource::CounterAtFill,
+                },
+            ),
+        ];
+        let reg = MetricsRegistry::from_events(&events);
+        assert_eq!(reg.counter("l2_rob_denied"), 2);
+        assert_eq!(reg.counter("l2_rob_denied.t2"), 2);
+        assert_eq!(reg.counter("l2_rob_denied.high_dod"), 1);
+        assert_eq!(reg.counter("l2_rob_denied.high_dod.t2"), 1);
+        assert_eq!(reg.counter("thread_stall.rob_full.t0"), 1);
+        assert_eq!(reg.counter("never_bumped"), 0);
+        let h = reg.histogram("dod.counter_at_fill").unwrap();
+        assert_eq!((h.count, h.sum), (1, 7));
+    }
+
+    #[test]
+    fn merge_is_additive_and_render_is_deterministic() {
+        let mut a = MetricsRegistry::new();
+        a.bump("x");
+        a.observe("h", 3);
+        let mut b = MetricsRegistry::new();
+        b.bump("x");
+        b.bump("y");
+        b.observe("h", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 2);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("h").unwrap().sum, 8);
+        let r1 = a.render();
+        let r2 = a.clone().render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("x = 2"));
+    }
+}

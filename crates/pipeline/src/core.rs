@@ -24,6 +24,7 @@ use crate::stats::SimStats;
 use crate::types::{BranchState, Event, InstRef, InstState, IqEntry, LsqEntry};
 use smtsim_isa::{DynInst, ThreadId};
 use smtsim_mem::{Cycle, Hierarchy};
+use smtsim_obs::{NoopTracer, TraceEvent, Tracer};
 use smtsim_predict::{Btb, Gshare, LoadHitPredictor};
 use smtsim_workload::{Executor, Workload};
 use std::cmp::Reverse;
@@ -207,8 +208,18 @@ pub enum StopCondition {
     Cycles(Cycle),
 }
 
+/// How often (in cycles) per-thread ROB occupancy is sampled into the
+/// trace when tracing is enabled.
+pub(crate) const OCCUPANCY_SAMPLE_INTERVAL: Cycle = 128;
+
 /// The cycle-level SMT simulator.
-pub struct Simulator {
+///
+/// Generic over its [`Tracer`]: the default [`NoopTracer`] records
+/// nothing and monomorphizes every emission site away (the zero-cost
+/// path used by all measurement runs); construct with
+/// [`SimulatorBuilder::tracer`](crate::SimulatorBuilder::tracer) to
+/// collect a structured event stream instead.
+pub struct Simulator<T: Tracer = NoopTracer> {
     pub(crate) cfg: MachineConfig,
     pub(crate) threads: Vec<Thread>,
     pub(crate) regs: RegFiles,
@@ -238,10 +249,16 @@ pub struct Simulator {
     pub(crate) integrity_violation: Option<String>,
     /// Static DoD bound tables, one per thread (empty = oracle off).
     pub(crate) dod_bounds: Vec<DodBounds>,
+    /// Structured-event sink (a ZST no-op by default).
+    pub(crate) tracer: T,
 }
 
 impl Simulator {
     /// Builds a simulator.
+    ///
+    /// Thin compatibility wrapper over [`Simulator::builder`]; new code
+    /// should use the builder, which also covers DoD bounds, fault
+    /// plans, warmup and tracing.
     ///
     /// * `workloads` — one per hardware thread (`cfg.num_threads`).
     /// * `alloc` — the ROB capacity policy ([`crate::FixedRob`] for the
@@ -266,11 +283,40 @@ impl Simulator {
 
     /// Builds a simulator, reporting structural problems as
     /// [`SimError::InvalidConfig`] instead of panicking.
+    ///
+    /// Thin compatibility wrapper over [`Simulator::builder`].
     pub fn try_new(
         cfg: MachineConfig,
         workloads: Vec<Arc<Workload>>,
         alloc: Box<dyn RobAllocator>,
         seed: u64,
+    ) -> Result<Self, SimError> {
+        Self::construct(cfg, workloads, alloc, seed, NoopTracer)
+    }
+
+    /// Starts a [`SimulatorBuilder`](crate::SimulatorBuilder) — the
+    /// one-stop construction path covering DoD bounds, fault plans,
+    /// warmup and tracing.
+    pub fn builder(
+        cfg: MachineConfig,
+        workloads: Vec<Arc<Workload>>,
+        alloc: Box<dyn RobAllocator>,
+        seed: u64,
+    ) -> crate::SimulatorBuilder {
+        crate::SimulatorBuilder::new(cfg, workloads, alloc, seed)
+    }
+}
+
+impl<T: Tracer> Simulator<T> {
+    /// Core constructor shared by [`Simulator::try_new`] and the
+    /// builder: validates the configuration and assembles the machine
+    /// with the given tracer.
+    pub(crate) fn construct(
+        cfg: MachineConfig,
+        workloads: Vec<Arc<Workload>>,
+        alloc: Box<dyn RobAllocator>,
+        seed: u64,
+        tracer: T,
     ) -> Result<Self, SimError> {
         cfg.validate()?;
         if workloads.len() != cfg.num_threads {
@@ -313,9 +359,16 @@ impl Simulator {
             fault: FaultState::new(FaultPlan::default(), cfg.num_threads),
             integrity_violation: None,
             dod_bounds: Vec::new(),
+            tracer,
             threads,
             cfg,
         })
+    }
+
+    /// Consumes the simulator, returning its tracer (e.g. to read a
+    /// collected [`smtsim_obs::TraceLog`] after a run).
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Installs static DoD bound tables, one per thread, enabling the
@@ -327,13 +380,31 @@ impl Simulator {
     ///
     /// # Panics
     /// Panics unless exactly one table per hardware thread is given.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `Simulator::builder(..).dod_bounds(..)` instead"
+    )]
     pub fn set_dod_bounds(&mut self, bounds: Vec<DodBounds>) {
-        assert_eq!(
-            bounds.len(),
-            self.cfg.num_threads,
-            "need one DoD bound table per hardware thread"
-        );
+        if let Err(e) = self.install_dod_bounds(bounds) {
+            panic!("{e}");
+        }
+    }
+
+    /// Installs static DoD bound tables (builder path): exactly one
+    /// table per hardware thread, reported as
+    /// [`SimError::InvalidConfig`] otherwise.
+    pub(crate) fn install_dod_bounds(&mut self, bounds: Vec<DodBounds>) -> Result<(), SimError> {
+        if bounds.len() != self.cfg.num_threads {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "need one DoD bound table per hardware thread: {} tables for {} threads",
+                    bounds.len(),
+                    self.cfg.num_threads
+                ),
+            });
+        }
         self.dod_bounds = bounds;
+        Ok(())
     }
 
     /// Cross-checks one correct-path L2 fill against the static DoD
@@ -372,7 +443,16 @@ impl Simulator {
 
     /// Installs a fault-injection plan. Call before any timed cycles;
     /// the decision counters restart from zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `Simulator::builder(..).fault_plan(..)` instead"
+    )]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.install_fault_plan(plan);
+    }
+
+    /// Installs a fault-injection plan (builder path).
+    pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = FaultState::new(plan, self.cfg.num_threads);
     }
 
@@ -453,7 +533,17 @@ impl Simulator {
     /// Must be called before any timed cycles.
     ///
     /// [`run`]: Simulator::run
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `Simulator::builder(..).warmup(..)` instead"
+    )]
     pub fn warmup(&mut self, insts_per_thread: u64) {
+        self.run_warmup(insts_per_thread);
+    }
+
+    /// Functional cache/predictor warmup (builder path); see
+    /// [`Simulator::warmup`].
+    pub(crate) fn run_warmup(&mut self, insts_per_thread: u64) {
         assert_eq!(self.now, 0, "warmup must precede timed simulation");
         for t in 0..self.cfg.num_threads {
             let mut last_line = u64::MAX;
@@ -523,6 +613,18 @@ impl Simulator {
         self.fetch_stage();
         self.policy_tick();
         self.sample_occupancy();
+        if T::ENABLED {
+            // The allocation policy and the memory hierarchy sit on the
+            // far side of trait-object / crate boundaries, so they
+            // buffer their events; fold them into the tracer once per
+            // cycle, in a fixed order, to keep the stream deterministic.
+            for (c, ev) in self.alloc.drain_trace() {
+                self.tracer.record(c, ev);
+            }
+            for (c, ev) in self.mem.drain_trace() {
+                self.tracer.record(c, ev);
+            }
+        }
         self.now += 1;
         if let Some(detail) = self.integrity_violation.take() {
             return Err(SimError::InvariantViolation {
@@ -671,6 +773,18 @@ impl Simulator {
         }
         for (t, th) in self.threads.iter().enumerate() {
             self.stats.threads[t].rob_occupancy_sum += th.rob.len() as u64;
+        }
+        if T::ENABLED && self.now.is_multiple_of(OCCUPANCY_SAMPLE_INTERVAL) {
+            for (t, th) in self.threads.iter().enumerate() {
+                let occupancy = u32::try_from(th.rob.len()).unwrap_or(u32::MAX);
+                self.tracer.record(
+                    self.now,
+                    TraceEvent::RobOccupancy {
+                        thread: t,
+                        occupancy,
+                    },
+                );
+            }
         }
     }
 

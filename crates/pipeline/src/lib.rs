@@ -33,6 +33,7 @@
 // `// invariant:` justification. (Tests are exempt.)
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod builder;
 pub mod config;
 pub mod core;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod stages;
 pub mod stats;
 pub mod types;
 
+pub use builder::SimulatorBuilder;
 pub use config::{DcraConfig, FetchPolicyKind, MachineConfig};
 pub use core::{Simulator, StopCondition};
 pub use error::{DeadlockSnapshot, HeadSnapshot, SimError, ThreadSnapshot};
@@ -51,5 +53,6 @@ pub use fault::{FaultPlan, FaultStats};
 pub use fu::FuPool;
 pub use regfile::{PhysReg, RegFiles};
 pub use rob_policy::{DodBounds, FixedRob, MissEvent, RobAllocator, RobQuery, DOD_WINDOW};
+pub use smtsim_obs::{NoopTracer, TraceEvent, TraceLog, Tracer};
 pub use stats::{DodHistogram, DodOracleStats, SimStats, ThreadStats};
 pub use types::{InstRef, InstState};

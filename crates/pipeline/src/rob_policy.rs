@@ -154,6 +154,20 @@ pub trait RobAllocator {
     /// Downcast hook so harnesses can retrieve policy-specific
     /// statistics after a run.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Enables or disables event tracing inside the policy. Policies
+    /// that emit [`smtsim_obs::TraceEvent`]s buffer them internally
+    /// (they cannot reach the simulator's tracer directly — the
+    /// allocator is a trait object below the generic); the simulator
+    /// drains the buffer once per cycle via
+    /// [`RobAllocator::drain_trace`]. Default: tracing unsupported.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains the policy's buffered trace events (empty unless
+    /// [`RobAllocator::set_tracing`] enabled buffering).
+    fn drain_trace(&mut self) -> Vec<(Cycle, smtsim_obs::TraceEvent)> {
+        Vec::new()
+    }
 }
 
 /// Fixed private per-thread ROBs — the paper's baseline machines

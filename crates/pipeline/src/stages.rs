@@ -9,9 +9,10 @@ use crate::types::{
     BranchState, Event, EventKind, InstRef, InstState, IqEntry, LsqEntry, MemState,
 };
 use smtsim_isa::{DynInst, OpClass, ThreadId, INST_BYTES};
+use smtsim_obs::{DodSource, StallKind, TraceEvent, Tracer};
 use std::cmp::Reverse;
 
-impl Simulator {
+impl<T: Tracer> Simulator<T> {
     // ------------------------------------------------------------------
     // Events (writeback, miss lifecycle)
     // ------------------------------------------------------------------
@@ -106,6 +107,17 @@ impl Simulator {
         if !wrong_path {
             self.stats.threads[r.thread].l2_misses += 1;
         }
+        if T::ENABLED {
+            self.tracer.record(
+                self.now,
+                TraceEvent::L2MissDetected {
+                    thread: r.thread,
+                    tag: r.tag,
+                    pc: ev.pc,
+                    wrong_path,
+                },
+            );
+        }
 
         // FLUSH policy: squash everything behind the missing load and
         // gate fetch until the fill returns.
@@ -161,6 +173,16 @@ impl Simulator {
                     .min(31),
             )
         };
+        if T::ENABLED {
+            self.tracer.record(
+                self.now,
+                TraceEvent::L2Fill {
+                    thread: r.thread,
+                    tag: r.tag,
+                    wrong_path: ev.wrong_path,
+                },
+            );
+        }
         if !ev.wrong_path {
             self.stats.dod_at_fill.record(counted_full);
             // Static-oracle cross-check, on the true counter value
@@ -168,6 +190,19 @@ impl Simulator {
             // policy below, but the oracle audits the machine, not the
             // fault plan).
             self.oracle_check(r, ev.pc, counted_policy);
+            if T::ENABLED {
+                // The same pre-fault counter value the oracle audits,
+                // so episode DoD agrees with `SimStats::dod_oracle`.
+                self.tracer.record(
+                    self.now,
+                    TraceEvent::DodSampled {
+                        thread: r.thread,
+                        tag: r.tag,
+                        value: counted_policy,
+                        source: DodSource::CounterAtFill,
+                    },
+                );
+            }
         }
         // Fault injection: the DoD count handed to the policy may be
         // corrupted, or the notification suppressed altogether (a lost
@@ -505,23 +540,28 @@ impl Simulator {
         let rob_cap = self.dispatch_capacity(t);
         if self.threads[t].rob.len() >= rob_cap {
             self.stats.threads[t].rob_stall_cycles += 1;
+            self.trace_stall(t, StallKind::RobFull);
             return false;
         }
         if needs_iq && self.iq.len() >= self.cfg.iq_size {
             self.stats.threads[t].stall_iq += 1;
+            self.trace_stall(t, StallKind::IqFull);
             return false;
         }
         if needs_iq && self.iq_usage[t] >= iq_cap {
             self.stats.threads[t].stall_caps += 1;
+            self.trace_stall(t, StallKind::DcraCap);
             return false;
         }
         if op.is_mem() && self.threads[t].lsq.len() >= self.cfg.lsq_size {
             self.stats.threads[t].stall_lsq += 1;
+            self.trace_stall(t, StallKind::LsqFull);
             return false;
         }
         if let Some(d) = dst {
             if self.regs.free_count(t, d.class()) == 0 {
                 self.stats.threads[t].stall_regs += 1;
+                self.trace_stall(t, StallKind::NoRegs);
                 return false;
             }
         }
@@ -590,6 +630,16 @@ impl Simulator {
         self.threads[t].rob.push_back(inst);
         self.stats.threads[t].dispatched += 1;
         true
+    }
+
+    /// Records a dispatch stall (no-op and fully compiled away when the
+    /// tracer is disabled).
+    #[inline]
+    fn trace_stall(&mut self, thread: ThreadId, kind: StallKind) {
+        if T::ENABLED {
+            self.tracer
+                .record(self.now, TraceEvent::ThreadStall { thread, kind });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -739,6 +789,15 @@ impl Simulator {
         resume_pc: u64,
         collect_replay: bool,
     ) {
+        if T::ENABLED {
+            self.tracer.record(
+                self.now,
+                TraceEvent::Squash {
+                    thread,
+                    first_tag: from_tag,
+                },
+            );
+        }
         // 1. Front end: drain the fetch queue (younger than all ROB
         //    entries).
         let mut fetch_replay: Vec<DynInst> = Vec::new();

@@ -76,8 +76,10 @@ proptest! {
         // Warm-up must never break the machine — the run still commits.
         let cfg = MachineConfig::icpp08_single();
         let wl = Arc::new(Workload::spec(bench, seed, 0x1_0000, 0x1000_0000));
-        let mut sim = Simulator::new(cfg, vec![wl], Box::new(FixedRob::new(32)), seed);
-        sim.warmup(warm);
+        let mut sim = Simulator::builder(cfg, vec![wl], Box::new(FixedRob::new(32)), seed)
+            .warmup(warm)
+            .build()
+            .expect("single-thread config is valid");
         let stats = sim.run(StopCondition::AnyThreadCommitted(3_000));
         prop_assert!(stats.threads[0].committed >= 3_000);
     }
@@ -126,9 +128,10 @@ proptest! {
             .into_iter()
             .map(Arc::new)
             .collect();
-        let mut sim = Simulator::try_new(cfg, wls, Box::new(FixedRob::new(32)), seed)
+        let mut sim = Simulator::builder(cfg, wls, Box::new(FixedRob::new(32)), seed)
+            .fault_plan(plan)
+            .build()
             .expect("Table 1 config is valid");
-        sim.set_fault_plan(plan);
         match sim.try_run(StopCondition::Cycles(10_000)) {
             Ok(stats) => prop_assert!(stats.total_committed() > 0),
             Err(e) => prop_assert!(!e.kind().is_empty()),

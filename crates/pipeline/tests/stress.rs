@@ -92,8 +92,10 @@ fn tiny_structures_still_work() {
 fn single_thread_with_warmup_stays_consistent() {
     let cfg = MachineConfig::icpp08_single();
     let wl = Arc::new(Workload::spec("mcf", 31, 0x1_0000, 0x1000_0000));
-    let mut sim = Simulator::new(cfg, vec![wl], Box::new(FixedRob::new(32)), 31);
-    sim.warmup(30_000);
+    let mut sim = Simulator::builder(cfg, vec![wl], Box::new(FixedRob::new(32)), 31)
+        .warmup(30_000)
+        .build()
+        .expect("single-thread config is valid");
     run_checked(&mut sim, 50_000, 89);
     assert!(sim.stats().threads[0].committed > 1_000);
 }

@@ -56,13 +56,15 @@ fn single_threaded_two_level_machine_works() {
     // normalization configuration).
     let cfg = MachineConfig::icpp08_single();
     let wl = Arc::new(mix(1).instantiate_single(1, 3));
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         cfg,
         vec![wl],
         Box::new(TwoLevelRob::new(TwoLevelConfig::r_rob(16))),
         3,
-    );
-    sim.warmup(20_000);
+    )
+    .warmup(20_000)
+    .build()
+    .expect("single-thread config is valid");
     let stats = sim.run(StopCondition::AnyThreadCommitted(10_000));
     assert!(stats.threads[0].committed >= 10_000);
 }
@@ -78,8 +80,10 @@ fn workload_statistics_flow_into_simulation() {
 
     let run = |wl: Arc<Workload>| {
         let cfg = MachineConfig::icpp08_single();
-        let mut sim = Simulator::new(cfg, vec![wl], Box::new(FixedRob::new(32)), 5);
-        sim.warmup(40_000);
+        let mut sim = Simulator::builder(cfg, vec![wl], Box::new(FixedRob::new(32)), 5)
+            .warmup(40_000)
+            .build()
+            .expect("single-thread config is valid");
         sim.run(StopCondition::AnyThreadCommitted(20_000));
         sim.stats().threads[0].l2_misses
     };

@@ -14,8 +14,10 @@ fn fingerprint(seed: u64, two_level: bool) -> Vec<u64> {
     } else {
         Box::new(FixedRob::new(32))
     };
-    let mut sim = Simulator::new(MachineConfig::icpp08(), wls, alloc, seed);
-    sim.warmup(20_000);
+    let mut sim = Simulator::builder(MachineConfig::icpp08(), wls, alloc, seed)
+        .warmup(20_000)
+        .build()
+        .expect("Table 1 config is valid");
     sim.run(StopCondition::AnyThreadCommitted(8_000));
     let mut v = vec![sim.cycle()];
     for t in &sim.stats().threads {
@@ -60,9 +62,10 @@ fn sweep_is_byte_identical_at_any_job_count() {
         (2, RobConfig::TwoLevel(TwoLevelConfig::p_rob(5))),
     ];
     let run = |jobs: usize| {
-        let mut lab = Lab::new(17).with_budgets(6_000, 6_000);
-        lab.warmup = 10_000;
-        lab.jobs = Some(jobs);
+        let mut lab = Lab::new(17)
+            .with_budgets(6_000, 6_000)
+            .with_warmup(10_000)
+            .with_jobs(Some(jobs));
         let runs = format!("{:?}", lab.sweep(&cells));
         let fig = smtsim_rob2::figures::fig2(&mut lab, &[2, 6]);
         (runs, smtsim_rob2::report::render_figure(&fig))
@@ -75,8 +78,7 @@ fn sweep_is_byte_identical_at_any_job_count() {
 #[test]
 fn lab_results_are_reproducible() {
     let run = || {
-        let mut lab = Lab::new(17).with_budgets(6_000, 6_000);
-        lab.warmup = 10_000;
+        let mut lab = Lab::new(17).with_budgets(6_000, 6_000).with_warmup(10_000);
         let r = lab.run_mix(6, RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)));
         (r.ft, r.ipc.clone(), r.twolevel.unwrap().allocations)
     };
@@ -98,9 +100,10 @@ fn faulted_fingerprint(
     cfg.deadlock_cycles = 3_000;
     cfg.invariant_interval = 250;
     let wls = mix(2).instantiate(9).into_iter().map(Arc::new).collect();
-    let mut sim =
-        Simulator::try_new(cfg, wls, Box::new(FixedRob::new(32)), 9).expect("valid config");
-    sim.set_fault_plan(plan.clone());
+    let mut sim = Simulator::builder(cfg, wls, Box::new(FixedRob::new(32)), 9)
+        .fault_plan(plan.clone())
+        .build()
+        .expect("valid config");
     let res = sim
         .try_run(StopCondition::AnyThreadCommitted(5_000))
         .map(|_| ());

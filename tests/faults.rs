@@ -21,9 +21,10 @@ fn faulted_sim(
     cfg.deadlock_cycles = deadlock_cycles;
     cfg.invariant_interval = invariant_interval;
     let wls = mix(1).instantiate(7).into_iter().map(Arc::new).collect();
-    let mut sim = Simulator::try_new(cfg, wls, alloc, 7).expect("Table 1 config is valid");
-    sim.set_fault_plan(plan);
-    sim
+    Simulator::builder(cfg, wls, alloc, 7)
+        .fault_plan(plan)
+        .build()
+        .expect("Table 1 config is valid")
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! Observability acceptance: the traced sweep is deterministic at any
+//! job count, and the reconstructed episodes agree with the
+//! simulator's own counters — DESIGN.md §Observability.
+
+use smtsim_obs::{episodes_jsonl, trace_jsonl, DenyReason, DodSource, TraceEvent};
+use smtsim_rob2::{Lab, RobConfig, TracedMixRun, TwoLevelConfig};
+
+/// One traced memory-bound cell at reduced budgets.
+fn traced_cell(mix: usize) -> TracedMixRun {
+    let mut lab = Lab::new(17).with_budgets(6_000, 6_000).with_warmup(10_000);
+    let cfg = RobConfig::TwoLevel(TwoLevelConfig::r_rob(16));
+    let cells = [(mix, cfg)];
+    let mut results = lab.sweep_traced(&cells);
+    results
+        .pop()
+        .expect("one cell in, one result out")
+        .expect("reduced-budget cell runs clean")
+}
+
+#[test]
+fn traced_sweep_is_byte_identical_at_any_job_count() {
+    // The JSONL dump the `trace` bin writes is a pure function of
+    // (cells, seed, budgets): the parallel fan-out must not be able to
+    // reorder a single line of it.
+    let cells = [
+        (1, RobConfig::Baseline(32)),
+        (1, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16))),
+        (9, RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15))),
+    ];
+    let dump = |jobs: usize| -> String {
+        let mut lab = Lab::new(17)
+            .with_budgets(6_000, 6_000)
+            .with_warmup(10_000)
+            .with_jobs(Some(jobs));
+        lab.sweep_traced(&cells)
+            .iter()
+            .map(|r| {
+                let t = r.as_ref().expect("reduced-budget cells run clean");
+                format!("{}{}", trace_jsonl(&t.events), episodes_jsonl(&t.episodes))
+            })
+            .collect()
+    };
+    let serial = dump(1);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, dump(4), "traced sweep must not depend on jobs");
+}
+
+#[test]
+fn every_allocation_is_accounted() {
+    // Event stream, episode reconstruction and the allocator's own
+    // statistics are three views of the same run; they must agree
+    // exactly (the one tenure possibly still live at the stop cycle is
+    // the only permitted allocate/release gap).
+    let traced = traced_cell(1);
+    let tl = traced.run.twolevel.expect("two-level cell");
+
+    let mut allocated = 0u64;
+    let mut released = 0u64;
+    let mut denied_busy = 0u64;
+    let mut denied_dod = 0u64;
+    for (_, ev) in &traced.events {
+        match ev {
+            TraceEvent::L2RobAllocated { .. } => allocated += 1,
+            TraceEvent::L2RobReleased { .. } => released += 1,
+            TraceEvent::L2RobDenied { reason, .. } => match reason {
+                DenyReason::Busy => denied_busy += 1,
+                DenyReason::HighDod => denied_dod += 1,
+                DenyReason::ColdPredictor => {}
+            },
+            _ => {}
+        }
+    }
+    assert!(allocated > 0, "mix 1 is memory-bound: expect allocations");
+    assert_eq!(allocated, tl.allocations, "allocate events vs stats");
+    assert_eq!(released, tl.releases, "release events vs stats");
+    assert_eq!(denied_busy, tl.rejected_busy, "busy denials vs stats");
+    assert_eq!(denied_dod, tl.rejected_dod, "DoD denials vs stats");
+    assert!(
+        allocated - released <= 1,
+        "at most one tenure live at the stop cycle"
+    );
+
+    // The reconstructor must account for every grant and release.
+    let ep_allocated = traced.episodes.iter().filter(|e| e.allocated()).count() as u64;
+    let ep_released = traced
+        .episodes
+        .iter()
+        .filter(|e| e.released_at.is_some())
+        .count() as u64;
+    assert_eq!(ep_allocated, tl.allocations, "episodes vs allocations");
+    assert_eq!(ep_released, tl.releases, "episodes vs releases");
+}
+
+#[test]
+fn episode_dod_agrees_with_the_static_oracle() {
+    // `DodSampled(CounterAtFill)` carries the same pre-fault counter
+    // value `oracle_check` audits, so the event stream must cover
+    // exactly the oracle's checked fills and its value sum must sit
+    // within the oracle's accumulated |counter - exact| error of the
+    // exact-dependent sum.
+    let traced = traced_cell(1);
+    let oracle = traced.run.stats.dod_oracle;
+    assert!(oracle.checked > 0, "static bounds are installed by the Lab");
+
+    let fill_samples: Vec<u64> = traced
+        .events
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            TraceEvent::DodSampled {
+                value,
+                source: DodSource::CounterAtFill,
+                ..
+            } => Some(u64::from(*value)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        fill_samples.len() as u64,
+        oracle.checked,
+        "one fill-time sample per oracle-checked fill"
+    );
+    let sampled_sum: u64 = fill_samples.iter().sum();
+    assert!(
+        sampled_sum.abs_diff(oracle.exact_sum) <= oracle.counter_err_sum,
+        "counter sum {sampled_sum} vs exact sum {} exceeds accumulated \
+         counter error {}",
+        oracle.exact_sum,
+        oracle.counter_err_sum
+    );
+
+    // The per-episode view carries the same values: fold them back and
+    // compare against the raw event stream.
+    let ep_samples: Vec<u64> = traced
+        .episodes
+        .iter()
+        .filter_map(|e| e.dod_at_fill.map(u64::from))
+        .collect();
+    assert_eq!(ep_samples.len(), fill_samples.len());
+    assert_eq!(ep_samples.iter().sum::<u64>(), sampled_sum);
+}

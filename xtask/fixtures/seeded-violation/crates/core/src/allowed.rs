@@ -11,6 +11,12 @@ pub fn lookup(m: &HashMap<u64, u64>, k: u64) -> Option<u64> { // xtask: allow-ha
     m.get(&k).copied()
 }
 
+/// A dev-tool toggle with the required annotation; `env::var` in this
+/// doc comment must not fire either.
+pub fn private_regs() -> bool {
+    std::env::var("PRIVATE_REGS").is_ok() // xtask: allow-env-read
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

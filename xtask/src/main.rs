@@ -3,12 +3,15 @@
 //! Subcommands:
 //!
 //! * `lint` — source-level policy checks (below);
-//! * `determinism` — runs representative figure binaries at
-//!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless their
-//!   stdout is byte-identical: the parallel sweep engine is *defined*
-//!   to produce the serial output at any job count. Budget knobs
-//!   (`BUDGET`/`WARMUP`/`MIXES`…) are honored when already set in the
-//!   environment; otherwise a fast CI-scale budget is used.
+//! * `determinism` — runs representative figure binaries (plus the
+//!   `trace` structured-dump bin) at `SMTSIM_JOBS=1` and
+//!   `SMTSIM_JOBS=4` and fails unless their stdout is byte-identical:
+//!   the parallel sweep engine is *defined* to produce the serial
+//!   output at any job count. Budget knobs (`BUDGET`/`WARMUP`/
+//!   `MIXES`…) are honored when already set in the environment;
+//!   otherwise a fast CI-scale budget is used. Bins run in a scratch
+//!   CWD so reduced-budget artifacts never overwrite the committed
+//!   `results/`.
 //!
 //! `lint` checks are things rustc/clippy cannot express because they
 //! are *policy*, not language rules:
@@ -27,6 +30,12 @@
 //! * **lossy-cast-in-stats** — narrowing `as` casts in stats/metrics
 //!   accounting files, where a truncated counter produces a plausible
 //!   but wrong figure. Marker: `// xtask: allow-lossy-cast`.
+//! * **env-read-outside-benchenv** — `env::var` / `env::var_os` reads
+//!   anywhere but `crates/bench/src/env.rs`. Every experiment knob
+//!   parses exactly once through `BenchEnv::from_env`, so the knob
+//!   table in `smtsim-bench`'s docs is authoritative and a typo'd
+//!   variable fails loudly instead of silently using a default.
+//!   Marker: `// xtask: allow-env-read`.
 //!
 //! Test code is exempt: `tests/` directories, and everything at or
 //! below the first `#[cfg(test)]` line of a file (the workspace
@@ -110,8 +119,15 @@ fn test_code_start(lines: &[&str]) -> usize {
         .unwrap_or(lines.len())
 }
 
-/// Scans one production source file.
-fn scan_file(path: &Path, in_pipeline: bool, is_stats: bool, out: &mut Vec<Violation>) {
+/// Scans one production source file. `is_env_funnel` marks the single
+/// file allowed to read the process environment.
+fn scan_file(
+    path: &Path,
+    in_pipeline: bool,
+    is_stats: bool,
+    is_env_funnel: bool,
+    out: &mut Vec<Violation>,
+) {
     let Ok(text) = std::fs::read_to_string(path) else {
         return;
     };
@@ -143,6 +159,20 @@ fn scan_file(path: &Path, in_pipeline: bool, is_stats: bool, out: &mut Vec<Viola
                 rule: "unwrap-in-pipeline",
                 message: "panicking extractor in a pipeline hot path: report a typed \
                           SimError (or annotate `// xtask: allow-unwrap`)"
+                    .into(),
+            });
+        }
+        if !is_env_funnel
+            && code.contains("env::var")
+            && !allowed(&lines, idx, "xtask: allow-env-read")
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "env-read-outside-benchenv",
+                message: "environment read outside `crates/bench/src/env.rs`: route the \
+                          knob through `BenchEnv::from_env` so the documented knob table \
+                          stays authoritative (or annotate `// xtask: allow-env-read`)"
                     .into(),
             });
         }
@@ -189,7 +219,8 @@ fn run_lints(root: &Path) -> Vec<Violation> {
         let in_pipeline = rel.starts_with("crates/pipeline/src");
         let stem = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
         let is_stats = stem == "stats.rs" || stem == "metrics.rs";
-        scan_file(f, in_pipeline, is_stats, &mut out);
+        let is_env_funnel = rel == Path::new("crates/bench/src/env.rs");
+        scan_file(f, in_pipeline, is_stats, is_env_funnel, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -199,9 +230,20 @@ fn run_lints(root: &Path) -> Vec<Violation> {
 /// Budget knobs already present in the environment win; otherwise a
 /// fast CI-scale budget keeps the check under a minute.
 fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String> {
+    // Bins write `results/` relative to their CWD; run them in a
+    // scratch directory so this reduced-budget check never overwrites
+    // the committed full-budget artifacts.
+    let scratch = root.join("target/xtask-determinism");
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("cannot create scratch dir: {e}"))?;
+    let manifest = root
+        .join("Cargo.toml")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve workspace manifest: {e}"))?;
     let mut cmd = std::process::Command::new("cargo");
-    cmd.current_dir(root)
-        .args(["run", "--release", "-q", "-p", "smtsim-bench", "--bin", bin])
+    cmd.current_dir(&scratch)
+        .args(["run", "--release", "-q", "--manifest-path"])
+        .arg(manifest)
+        .args(["-p", "smtsim-bench", "--bin", bin])
         .env("SMTSIM_JOBS", jobs.to_string());
     for (k, v) in [("BUDGET", "8000"), ("WARMUP", "10000"), ("MIXES", "1,2,9")] {
         if std::env::var_os(k).is_none() {
@@ -222,11 +264,12 @@ fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String>
 }
 
 /// The `determinism` subcommand: byte-compares serial vs. 4-way
-/// parallel output of one FT figure, one DoD histogram and the
-/// accuracy table (the three figure kinds the sweep engine feeds).
+/// parallel output of one FT figure, one DoD histogram, the accuracy
+/// table and the structured-trace episode summary (the figure kinds
+/// the sweep engine feeds, plus the traced sweep variant).
 fn run_determinism(root: &Path) -> ExitCode {
     let mut failed = false;
-    for bin in ["fig2", "fig1", "accuracy"] {
+    for bin in ["fig2", "fig1", "accuracy", "trace"] {
         let serial = match run_figure_bin(root, bin, 1) {
             Ok(s) => s,
             Err(e) => {
@@ -344,6 +387,27 @@ mod tests {
             .iter()
             .any(|v| v.rule == "lossy-cast-in-stats"
                 && v.file.ends_with("crates/pipeline/src/stats.rs")));
+    }
+
+    #[test]
+    fn seeded_env_read_violation_fails() {
+        // The fixture plants a bare `env::var` knob read in a figure
+        // bin; the lint must refuse it — while the designated funnel
+        // file `crates/bench/src/env.rs` stays exempt.
+        let violations = run_lints(&fixture_root());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "env-read-outside-benchenv"
+                    && v.file.ends_with("crates/bench/src/bin/figx.rs")),
+            "expected an env-read violation, got: {violations:?}"
+        );
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.file.ends_with("crates/bench/src/env.rs")),
+            "the BenchEnv funnel itself must be exempt: {violations:?}"
+        );
     }
 
     #[test]
