@@ -86,6 +86,10 @@ pub struct BenchEnv {
     pub fault: Option<FaultPlan>,
     /// `BENCH_ITERS` — timed iterations per bench target.
     pub bench_iters: u32,
+    /// `FUZZ_CASES` — fresh fuzz cases per `conform` run.
+    pub fuzz_cases: u64,
+    /// `FUZZ_SEED` — base seed for fresh fuzz cases.
+    pub fuzz_seed: u64,
 }
 
 impl BenchEnv {
@@ -111,6 +115,8 @@ impl BenchEnv {
             bench_iters: u32::try_from(bench_iters).map_err(|_| SimError::InvalidConfig {
                 reason: format!("BENCH_ITERS={bench_iters} exceeds u32"),
             })?,
+            fuzz_cases: try_env_u64("FUZZ_CASES", 4)?,
+            fuzz_seed: try_env_u64("FUZZ_SEED", 2_026)?,
         })
     }
 

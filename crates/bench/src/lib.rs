@@ -28,6 +28,14 @@
 //! * `BENCH_ITERS` — timed iterations per bench target (default 5;
 //!   consumed by `cargo bench -p smtsim-bench`).
 //!
+//! Conformance knobs (consumed by the `conform` bin, DESIGN.md §12):
+//!
+//! * `FUZZ_CASES` — fresh machine-generated fuzz cases per `conform`
+//!   run (default 4).
+//! * `FUZZ_SEED` — base seed the fresh cases derive from (default
+//!   2026). Generated programs and verdicts are a pure function of
+//!   this seed, independent of `SMTSIM_JOBS`.
+//!
 //! Integrity knobs (see DESIGN.md "Failure model & fault injection"):
 //!
 //! * `DEADLOCK_CYCLES` — watchdog threshold: cycles without a commit

@@ -1,0 +1,171 @@
+//! Canonicalizes a traced pipeline run into per-thread commit streams.
+//!
+//! The pipeline emits one [`TraceEvent::Commit`] per retired
+//! instruction carrying its resolved dynamic facts (PC, effective
+//! address, branch direction). Replaying those facts in commit order
+//! through the static program and the shared value model
+//! ([`crate::record::ArchState`]) yields the same canonical
+//! [`CommitRecord`] form the reference executor produces — plus a layer
+//! of structural cross-checks (gapless sequence numbers, destination
+//! registers that match the static program) applied during the replay.
+
+use crate::record::{ArchState, CommitRecord};
+use smtsim_obs::{Cycle, TraceEvent};
+use smtsim_workload::Workload;
+use std::fmt;
+use std::sync::Arc;
+
+/// The canonical commit stream of one hardware thread, with the ROB tag
+/// of each commit kept alongside for episode correlation (tags are
+/// microarchitectural, so they stay out of [`CommitRecord`] equality).
+#[derive(Clone, Debug, Default)]
+pub struct CapturedStream {
+    /// Canonical records in commit order.
+    pub records: Vec<CommitRecord>,
+    /// `tags[i]` is the ROB tag of `records[i]`.
+    pub tags: Vec<u64>,
+}
+
+/// A structural defect found while canonicalizing a trace — the stream
+/// is corrupt before any differential comparison happens.
+#[derive(Clone, Debug)]
+pub struct CaptureError {
+    /// Thread whose stream is corrupt.
+    pub thread: usize,
+    /// Index into the thread's commit stream.
+    pub index: usize,
+    /// ROB tag of the offending commit.
+    pub tag: u64,
+    /// Cycle the commit was traced at.
+    pub cycle: Cycle,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt commit stream: thread {} commit #{} (tag {}, cycle {}): {}",
+            self.thread, self.index, self.tag, self.cycle, self.detail
+        )
+    }
+}
+
+/// Replays the `Commit` events of a traced run into canonical
+/// per-thread streams (one entry per hardware thread, in thread order).
+///
+/// # Errors
+/// Returns the first structural defect: a sequence-number gap, a PC
+/// outside the thread's program, dynamic facts inconsistent with the
+/// static instruction (address/taken flags), or a destination-register
+/// mismatch between the event and the static program.
+pub fn capture_streams(
+    events: &[(Cycle, TraceEvent)],
+    wls: &[Arc<Workload>],
+) -> Result<Vec<CapturedStream>, Box<CaptureError>> {
+    let mut streams: Vec<CapturedStream> = vec![CapturedStream::default(); wls.len()];
+    let mut states: Vec<ArchState> = vec![ArchState::new(); wls.len()];
+    let mut last_seq: Vec<Option<u64>> = vec![None; wls.len()];
+
+    for &(cycle, ev) in events {
+        let TraceEvent::Commit {
+            thread,
+            tag,
+            seq,
+            pc,
+            dst,
+            mem_addr,
+            taken,
+        } = ev
+        else {
+            continue;
+        };
+        let index = streams[thread].records.len();
+        let fail = |detail: String| {
+            Box::new(CaptureError {
+                thread,
+                index,
+                tag,
+                cycle,
+                detail,
+            })
+        };
+        if let Some(prev) = last_seq[thread] {
+            if seq != prev + 1 {
+                return Err(fail(format!("sequence hole: seq {seq} after seq {prev}")));
+            }
+        }
+        last_seq[thread] = Some(seq);
+        let record = states[thread]
+            .apply(&wls[thread].program, seq, pc, mem_addr, taken)
+            .map_err(&fail)?;
+        if record.dst != dst {
+            return Err(fail(format!(
+                "destination mismatch: pipeline committed dst {dst}, static program says {}",
+                record.dst
+            )));
+        }
+        streams[thread].records.push(record);
+        streams[thread].tags.push(tag);
+    }
+    Ok(streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::Reference;
+    use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition, TraceLog};
+    use smtsim_workload::{build, WorkloadProfile};
+
+    fn wl(seed: u64) -> Arc<Workload> {
+        Arc::new(build(
+            &WorkloadProfile::test_profile(),
+            seed,
+            0x1_0000,
+            0x1000_0000,
+        ))
+    }
+
+    #[test]
+    fn captured_stream_matches_reference() {
+        let w = wl(7);
+        let sim_seed = 42u64;
+        let mut sim = Simulator::builder(
+            MachineConfig::icpp08_single(),
+            vec![w.clone()],
+            Box::new(FixedRob::new(32)),
+            sim_seed,
+        )
+        .tracer(TraceLog::new())
+        .build()
+        .unwrap();
+        sim.run(StopCondition::AnyThreadCommitted(3_000));
+        let events = sim.into_tracer().into_events();
+        let streams = capture_streams(&events, std::slice::from_ref(&w)).unwrap();
+        assert!(streams[0].records.len() >= 3_000);
+        let expected = Reference::stream(w, sim_seed, 0, streams[0].records.len());
+        assert_eq!(streams[0].records, expected);
+    }
+
+    #[test]
+    fn sequence_hole_is_reported() {
+        let w = wl(7);
+        let canon = Reference::stream(w.clone(), 1, 0, 2);
+        let ev = |seq: u64, r: &crate::record::CommitRecord| TraceEvent::Commit {
+            thread: 0,
+            tag: seq,
+            seq,
+            pc: r.pc,
+            dst: r.dst,
+            mem_addr: r.mem_addr,
+            taken: r.taken,
+        };
+        // Second commit skips seq 1 — the replay must flag the hole
+        // before even consulting the static program.
+        let events = vec![(1, ev(0, &canon[0])), (2, ev(2, &canon[1]))];
+        let err = capture_streams(&events, &[w]).unwrap_err();
+        assert!(err.detail.contains("sequence hole"), "{err}");
+    }
+}

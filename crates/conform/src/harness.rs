@@ -1,0 +1,367 @@
+//! The differential harness: every scheme × `Baseline_32/128` over one
+//! workload set, all commit streams equal to the in-order reference.
+//!
+//! Beyond stream equality the harness enforces two timing-side
+//! invariants that commit streams cannot observe (they are what make
+//! the mutation self-test possible — a timing-only bug like an
+//! off-by-one DoD scan window never corrupts architectural state):
+//!
+//! * every `DodSampled { source: CounterAtFill }` value is at most
+//!   [`DOD_WINDOW`] — the counter scans the first-level window minus
+//!   the load itself, so a larger value means the scan walked out of
+//!   bounds;
+//! * the static-DoD oracle records zero violations when bound tables
+//!   are installed.
+//!
+//! Failures carry the first divergent commit and, where a thread/tag is
+//! implicated, the enclosing L2-miss episode reconstructed from the
+//! same trace ([`EpisodeReconstructor`]).
+
+use crate::capture::{capture_streams, CaptureError};
+use crate::record::CommitRecord;
+use crate::reference::Reference;
+use smtsim_analysis::{DodAnalysis, L1_WINDOW};
+use smtsim_obs::{episode_line, Cycle, DodSource, EpisodeReconstructor, TraceEvent, TraceLog};
+use smtsim_pipeline::{DodBounds, MachineConfig, Simulator, StopCondition, DOD_WINDOW};
+use smtsim_rob2::{RobConfig, TwoLevelConfig};
+use smtsim_workload::Workload;
+use std::fmt;
+use std::sync::Arc;
+
+/// The configuration matrix the differential runs: both baselines and
+/// all four second-level allocation schemes at their paper operating
+/// points.
+#[must_use]
+pub fn conform_configs() -> Vec<RobConfig> {
+    vec![
+        RobConfig::Baseline(32),
+        RobConfig::Baseline(128),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+        RobConfig::TwoLevel(TwoLevelConfig::relaxed_r_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::cdr_rob(15)),
+        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+    ]
+}
+
+/// A passing differential: how much evidence was accumulated.
+#[derive(Clone, Debug)]
+pub struct ConformReport {
+    /// Labels of the configurations compared.
+    pub configs: Vec<String>,
+    /// Total commit records compared against the reference.
+    pub commits_compared: u64,
+}
+
+/// Why the differential failed. Every variant names the configuration
+/// whose run surfaced the defect; variants about a specific commit or
+/// sample carry the enclosing L2-miss episode when one exists.
+#[derive(Clone, Debug)]
+pub enum ConformFailure {
+    /// The simulator itself failed (deadlock, invariant violation, …).
+    Sim {
+        /// Configuration label.
+        config: String,
+        /// Rendered simulator error.
+        error: String,
+    },
+    /// The commit stream was structurally corrupt before comparison.
+    StreamCorrupt {
+        /// Configuration label.
+        config: String,
+        /// The capture-layer defect.
+        error: CaptureError,
+        /// Enclosing episode (JSON line), if reconstructable.
+        episode: Option<String>,
+    },
+    /// A fill-time DoD sample exceeded the first-level scan window.
+    DodSampleOutOfRange {
+        /// Configuration label.
+        config: String,
+        /// Thread the sample belongs to.
+        thread: usize,
+        /// ROB tag of the triggering load.
+        tag: u64,
+        /// The out-of-range sampled value.
+        value: u32,
+        /// Cycle the sample was traced at.
+        cycle: Cycle,
+        /// Enclosing episode (JSON line), if reconstructable.
+        episode: Option<String>,
+    },
+    /// The static-DoD oracle recorded violations.
+    OracleViolations {
+        /// Configuration label.
+        config: String,
+        /// Number of violations recorded in `SimStats::dod_oracle`.
+        violations: u64,
+    },
+    /// A committed record differed from the in-order reference.
+    CommitDivergence {
+        /// Configuration label.
+        config: String,
+        /// Thread whose stream diverged.
+        thread: usize,
+        /// Index of the first divergent commit in the thread's stream.
+        index: usize,
+        /// What the reference executed at that index.
+        expected: CommitRecord,
+        /// What the pipeline committed at that index.
+        actual: CommitRecord,
+        /// ROB tag of the divergent commit.
+        tag: u64,
+        /// Enclosing episode (JSON line), if reconstructable.
+        episode: Option<String>,
+    },
+}
+
+impl fmt::Display for ConformFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let episode_suffix = |ep: &Option<String>| match ep {
+            Some(line) => format!("\n  episode context: {line}"),
+            None => "\n  episode context: none (no L2-miss episode on this thread)".to_owned(),
+        };
+        match self {
+            ConformFailure::Sim { config, error } => {
+                write!(f, "[{config}] simulator failed: {error}")
+            }
+            ConformFailure::StreamCorrupt {
+                config,
+                error,
+                episode,
+            } => {
+                write!(f, "[{config}] {error}{}", episode_suffix(episode))
+            }
+            ConformFailure::DodSampleOutOfRange {
+                config,
+                thread,
+                tag,
+                value,
+                cycle,
+                episode,
+            } => write!(
+                f,
+                "[{config}] fill-time DoD sample out of range: thread {thread} tag {tag} \
+                 sampled {value} > window {DOD_WINDOW} at cycle {cycle}{}",
+                episode_suffix(episode)
+            ),
+            ConformFailure::OracleViolations { config, violations } => write!(
+                f,
+                "[{config}] static-DoD oracle recorded {violations} violation(s)"
+            ),
+            ConformFailure::CommitDivergence {
+                config,
+                thread,
+                index,
+                expected,
+                actual,
+                tag,
+                episode,
+            } => write!(
+                f,
+                "[{config}] commit stream diverged from reference: thread {thread} \
+                 commit #{index} (tag {tag})\n  expected: {expected:?}\n  actual:   {actual:?}{}",
+                episode_suffix(episode)
+            ),
+        }
+    }
+}
+
+/// The enclosing (or nearest preceding) L2-miss episode for a
+/// thread/tag, rendered as its canonical JSON line.
+fn episode_context(events: &[(Cycle, TraceEvent)], thread: usize, tag: u64) -> Option<String> {
+    let episodes = EpisodeReconstructor::from_events(events);
+    episodes
+        .iter()
+        .filter(|e| e.thread == thread && e.tag <= tag)
+        .max_by_key(|e| e.tag)
+        .or_else(|| {
+            episodes
+                .iter()
+                .filter(|e| e.thread == thread)
+                .min_by_key(|e| e.tag)
+        })
+        .map(episode_line)
+}
+
+/// The paper machine sized to `n` hardware threads.
+fn machine_for(n: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::icpp08();
+    cfg.num_threads = n;
+    cfg.fetch_threads = n.min(2);
+    cfg
+}
+
+/// Runs the full differential over one workload set: every
+/// configuration from [`conform_configs`] on `wls`, all canonical
+/// commit streams equal to the in-order reference, DoD samples in
+/// range, zero oracle violations.
+///
+/// `seed` seeds the simulator (thread `t`'s executor derives
+/// `seed + t`, and the reference mirrors that); `budget` is the
+/// `AnyThreadCommitted` stop condition; `warmup` functional
+/// instructions per thread run untraced before cycle 0.
+///
+/// # Errors
+/// The first [`ConformFailure`] encountered, boxed (the variant is
+/// large); configurations are checked in matrix order.
+pub fn check_workloads(
+    wls: &[Arc<Workload>],
+    seed: u64,
+    budget: u64,
+    warmup: u64,
+) -> Result<ConformReport, Box<ConformFailure>> {
+    let bounds: Vec<DodBounds> = wls
+        .iter()
+        .map(|w| DodBounds::new(DodAnalysis::compute(&w.program, L1_WINDOW).max_map()))
+        .collect();
+
+    // Reference streams grow lazily to the longest stream any
+    // configuration commits; records are position-stable so prefix
+    // comparison against a longer reference is sound.
+    let mut refs: Vec<Reference> = wls
+        .iter()
+        .enumerate()
+        .map(|(t, w)| {
+            let mut r = Reference::new(w.clone(), seed.wrapping_add(t as u64));
+            r.skip(warmup);
+            r
+        })
+        .collect();
+    let mut ref_streams: Vec<Vec<CommitRecord>> = vec![Vec::new(); wls.len()];
+
+    let mut report = ConformReport {
+        configs: Vec::new(),
+        commits_compared: 0,
+    };
+
+    for rob in conform_configs() {
+        let config = rob.label();
+        let sim = Simulator::builder(machine_for(wls.len()), wls.to_vec(), rob.build(), seed)
+            .dod_bounds(bounds.clone())
+            .warmup(warmup)
+            .tracer(TraceLog::new())
+            .build();
+        let mut sim = match sim {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(Box::new(ConformFailure::Sim {
+                    config,
+                    error: e.to_string(),
+                }))
+            }
+        };
+        let run_err = sim.try_run(StopCondition::AnyThreadCommitted(budget)).err();
+        let violations = sim.stats().dod_oracle.violations;
+        let events = sim.into_tracer().into_events();
+        if let Some(e) = run_err {
+            return Err(Box::new(ConformFailure::Sim {
+                config,
+                error: e.to_string(),
+            }));
+        }
+
+        // Timing-side invariant: fill-time DoD samples never exceed the
+        // first-level scan window.
+        for &(cycle, ev) in &events {
+            if let TraceEvent::DodSampled {
+                thread,
+                tag,
+                value,
+                source: DodSource::CounterAtFill,
+            } = ev
+            {
+                if value as usize > DOD_WINDOW {
+                    let episode = episode_context(&events, thread, tag);
+                    return Err(Box::new(ConformFailure::DodSampleOutOfRange {
+                        config,
+                        thread,
+                        tag,
+                        value,
+                        cycle,
+                        episode,
+                    }));
+                }
+            }
+        }
+        if violations > 0 {
+            return Err(Box::new(ConformFailure::OracleViolations {
+                config,
+                violations,
+            }));
+        }
+
+        let streams = match capture_streams(&events, wls) {
+            Ok(s) => s,
+            Err(error) => {
+                let episode = episode_context(&events, error.thread, error.tag);
+                return Err(Box::new(ConformFailure::StreamCorrupt {
+                    config,
+                    error: *error,
+                    episode,
+                }));
+            }
+        };
+
+        for (t, stream) in streams.iter().enumerate() {
+            while ref_streams[t].len() < stream.records.len() {
+                let r = refs[t].step();
+                ref_streams[t].push(r);
+            }
+            for (i, (actual, expected)) in stream.records.iter().zip(&ref_streams[t]).enumerate() {
+                if actual != expected {
+                    let tag = stream.tags[i];
+                    let episode = episode_context(&events, t, tag);
+                    return Err(Box::new(ConformFailure::CommitDivergence {
+                        config,
+                        thread: t,
+                        index: i,
+                        expected: *expected,
+                        actual: *actual,
+                        tag,
+                        episode,
+                    }));
+                }
+            }
+            report.commits_compared += stream.records.len() as u64;
+        }
+        report.configs.push(config);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_workload::{mix, Mix};
+
+    fn mix_workloads(idx: usize, seed: u64) -> Vec<Arc<Workload>> {
+        mix(idx)
+            .instantiate(seed)
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
+    #[test]
+    fn differential_passes_on_a_memory_bound_mix() {
+        // Mix 1 is the paper's most memory-bound pairing — the hardest
+        // case for second-level tenure bookkeeping.
+        let wls = mix_workloads(1, 42);
+        let report = check_workloads(&wls, 42, 2_000, 0).unwrap();
+        assert_eq!(report.configs.len(), conform_configs().len());
+        assert!(report.commits_compared > 0);
+    }
+
+    #[test]
+    fn differential_covers_warmup() {
+        let wls = mix_workloads(2, 7);
+        check_workloads(&wls, 7, 1_500, 5_000).unwrap();
+    }
+
+    #[test]
+    fn thread_space_matches_mix_convention() {
+        // The harness relies on per-thread disjoint address spaces the
+        // same way `Mix::instantiate` lays them out.
+        assert_eq!(Mix::THREAD_SPACE, 1 << 32);
+    }
+}

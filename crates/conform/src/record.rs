@@ -1,0 +1,224 @@
+//! Canonical commit records and the architectural value model.
+//!
+//! The ISA is value-free by design (the timing model never needs data
+//! values), so the conformance oracle *defines* the architectural value
+//! semantics: every result is a deterministic 64-bit fingerprint folded
+//! from the instruction's PC, op class, source-register fingerprints
+//! and resolved memory address / branch direction, with store→load
+//! forwarding through a per-thread fingerprint memory. Two executions
+//! that commit the same instructions in the same order with the same
+//! resolved addresses and directions produce identical fingerprints;
+//! any divergence in the walk poisons every downstream value.
+//!
+//! Both sides of the differential — the in-order [`crate::reference`]
+//! executor and the pipeline-stream [`crate::capture`] replay — fold
+//! through the same [`ArchState::apply`], so a record mismatch always
+//! means the *inputs* (the committed walk) diverged, never the folding.
+
+use smtsim_isa::{ArchReg, InstRole, OpClass, Program};
+use smtsim_workload::rng::mix64;
+use std::collections::BTreeMap;
+
+/// Domain-separation salts for the fingerprint folds.
+const MEM_INIT_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+const STORE_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// One committed instruction in canonical architectural form.
+///
+/// Equality of two `CommitRecord` streams is the conformance property:
+/// it covers program order (`seq`), control flow (`pc`, `taken`), the
+/// data-flow result (`dst`, `value`) and memory effects (`mem_addr`,
+/// `store_data`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Architectural sequence number (gapless per thread).
+    pub seq: u64,
+    /// Static PC of the instruction.
+    pub pc: u64,
+    /// Destination register as `flat_index() + 1`, or 0 for none.
+    pub dst: u32,
+    /// Fingerprint written to `dst` (0 when there is no destination).
+    pub value: u64,
+    /// Effective address for loads/stores, 0 otherwise.
+    pub mem_addr: u64,
+    /// Fingerprint written to memory (0 unless the op is a store).
+    pub store_data: u64,
+    /// Resolved branch direction (false for non-branches).
+    pub taken: bool,
+}
+
+/// Per-thread architectural state of the value model: one fingerprint
+/// per architectural register plus a sparse fingerprint memory.
+#[derive(Clone, Debug, Default)]
+pub struct ArchState {
+    regs: BTreeMap<usize, u64>,
+    mem: BTreeMap<u64, u64>,
+}
+
+impl ArchState {
+    /// Fresh state: every register reads as 0, every memory location
+    /// reads as a pure hash of its address.
+    #[must_use]
+    pub fn new() -> Self {
+        ArchState::default()
+    }
+
+    fn read_reg(&self, r: ArchReg) -> u64 {
+        if r.is_zero() {
+            return 0;
+        }
+        self.regs.get(&r.flat_index()).copied().unwrap_or(0)
+    }
+
+    fn read_mem(&self, addr: u64) -> u64 {
+        self.mem
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| mix64(MEM_INIT_SALT, addr))
+    }
+
+    /// Folds one committed instruction into the state and returns its
+    /// canonical record. `pc`, `mem_addr` and `taken` are the resolved
+    /// dynamic facts; everything else comes from the static program.
+    ///
+    /// # Errors
+    /// Returns a description when the dynamic facts are inconsistent
+    /// with the static program: a PC outside the program, a memory
+    /// address on a non-memory op (or none on a memory op), or a taken
+    /// flag on a non-branch.
+    pub fn apply(
+        &mut self,
+        program: &Program,
+        seq: u64,
+        pc: u64,
+        mem_addr: u64,
+        taken: bool,
+    ) -> Result<CommitRecord, String> {
+        let Some((block, idx)) = program.locate(pc) else {
+            return Err(format!("committed pc {pc:#x} is outside the program"));
+        };
+        let st = &program.block(block).insts[idx];
+        match st.role {
+            InstRole::Mem { .. } => {
+                if mem_addr == 0 {
+                    return Err(format!(
+                        "memory op at pc {pc:#x} committed without an address"
+                    ));
+                }
+            }
+            InstRole::Branch { .. } => {}
+            InstRole::None => {
+                if mem_addr != 0 {
+                    return Err(format!(
+                        "non-memory op at pc {pc:#x} carries address {mem_addr:#x}"
+                    ));
+                }
+                if taken {
+                    return Err(format!("non-branch op at pc {pc:#x} committed as taken"));
+                }
+            }
+        }
+
+        let mut h = mix64(pc, st.op as u64);
+        for src in st.srcs.iter().flatten() {
+            h = mix64(h, self.read_reg(*src));
+        }
+
+        let mut store_data = 0u64;
+        let value_input = match st.role {
+            InstRole::Mem { .. } if st.op == OpClass::Load => self.read_mem(mem_addr),
+            InstRole::Mem { .. } => {
+                store_data = mix64(h ^ STORE_SALT, mem_addr);
+                self.mem.insert(mem_addr, store_data);
+                mem_addr
+            }
+            InstRole::Branch { .. } => u64::from(taken),
+            InstRole::None => 0,
+        };
+
+        let (dst, value) = match st.dst {
+            Some(r) => {
+                let v = mix64(h, value_input);
+                if !r.is_zero() {
+                    self.regs.insert(r.flat_index(), v);
+                }
+                (r.flat_index() as u32 + 1, v)
+            }
+            None => (0, 0),
+        };
+
+        Ok(CommitRecord {
+            seq,
+            pc,
+            dst,
+            value,
+            mem_addr,
+            store_data,
+            taken,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_workload::{build, WorkloadProfile};
+
+    #[test]
+    fn folding_is_deterministic() {
+        let wl = build(&WorkloadProfile::test_profile(), 7, 0x1000, 0x100_0000);
+        let mut exec = smtsim_workload::Executor::new(std::sync::Arc::new(wl), 3);
+        let program = exec.program().clone();
+        let mut a = ArchState::new();
+        let mut b = ArchState::new();
+        for _ in 0..2000 {
+            let d = exec.next_inst();
+            let ra = a.apply(&program, d.seq, d.pc, d.mem_addr, d.taken).unwrap();
+            let rb = b.apply(&program, d.seq, d.pc, d.mem_addr, d.taken).unwrap();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn values_depend_on_history() {
+        // Perturbing one earlier memory address must change some later
+        // load value (the fold has memory).
+        let wl = std::sync::Arc::new(build(
+            &WorkloadProfile::test_profile(),
+            7,
+            0x1000,
+            0x100_0000,
+        ));
+        let mut exec = smtsim_workload::Executor::new(wl, 3);
+        let program = exec.program().clone();
+        let insts: Vec<_> = (0..2000).map(|_| exec.next_inst()).collect();
+        let mut a = ArchState::new();
+        let mut b = ArchState::new();
+        let mut diverged = false;
+        let mut perturbed = false;
+        for d in &insts {
+            let ra = a.apply(&program, d.seq, d.pc, d.mem_addr, d.taken).unwrap();
+            let addr = if !perturbed && d.mem_addr != 0 {
+                perturbed = true;
+                d.mem_addr ^ 0x40
+            } else {
+                d.mem_addr
+            };
+            let rb = b.apply(&program, d.seq, d.pc, addr, d.taken).unwrap();
+            if ra != rb {
+                diverged = true;
+            }
+        }
+        assert!(
+            perturbed && diverged,
+            "address perturbation must surface in records"
+        );
+    }
+
+    #[test]
+    fn rejects_pc_outside_program() {
+        let wl = build(&WorkloadProfile::test_profile(), 7, 0x1000, 0x100_0000);
+        let mut s = ArchState::new();
+        assert!(s.apply(&wl.program, 0, 0x2, 0, false).is_err());
+    }
+}

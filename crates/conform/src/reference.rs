@@ -1,0 +1,216 @@
+//! In-order functional reference executor.
+//!
+//! Walks a `smtsim-isa` [`Program`] exactly as the architectural
+//! contract demands — one instruction at a time, in program order — and
+//! folds each step through the shared value model
+//! ([`crate::record::ArchState`]) to produce the canonical commit
+//! stream every pipeline configuration must reproduce.
+//!
+//! The walk semantics are a deliberate *reimplementation* of
+//! `smtsim_workload::Executor` (loop branches from per-site trip
+//! counters, biased branches from a pure `(seed ^ site, instance)`
+//! hash, effective addresses by advancing per-stream state), so the
+//! differential cross-checks the generator's executor as well as the
+//! pipeline. Only [`StreamState`] is reused directly: address streams
+//! are data, not control.
+
+use crate::record::{ArchState, CommitRecord};
+use smtsim_isa::{BlockId, BranchBehavior, InstRole, Program};
+use smtsim_workload::rng::mix64;
+use smtsim_workload::{StreamState, Workload};
+use std::sync::Arc;
+
+/// Per-branch-site dynamic state (sites are blocks: a branch can only
+/// terminate a block).
+#[derive(Clone, Debug, Default)]
+struct Site {
+    loop_count: u32,
+    instances: u64,
+}
+
+/// The in-order reference machine for one thread.
+#[derive(Clone, Debug)]
+pub struct Reference {
+    wl: Arc<Workload>,
+    seed: u64,
+    block: BlockId,
+    idx: usize,
+    seq: u64,
+    streams: Vec<StreamState>,
+    sites: Vec<Site>,
+    state: ArchState,
+}
+
+impl Reference {
+    /// Positions the reference at the program entry. `seed` must match
+    /// the per-thread executor seed the simulator derives (`sim_seed +
+    /// thread`), or biased-branch directions will differ by design.
+    #[must_use]
+    pub fn new(wl: Arc<Workload>, seed: u64) -> Self {
+        let streams = vec![StreamState::default(); wl.streams.len()];
+        let sites = vec![Site::default(); wl.program.num_blocks()];
+        Reference {
+            block: wl.program.entry(),
+            idx: 0,
+            seq: 0,
+            streams,
+            sites,
+            seed,
+            state: ArchState::new(),
+            wl,
+        }
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.wl.program
+    }
+
+    /// Resolves the instruction at the current position: effective
+    /// address for memory ops, direction for branches, successor
+    /// position. Mirrors `Executor::next_inst` step-for-step.
+    fn resolve(&mut self) -> (u64, u64, bool) {
+        let program = &self.wl.program;
+        let block = self.block;
+        let idx = self.idx;
+        let st = &program.block(block).insts[idx];
+        let pc = program.pc_of(block, idx);
+
+        let mut mem_addr = 0u64;
+        let mut taken = false;
+        match st.role {
+            InstRole::Mem { stream } => {
+                let desc = &self.wl.streams[stream.0 as usize];
+                mem_addr = self.streams[stream.0 as usize].next(desc);
+            }
+            InstRole::Branch { behavior, .. } => {
+                let site = &mut self.sites[block.0 as usize];
+                taken = match behavior {
+                    BranchBehavior::Always => true,
+                    BranchBehavior::Loop { trip } => {
+                        site.loop_count += 1;
+                        if site.loop_count < trip {
+                            true
+                        } else {
+                            site.loop_count = 0;
+                            false
+                        }
+                    }
+                    BranchBehavior::Biased { taken_pm } => {
+                        let inst = site.instances;
+                        site.instances += 1;
+                        mix64(self.seed ^ (block.0 as u64) << 17, inst) % 1000 < u64::from(taken_pm)
+                    }
+                };
+            }
+            InstRole::None => {}
+        }
+
+        let (nb, nidx) = if taken {
+            let Some((_, target)) = st.branch_info() else {
+                unreachable!("taken implies branch")
+            };
+            (target, 0)
+        } else if idx + 1 < program.block(block).insts.len() {
+            (block, idx + 1)
+        } else {
+            (program.block(block).fallthrough, 0)
+        };
+        self.block = nb;
+        self.idx = nidx;
+        (pc, mem_addr, taken)
+    }
+
+    /// Advances the walk by `n` instructions *without* folding values —
+    /// the canonical stream's value fold starts at the first observed
+    /// commit, so functional warmup (which the pipeline runs untraced)
+    /// must advance control/stream/branch-site state only.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            self.resolve();
+            self.seq += 1;
+        }
+    }
+
+    /// Executes one instruction and returns its canonical record.
+    pub fn step(&mut self) -> CommitRecord {
+        let (pc, mem_addr, taken) = self.resolve();
+        let seq = self.seq;
+        self.seq += 1;
+        let program = &self.wl.program;
+        match self.state.apply(program, seq, pc, mem_addr, taken) {
+            Ok(r) => r,
+            Err(e) => unreachable!("reference walk produced inconsistent facts: {e}"),
+        }
+    }
+
+    /// Convenience: the canonical stream of `n` records after skipping
+    /// `skip` warmup instructions.
+    #[must_use]
+    pub fn stream(wl: Arc<Workload>, seed: u64, skip: u64, n: usize) -> Vec<CommitRecord> {
+        let mut r = Reference::new(wl, seed);
+        r.skip(skip);
+        (0..n).map(|_| r.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_workload::{build, Executor, WorkloadProfile};
+
+    fn wl(seed: u64) -> Arc<Workload> {
+        Arc::new(build(
+            &WorkloadProfile::test_profile(),
+            seed,
+            0x1000,
+            0x100_0000,
+        ))
+    }
+
+    #[test]
+    fn walk_matches_the_generator_executor() {
+        // The independent reimplementation must agree with
+        // `smtsim_workload::Executor` on every dynamic fact.
+        let w = wl(7);
+        let mut reference = Reference::new(w.clone(), 3);
+        let mut exec = Executor::new(w, 3);
+        for _ in 0..20_000 {
+            let d = exec.next_inst();
+            let r = reference.step();
+            assert_eq!(
+                (r.seq, r.pc, r.mem_addr, r.taken),
+                (d.seq, d.pc, d.mem_addr, d.taken)
+            );
+        }
+    }
+
+    #[test]
+    fn skip_preserves_alignment() {
+        let w = wl(9);
+        let mut a = Reference::new(w.clone(), 5);
+        a.skip(1234);
+        let mut exec = Executor::new(w, 5);
+        for _ in 0..1234 {
+            exec.next_inst();
+        }
+        for _ in 0..5_000 {
+            let d = exec.next_inst();
+            let r = a.step();
+            assert_eq!(
+                (r.seq, r.pc, r.mem_addr, r.taken),
+                (d.seq, d.pc, d.mem_addr, d.taken)
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = Reference::stream(wl(11), 2, 100, 3000);
+        let b = Reference::stream(wl(11), 2, 100, 3000);
+        assert_eq!(a, b);
+        let c = Reference::stream(wl(11), 3, 100, 3000);
+        assert_ne!(a, c, "executor seed must perturb the stream");
+    }
+}

@@ -199,7 +199,7 @@ pub struct Lab {
     /// Commit target for single-threaded normalization runs.
     pub st_budget: u64,
     /// Functional warm-up instructions per thread before timed
-    /// simulation (caches and predictors; see `Simulator::warmup`).
+    /// simulation (caches and predictors; see `SimulatorBuilder::warmup`).
     pub warmup: u64,
     /// Configuration of the reference machine used for the
     /// single-threaded normalization runs. Weighted IPCs of *every*
@@ -781,6 +781,54 @@ mod tests {
             }
             other => panic!("expected CellPanic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_traced_isolates_panicking_cells() {
+        let mut lab = small_lab();
+        lab.jobs = Some(2);
+        // Same poisoned-cell shape as the untraced sweep test, through
+        // the traced engine: the panic must become a typed per-cell
+        // error that downstream renderers show as `n/a`, and the
+        // healthy cell's metrics must be exactly the untraced run's.
+        let rs = lab.sweep_traced(&[(1, RobConfig::Baseline(32)), (99, RobConfig::Baseline(32))]);
+        let traced = rs[0].as_ref().expect("healthy cell poisoned");
+        assert!(!traced.events.is_empty(), "tracing was armed");
+        assert_eq!(
+            traced.episodes,
+            smtsim_obs::EpisodeReconstructor::from_events(&traced.events),
+            "episodes are the standard reduction of the cell's own stream"
+        );
+        match &rs[1] {
+            Err(e @ SimError::CellPanic { reason }) => {
+                assert!(reason.contains("out of range"), "{reason}");
+                // The stable kind string the trace bin interpolates
+                // into its `n/a (...)` row for a failed cell.
+                assert_eq!(e.kind(), "panic");
+            }
+            other => panic!("expected CellPanic, got {other:?}"),
+        }
+        let untraced = lab.sweep(&[(1, RobConfig::Baseline(32))]);
+        assert_eq!(
+            format!("{:?}", traced.run),
+            format!("{:?}", untraced[0].as_ref().expect("healthy cell")),
+            "tracing perturbed the measured run"
+        );
+    }
+
+    #[test]
+    fn sweep_traced_is_identical_serial_and_parallel() {
+        let cells: Vec<SweepCell> = vec![
+            (1, RobConfig::Baseline(32)),
+            (99, RobConfig::Baseline(32)),
+            (2, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16))),
+        ];
+        let run = |jobs: usize| {
+            let mut lab = small_lab();
+            lab.jobs = Some(jobs);
+            format!("{:?}", lab.sweep_traced(&cells))
+        };
+        assert_eq!(run(1), run(4), "job count changed traced sweep results");
     }
 
     #[test]

@@ -309,6 +309,7 @@ impl EpisodeReconstructor {
             }
             TraceEvent::ThreadStall { .. }
             | TraceEvent::RobOccupancy { .. }
+            | TraceEvent::Commit { .. }
             | TraceEvent::MemFillScheduled { .. } => {}
         }
     }

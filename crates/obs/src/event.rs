@@ -126,6 +126,27 @@ pub enum TraceEvent {
         /// Oldest tag removed by the squash.
         first_tag: u64,
     },
+    /// An instruction retired architecturally (popped executed from the
+    /// ROB head on the correct path). The stream of `Commit` events per
+    /// thread *is* the architectural execution — the conformance oracle
+    /// (crate `smtsim-conform`) compares it against an in-order
+    /// functional reference, so field semantics are load-bearing.
+    Commit {
+        /// Thread that committed the instruction.
+        thread: ThreadId,
+        /// ROB tag of the committed instruction.
+        tag: u64,
+        /// Per-thread architectural sequence number (gapless from 0).
+        seq: u64,
+        /// Static PC of the instruction.
+        pc: u64,
+        /// Destination register as `flat_index() + 1`, or 0 for none.
+        dst: u32,
+        /// Effective memory address for loads/stores, 0 otherwise.
+        mem_addr: u64,
+        /// Resolved branch direction (false for non-branches).
+        taken: bool,
+    },
     /// The memory hierarchy scheduled a fill from DRAM.
     MemFillScheduled {
         /// Cache-line address being filled.
@@ -148,7 +169,8 @@ impl TraceEvent {
             | TraceEvent::L2RobReleased { thread, .. }
             | TraceEvent::ThreadStall { thread, .. }
             | TraceEvent::RobOccupancy { thread, .. }
-            | TraceEvent::Squash { thread, .. } => Some(thread),
+            | TraceEvent::Squash { thread, .. }
+            | TraceEvent::Commit { thread, .. } => Some(thread),
             TraceEvent::MemFillScheduled { .. } => None,
         }
     }
@@ -167,6 +189,7 @@ impl TraceEvent {
             TraceEvent::ThreadStall { .. } => "thread_stall",
             TraceEvent::RobOccupancy { .. } => "rob_occupancy",
             TraceEvent::Squash { .. } => "squash",
+            TraceEvent::Commit { .. } => "commit",
             TraceEvent::MemFillScheduled { .. } => "mem_fill_scheduled",
         }
     }

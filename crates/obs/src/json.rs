@@ -80,6 +80,20 @@ pub fn event_line(cycle: Cycle, event: &TraceEvent) -> String {
         TraceEvent::Squash { thread, first_tag } => {
             let _ = write!(s, ",\"thread\":{thread},\"first_tag\":{first_tag}");
         }
+        TraceEvent::Commit {
+            thread,
+            tag,
+            seq,
+            pc,
+            dst,
+            mem_addr,
+            taken,
+        } => {
+            let _ = write!(
+                s,
+                ",\"thread\":{thread},\"tag\":{tag},\"seq\":{seq},\"pc\":{pc},\"dst\":{dst},\"mem_addr\":{mem_addr},\"taken\":{taken}"
+            );
+        }
         TraceEvent::MemFillScheduled {
             line_addr,
             complete_at,

@@ -1,0 +1,231 @@
+//! Property tests for [`EpisodeReconstructor`]: reconstruction over
+//! interleaved multi-thread streams must be exactly the per-thread
+//! reconstruction, and squash censoring must match a naive oracle.
+//!
+//! Run with `--features slow-tests`.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use smtsim_obs::{
+    Cycle, DenyReason, DodSource, Episode, EpisodeReconstructor, EpisodeSummary, ThreadId,
+    TraceEvent,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+const THREADS: usize = 3;
+const TAGS: u64 = 10;
+
+/// Strategy over one episode-relevant event with its cycle. Tags and
+/// threads are drawn from small domains so streams collide on keys
+/// (same `(thread, tag)` touched by several events) often.
+fn arb_event() -> impl Strategy<Value = (Cycle, TraceEvent)> {
+    (
+        0u64..2_000, // cycle
+        0usize..THREADS,
+        0u64..TAGS,
+        0u8..8,        // kind selector
+        any::<bool>(), // wrong_path / reason / source refinement
+        0u32..40,      // dod value
+    )
+        .prop_map(|(cycle, thread, tag, kind, flag, value)| {
+            let ev = match kind {
+                0 | 1 => TraceEvent::L2MissDetected {
+                    thread,
+                    tag,
+                    pc: 0x1000 + tag * 4,
+                    wrong_path: flag,
+                },
+                2 => TraceEvent::L2Fill {
+                    thread,
+                    tag,
+                    wrong_path: flag,
+                },
+                3 => TraceEvent::DodSampled {
+                    thread,
+                    tag,
+                    value,
+                    source: if flag {
+                        DodSource::CounterAtFill
+                    } else {
+                        DodSource::CounterAtDecision
+                    },
+                },
+                4 => TraceEvent::L2RobAllocated { thread, tag },
+                5 => TraceEvent::L2RobDenied {
+                    thread,
+                    tag,
+                    reason: if flag {
+                        DenyReason::Busy
+                    } else {
+                        DenyReason::HighDod
+                    },
+                },
+                6 => TraceEvent::L2RobReleased {
+                    thread,
+                    trigger_tag: tag,
+                },
+                _ => TraceEvent::Squash {
+                    thread,
+                    first_tag: tag,
+                },
+            };
+            (cycle, ev)
+        })
+}
+
+/// Strategy over a whole multi-thread stream.
+fn arb_stream() -> impl Strategy<Value = Vec<(Cycle, TraceEvent)>> {
+    prop::collection::vec(arb_event(), 0..120)
+}
+
+/// Splits a stream into per-thread streams, preserving order.
+fn per_thread(events: &[(Cycle, TraceEvent)]) -> Vec<Vec<(Cycle, TraceEvent)>> {
+    let mut out = vec![Vec::new(); THREADS];
+    for &(c, e) in events {
+        let t = e.thread().expect("all generated events carry a thread");
+        out[t].push((c, e));
+    }
+    out
+}
+
+/// Merges per-thread streams into one, choosing the source thread of
+/// each next event with `seed`; per-thread order is preserved.
+fn interleave(lanes: &[Vec<(Cycle, TraceEvent)>], seed: u64) -> Vec<(Cycle, TraceEvent)> {
+    let mut rng = TestRng::with_seed(seed);
+    let mut cursors = vec![0usize; lanes.len()];
+    let mut out = Vec::new();
+    loop {
+        let live: Vec<usize> = (0..lanes.len())
+            .filter(|&t| cursors[t] < lanes[t].len())
+            .collect();
+        if live.is_empty() {
+            return out;
+        }
+        let t = live[rng.below(live.len() as u64) as usize];
+        out.push(lanes[t][cursors[t]]);
+        cursors[t] += 1;
+    }
+}
+
+/// Naive squash-censoring oracle: replays the stream linearly and
+/// computes, for every `(thread, tag)` key that ever gets an episode
+/// entry, the cycle of the first squash that hits it — a squash hits
+/// keys that already exist, on the same thread, with `tag >=
+/// first_tag`.
+fn squash_oracle(events: &[(Cycle, TraceEvent)]) -> BTreeMap<(ThreadId, u64), Option<Cycle>> {
+    let mut created: BTreeSet<(ThreadId, u64)> = BTreeSet::new();
+    let mut squashed: BTreeMap<(ThreadId, u64), Option<Cycle>> = BTreeMap::new();
+    for &(cycle, ev) in events {
+        match ev {
+            TraceEvent::Squash { thread, first_tag } => {
+                for &(t, tag) in created.range((thread, first_tag)..(thread, u64::MAX)) {
+                    let slot = squashed.entry((t, tag)).or_insert(None);
+                    if slot.is_none() {
+                        *slot = Some(cycle);
+                    }
+                }
+            }
+            TraceEvent::L2MissDetected { thread, tag, .. }
+            | TraceEvent::L2Fill { thread, tag, .. }
+            | TraceEvent::DodSampled { thread, tag, .. }
+            | TraceEvent::L2RobAllocated { thread, tag }
+            | TraceEvent::L2RobDenied { thread, tag, .. }
+            | TraceEvent::L2RobReleased {
+                thread,
+                trigger_tag: tag,
+            } => {
+                created.insert((thread, tag));
+                squashed.entry((thread, tag)).or_insert(None);
+            }
+            _ => {}
+        }
+    }
+    squashed
+}
+
+/// Episodes of `events` restricted to `thread`.
+fn episodes_on(events: &[(Cycle, TraceEvent)], thread: ThreadId) -> Vec<Episode> {
+    EpisodeReconstructor::from_events(events)
+        .into_iter()
+        .filter(|e| e.thread == thread)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reconstruction_is_interleaving_invariant(events in arb_stream(), seed in 0u64..1_000_000) {
+        // Threads never interact inside the reconstructor, so any
+        // interleaving that preserves per-thread order yields the same
+        // episodes as the original stream.
+        let lanes = per_thread(&events);
+        let shuffled = interleave(&lanes, seed);
+        prop_assert_eq!(shuffled.len(), events.len());
+        prop_assert_eq!(
+            EpisodeReconstructor::from_events(&shuffled),
+            EpisodeReconstructor::from_events(&events)
+        );
+    }
+
+    #[test]
+    fn reconstruction_equals_per_thread_projection(events in arb_stream()) {
+        // Feeding only thread t's events reconstructs exactly the
+        // thread-t episodes of the full stream.
+        let lanes = per_thread(&events);
+        for (t, lane) in lanes.iter().enumerate() {
+            prop_assert_eq!(
+                EpisodeReconstructor::from_events(lane),
+                episodes_on(&events, t)
+            );
+        }
+    }
+
+    #[test]
+    fn squash_censoring_matches_the_naive_oracle(events in arb_stream()) {
+        // `squashed_at` semantics: the first squash on the same thread
+        // with `first_tag <= tag` that arrives *after* the episode
+        // entry exists censors it; later squashes and younger-only
+        // squashes do not.
+        let episodes = EpisodeReconstructor::from_events(&events);
+        let oracle = squash_oracle(&events);
+        prop_assert_eq!(episodes.len(), oracle.len());
+        for e in &episodes {
+            prop_assert_eq!(
+                e.squashed_at,
+                oracle[&(e.thread, e.tag)],
+                "thread {} tag {}",
+                e.thread,
+                e.tag
+            );
+        }
+    }
+
+    #[test]
+    fn episodes_are_sorted_and_unique_by_key(events in arb_stream()) {
+        let episodes = EpisodeReconstructor::from_events(&events);
+        let keys: Vec<(ThreadId, u64)> = episodes.iter().map(|e| (e.thread, e.tag)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn summary_tallies_are_consistent(events in arb_stream()) {
+        let episodes = EpisodeReconstructor::from_events(&events);
+        let s = EpisodeSummary::from_episodes(&episodes);
+        prop_assert_eq!(s.episodes, episodes.len());
+        prop_assert!(s.released <= s.allocated);
+        prop_assert!(s.allocated <= s.episodes);
+        prop_assert!(s.denied_then_granted <= s.denied);
+        prop_assert_eq!(
+            s.squashed,
+            episodes.iter().filter(|e| e.squashed_at.is_some()).count()
+        );
+        let (busy, dod, cold) = s.denials_by_reason;
+        let total: usize = episodes.iter().map(|e| e.denials.len()).sum();
+        prop_assert_eq!((busy + dod + cold) as usize, total);
+        prop_assert!(s.held_n <= s.allocated as u64);
+    }
+}

@@ -371,28 +371,14 @@ impl<T: Tracer> Simulator<T> {
         self.tracer
     }
 
-    /// Installs static DoD bound tables, one per thread, enabling the
-    /// oracle cross-check at every correct-path L2 fill (see
-    /// [`DodBounds`]). Violations are always counted in
-    /// `SimStats::dod_oracle`; with the `dod-oracle` feature enabled
-    /// they additionally fail the cycle as
-    /// [`SimError::InvariantViolation`].
-    ///
-    /// # Panics
-    /// Panics unless exactly one table per hardware thread is given.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct via `Simulator::builder(..).dod_bounds(..)` instead"
-    )]
-    pub fn set_dod_bounds(&mut self, bounds: Vec<DodBounds>) {
-        if let Err(e) = self.install_dod_bounds(bounds) {
-            panic!("{e}");
-        }
-    }
-
-    /// Installs static DoD bound tables (builder path): exactly one
-    /// table per hardware thread, reported as
-    /// [`SimError::InvalidConfig`] otherwise.
+    /// Installs static DoD bound tables
+    /// (via [`SimulatorBuilder::dod_bounds`](crate::SimulatorBuilder::dod_bounds)),
+    /// one per hardware thread, enabling the oracle cross-check at every
+    /// correct-path L2 fill (see [`DodBounds`]). Violations are always
+    /// counted in `SimStats::dod_oracle`; with the `dod-oracle` feature
+    /// enabled they additionally fail the cycle as
+    /// [`SimError::InvariantViolation`]. A table-count mismatch is
+    /// reported as [`SimError::InvalidConfig`].
     pub(crate) fn install_dod_bounds(&mut self, bounds: Vec<DodBounds>) -> Result<(), SimError> {
         if bounds.len() != self.cfg.num_threads {
             return Err(SimError::InvalidConfig {
@@ -441,17 +427,10 @@ impl<T: Tracer> Simulator<T> {
         }
     }
 
-    /// Installs a fault-injection plan. Call before any timed cycles;
-    /// the decision counters restart from zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct via `Simulator::builder(..).fault_plan(..)` instead"
-    )]
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.install_fault_plan(plan);
-    }
-
-    /// Installs a fault-injection plan (builder path).
+    /// Installs a fault-injection plan
+    /// (via [`SimulatorBuilder::fault_plan`](crate::SimulatorBuilder::fault_plan)).
+    /// Call before any timed cycles; the decision counters restart from
+    /// zero.
     pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = FaultState::new(plan, self.cfg.num_threads);
     }
@@ -523,26 +502,13 @@ impl<T: Tracer> Simulator<T> {
         self.events.push(Reverse(ev));
     }
 
-    /// Functionally warms caches and predictors by running
-    /// `insts_per_thread` instructions of each thread through the
-    /// memory directories and predictor tables — no timing, no
-    /// statistics. The paper simulates SimPoint regions whose
-    /// microarchitectural state is warm; call this before [`run`] to
-    /// reproduce that (the `Lab` harness in `smtsim-rob2` does).
-    ///
-    /// Must be called before any timed cycles.
-    ///
-    /// [`run`]: Simulator::run
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct via `Simulator::builder(..).warmup(..)` instead"
-    )]
-    pub fn warmup(&mut self, insts_per_thread: u64) {
-        self.run_warmup(insts_per_thread);
-    }
-
-    /// Functional cache/predictor warmup (builder path); see
-    /// [`Simulator::warmup`].
+    /// Functionally warms caches and predictors
+    /// (via [`SimulatorBuilder::warmup`](crate::SimulatorBuilder::warmup))
+    /// by running `insts_per_thread` instructions of each thread
+    /// through the memory directories and predictor tables — no timing,
+    /// no statistics. The paper simulates SimPoint regions whose
+    /// microarchitectural state is warm; warming before any timed cycle
+    /// reproduces that (the `Lab` harness in `smtsim-rob2` does).
     pub(crate) fn run_warmup(&mut self, insts_per_thread: u64) {
         assert_eq!(self.now, 0, "warmup must precede timed simulation");
         for t in 0..self.cfg.num_threads {

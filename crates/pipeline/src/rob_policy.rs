@@ -25,7 +25,7 @@ pub const DOD_WINDOW: usize = 31;
 /// instructions that can appear within the first [`DOD_WINDOW`] younger
 /// instructions of a load, computed offline by the `smtsim-analysis`
 /// dependence pass over the workload's program and installed via
-/// `Simulator::set_dod_bounds`.
+/// `SimulatorBuilder::dod_bounds`.
 ///
 /// The pipeline uses the table as an oracle: at every L2 fill it walks
 /// the register taint forward from the load over the younger

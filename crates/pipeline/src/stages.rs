@@ -218,8 +218,19 @@ impl<T: Tracer> Simulator<T> {
 
     /// Entries scanned by the DoD counter (the 32-entry first level
     /// minus the load itself).
+    #[cfg(not(feature = "seeded-dod-bug"))]
     fn cfg_dod_window(&self) -> usize {
         crate::rob_policy::DOD_WINDOW
+    }
+
+    /// Mutation self-test variant: deliberately scans one entry past the
+    /// first-level window. The bug is timing-only (commit streams stay
+    /// identical); the conformance harness must catch it via the
+    /// `CounterAtFill` sample bound `value <= DOD_WINDOW`. Never enable
+    /// this feature outside the `smtsim-conform` mutation test.
+    #[cfg(feature = "seeded-dod-bug")]
+    fn cfg_dod_window(&self) -> usize {
+        crate::rob_policy::DOD_WINDOW + 1
     }
 
     // ------------------------------------------------------------------
@@ -283,6 +294,20 @@ impl<T: Tracer> Simulator<T> {
                 }
                 if let Some(old) = i.old_phys {
                     self.regs.commit_release(t, old);
+                }
+                if T::ENABLED {
+                    self.tracer.record(
+                        self.now,
+                        TraceEvent::Commit {
+                            thread: t,
+                            tag: i.tag,
+                            seq: i.di.seq,
+                            pc: i.di.pc,
+                            dst: i.di.dst.map_or(0, |r| r.flat_index() as u32 + 1),
+                            mem_addr: i.di.mem_addr,
+                            taken: i.di.taken,
+                        },
+                    );
                 }
                 self.stats.threads[t].committed += 1;
                 self.last_commit = self.now;

@@ -69,7 +69,7 @@ impl Default for DodHistogram {
 }
 
 /// Results of the static-DoD-oracle cross-check. Populated only when a
-/// bounds table is installed (`Simulator::set_dod_bounds`); all zero
+/// bounds table is installed (`SimulatorBuilder::dod_bounds`); all zero
 /// otherwise.
 ///
 /// Two quantities are compared per correct-path L2 fill whose load has

@@ -11,7 +11,18 @@
 //!   `MIXES`…) are honored when already set in the environment;
 //!   otherwise a fast CI-scale budget is used. Bins run in a scratch
 //!   CWD so reduced-budget artifacts never overwrite the committed
-//!   `results/`.
+//!   `results/`. The `trace` and `accuracy` outputs (the contents of
+//!   `results/episodes.txt` and `results/accuracy.txt` at CI scale)
+//!   are additionally pinned byte-for-byte against the committed
+//!   golden files in `tests/golden/`; `--bless` rewrites the goldens
+//!   after an intended change. Golden comparison is skipped when any
+//!   budget knob is overridden, because the goldens are recorded at
+//!   the default CI-scale settings.
+//! * `conform` — runs the `conform` differential-conformance bin
+//!   (committed mixes + fuzz corpus replay + fresh-seed smoke) at
+//!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless both runs
+//!   pass with byte-identical stdout: generated fuzz programs and
+//!   verdicts must be a pure function of `FUZZ_SEED`.
 //!
 //! `lint` checks are things rustc/clippy cannot express because they
 //! are *policy*, not language rules:
@@ -226,10 +237,22 @@ fn run_lints(root: &Path) -> Vec<Violation> {
     out
 }
 
-/// Runs one figure binary at the given job count and captures stdout.
-/// Budget knobs already present in the environment win; otherwise a
-/// fast CI-scale budget keeps the check under a minute.
-fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String> {
+/// The CI-scale budget the `determinism` harness uses when the caller
+/// has not already pinned the knobs. Golden files under `tests/golden/`
+/// are recorded at exactly these settings.
+const DETERMINISM_DEFAULTS: &[(&str, &str)] =
+    &[("BUDGET", "8000"), ("WARMUP", "10000"), ("MIXES", "1,2,9")];
+
+/// Runs one `smtsim-bench` binary at the given job count and captures
+/// stdout. Knobs already present in the environment win over the
+/// `defaults`; otherwise a fast CI-scale budget keeps the check under
+/// a minute.
+fn run_bench_bin(
+    root: &Path,
+    bin: &str,
+    jobs: usize,
+    defaults: &[(&str, &str)],
+) -> Result<String, String> {
     // Bins write `results/` relative to their CWD; run them in a
     // scratch directory so this reduced-budget check never overwrites
     // the committed full-budget artifacts.
@@ -245,7 +268,7 @@ fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String>
         .arg(manifest)
         .args(["-p", "smtsim-bench", "--bin", bin])
         .env("SMTSIM_JOBS", jobs.to_string());
-    for (k, v) in [("BUDGET", "8000"), ("WARMUP", "10000"), ("MIXES", "1,2,9")] {
+    for &(k, v) in defaults {
         if std::env::var_os(k).is_none() {
             cmd.env(k, v);
         }
@@ -263,14 +286,96 @@ fn run_figure_bin(root: &Path, bin: &str, jobs: usize) -> Result<String, String>
     Ok(String::from_utf8_lossy(&out.stdout).into_owned())
 }
 
+/// Reports the first line where two captured outputs diverge.
+fn report_first_divergence(label_a: &str, a: &str, label_b: &str, b: &str) {
+    for (n, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            eprintln!("  first divergence at line {}:", n + 1);
+            eprintln!("    {label_a}: {la}");
+            eprintln!("    {label_b}: {lb}");
+            return;
+        }
+    }
+    // Same shared prefix: one side simply has more lines.
+    eprintln!(
+        "  outputs share a common prefix; line counts differ ({} vs {})",
+        a.lines().count(),
+        b.lines().count()
+    );
+}
+
+/// The bins whose CI-scale stdout is pinned byte-for-byte under
+/// `tests/golden/` (the stdout of `trace` is exactly the
+/// `results/episodes.txt` table; `accuracy` prints the
+/// `results/accuracy.txt` table).
+const GOLDEN_BINS: &[(&str, &str)] = &[("trace", "episodes.txt"), ("accuracy", "accuracy.txt")];
+
+/// Compares one bin's captured stdout against its committed golden
+/// file (or rewrites the golden when `bless` is set). Only meaningful
+/// when the caller is running at the default CI-scale knob values —
+/// with knobs overridden in the environment the comparison is skipped.
+fn check_golden(root: &Path, bin: &str, golden: &str, output: &str, bless: bool) -> Result<(), ()> {
+    let path = root.join("tests/golden").join(golden);
+    if bless {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xtask determinism: cannot create {}: {e}", dir.display());
+                return Err(());
+            }
+        }
+        return match std::fs::write(&path, output) {
+            Ok(()) => {
+                println!("xtask determinism: {bin}: blessed tests/golden/{golden}");
+                Ok(())
+            }
+            Err(e) => {
+                eprintln!("xtask determinism: cannot write {}: {e}", path.display());
+                Err(())
+            }
+        };
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if expected == output => {
+            println!("xtask determinism: {bin}: matches tests/golden/{golden}");
+            Ok(())
+        }
+        Ok(expected) => {
+            eprintln!(
+                "xtask determinism: {bin}: OUTPUT DRIFTED from tests/golden/{golden} \
+                 (run `cargo xtask determinism --bless` if the change is intended)"
+            );
+            report_first_divergence("golden", &expected, "actual", output);
+            Err(())
+        }
+        Err(e) => {
+            eprintln!(
+                "xtask determinism: {bin}: cannot read {} ({e}); \
+                 run `cargo xtask determinism --bless` to record it",
+                path.display()
+            );
+            Err(())
+        }
+    }
+}
+
 /// The `determinism` subcommand: byte-compares serial vs. 4-way
 /// parallel output of one FT figure, one DoD histogram, the accuracy
 /// table and the structured-trace episode summary (the figure kinds
-/// the sweep engine feeds, plus the traced sweep variant).
-fn run_determinism(root: &Path) -> ExitCode {
+/// the sweep engine feeds, plus the traced sweep variant). The
+/// `trace`/`accuracy` outputs are additionally pinned against the
+/// committed golden files in `tests/golden/` (skipped when the budget
+/// knobs are overridden in the environment, since the goldens are
+/// recorded at the default CI-scale settings); `--bless` rewrites the
+/// goldens instead.
+fn run_determinism(root: &Path, bless: bool) -> ExitCode {
     let mut failed = false;
+    // Goldens are only valid at the recorded knob values.
+    let knobs_default = DETERMINISM_DEFAULTS
+        .iter()
+        .chain([&("SEED", ""), &("ST_BUDGET", "")])
+        .all(|(k, _)| std::env::var_os(k).is_none());
     for bin in ["fig2", "fig1", "accuracy", "trace"] {
-        let serial = match run_figure_bin(root, bin, 1) {
+        let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("xtask determinism: {e}");
@@ -278,7 +383,7 @@ fn run_determinism(root: &Path) -> ExitCode {
                 continue;
             }
         };
-        let parallel = match run_figure_bin(root, bin, 4) {
+        let parallel = match run_bench_bin(root, bin, 4, DETERMINISM_DEFAULTS) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("xtask determinism: {e}");
@@ -291,13 +396,15 @@ fn run_determinism(root: &Path) -> ExitCode {
         } else {
             failed = true;
             eprintln!("xtask determinism: {bin}: OUTPUT DIFFERS between jobs 1 and 4");
-            for (n, (a, b)) in serial.lines().zip(parallel.lines()).enumerate() {
-                if a != b {
-                    eprintln!("  first divergence at line {}:", n + 1);
-                    eprintln!("    jobs=1: {a}");
-                    eprintln!("    jobs=4: {b}");
-                    break;
+            report_first_divergence("jobs=1", &serial, "jobs=4", &parallel);
+        }
+        if let Some(&(_, golden)) = GOLDEN_BINS.iter().find(|&&(b, _)| b == bin) {
+            if knobs_default {
+                if check_golden(root, bin, golden, &serial, bless).is_err() {
+                    failed = true;
                 }
+            } else {
+                println!("xtask determinism: {bin}: golden comparison skipped (knobs overridden)");
             }
         }
     }
@@ -305,6 +412,48 @@ fn run_determinism(root: &Path) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Knob defaults for the `conform` subcommand: a reduced differential
+/// (two mixes, small budget) plus a bounded fresh-fuzz smoke, sized to
+/// keep both job-count runs under a minute together.
+const CONFORM_DEFAULTS: &[(&str, &str)] = &[
+    ("BUDGET", "4000"),
+    ("WARMUP", "2000"),
+    ("MIXES", "1,2"),
+    ("FUZZ_CASES", "2"),
+    ("FUZZ_SEED", "2026"),
+];
+
+/// The `conform` subcommand: runs the differential conformance bin at
+/// `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless (a) both runs
+/// pass and (b) their stdout is byte-identical — the acceptance
+/// criterion that the fuzzer's generated programs and verdicts are a
+/// pure function of `FUZZ_SEED`, independent of worker count.
+fn run_conform(root: &Path) -> ExitCode {
+    let serial = match run_bench_bin(root, "conform", 1, CONFORM_DEFAULTS) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parallel = match run_bench_bin(root, "conform", 4, CONFORM_DEFAULTS) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{serial}");
+    if serial == parallel {
+        println!("xtask conform: identical at jobs 1 and 4");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask conform: OUTPUT DIFFERS between jobs 1 and 4");
+        report_first_divergence("jobs=1", &serial, "jobs=4", &parallel);
+        ExitCode::FAILURE
     }
 }
 
@@ -342,9 +491,11 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-        "determinism" if rest.is_empty() => run_determinism(&root),
+        "determinism" if rest.is_empty() => run_determinism(&root, false),
+        "determinism" if rest == ["--bless"] => run_determinism(&root, true),
+        "conform" if rest.is_empty() => run_conform(&root),
         _ => {
-            eprintln!("usage: cargo xtask <lint|determinism> [--root PATH]");
+            eprintln!("usage: cargo xtask <lint|determinism [--bless]|conform> [--root PATH]");
             ExitCode::from(2)
         }
     }
@@ -435,6 +586,23 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    #[test]
+    fn golden_bless_then_match_then_drift() {
+        // Round-trip the golden machinery against a scratch root:
+        // bless records the output, an identical rerun matches, and a
+        // one-byte drift is refused.
+        let root = repo_root().join("target/xtask-golden-selftest");
+        let _ = std::fs::remove_dir_all(&root);
+        let out = "line one\nline two\n";
+        assert!(check_golden(&root, "trace", "episodes.txt", out, true).is_ok());
+        assert!(check_golden(&root, "trace", "episodes.txt", out, false).is_ok());
+        let drifted = "line one\nline 2wo\n";
+        assert!(check_golden(&root, "trace", "episodes.txt", drifted, false).is_err());
+        // A missing golden is an error (with a --bless hint), not a
+        // silent pass.
+        assert!(check_golden(&root, "accuracy", "accuracy.txt", out, false).is_err());
     }
 
     #[test]
