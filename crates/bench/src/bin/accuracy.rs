@@ -2,15 +2,17 @@
 //! cross-checked against the static dependence bounds, per mix, under
 //! R-ROB16 and P-ROB5.
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
-    let mut lab = env.lab();
-    let acc = smtsim_rob2::figures::accuracy(&mut lab, &env.mixes);
-    print!("{}", smtsim_rob2::report::render_accuracy(&acc));
-    if acc.total_violations() > 0 {
-        eprintln!(
-            "error: {} fill(s) exceeded the static DoD bound",
-            acc.total_violations()
-        );
-        std::process::exit(1);
-    }
+    smtsim_bench::run_bin(|| {
+        let env = smtsim_bench::BenchEnv::from_env()?;
+        let mut lab = smtsim_bench::prepared_lab(&env)?;
+        let acc = smtsim_rob2::figures::accuracy(&mut lab, &env.mixes);
+        print!("{}", smtsim_rob2::report::render_accuracy(&acc));
+        if acc.total_violations() > 0 {
+            return Err(smtsim_bench::BinError::Runtime(format!(
+                "{} fill(s) exceeded the static DoD bound",
+                acc.total_violations()
+            )));
+        }
+        Ok(())
+    })
 }

@@ -18,11 +18,15 @@
 use smtsim_rob2::{figures, report};
 use std::fs;
 
-fn main() -> std::io::Result<()> {
+fn main() {
+    smtsim_bench::run_bin(run)
+}
+
+fn run() -> Result<(), smtsim_bench::BinError> {
     fs::create_dir_all("results")?;
-    let env = smtsim_bench::BenchEnv::read();
+    let env = smtsim_bench::BenchEnv::from_env()?;
     let mixes = env.mixes.clone();
-    let mut lab = env.lab();
+    let mut lab = smtsim_bench::prepared_lab(&env)?;
     eprintln!(
         "budget={} warmup={} seed={} jobs={} mixes={mixes:?}",
         lab.mt_budget,

@@ -29,7 +29,11 @@ fn corpus_dir() -> PathBuf {
 }
 
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
+    smtsim_bench::run_bin(run)
+}
+
+fn run() -> Result<(), smtsim_bench::BinError> {
+    let env = smtsim_bench::BenchEnv::from_env()?;
     let mut failures = 0usize;
 
     println!("Conformance differential (committed mixes)");
@@ -61,8 +65,10 @@ fn main() {
             .filter(|p| p.extension().is_some_and(|x| x == "case"))
             .collect(),
         Err(e) => {
-            println!("  cannot read {}: {e}", dir.display());
-            std::process::exit(2);
+            return Err(smtsim_bench::BinError::Config(format!(
+                "cannot read {}: {e}",
+                dir.display()
+            )));
         }
     };
     paths.sort();
@@ -127,7 +133,10 @@ fn main() {
 
     if failures > 0 {
         println!("conform: {failures} check(s) FAILED");
-        std::process::exit(1);
+        return Err(smtsim_bench::BinError::Runtime(format!(
+            "{failures} conformance check(s) failed"
+        )));
     }
     println!("conform: all checks passed");
+    Ok(())
 }

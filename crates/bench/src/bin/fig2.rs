@@ -1,7 +1,10 @@
 //! Figure 2: fair throughput of 2-Level R-ROB16 vs Baseline_32/128.
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
-    let mut lab = env.lab();
-    let fig = smtsim_rob2::figures::fig2(&mut lab, &env.mixes);
-    print!("{}", smtsim_rob2::report::render_figure(&fig));
+    smtsim_bench::run_bin(|| {
+        let env = smtsim_bench::BenchEnv::from_env()?;
+        let mut lab = smtsim_bench::prepared_lab(&env)?;
+        let fig = smtsim_rob2::figures::fig2(&mut lab, &env.mixes);
+        print!("{}", smtsim_rob2::report::render_figure(&fig));
+        Ok(())
+    })
 }

@@ -1,7 +1,10 @@
-//! Figure 5: fair throughput of 2-Level CDR-ROB15 (32-cycle snapshot).
+//! Figure 5: fair throughput of 2-Level CDR-ROB15 (32-cycle count delay).
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
-    let mut lab = env.lab();
-    let fig = smtsim_rob2::figures::fig5(&mut lab, &env.mixes);
-    print!("{}", smtsim_rob2::report::render_figure(&fig));
+    smtsim_bench::run_bin(|| {
+        let env = smtsim_bench::BenchEnv::from_env()?;
+        let mut lab = smtsim_bench::prepared_lab(&env)?;
+        let fig = smtsim_rob2::figures::fig5(&mut lab, &env.mixes);
+        print!("{}", smtsim_rob2::report::render_figure(&fig));
+        Ok(())
+    })
 }

@@ -43,7 +43,11 @@ fn cell_count(mixes: usize) -> usize {
 }
 
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
+    smtsim_bench::run_bin(run)
+}
+
+fn run() -> Result<(), smtsim_bench::BinError> {
+    let env = smtsim_bench::BenchEnv::from_env()?;
     let mixes = env.mixes.clone();
     let base = env.lab();
     let jobs = base.jobs.unwrap_or(4).max(2);
@@ -72,6 +76,34 @@ fn main() {
     let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
     eprintln!("speedup: {speedup:.2}x  identical_output: {identical}");
 
+    // Journal overhead: one figure (unique cells — no cross-figure
+    // journal hits) timed serially with and without a cold resumable
+    // journal, isolating the pure append+flush cost per completed
+    // cell. The full figure set would flatter the journal instead:
+    // Baseline cells recur across Figures 2/4/5/6, so later figures
+    // get served from the journal and the "overhead" comes out < 1.
+    let journal_path =
+        std::env::temp_dir().join(format!("smtsim-sweep-bench-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let time_fig2 = |journal: bool| -> Result<std::time::Duration, smtsim_bench::BinError> {
+        let mut lab = env.lab().with_jobs(Some(1));
+        if journal {
+            lab = lab.with_journal(journal_path.clone());
+            lab.open_journal()?;
+        }
+        let t0 = Instant::now();
+        let _ = report::render_figure(&figures::fig2(&mut lab, &mixes));
+        Ok(t0.elapsed())
+    };
+    let plain_fig2 = time_fig2(false)?;
+    let journaled_fig2 = time_fig2(true)?;
+    let _ = std::fs::remove_file(&journal_path);
+    let journal_overhead = journaled_fig2.as_secs_f64() / plain_fig2.as_secs_f64().max(1e-9);
+    eprintln!(
+        "fig2 serial: plain {plain_fig2:.2?}, journaled {journaled_fig2:.2?}  \
+         journal_overhead: {journal_overhead:.3}x"
+    );
+
     // Hand-rolled JSON: the workspace is dependency-free by design.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -93,16 +125,22 @@ fn main() {
     let _ = writeln!(json, "  \"serial_ms\": {},", serial.as_millis());
     let _ = writeln!(json, "  \"parallel_ms\": {},", parallel.as_millis());
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"fig2_serial_ms\": {},", plain_fig2.as_millis());
+    let _ = writeln!(
+        json,
+        "  \"fig2_journaled_ms\": {},",
+        journaled_fig2.as_millis()
+    );
+    let _ = writeln!(json, "  \"journal_overhead\": {journal_overhead:.3},");
     let _ = writeln!(json, "  \"identical_output\": {identical}");
     let _ = writeln!(json, "}}");
-    if let Err(e) = std::fs::write("BENCH_sweep.json", &json) {
-        eprintln!("error: cannot write BENCH_sweep.json: {e}");
-        std::process::exit(1);
-    }
+    std::fs::write("BENCH_sweep.json", &json)?;
     eprintln!("wrote BENCH_sweep.json");
 
     if !identical {
-        eprintln!("error: serial and parallel sweep output differ");
-        std::process::exit(1);
+        return Err(smtsim_bench::BinError::Runtime(
+            "serial and parallel sweep output differ".into(),
+        ));
     }
+    Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Table 1: the simulated machine configuration.
 fn main() {
-    let env = smtsim_bench::BenchEnv::read();
-    print!("{}", smtsim_rob2::report::render_table1(&env.lab().machine));
+    smtsim_bench::run_bin(|| {
+        let env = smtsim_bench::BenchEnv::from_env()?;
+        print!("{}", smtsim_rob2::report::render_table1(&env.lab().machine));
+        Ok(())
+    })
 }

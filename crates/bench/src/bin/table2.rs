@@ -1,4 +1,7 @@
 //! Regenerates Table 2: the simulated benchmark mixes.
 fn main() {
-    print!("{}", smtsim_rob2::report::render_table2());
+    smtsim_bench::run_bin(|| {
+        print!("{}", smtsim_rob2::report::render_table2());
+        Ok(())
+    })
 }

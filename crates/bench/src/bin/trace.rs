@@ -19,8 +19,12 @@ use smtsim_obs::{trace_jsonl, EpisodeSummary};
 use smtsim_rob2::{RobConfig, SweepCell, TwoLevelConfig};
 use std::fmt::Write as _;
 
-fn main() -> std::io::Result<()> {
-    let env = smtsim_bench::BenchEnv::read();
+fn main() {
+    smtsim_bench::run_bin(run)
+}
+
+fn run() -> Result<(), smtsim_bench::BinError> {
+    let env = smtsim_bench::BenchEnv::from_env()?;
     let mut lab = env.lab();
     let configs = [
         RobConfig::Baseline(32),
@@ -64,8 +68,9 @@ fn main() -> std::io::Result<()> {
         results.len() - failed
     );
     if failed > 0 {
-        eprintln!("{failed} cell(s) failed");
-        std::process::exit(1);
+        return Err(smtsim_bench::BinError::Runtime(format!(
+            "{failed} cell(s) failed"
+        )));
     }
     Ok(())
 }

@@ -9,6 +9,7 @@
 
 use smtsim_pipeline::{FaultPlan, MachineConfig, SimError};
 use smtsim_rob2::Lab;
+use std::path::PathBuf;
 
 /// Parses an environment integer. A missing variable yields `default`;
 /// a malformed value is a typed [`SimError::InvalidConfig`] naming the
@@ -60,6 +61,14 @@ fn try_fault_plan() -> Result<Option<FaultPlan>, SimError> {
     Ok(plan.is_active().then_some(plan))
 }
 
+/// Reads an optional path knob (`None` when unset or empty).
+fn env_path(name: &str) -> Option<PathBuf> {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
 /// Every environment knob the harness consumes, parsed once into typed
 /// fields. See the crate-root docs for the knob table.
 #[derive(Clone, Debug)]
@@ -90,6 +99,18 @@ pub struct BenchEnv {
     pub fuzz_cases: u64,
     /// `FUZZ_SEED` — base seed for fresh fuzz cases.
     pub fuzz_seed: u64,
+    /// `SMTSIM_JOURNAL` — resumable sweep-journal path (unset/empty =
+    /// no journaling).
+    pub journal: Option<PathBuf>,
+    /// `SMTSIM_CELL_TIMEOUT` — wall-clock watchdog per sweep cell, in
+    /// milliseconds (`0` = unlimited; non-deterministic by nature).
+    pub cell_timeout_ms: Option<u64>,
+    /// `SMTSIM_CELL_CYCLES` — simulated-cycle watchdog per sweep cell
+    /// (`0` = unlimited; deterministic).
+    pub cell_cycles: Option<u64>,
+    /// `SMTSIM_CELL_RETRIES` — retries per transiently-failed sweep
+    /// cell (default 0).
+    pub cell_retries: u32,
 }
 
 impl BenchEnv {
@@ -117,6 +138,22 @@ impl BenchEnv {
             })?,
             fuzz_cases: try_env_u64("FUZZ_CASES", 4)?,
             fuzz_seed: try_env_u64("FUZZ_SEED", 2_026)?,
+            journal: env_path("SMTSIM_JOURNAL"),
+            // For the watchdog knobs 0 (the default) means unlimited.
+            cell_timeout_ms: match try_env_u64("SMTSIM_CELL_TIMEOUT", 0)? {
+                0 => None,
+                ms => Some(ms),
+            },
+            cell_cycles: match try_env_u64("SMTSIM_CELL_CYCLES", 0)? {
+                0 => None,
+                c => Some(c),
+            },
+            cell_retries: {
+                let r = try_env_u64("SMTSIM_CELL_RETRIES", 0)?;
+                u32::try_from(r).map_err(|_| SimError::InvalidConfig {
+                    reason: format!("SMTSIM_CELL_RETRIES={r} exceeds u32"),
+                })?
+            },
         })
     }
 
@@ -139,18 +176,22 @@ impl BenchEnv {
         if let Some(plan) = &self.fault {
             lab.set_fault(None, plan.clone());
         }
+        lab = lab
+            .with_cell_wall_ms(self.cell_timeout_ms)
+            .with_cell_cycle_budget(self.cell_cycles)
+            .with_retries(self.cell_retries);
+        if let Some(path) = &self.journal {
+            lab = lab.with_journal(path.clone());
+        }
         lab
     }
 }
 
-/// Unwraps a fallible knob read for the figure binaries: prints the
-/// typed error and exits with status 2.
+/// Unwraps a fallible knob read for the figure binaries through the
+/// crate-wide exit-code policy (invalid configuration → status 2).
 pub(crate) fn exit_on_config_error<T>(r: Result<T, SimError>) -> T {
     match r {
         Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => crate::exit_bin(&e.into()),
     }
 }

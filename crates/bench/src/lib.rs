@@ -28,6 +28,25 @@
 //! * `BENCH_ITERS` — timed iterations per bench target (default 5;
 //!   consumed by `cargo bench -p smtsim-bench`).
 //!
+//! Resilience knobs (DESIGN.md §13 "Crash-tolerance model"):
+//!
+//! * `SMTSIM_JOURNAL` — resumable sweep-journal path. Completed cells
+//!   are appended durably as they finish; relaunching the same command
+//!   with the same path skips them and produces byte-identical output.
+//!   A journal recorded under different knobs (seed, budgets, machine,
+//!   faults…) is rejected with exit status 2, never silently reused.
+//! * `SMTSIM_CELL_TIMEOUT` — wall-clock watchdog per sweep cell, in
+//!   milliseconds (default 0 = unlimited). A cell over budget becomes
+//!   a typed timeout rendered `n/a`; the sweep continues. Wall-clock
+//!   firing is machine-dependent — prefer `SMTSIM_CELL_CYCLES` where
+//!   determinism matters.
+//! * `SMTSIM_CELL_CYCLES` — simulated-cycle watchdog per sweep cell
+//!   (default 0 = unlimited). Deterministic: fires at the exact cycle
+//!   on every machine and job count.
+//! * `SMTSIM_CELL_RETRIES` — retries per transiently-failed cell
+//!   (default 0). Retries run after all first attempts, in an order
+//!   derived from `SEED` — deterministic backoff, not wall-clock.
+//!
 //! Conformance knobs (consumed by the `conform` bin, DESIGN.md §12):
 //!
 //! * `FUZZ_CASES` — fresh machine-generated fuzz cases per `conform`
@@ -60,7 +79,96 @@ pub mod env;
 pub use env::{try_env_u64, BenchEnv};
 
 use smtsim_pipeline::{FaultPlan, SimError};
-use smtsim_rob2::Lab;
+use smtsim_rob2::{JournalError, Lab};
+
+/// A harness binary failure, classified by the workspace-wide exit
+/// policy: **invalid configuration exits 2** (malformed knobs, a
+/// journal recorded under a different experiment universe), **runtime
+/// failures exit 1** (I/O, journal corruption, simulation divergence).
+/// Every binary funnels through [`run_bin`], so the exit codes are
+/// uniform across all of them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinError {
+    /// The invocation itself is wrong; exits with status 2.
+    Config(String),
+    /// The run failed; exits with status 1.
+    Runtime(String),
+}
+
+impl BinError {
+    /// The process exit status for this failure class.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BinError::Config(_) => 2,
+            BinError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Config(m) | BinError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<SimError> for BinError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::InvalidConfig { .. } => BinError::Config(e.to_string()),
+            other => BinError::Runtime(other.to_string()),
+        }
+    }
+}
+
+impl From<JournalError> for BinError {
+    fn from(e: JournalError) -> Self {
+        match e {
+            // Pointing a run at a journal recorded under different
+            // knobs is a configuration mistake, like a malformed knob.
+            JournalError::UniverseMismatch { .. } => BinError::Config(e.to_string()),
+            other => BinError::Runtime(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Runtime(e.to_string())
+    }
+}
+
+/// Prints a [`BinError`] and exits with its status code.
+pub fn exit_bin(e: &BinError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(e.exit_code());
+}
+
+/// The uniform `main` wrapper for every harness binary: runs `f`,
+/// exits 0 on success, and maps failures through the [`BinError`]
+/// exit-code policy (configuration → 2, runtime → 1).
+pub fn run_bin(f: impl FnOnce() -> Result<(), BinError>) -> ! {
+    match f() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => exit_bin(&e),
+    }
+}
+
+/// Builds the lab `env` describes and pre-validates its resilience
+/// configuration: an armed `SMTSIM_JOURNAL` is opened *here*, so a
+/// stale or damaged journal surfaces as a typed [`BinError`] (exit 2
+/// or 1) instead of a mid-sweep panic. Logs a resume note when the
+/// journal already holds completed cells.
+pub fn prepared_lab(env: &BenchEnv) -> Result<Lab, BinError> {
+    let mut lab = env.lab();
+    let resumed = lab.open_journal()?;
+    if resumed > 0 {
+        eprintln!("journal: resuming — {resumed} completed cell(s) on file");
+    }
+    Ok(lab)
+}
 
 /// Reads the environment knobs from the module header and builds the
 /// experiment driver. Thin wrapper over [`BenchEnv::from_env`] +
@@ -216,5 +324,73 @@ mod tests {
     fn bench_lab_is_small() {
         let lab = bench_lab(1);
         assert!(lab.mt_budget <= 10_000);
+    }
+
+    #[test]
+    fn resilience_knobs_arm_the_lab() {
+        let _g = ENV_LOCK.lock().unwrap();
+        // Defaults: everything off, no footer machinery armed.
+        let lab = lab_from_env();
+        assert!(!lab.resilience_active());
+        std::env::set_var("SMTSIM_JOURNAL", "/tmp/j.jsonl");
+        std::env::set_var("SMTSIM_CELL_TIMEOUT", "1500");
+        std::env::set_var("SMTSIM_CELL_CYCLES", "200000");
+        std::env::set_var("SMTSIM_CELL_RETRIES", "2");
+        let env = BenchEnv::from_env().unwrap();
+        let lab = env.lab();
+        assert_eq!(
+            lab.journal_path.as_deref(),
+            Some(std::path::Path::new("/tmp/j.jsonl"))
+        );
+        assert_eq!(lab.cell_wall_ms, Some(1_500));
+        assert_eq!(lab.cell_cycle_budget, Some(200_000));
+        assert_eq!(lab.retries, 2);
+        assert!(lab.resilience_active());
+        // 0 means "unlimited", and an empty journal path means "off".
+        std::env::set_var("SMTSIM_JOURNAL", "  ");
+        std::env::set_var("SMTSIM_CELL_TIMEOUT", "0");
+        std::env::set_var("SMTSIM_CELL_CYCLES", "0");
+        std::env::set_var("SMTSIM_CELL_RETRIES", "0");
+        let lab = lab_from_env();
+        assert!(!lab.resilience_active());
+        std::env::set_var("SMTSIM_CELL_RETRIES", "two");
+        let err = BenchEnv::from_env().expect_err("'two' must not parse");
+        assert_eq!(err.kind(), "invalid-config");
+        for k in [
+            "SMTSIM_JOURNAL",
+            "SMTSIM_CELL_TIMEOUT",
+            "SMTSIM_CELL_CYCLES",
+            "SMTSIM_CELL_RETRIES",
+        ] {
+            std::env::remove_var(k);
+        }
+    }
+
+    #[test]
+    fn bin_error_exit_codes_follow_the_policy() {
+        use smtsim_pipeline::SimError;
+        use smtsim_rob2::JournalError;
+        let config: BinError = SimError::InvalidConfig { reason: "x".into() }.into();
+        assert_eq!(config.exit_code(), 2);
+        let runtime: BinError = SimError::CellTimeout {
+            cycle: 1,
+            detail: "x".into(),
+        }
+        .into();
+        assert_eq!(runtime.exit_code(), 1);
+        let stale: BinError = JournalError::UniverseMismatch {
+            expected: "a".into(),
+            found: "b".into(),
+        }
+        .into();
+        assert_eq!(stale.exit_code(), 2, "stale journal is a config error");
+        let corrupt: BinError = JournalError::Corrupt {
+            line: 3,
+            detail: "x".into(),
+        }
+        .into();
+        assert_eq!(corrupt.exit_code(), 1);
+        let io: BinError = std::io::Error::other("disk").into();
+        assert_eq!(io.exit_code(), 1);
     }
 }

@@ -13,18 +13,20 @@
 //! binaries), each panic-isolated, and merges results in input order —
 //! so rendered figures are byte-identical at any job count.
 
+use crate::journal::{self, cell_key, Journal, JournalEntry, JournalError};
 use crate::metrics::{fair_throughput, weighted_ipc};
 use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
 use smtsim_analysis::{DodAnalysis, L1_WINDOW};
 use smtsim_obs::{Episode, EpisodeReconstructor, MetricsRegistry, TraceEvent, TraceLog, Tracer};
 use smtsim_pipeline::{
-    DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, SimError, SimStats,
-    Simulator, StopCondition,
+    DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, RunBudget, SimError,
+    SimStats, Simulator, StopCondition,
 };
 use smtsim_workload::{mix, Workload};
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -187,6 +189,133 @@ fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, SimError> {
     })
 }
 
+/// SplitMix64 — the deterministic mixer behind the retry layer's
+/// seeded backoff ordering (wall-clock randomness would break the
+/// byte-identity guarantees of resumed sweeps).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of one sweep cell under the resilient engine
+/// ([`Lab::sweep_cells`]).
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The final result, after any retries (or as loaded from the
+    /// journal).
+    pub result: Result<MixRun, SimError>,
+    /// Attempts the cell took (1 = first try). Journal hits report the
+    /// attempt count recorded when the cell originally completed, so
+    /// this field — and everything derived from it — is identical
+    /// between a resumed sweep and an uninterrupted one.
+    pub attempts: u32,
+    /// True when the result was loaded from the journal instead of run.
+    pub from_journal: bool,
+}
+
+/// Per-sweep health summary: cells ok / retried-then-ok / timed out /
+/// failed, plus the total number of extra attempts the retry layer
+/// spent. Derived purely from cell *results* (never from the execution
+/// path), so a resumed sweep and an uninterrupted one summarize
+/// identically — which is what lets the figure layer append this to
+/// footers without breaking resume byte-identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepHealth {
+    /// Cells that produced a result (including retried-then-ok ones).
+    pub ok: usize,
+    /// Subset of `ok` that needed more than one attempt.
+    pub retried: usize,
+    /// Cells whose final result was a watchdog timeout.
+    pub timed_out: usize,
+    /// Cells whose final result was any other error.
+    pub failed: usize,
+    /// Total attempts beyond the first, summed over all cells.
+    pub extra_attempts: usize,
+}
+
+impl SweepHealth {
+    /// Folds a sweep's outcomes into the summary.
+    pub fn from_outcomes(outcomes: &[CellOutcome]) -> Self {
+        let mut h = SweepHealth::default();
+        for o in outcomes {
+            h.extra_attempts += o.attempts.saturating_sub(1) as usize;
+            match &o.result {
+                Ok(_) => {
+                    h.ok += 1;
+                    if o.attempts > 1 {
+                        h.retried += 1;
+                    }
+                }
+                Err(SimError::CellTimeout { .. }) => h.timed_out += 1,
+                Err(_) => h.failed += 1,
+            }
+        }
+        h
+    }
+
+    /// Total cells summarized.
+    pub fn total(&self) -> usize {
+        self.ok + self.timed_out + self.failed
+    }
+
+    /// True when no cell timed out or failed.
+    pub fn all_ok(&self) -> bool {
+        self.timed_out == 0 && self.failed == 0
+    }
+
+    /// The one-line footer the figure layer appends when any
+    /// resilience feature is active.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "sweep health: {} ok ({} retried), {} timed out, {} failed",
+            self.ok, self.retried, self.timed_out, self.failed
+        )
+    }
+
+    /// Folds the summary into an observability registry under the
+    /// `sweep.*` counter keys.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.bump_by("sweep.cells_ok", self.ok as u64);
+        reg.bump_by("sweep.cells_retried", self.retried as u64);
+        reg.bump_by("sweep.cells_timed_out", self.timed_out as u64);
+        reg.bump_by("sweep.cells_failed", self.failed as u64);
+        reg.bump_by("sweep.retry_attempts", self.extra_attempts as u64);
+    }
+}
+
+/// Everything a resilient sweep produces: per-cell outcomes in input
+/// order plus the [`SweepHealth`] summary.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// One outcome per input cell, in input order.
+    pub outcomes: Vec<CellOutcome>,
+    /// The path-independent health summary over `outcomes`.
+    pub health: SweepHealth,
+}
+
+impl SweepReport {
+    /// Strips the report down to the classic result vector.
+    pub fn results(self) -> Vec<Result<MixRun, SimError>> {
+        self.outcomes.into_iter().map(|o| o.result).collect()
+    }
+
+    /// Cells served from the journal instead of being re-run. (Path-
+    /// *dependent* by nature — this is deliberately not part of
+    /// [`SweepHealth`] and never rendered into figures.)
+    pub fn journal_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.from_journal).count()
+    }
+
+    /// Folds health counters plus the journal-hit count into an
+    /// observability registry.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        self.health.record_metrics(reg);
+        reg.bump_by("sweep.journal_hits", self.journal_hits() as u64);
+    }
+}
+
 /// Experiment driver with memoized normalization runs.
 pub struct Lab {
     /// The multithreaded machine (defaults to Table 1).
@@ -219,6 +348,28 @@ pub struct Lab {
     global_fault: Option<FaultPlan>,
     /// Per-mix fault plans; these take precedence over `global_fault`.
     mix_faults: BTreeMap<usize, FaultPlan>,
+    /// Per-mix *transient* fault plans, applied only while the cell's
+    /// attempt number is at or below the stored bound (see
+    /// [`Lab::set_transient_fault`]); these model faults the retry
+    /// layer can recover from.
+    transient_faults: BTreeMap<usize, (FaultPlan, u32)>,
+    /// Resumable sweep-journal path (`SMTSIM_JOURNAL`); `None` = no
+    /// journaling. See [`crate::journal`].
+    pub journal_path: Option<PathBuf>,
+    /// The open journal (lazily created from `journal_path`, dropped
+    /// whenever the lab state — and therefore the universe
+    /// fingerprint — changes).
+    journal: Option<Arc<Journal>>,
+    /// Simulated-cycle ceiling per sweep cell (`SMTSIM_CELL_CYCLES`);
+    /// the deterministic watchdog. `None` = unlimited.
+    pub cell_cycle_budget: Option<u64>,
+    /// Wall-clock ceiling per sweep cell in milliseconds
+    /// (`SMTSIM_CELL_TIMEOUT`); non-deterministic by nature. `None` =
+    /// unlimited.
+    pub cell_wall_ms: Option<u64>,
+    /// Retries per transiently-failed sweep cell
+    /// (`SMTSIM_CELL_RETRIES`); 0 = the pre-resilience behavior.
+    pub retries: u32,
 }
 
 impl Lab {
@@ -236,6 +387,12 @@ impl Lab {
             single_cache: BTreeMap::new(),
             global_fault: None,
             mix_faults: BTreeMap::new(),
+            transient_faults: BTreeMap::new(),
+            journal_path: None,
+            journal: None,
+            cell_cycle_budget: None,
+            cell_wall_ms: None,
+            retries: 0,
         }
     }
 
@@ -272,6 +429,40 @@ impl Lab {
         self
     }
 
+    /// Arms the resumable on-disk journal: completed sweep cells are
+    /// appended to `path` and skipped on the next sweep over the same
+    /// experiment universe (`SMTSIM_JOURNAL`).
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        self.change_state(|lab| lab.journal_path = Some(path));
+        self
+    }
+
+    /// Sets the deterministic simulated-cycle watchdog ceiling per
+    /// sweep cell (`SMTSIM_CELL_CYCLES`; `None` = unlimited).
+    #[must_use]
+    pub fn with_cell_cycle_budget(mut self, cycles: Option<u64>) -> Self {
+        self.change_state(|lab| lab.cell_cycle_budget = cycles);
+        self
+    }
+
+    /// Sets the wall-clock watchdog ceiling per sweep cell, in
+    /// milliseconds (`SMTSIM_CELL_TIMEOUT`; `None` = unlimited).
+    #[must_use]
+    pub fn with_cell_wall_ms(mut self, ms: Option<u64>) -> Self {
+        self.change_state(|lab| lab.cell_wall_ms = ms);
+        self
+    }
+
+    /// Sets the retry count for transiently-failed sweep cells
+    /// (`SMTSIM_CELL_RETRIES`).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.change_state(|lab| lab.retries = retries);
+        self
+    }
+
     /// The single funnel for builder-style state changes. The
     /// normalization cache needs no flushing here *by construction*:
     /// every run-relevant field participates in [`NormKey`], so a
@@ -282,6 +473,12 @@ impl Lab {
     /// one place that must learn to invalidate it.
     fn change_state(&mut self, apply: impl FnOnce(&mut Self)) {
         apply(self);
+        // A state change may move the lab into a different experiment
+        // universe; drop any open journal so the next sweep re-opens —
+        // and re-validates — it under the new universe fingerprint.
+        // (Direct field mutation bypasses this funnel; the engine
+        // re-checks the fingerprint at every `ensure_journal`.)
+        self.journal = None;
     }
 
     /// Installs a fault plan for multithreaded runs: `mix = None` sets a
@@ -290,23 +487,48 @@ impl Lab {
     /// never faulted — they define the healthy reference every weighted
     /// IPC is measured against.
     pub fn set_fault(&mut self, mix: Option<usize>, plan: FaultPlan) {
-        match mix {
-            None => self.global_fault = Some(plan),
+        self.change_state(|lab| match mix {
+            None => lab.global_fault = Some(plan),
             Some(i) => {
-                self.mix_faults.insert(i, plan);
+                lab.mix_faults.insert(i, plan);
             }
-        }
+        });
     }
 
-    /// Removes all installed fault plans.
+    /// Installs a *transient* fault plan for `mix`: the plan applies
+    /// only while the cell's attempt number is `<= active_attempts`
+    /// and takes precedence over [`Lab::set_fault`] plans while
+    /// active. This models a fault that clears on re-run — the retry
+    /// layer's recovery target (and its test fixture).
+    pub fn set_transient_fault(&mut self, mix: usize, plan: FaultPlan, active_attempts: u32) {
+        self.change_state(|lab| {
+            lab.transient_faults.insert(mix, (plan, active_attempts));
+        });
+    }
+
+    /// Removes all installed fault plans (persistent and transient).
     pub fn clear_faults(&mut self) {
-        self.global_fault = None;
-        self.mix_faults.clear();
+        self.change_state(|lab| {
+            lab.global_fault = None;
+            lab.mix_faults.clear();
+            lab.transient_faults.clear();
+        });
     }
 
     /// The plan a multithreaded run of `mix_idx` would use, if any.
     pub fn fault_for(&self, mix_idx: usize) -> Option<&FaultPlan> {
         self.mix_faults.get(&mix_idx).or(self.global_fault.as_ref())
+    }
+
+    /// The plan attempt number `attempt` of `mix_idx` would use: an
+    /// active transient plan wins, then the persistent plans.
+    fn fault_for_attempt(&self, mix_idx: usize, attempt: u32) -> Option<&FaultPlan> {
+        if let Some((plan, active)) = self.transient_faults.get(&mix_idx) {
+            if attempt <= *active {
+                return Some(plan);
+            }
+        }
+        self.fault_for(mix_idx)
     }
 
     /// Single-threaded IPC of `slot` in `mix_idx` under `rob` — the
@@ -416,7 +638,22 @@ impl Lab {
         rob: RobConfig,
         norm: &NormTable,
     ) -> Result<MixRun, SimError> {
-        self.run_cell_inner(mix_idx, rob, norm, smtsim_obs::NoopTracer)
+        self.run_cell_attempt(mix_idx, rob, norm, 1)
+    }
+
+    /// [`Lab::run_cell`] at an explicit attempt number — the retry
+    /// layer's entry point. The attempt number only selects the fault
+    /// plan (see [`Lab::set_transient_fault`]); the simulation itself
+    /// is attempt-oblivious, so a retried cell that no longer faults
+    /// is byte-identical to a cell that never faulted.
+    fn run_cell_attempt(
+        &self,
+        mix_idx: usize,
+        rob: RobConfig,
+        norm: &NormTable,
+        attempt: u32,
+    ) -> Result<MixRun, SimError> {
+        self.run_cell_inner(mix_idx, rob, norm, smtsim_obs::NoopTracer, attempt)
             .map(|(run, _)| run)
     }
 
@@ -430,7 +667,19 @@ impl Lab {
         rob: RobConfig,
         norm: &NormTable,
     ) -> Result<TracedMixRun, SimError> {
-        let (run, log) = self.run_cell_inner(mix_idx, rob, norm, TraceLog::new())?;
+        self.run_cell_traced_attempt(mix_idx, rob, norm, 1)
+    }
+
+    /// [`Lab::run_cell_traced`] at an explicit attempt number (see
+    /// [`Lab::run_cell_attempt`]).
+    fn run_cell_traced_attempt(
+        &self,
+        mix_idx: usize,
+        rob: RobConfig,
+        norm: &NormTable,
+        attempt: u32,
+    ) -> Result<TracedMixRun, SimError> {
+        let (run, log) = self.run_cell_inner(mix_idx, rob, norm, TraceLog::new(), attempt)?;
         let events = log.into_events();
         let episodes = EpisodeReconstructor::from_events(&events);
         let metrics = MetricsRegistry::from_events(&events);
@@ -453,6 +702,7 @@ impl Lab {
         rob: RobConfig,
         norm: &NormTable,
         tracer: T,
+        attempt: u32,
     ) -> Result<(MixRun, T), SimError> {
         let m = mix(mix_idx);
         let wls: Vec<Arc<Workload>> = m.instantiate(self.seed).into_iter().map(Arc::new).collect();
@@ -460,8 +710,17 @@ impl Lab {
         let mut builder = Simulator::builder(self.machine.clone(), wls, rob.build(), self.seed)
             .dod_bounds(bounds)
             .warmup(self.warmup)
+            // Watchdog budgets apply to the measured (multithreaded)
+            // cell run only — normalization runs are unmetered because
+            // the single-thread cache must never store a timeout (see
+            // `norm_table`).
+            .run_budget(RunBudget {
+                max_cycles: self.cell_cycle_budget,
+                wall_ms: self.cell_wall_ms,
+                token: None,
+            })
             .tracer(tracer);
-        if let Some(plan) = self.fault_for(mix_idx) {
+        if let Some(plan) = self.fault_for_attempt(mix_idx, attempt) {
             builder = builder.fault_plan(plan.clone());
         }
         let mut sim = builder.build()?;
@@ -516,68 +775,361 @@ impl Lab {
     /// by input index, so the output (and every figure rendered from
     /// it) is byte-identical at any job count, including the serial
     /// `jobs = 1` path.
+    ///
+    /// This is [`Lab::sweep_cells`] stripped down to the classic
+    /// result vector; all resilience features (journal, watchdog,
+    /// retries) apply.
     pub fn sweep(&mut self, cells: &[SweepCell]) -> Vec<Result<MixRun, SimError>> {
-        self.sweep_with(cells, |lab, m, cfg, norm| lab.run_cell(m, cfg, norm))
+        self.sweep_cells(cells).results()
+    }
+
+    /// The resilient sweep: [`Lab::sweep`] returning per-cell
+    /// [`CellOutcome`]s and a [`SweepHealth`] summary.
+    ///
+    /// When a journal is armed ([`Lab::with_journal`] /
+    /// `SMTSIM_JOURNAL`), cells already journaled under the current
+    /// experiment universe are served from disk without re-running, and
+    /// every newly-completed cell is appended durably the moment it
+    /// finishes — so a killed sweep, relaunched with the same journal,
+    /// resumes after the last completed cell and produces byte-identical
+    /// results. Failed cells are never journaled; they re-run (still
+    /// deterministically) on resume.
+    ///
+    /// When retries are armed ([`Lab::with_retries`] /
+    /// `SMTSIM_CELL_RETRIES`), transiently-failed cells
+    /// ([`SimError::is_transient`]) are re-enqueued for later rounds:
+    /// the deterministic analogue of backoff — every first-attempt cell
+    /// runs before any retry, and retry order within a round is drawn
+    /// from the lab seed via SplitMix64, never from wall-clock
+    /// randomness. The outcome vector stays byte-identical at any
+    /// `SMTSIM_JOBS`.
+    ///
+    /// # Panics
+    /// Panics if an armed journal cannot be opened or is stale
+    /// (version/universe mismatch) — entry points that own a journal
+    /// path pre-validate with [`Lab::open_journal`] and map the typed
+    /// error to an exit code instead.
+    pub fn sweep_cells(&mut self, cells: &[SweepCell]) -> SweepReport {
+        let journal = self.ensure_journal();
+        let mixes: Vec<usize> = cells.iter().map(|&(m, _)| m).collect();
+        let norm = self.norm_table(&mixes);
+        let keys: Vec<String> = cells
+            .iter()
+            .map(|&(m, cfg)| cell_key(m, &cfg.fingerprint()))
+            .collect();
+        let journaled: Vec<Option<JournalEntry>> = keys
+            .iter()
+            .map(|k| journal.as_deref().and_then(|j| j.lookup(k)))
+            .collect();
+        let skip: Vec<bool> = journaled.iter().map(Option::is_some).collect();
+        let journal = journal.as_deref();
+        let keys = &keys;
+        let ran = self.sweep_engine(
+            cells,
+            &norm,
+            &skip,
+            &|i, run: &MixRun, attempts| {
+                if let Some(j) = journal {
+                    if let Err(e) = j.record(&keys[i], run, attempts) {
+                        // A dying disk must not kill a healthy sweep:
+                        // degrade to non-durable execution (results
+                        // unchanged; only resumability is lost).
+                        eprintln!("warning: sweep journal append failed ({e}); cell result kept in memory only");
+                    }
+                }
+            },
+            &|lab, m, cfg, norm, attempt| lab.run_cell_attempt(m, cfg, norm, attempt),
+        );
+        let outcomes: Vec<CellOutcome> = journaled
+            .into_iter()
+            .zip(ran)
+            .map(|(hit, ran)| match hit {
+                Some(entry) => CellOutcome {
+                    result: Ok(entry.run),
+                    attempts: entry.attempts,
+                    from_journal: true,
+                },
+                None => {
+                    let (result, attempts) = ran.expect("engine ran every non-journaled cell");
+                    CellOutcome {
+                        result,
+                        attempts,
+                        from_journal: false,
+                    }
+                }
+            })
+            .collect();
+        let health = SweepHealth::from_outcomes(&outcomes);
+        SweepReport { outcomes, health }
     }
 
     /// [`Lab::sweep`] with tracing armed on every cell (see
     /// [`Lab::run_cell_traced`]). Same two-phase structure, same
-    /// panic isolation, same input-order merge — the traced output is
-    /// byte-identical at any job count.
+    /// panic isolation, same watchdog and retry layers, same
+    /// input-order merge — the traced output is byte-identical at any
+    /// job count. Traced sweeps are never journaled (the journal
+    /// stores [`MixRun`]s, not event streams).
     pub fn sweep_traced(&mut self, cells: &[SweepCell]) -> Vec<Result<TracedMixRun, SimError>> {
-        self.sweep_with(cells, |lab, m, cfg, norm| lab.run_cell_traced(m, cfg, norm))
-    }
-
-    /// The sweep engine shared by [`Lab::sweep`] and
-    /// [`Lab::sweep_traced`]: phase-1 normalization, phase-2 fan-out
-    /// over a shared work queue, input-order merge.
-    fn sweep_with<R: Send>(
-        &mut self,
-        cells: &[SweepCell],
-        run: impl Fn(&Lab, usize, RobConfig, &NormTable) -> Result<R, SimError> + Sync,
-    ) -> Vec<Result<R, SimError>> {
         let mixes: Vec<usize> = cells.iter().map(|&(m, _)| m).collect();
         let norm = self.norm_table(&mixes);
-        let jobs = self.effective_jobs().min(cells.len().max(1));
+        let skip = vec![false; cells.len()];
+        self.sweep_engine(
+            cells,
+            &norm,
+            &skip,
+            &|_, _: &TracedMixRun, _| {},
+            &|lab, m, cfg, norm, attempt| lab.run_cell_traced_attempt(m, cfg, norm, attempt),
+        )
+        .into_iter()
+        .map(|o| o.expect("no cells are skipped in a traced sweep").0)
+        .collect()
+    }
+
+    /// The engine under [`Lab::sweep_cells`] and [`Lab::sweep_traced`]:
+    /// runs every non-`skip` cell through up to `1 + retries` rounds,
+    /// invoking `on_ok` the moment a cell first succeeds (the journal
+    /// append hook — called from worker threads, hence `Sync`).
+    /// Returns `(final result, attempts)` per cell, `None` for skipped
+    /// cells, in input order.
+    fn sweep_engine<R: Send>(
+        &self,
+        cells: &[SweepCell],
+        norm: &NormTable,
+        skip: &[bool],
+        on_ok: &(impl Fn(usize, &R, u32) + Sync),
+        run: &(impl Fn(&Lab, usize, RobConfig, &NormTable, u32) -> Result<R, SimError> + Sync),
+    ) -> Vec<Option<(Result<R, SimError>, u32)>> {
+        let mut results: Vec<Option<(Result<R, SimError>, u32)>> =
+            cells.iter().map(|_| None).collect();
+        // Round 1 visits pending cells in input order; retry rounds
+        // re-enqueue transient failures in a seeded order (deferred
+        // behind all first attempts — the deterministic analogue of
+        // backoff).
+        let mut queue: Vec<usize> = (0..cells.len()).filter(|&i| !skip[i]).collect();
+        let max_attempts = self.retries.saturating_add(1);
+        for attempt in 1..=max_attempts {
+            if queue.is_empty() {
+                break;
+            }
+            if attempt > 1 {
+                queue.sort_by_key(|&i| {
+                    (
+                        splitmix64(self.seed ^ (u64::from(attempt) << 32) ^ i as u64),
+                        i,
+                    )
+                });
+            }
+            let round = self.run_round(&queue, cells, norm, attempt, run);
+            let mut still = Vec::new();
+            for (i, res) in round {
+                if let Ok(r) = &res {
+                    on_ok(i, r, attempt);
+                } else if res.as_ref().err().is_some_and(SimError::is_transient)
+                    && attempt < max_attempts
+                {
+                    still.push(i);
+                }
+                results[i] = Some((res, attempt));
+            }
+            still.sort_unstable();
+            queue = still;
+        }
+        results
+    }
+
+    /// One engine round: fans `queue` (cell indices) out across
+    /// [`Lab::effective_jobs`] scoped workers, panic-isolating each
+    /// cell. Returns `(index, result)` pairs sorted by index.
+    fn run_round<R: Send>(
+        &self,
+        queue: &[usize],
+        cells: &[SweepCell],
+        norm: &NormTable,
+        attempt: u32,
+        run: &(impl Fn(&Lab, usize, RobConfig, &NormTable, u32) -> Result<R, SimError> + Sync),
+    ) -> Vec<(usize, Result<R, SimError>)> {
+        let jobs = self.effective_jobs().min(queue.len().max(1));
         let this: &Lab = self;
-        let run = &run;
         if jobs <= 1 {
-            return cells
+            return queue
                 .iter()
-                .map(|&(m, cfg)| catch_cell(|| run(this, m, cfg, &norm)).and_then(|r| r))
+                .map(|&i| {
+                    let (m, cfg) = cells[i];
+                    (
+                        i,
+                        catch_cell(|| run(this, m, cfg, norm, attempt)).and_then(|r| r),
+                    )
+                })
                 .collect();
         }
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            let norm = &norm;
             let next = &next;
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     s.spawn(move || {
                         let mut out = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(m, cfg)) = cells.get(i) else {
+                            let qi = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = queue.get(qi) else {
                                 break;
                             };
-                            out.push((i, catch_cell(|| run(this, m, cfg, norm)).and_then(|r| r)));
+                            let (m, cfg) = cells[i];
+                            out.push((
+                                i,
+                                catch_cell(|| run(this, m, cfg, norm, attempt)).and_then(|r| r),
+                            ));
                         }
                         out
                     })
                 })
                 .collect();
-            let mut merged: Vec<Option<Result<R, SimError>>> = cells.iter().map(|_| None).collect();
+            let mut merged = Vec::with_capacity(queue.len());
             for h in handles {
-                let chunk = h.join().expect("workers catch cell panics");
-                for (i, r) in chunk {
-                    merged[i] = Some(r);
-                }
+                merged.extend(h.join().expect("workers catch cell panics"));
             }
+            merged.sort_by_key(|&(i, _)| i);
             merged
-                .into_iter()
-                .map(|o| o.expect("the work queue visits every cell index"))
-                .collect()
         })
+    }
+
+    /// True when any resilience feature — journal, watchdog budget,
+    /// retries, transient faults — is configured. The figure layer
+    /// attaches the [`SweepHealth`] footer only in this case, so
+    /// committed goldens produced by a plain lab stay byte-identical.
+    pub fn resilience_active(&self) -> bool {
+        self.journal_path.is_some()
+            || self.cell_cycle_budget.is_some()
+            || self.cell_wall_ms.is_some()
+            || self.retries > 0
+            || !self.transient_faults.is_empty()
+    }
+
+    /// The experiment-universe fingerprint the journal is keyed by:
+    /// every lab input that can change a cell's bytes (seed, budgets,
+    /// warm-up, normalization universe, machine, fault plans, the
+    /// resilience knobs themselves) — but *not* the job count, which
+    /// only changes scheduling. A journal written under one fingerprint
+    /// is rejected under any other (never silently reused).
+    pub fn journal_universe(&self) -> String {
+        journal::fingerprint_str(&format!(
+            "v{} seed={} mt={} st={} warmup={} norm={} machine={:?} global_fault={:?} \
+             mix_faults={:?} transient_faults={:?} cell_cycles={:?} cell_wall_ms={:?} retries={}",
+            journal::JOURNAL_VERSION,
+            self.seed,
+            self.mt_budget,
+            self.st_budget,
+            self.warmup,
+            self.norm.fingerprint(),
+            self.machine,
+            self.global_fault,
+            self.mix_faults,
+            self.transient_faults,
+            self.cell_cycle_budget,
+            self.cell_wall_ms,
+            self.retries,
+        ))
+    }
+
+    /// Opens (or re-opens) the journal at [`Lab::journal_path`] under
+    /// the current universe fingerprint, returning how many completed
+    /// cells it already holds. `Ok(0)` when no path is armed. This is
+    /// the fallible entry point: bins and tests call it up front and
+    /// map [`JournalError`] to a diagnostic + exit code, so the panic
+    /// inside [`Lab::sweep_cells`] is unreachable for them.
+    pub fn open_journal(&mut self) -> Result<usize, JournalError> {
+        self.journal = None;
+        match self.journal_path.clone() {
+            None => Ok(0),
+            Some(path) => {
+                let j = Journal::open(&path, &self.journal_universe())?;
+                let n = j.len();
+                self.journal = Some(Arc::new(j));
+                Ok(n)
+            }
+        }
+    }
+
+    /// The open journal for the *current* universe, if a path is
+    /// armed. Re-opens when no journal is open yet or the open one was
+    /// created under a different fingerprint (possible via direct
+    /// `pub` field mutation, which bypasses `change_state`).
+    fn ensure_journal(&mut self) -> Option<Arc<Journal>> {
+        let stale = match (&self.journal, &self.journal_path) {
+            (None, None) => false,
+            (Some(j), Some(_)) => j.universe() != self.journal_universe(),
+            _ => true,
+        };
+        if stale {
+            if let Err(e) = self.open_journal() {
+                panic!("sweep journal unusable: {e}");
+            }
+        }
+        self.journal.clone()
+    }
+
+    /// Crash-simulation entry point for resume tests: runs the sweep
+    /// serially with the journal armed and abandons it after `k` cells
+    /// have been *executed* (journal hits don't count), as if the
+    /// process had been killed at that point. Returns the number of
+    /// cells executed. Requires an armed journal path.
+    pub fn sweep_killed_after(
+        &mut self,
+        cells: &[SweepCell],
+        k: usize,
+    ) -> Result<usize, JournalError> {
+        if self.journal_path.is_none() {
+            return Err(JournalError::Io {
+                path: PathBuf::new(),
+                detail: "sweep_killed_after requires a journal path".into(),
+            });
+        }
+        self.open_journal()?;
+        let journal = self
+            .journal
+            .clone()
+            .expect("open_journal armed the journal");
+        let mixes: Vec<usize> = cells.iter().map(|&(m, _)| m).collect();
+        let norm = self.norm_table(&mixes);
+        let mut executed = 0usize;
+        for &(m, cfg) in cells {
+            if executed >= k {
+                break;
+            }
+            let key = cell_key(m, &cfg.fingerprint());
+            if journal.lookup(&key).is_some() {
+                continue;
+            }
+            let (res, attempts) = self.run_cell_with_retries(m, cfg, &norm);
+            if let Ok(run) = &res {
+                journal.record(&key, run, attempts)?;
+            }
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
+    /// One cell through the full attempt loop — the serial form of the
+    /// engine's retry rounds. Per-cell results are identical to the
+    /// round-based engine's because cells are independent and attempt
+    /// progression is deterministic; only inter-cell scheduling
+    /// differs, which the input-order merge already erases.
+    fn run_cell_with_retries(
+        &self,
+        m: usize,
+        cfg: RobConfig,
+        norm: &NormTable,
+    ) -> (Result<MixRun, SimError>, u32) {
+        let max_attempts = self.retries.saturating_add(1);
+        let mut attempt = 1;
+        loop {
+            let res = catch_cell(|| self.run_cell_attempt(m, cfg, norm, attempt)).and_then(|r| r);
+            let transient = res.as_ref().err().is_some_and(SimError::is_transient);
+            if res.is_ok() || !transient || attempt >= max_attempts {
+                return (res, attempt);
+            }
+            attempt += 1;
+        }
     }
 
     /// Runs `mix_idx` under `rob` and computes all metrics.
@@ -849,5 +1401,207 @@ mod tests {
             lab.run_mix(2, RobConfig::Baseline(32)).ft
         };
         assert_eq!(ft(), ft());
+    }
+
+    #[test]
+    fn sweep_health_is_a_pure_fold_over_outcomes() {
+        let ok = |attempts, from_journal| CellOutcome {
+            result: Ok(MixRun {
+                mix: "m".into(),
+                config: "c".into(),
+                ipc: vec![],
+                single_ipc: vec![],
+                weighted: vec![],
+                ft: 0.0,
+                throughput: 0.0,
+                stats: SimStats::new(0),
+                twolevel: None,
+                faults: FaultStats::default(),
+            }),
+            attempts,
+            from_journal,
+        };
+        let timeout = CellOutcome {
+            result: Err(SimError::CellTimeout {
+                cycle: 9,
+                detail: "x".into(),
+            }),
+            attempts: 3,
+            from_journal: false,
+        };
+        let failed = CellOutcome {
+            result: Err(SimError::InvalidConfig {
+                reason: "bad".into(),
+            }),
+            attempts: 1,
+            from_journal: false,
+        };
+        let outcomes = [ok(1, false), ok(2, true), timeout, failed];
+        let h = SweepHealth::from_outcomes(&outcomes);
+        assert_eq!(
+            h,
+            SweepHealth {
+                ok: 2,
+                retried: 1,
+                timed_out: 1,
+                failed: 1,
+                extra_attempts: 3,
+            }
+        );
+        assert_eq!(h.total(), 4);
+        assert!(!h.all_ok());
+        assert_eq!(
+            h.summary_line(),
+            "sweep health: 2 ok (1 retried), 1 timed out, 1 failed"
+        );
+        let mut reg = MetricsRegistry::new();
+        h.record_metrics(&mut reg);
+        assert_eq!(reg.counter("sweep.cells_ok"), 2);
+        assert_eq!(reg.counter("sweep.cells_retried"), 1);
+        assert_eq!(reg.counter("sweep.cells_timed_out"), 1);
+        assert_eq!(reg.counter("sweep.cells_failed"), 1);
+        assert_eq!(reg.counter("sweep.retry_attempts"), 3);
+    }
+
+    #[test]
+    fn transient_fault_is_recovered_by_retry_and_reported() {
+        let cells = [
+            (1usize, RobConfig::Baseline(32)),
+            (2usize, RobConfig::Baseline(32)),
+        ];
+        // Reference: the same lab with no fault and no retries.
+        let clean = small_lab().sweep(&cells);
+        // Fault plan that deadlocks mix 1 — but only on attempt 1.
+        let mut lab = small_lab().with_retries(2);
+        lab.machine.deadlock_cycles = 3_000;
+        let mut plan = FaultPlan::new(5);
+        plan.drop_fill = 1;
+        lab.set_transient_fault(1, plan, 1);
+        let mut clean_faulty_machine = small_lab();
+        clean_faulty_machine.machine.deadlock_cycles = 3_000;
+        let clean = {
+            // Deadlock-cycle setting changes the machine, so rebuild
+            // the reference under the identical machine config.
+            let _ = clean;
+            clean_faulty_machine.sweep(&cells)
+        };
+        let report = lab.sweep_cells(&cells);
+        assert_eq!(
+            report.health,
+            SweepHealth {
+                ok: 2,
+                retried: 1,
+                timed_out: 0,
+                failed: 0,
+                extra_attempts: 1,
+            }
+        );
+        assert_eq!(report.outcomes[0].attempts, 2, "mix 1 needed a retry");
+        assert_eq!(report.outcomes[1].attempts, 1);
+        // The recovered cell is byte-identical to a never-faulted run.
+        let healed = report.results();
+        for (a, b) in healed.iter().zip(&clean) {
+            assert_eq!(
+                format!("{:?}", a.as_ref().unwrap()),
+                format!("{:?}", b.as_ref().unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_transient_fault_exhausts_retries() {
+        // A "transient" plan active through every attempt never heals:
+        // retries are spent, the final result is the typed error.
+        let mut lab = small_lab().with_retries(1);
+        lab.machine.deadlock_cycles = 3_000;
+        let mut plan = FaultPlan::new(5);
+        plan.drop_fill = 1;
+        lab.set_transient_fault(1, plan, u32::MAX);
+        let report = lab.sweep_cells(&[(1, RobConfig::Baseline(32))]);
+        assert_eq!(report.outcomes[0].attempts, 2, "both attempts spent");
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(SimError::Deadlock { .. })
+        ));
+        assert_eq!(report.health.failed, 1);
+        assert_eq!(report.health.extra_attempts, 1);
+    }
+
+    #[test]
+    fn cycle_budget_renders_cells_as_timeouts_without_poisoning_others() {
+        let mut lab = small_lab().with_cell_cycle_budget(Some(500));
+        assert!(lab.resilience_active());
+        let report = lab.sweep_cells(&[(1, RobConfig::Baseline(32)), (2, RobConfig::Baseline(32))]);
+        // 8k committed instructions cannot fit in 500 cycles: every
+        // cell times out, deterministically at cycle 500.
+        assert_eq!(report.health.timed_out, 2);
+        for o in &report.outcomes {
+            match &o.result {
+                Err(SimError::CellTimeout { cycle, .. }) => assert_eq!(*cycle, 500),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+        // Timeouts are transient: with retries they are re-attempted
+        // (and still time out — the budget is part of the universe).
+        let mut lab = small_lab()
+            .with_cell_cycle_budget(Some(500))
+            .with_retries(1);
+        let report = lab.sweep_cells(&[(1, RobConfig::Baseline(32))]);
+        assert_eq!(report.outcomes[0].attempts, 2);
+        assert_eq!(report.health.timed_out, 1);
+    }
+
+    #[test]
+    fn resilient_sweep_with_idle_knobs_matches_plain_sweep() {
+        let cells: Vec<SweepCell> = vec![
+            (1, RobConfig::Baseline(32)),
+            (1, RobConfig::TwoLevel(TwoLevelConfig::r_rob(16))),
+            (2, RobConfig::Baseline(32)),
+        ];
+        let plain = small_lab().sweep(&cells);
+        // Generous budgets and armed retries that never fire must not
+        // change a single byte of the results.
+        let mut lab = small_lab()
+            .with_cell_cycle_budget(Some(u64::MAX))
+            .with_cell_wall_ms(Some(3_600_000))
+            .with_retries(3);
+        let resilient = lab.sweep_cells(&cells);
+        assert_eq!(resilient.health.ok, 3);
+        assert_eq!(resilient.health.retried, 0);
+        assert_eq!(resilient.journal_hits(), 0);
+        assert_eq!(format!("{:?}", resilient.results()), format!("{plain:?}"));
+    }
+
+    #[test]
+    fn journal_skips_completed_cells_and_survives_universe_changes() {
+        let dir = std::env::temp_dir().join(format!("smtsim-journal-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cells = [
+            (1usize, RobConfig::Baseline(32)),
+            (2usize, RobConfig::Baseline(32)),
+        ];
+        let plain = small_lab().sweep(&cells);
+        let mut lab = small_lab().with_journal(&path);
+        assert_eq!(lab.open_journal().unwrap(), 0, "fresh journal is empty");
+        let first = lab.sweep_cells(&cells);
+        assert_eq!(first.journal_hits(), 0);
+        // Second sweep over the same universe: both cells come from
+        // the journal, and the bytes are identical to a plain sweep.
+        let second = lab.sweep_cells(&cells);
+        assert_eq!(second.journal_hits(), 2);
+        assert_eq!(second.health, first.health);
+        assert_eq!(format!("{:?}", second.results()), format!("{plain:?}"));
+        // A state change moves the lab to a new universe: the stale
+        // journal must be rejected, not silently reused.
+        let mut moved = small_lab().with_budgets(4_000, 4_000).with_journal(&path);
+        match moved.open_journal() {
+            Err(JournalError::UniverseMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("stale journal accepted: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

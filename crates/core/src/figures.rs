@@ -79,6 +79,10 @@ pub struct FigureData {
     /// One line per failed `(mix, configuration)` cell; empty on a
     /// fully healthy sweep.
     pub failures: Vec<String>,
+    /// The sweep-health footer, present only when the lab had any
+    /// resilience feature active ([`Lab::resilience_active`]) — plain
+    /// labs keep producing byte-identical committed goldens.
+    pub health: Option<String>,
 }
 
 impl FigureData {
@@ -100,6 +104,8 @@ pub struct HistogramData {
     pub mixes: Vec<(String, DodHistogram)>,
     /// One line per failed mix; empty on a fully healthy sweep.
     pub failures: Vec<String>,
+    /// Sweep-health footer (see [`FigureData::health`]).
+    pub health: Option<String>,
 }
 
 impl HistogramData {
@@ -135,7 +141,9 @@ fn ft_sweep(
             mixes.iter().map(move |&m| (m, cfg))
         })
         .collect();
-    let mut results = lab.sweep(&cells).into_iter();
+    let report = lab.sweep_cells(&cells);
+    let health = sweep_health_note(lab, &report);
+    let mut results = report.results().into_iter();
     let mut failures = Vec::new();
     let series = variants
         .into_iter()
@@ -151,15 +159,27 @@ fn ft_sweep(
         title: title.to_string(),
         series,
         failures,
+        health,
     }
+}
+
+/// The health footer attached to figure data: only present when the
+/// lab has a resilience feature armed, so figures from a plain lab
+/// stay byte-identical to the committed goldens. The summary itself is
+/// path-independent (see [`crate::SweepHealth`]) — a resumed sweep
+/// renders the same footer as an uninterrupted one.
+fn sweep_health_note(lab: &Lab, report: &crate::SweepReport) -> Option<String> {
+    lab.resilience_active()
+        .then(|| report.health.summary_line())
 }
 
 fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
     let cells: Vec<SweepCell> = mixes.iter().map(|&m| (m, cfg)).collect();
-    let results = lab.sweep(&cells);
+    let report = lab.sweep_cells(&cells);
+    let health = sweep_health_note(lab, &report);
     let mut failures = Vec::new();
     let mut cols = Vec::with_capacity(mixes.len());
-    for (&m, res) in mixes.iter().zip(results) {
+    for (&m, res) in mixes.iter().zip(report.results()) {
         match res {
             Ok(run) => cols.push((run.mix.clone(), run.stats.dod_at_fill.clone())),
             Err(e) => failures.push(failure_line(&mix_name(m), &cfg.label(), &e)),
@@ -169,6 +189,7 @@ fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> Hi
         title: title.to_string(),
         mixes: cols,
         failures,
+        health,
     }
 }
 
@@ -291,6 +312,8 @@ pub struct AccuracyData {
     pub rows: Vec<AccuracyRow>,
     /// One line per failed cell; empty on a fully healthy sweep.
     pub failures: Vec<String>,
+    /// Sweep-health footer (see [`FigureData::health`]).
+    pub health: Option<String>,
 }
 
 impl AccuracyData {
@@ -314,7 +337,9 @@ pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
         .iter()
         .flat_map(|&cfg| mixes.iter().map(move |&m| (m, cfg)))
         .collect();
-    let mut results = lab.sweep(&cells).into_iter();
+    let report = lab.sweep_cells(&cells);
+    let health = sweep_health_note(lab, &report);
+    let mut results = report.results().into_iter();
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for cfg in configs {
@@ -340,6 +365,7 @@ pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
         title: "DoD accuracy: dynamic counter & predictor vs. static bounds".to_string(),
         rows,
         failures,
+        health,
     }
 }
 
@@ -515,6 +541,7 @@ mod tests {
                 },
             ],
             failures: vec![],
+            health: None,
         };
         let d = f.avg_improvement(1, 0).expect("healthy averages");
         assert!((d - 0.3).abs() < 1e-12);
@@ -541,5 +568,37 @@ mod tests {
         let parallel = render(4);
         assert_eq!(serial.0, parallel.0, "FT figure differs across job counts");
         assert_eq!(serial.1, parallel.1, "histogram differs across job counts");
+    }
+
+    #[test]
+    fn health_footer_appears_only_under_resilience() {
+        // Plain lab: no footer — committed goldens stay byte-identical.
+        let mut plain = lab();
+        let f = fig2(&mut plain, &[1]);
+        assert!(f.health.is_none());
+        assert!(!crate::report::render_figure(&f).contains("sweep health"));
+        // Resilient lab with idle knobs: footer present, all healthy.
+        let mut resilient = lab().with_retries(1);
+        let f = fig2(&mut resilient, &[1]);
+        assert_eq!(
+            f.health.as_deref(),
+            Some("sweep health: 3 ok (0 retried), 0 timed out, 0 failed")
+        );
+        let rendered = crate::report::render_figure(&f);
+        assert!(rendered.ends_with("sweep health: 3 ok (0 retried), 0 timed out, 0 failed\n"));
+        // A watchdog-tight lab renders every cell n/a with a timeout
+        // note plus the footer.
+        let mut tight = lab().with_cell_cycle_budget(Some(400));
+        let h = fig1(&mut tight, &[1]);
+        assert!(h.mixes.is_empty());
+        assert_eq!(h.failures.len(), 1);
+        assert!(
+            h.failures[0].contains("timed out at cycle 400"),
+            "{:?}",
+            h.failures
+        );
+        let rendered = crate::report::render_histogram(&h);
+        assert!(rendered.contains("failed: "));
+        assert!(rendered.contains("sweep health: 0 ok (0 retried), 1 timed out, 0 failed"));
     }
 }

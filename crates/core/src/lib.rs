@@ -33,12 +33,17 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod journal;
 pub mod metrics;
 pub mod report;
 pub mod twolevel;
 
-pub use experiment::{Lab, MixRun, NormTable, RobConfig, SweepCell, TracedMixRun};
+pub use experiment::{
+    CellOutcome, Lab, MixRun, NormTable, RobConfig, SweepCell, SweepHealth, SweepReport,
+    TracedMixRun,
+};
 pub use figures::{AccuracyData, AccuracyRow, FigureData, HistogramData, Series, ALL_MIXES};
+pub use journal::{Journal, JournalEntry, JournalError};
 pub use metrics::{fair_throughput, harmonic_mean, improvement, mean, weighted_ipc};
 pub use twolevel::{
     DodPredictorKind, ReleasePolicy, Scheme, TwoLevelConfig, TwoLevelRob, TwoLevelStats,

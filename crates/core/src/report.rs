@@ -66,6 +66,9 @@ pub fn render_figure(fig: &FigureData) -> String {
     for f in &fig.failures {
         let _ = writeln!(out, "failed: {f}");
     }
+    if let Some(h) = &fig.health {
+        let _ = writeln!(out, "{h}");
+    }
     out
 }
 
@@ -94,6 +97,9 @@ pub fn render_histogram(fig: &HistogramData) -> String {
     let _ = writeln!(out, "pooled mean dependents: {:.3}", fig.pooled_mean());
     for f in &fig.failures {
         let _ = writeln!(out, "failed: {f}");
+    }
+    if let Some(h) = &fig.health {
+        let _ = writeln!(out, "{h}");
     }
     out
 }
@@ -137,6 +143,9 @@ pub fn render_accuracy(acc: &AccuracyData) -> String {
     );
     for f in &acc.failures {
         let _ = writeln!(out, "failed: {f}");
+    }
+    if let Some(h) = &acc.health {
+        let _ = writeln!(out, "{h}");
     }
     out
 }
@@ -233,6 +242,7 @@ mod tests {
                 },
             ],
             failures: vec![],
+            health: None,
         };
         let s = render_figure(&fig);
         assert!(s.contains("Mix 1"));
@@ -263,6 +273,7 @@ mod tests {
                 "Mix 1 / R-ROB16: deadlock: no commit for 3000 cycles".into(),
                 "Mix 2 / R-ROB16: deadlock: no commit for 3000 cycles".into(),
             ],
+            health: None,
         };
         let s = render_figure(&fig);
         // Healthy cells still render; poisoned cells and the poisoned
@@ -292,6 +303,7 @@ mod tests {
                 },
             ],
             failures: vec![],
+            health: None,
         };
         let s = render_figure(&fig);
         assert!(s.contains("R-ROB16 vs Baseline_32: n/a"), "{s}");
@@ -310,6 +322,7 @@ mod tests {
             title: "Hist".into(),
             mixes: vec![("Mix 1".into(), h)],
             failures: vec![],
+            health: None,
         };
         let s = render_histogram(&fig);
         assert_eq!(
@@ -360,6 +373,7 @@ mod tests {
                 },
             ],
             failures: vec!["Mix 2 / 2-Level P-ROB5: deadlock".into()],
+            health: None,
         };
         let s = render_accuracy(&acc);
         assert!(s.contains("2.50"), "mean exact: {s}");

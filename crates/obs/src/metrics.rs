@@ -125,6 +125,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Add `n` to the named counter (a `bump` of weight `n`; used by
+    /// the sweep layer to fold precomputed counts — retry totals,
+    /// journal hits — into one registry).
+    pub fn bump_by(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
     /// Record a histogram sample under `key`.
     pub fn observe(&mut self, key: &str, value: u64) {
         self.histograms
@@ -276,6 +286,17 @@ mod tests {
         assert_eq!(reg.counter("never_bumped"), 0);
         let h = reg.histogram("dod.counter_at_fill").unwrap();
         assert_eq!((h.count, h.sum), (1, 7));
+    }
+
+    #[test]
+    fn bump_by_is_weighted_and_skips_zero() {
+        let mut r = MetricsRegistry::new();
+        r.bump_by("sweep.cells_ok", 5);
+        r.bump_by("sweep.cells_ok", 2);
+        r.bump_by("sweep.cells_failed", 0);
+        assert_eq!(r.counter("sweep.cells_ok"), 7);
+        // A zero bump must not materialize a key in the rendering.
+        assert!(!r.render().contains("cells_failed"));
     }
 
     #[test]

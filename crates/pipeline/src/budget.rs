@@ -1,0 +1,117 @@
+//! Per-run watchdog budgets and cooperative cancellation.
+//!
+//! A sweep cell must never hang the worker pool: a wedged machine state
+//! (e.g. an injected fill-drop that the deadlock watchdog's threshold
+//! is too large to catch in reasonable time) would otherwise stall a
+//! whole figure forever. [`RunBudget`] gives [`Simulator::try_run`] up
+//! to three cooperative ceilings — simulated cycles, wall-clock time
+//! and an external [`CancelToken`] — each of which terminates the run
+//! with a typed [`SimError::CellTimeout`](crate::SimError::CellTimeout)
+//! instead of aborting or spinning.
+//!
+//! Determinism: the simulated-cycle ceiling fires at an exact cycle and
+//! is fully reproducible; the wall-clock ceiling and external
+//! cancellation depend on host timing and are therefore *not*
+//! deterministic (their error `detail` deliberately omits elapsed
+//! times). Tests and the determinism harness use the cycle ceiling.
+//!
+//! [`Simulator::try_run`]: crate::Simulator::try_run
+
+use smtsim_mem::Cycle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How often (in cycles) the wall-clock and token ceilings are polled
+/// inside the cycle loop. The cycle ceiling is checked every cycle (it
+/// must fire at an exact, reproducible cycle); the other two only need
+/// sub-millisecond reaction latency, so they amortize the `Instant`
+/// read and atomic load.
+pub const BUDGET_POLL_INTERVAL: Cycle = 512;
+
+/// A shared cancellation flag: the sweep engine (or an embedding
+/// daemon) holds one clone and the cycle loop polls the other.
+/// Cancellation is one-way and sticky.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Resource ceilings for one simulation run, enforced cooperatively by
+/// [`Simulator::try_run`](crate::Simulator::try_run). All ceilings are
+/// optional; the default budget is unlimited and adds no per-cycle
+/// work beyond a branch.
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    /// Maximum simulated cycles for the run (deterministic ceiling).
+    /// Counted from cycle 0, not from `try_run` entry, so a resumed
+    /// `try_run` on the same simulator keeps the same absolute limit.
+    pub max_cycles: Option<Cycle>,
+    /// Maximum wall-clock milliseconds for one `try_run` call
+    /// (non-deterministic ceiling; polled every
+    /// [`BUDGET_POLL_INTERVAL`] cycles).
+    pub wall_ms: Option<u64>,
+    /// External cancellation (non-deterministic ceiling; polled every
+    /// [`BUDGET_POLL_INTERVAL`] cycles).
+    pub token: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// An unlimited budget (the default for every constructor path).
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// A budget with only the deterministic simulated-cycle ceiling.
+    pub fn cycles(max_cycles: Cycle) -> Self {
+        RunBudget {
+            max_cycles: Some(max_cycles),
+            ..RunBudget::default()
+        }
+    }
+
+    /// Whether any ceiling is configured.
+    pub fn is_limited(&self) -> bool {
+        self.max_cycles.is_some() || self.wall_ms.is_some() || self.token.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn budget_limits() {
+        assert!(!RunBudget::unlimited().is_limited());
+        assert!(RunBudget::cycles(100).is_limited());
+        let b = RunBudget {
+            token: Some(CancelToken::new()),
+            ..RunBudget::default()
+        };
+        assert!(b.is_limited());
+    }
+}

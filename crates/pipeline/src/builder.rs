@@ -24,6 +24,7 @@
 //! assert!(stats.threads[0].committed >= 5_000);
 //! ```
 
+use crate::budget::RunBudget;
 use crate::config::MachineConfig;
 use crate::core::Simulator;
 use crate::error::SimError;
@@ -43,6 +44,7 @@ pub struct SimulatorBuilder<T: Tracer = NoopTracer> {
     dod_bounds: Option<Vec<DodBounds>>,
     fault_plan: Option<FaultPlan>,
     warmup_insts: u64,
+    budget: RunBudget,
     tracer: T,
 }
 
@@ -63,6 +65,7 @@ impl SimulatorBuilder {
             dod_bounds: None,
             fault_plan: None,
             warmup_insts: 0,
+            budget: RunBudget::default(),
             tracer: NoopTracer,
         }
     }
@@ -83,6 +86,16 @@ impl<T: Tracer> SimulatorBuilder<T> {
     #[must_use]
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs watchdog ceilings ([`RunBudget`]) enforced
+    /// cooperatively inside every subsequent `try_run` on the built
+    /// simulator; the default budget is unlimited. The warmup phase is
+    /// not metered — ceilings apply to timed cycles only.
+    #[must_use]
+    pub fn run_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -109,6 +122,7 @@ impl<T: Tracer> SimulatorBuilder<T> {
             dod_bounds: self.dod_bounds,
             fault_plan: self.fault_plan,
             warmup_insts: self.warmup_insts,
+            budget: self.budget,
             tracer,
         }
     }
@@ -128,6 +142,7 @@ impl<T: Tracer> SimulatorBuilder<T> {
         if self.warmup_insts > 0 {
             sim.run_warmup(self.warmup_insts);
         }
+        sim.set_run_budget(self.budget);
         if T::ENABLED {
             sim.alloc.set_tracing(true);
             sim.mem.set_tracing(true);

@@ -249,6 +249,8 @@ pub struct Simulator<T: Tracer = NoopTracer> {
     pub(crate) integrity_violation: Option<String>,
     /// Static DoD bound tables, one per thread (empty = oracle off).
     pub(crate) dod_bounds: Vec<DodBounds>,
+    /// Watchdog ceilings for `try_run` (unlimited by default).
+    pub(crate) budget: crate::RunBudget,
     /// Structured-event sink (a ZST no-op by default).
     pub(crate) tracer: T,
 }
@@ -359,6 +361,7 @@ impl<T: Tracer> Simulator<T> {
             fault: FaultState::new(FaultPlan::default(), cfg.num_threads),
             integrity_violation: None,
             dod_bounds: Vec::new(),
+            budget: crate::RunBudget::default(),
             tracer,
             threads,
             cfg,
@@ -438,6 +441,14 @@ impl<T: Tracer> Simulator<T> {
     /// Counts of faults injected so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.stats
+    }
+
+    /// Installs watchdog ceilings for subsequent
+    /// [`Simulator::try_run`] calls (see [`crate::RunBudget`]); the
+    /// default budget is unlimited. Also available at construction via
+    /// [`SimulatorBuilder::run_budget`](crate::SimulatorBuilder::run_budget).
+    pub fn set_run_budget(&mut self, budget: crate::RunBudget) {
+        self.budget = budget;
     }
 
     /// Current cycle.
@@ -642,6 +653,7 @@ impl<T: Tracer> Simulator<T> {
     /// in both outcomes, so a sweep can record partial progress of a
     /// poisoned cell.
     pub fn try_run(&mut self, stop: StopCondition) -> Result<&SimStats, SimError> {
+        let started = std::time::Instant::now();
         loop {
             match stop {
                 StopCondition::AnyThreadCommitted(n) => {
@@ -660,6 +672,10 @@ impl<T: Tracer> Simulator<T> {
                     }
                 }
             }
+            if let Err(e) = self.check_budget(&started) {
+                self.stats.cycles = self.now;
+                return Err(e);
+            }
             if let Err(e) = self.try_step() {
                 self.stats.cycles = self.now;
                 return Err(e);
@@ -667,6 +683,42 @@ impl<T: Tracer> Simulator<T> {
         }
         self.stats.cycles = self.now;
         Ok(&self.stats)
+    }
+
+    /// Cooperative watchdog: enforces the [`crate::RunBudget`] ceilings
+    /// from inside the cycle loop. The simulated-cycle ceiling is
+    /// checked every cycle (it must fire at an exact, reproducible
+    /// cycle); the wall-clock and cancellation ceilings are polled
+    /// every [`crate::BUDGET_POLL_INTERVAL`] cycles and are documented
+    /// as non-deterministic.
+    fn check_budget(&self, started: &std::time::Instant) -> Result<(), SimError> {
+        if let Some(max) = self.budget.max_cycles {
+            if self.now >= max {
+                return Err(SimError::CellTimeout {
+                    cycle: self.now,
+                    detail: format!("cycle budget of {max} simulated cycles exhausted"),
+                });
+            }
+        }
+        if self.now.is_multiple_of(crate::BUDGET_POLL_INTERVAL) {
+            if let Some(token) = &self.budget.token {
+                if token.is_cancelled() {
+                    return Err(SimError::CellTimeout {
+                        cycle: self.now,
+                        detail: "cancelled by sweep engine".into(),
+                    });
+                }
+            }
+            if let Some(ms) = self.budget.wall_ms {
+                if started.elapsed().as_millis() >= u128::from(ms) {
+                    return Err(SimError::CellTimeout {
+                        cycle: self.now,
+                        detail: format!("wall-clock budget of {ms} ms exhausted"),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Cheap always-on integrity checks: O(threads) per cycle.

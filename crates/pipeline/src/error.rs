@@ -52,6 +52,18 @@ pub enum SimError {
         /// The panic payload, when it was a string (the common case).
         reason: String,
     },
+    /// The per-cell watchdog budget (`RunBudget`) expired before the
+    /// stop condition was reached: the simulated-cycle ceiling or the
+    /// wall-clock ceiling was exhausted, or the sweep engine cancelled
+    /// the cell through its [`CancelToken`](crate::CancelToken). Like
+    /// [`SimError::CellPanic`], the cell renders as `n/a` with a note
+    /// and the remaining cells keep running.
+    CellTimeout {
+        /// Cycle at which the budget check fired.
+        cycle: Cycle,
+        /// Which ceiling expired and its configured value.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -63,7 +75,20 @@ impl SimError {
             SimError::InvariantViolation { .. } => "invariant-violation",
             SimError::InvalidConfig { .. } => "invalid-config",
             SimError::CellPanic { .. } => "panic",
+            SimError::CellTimeout { .. } => "timeout",
         }
+    }
+
+    /// Whether a sweep may retry this cell: transient failure modes
+    /// (panic, watchdog timeout, deadlock — the signature of an
+    /// injected fault wedging the machine) can succeed on a clean
+    /// re-run, while configuration and invariant errors are
+    /// deterministic and retrying would only repeat them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::CellPanic { .. } | SimError::CellTimeout { .. } | SimError::Deadlock { .. }
+        )
     }
 }
 
@@ -79,6 +104,9 @@ impl fmt::Display for SimError {
             }
             SimError::CellPanic { reason } => {
                 write!(f, "cell panicked: {reason}")
+            }
+            SimError::CellTimeout { cycle, detail } => {
+                write!(f, "cell timed out at cycle {cycle}: {detail}")
             }
         }
     }
@@ -238,6 +266,25 @@ mod tests {
         assert!(e.to_string().contains("cell panicked"));
         assert!(e.to_string().contains("out of range"));
         assert_eq!(e.kind(), "panic");
+    }
+
+    #[test]
+    fn cell_timeout_display_and_transience() {
+        let e = SimError::CellTimeout {
+            cycle: 4096,
+            detail: "cycle budget of 4096 simulated cycles exhausted".into(),
+        };
+        assert!(e.to_string().contains("timed out at cycle 4096"));
+        assert!(e.to_string().contains("cycle budget"));
+        assert_eq!(e.kind(), "timeout");
+        assert!(e.is_transient());
+        assert!(SimError::CellPanic { reason: "x".into() }.is_transient());
+        assert!(!SimError::InvalidConfig { reason: "x".into() }.is_transient());
+        assert!(!SimError::InvariantViolation {
+            cycle: 1,
+            detail: "x".into()
+        }
+        .is_transient());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 // `// invariant:` justification. (Tests are exempt.)
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 pub mod builder;
 pub mod config;
 pub mod core;
@@ -45,6 +46,7 @@ pub mod stages;
 pub mod stats;
 pub mod types;
 
+pub use budget::{CancelToken, RunBudget, BUDGET_POLL_INTERVAL};
 pub use builder::SimulatorBuilder;
 pub use config::{DcraConfig, FetchPolicyKind, MachineConfig};
 pub use core::{Simulator, StopCondition};

@@ -41,6 +41,15 @@ impl DodHistogram {
         &self.bins
     }
 
+    /// Reassembles a histogram from previously observed parts (the
+    /// sweep journal's deserialization path). `samples` and `sum` are
+    /// carried verbatim rather than recomputed: saturated samples
+    /// contribute their true count to `sum` but land in the last bin,
+    /// so `sum` is not derivable from `bins`.
+    pub fn from_parts(bins: Vec<u64>, samples: u64, sum: u64) -> Self {
+        DodHistogram { bins, samples, sum }
+    }
+
     /// Mean sampled count.
     pub fn mean(&self) -> f64 {
         if self.samples == 0 {

@@ -240,3 +240,47 @@ fn iq_occupancy_tracked() {
     let avg = sim.stats().avg_iq_occupancy();
     assert!(avg > 0.5 && avg <= 64.0, "avg IQ occupancy {avg}");
 }
+
+#[test]
+fn cycle_budget_fires_as_cell_timeout_at_exact_cycle() {
+    use smtsim_pipeline::{RunBudget, SimError};
+    let mut sim = single("mcf", 3);
+    sim.set_run_budget(RunBudget::cycles(1_000));
+    match sim.try_run(StopCondition::AnyThreadCommitted(u64::MAX)) {
+        Err(SimError::CellTimeout { cycle, detail }) => {
+            assert_eq!(cycle, 1_000);
+            assert!(detail.contains("cycle budget of 1000"));
+        }
+        other => panic!("expected CellTimeout, got {other:?}"),
+    }
+    // Stats stay coherent up to the firing cycle.
+    assert_eq!(sim.stats().cycles, 1_000);
+}
+
+#[test]
+fn cancel_token_terminates_run() {
+    use smtsim_pipeline::{CancelToken, RunBudget, SimError};
+    let token = CancelToken::new();
+    token.cancel(); // pre-cancelled: fires at the first poll point
+    let mut sim = single("gzip", 5);
+    sim.set_run_budget(RunBudget {
+        token: Some(token),
+        ..RunBudget::default()
+    });
+    match sim.try_run(StopCondition::AnyThreadCommitted(u64::MAX)) {
+        Err(SimError::CellTimeout { detail, .. }) => {
+            assert!(detail.contains("cancelled"));
+        }
+        other => panic!("expected CellTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_budget_changes_nothing() {
+    let mut a = single("gzip", 9);
+    let mut b = single("gzip", 9);
+    b.set_run_budget(smtsim_pipeline::RunBudget::unlimited());
+    let sa = a.run(StopCondition::AnyThreadCommitted(5_000)).clone();
+    let sb = b.run(StopCondition::AnyThreadCommitted(5_000)).clone();
+    assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
+}

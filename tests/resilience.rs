@@ -1,0 +1,315 @@
+//! Crash-tolerance regression suite (DESIGN.md §13): the resumable
+//! sweep journal, the per-cell watchdog and the retry layer.
+//!
+//! The invariants under test:
+//!
+//! * a sweep killed mid-flight and relaunched on its journal produces
+//!   **byte-identical** figures to an uninterrupted sweep, at any
+//!   `SMTSIM_JOBS`;
+//! * journal damage is never silently absorbed — a truncated final
+//!   line (the only state a crashed append can leave) is tolerated,
+//!   everything else is a typed [`JournalError`];
+//! * a journal recorded under different lab knobs is rejected
+//!   ([`JournalError::UniverseMismatch`]), never reused;
+//! * a wedged cell is terminated by the cycle watchdog as a typed
+//!   [`SimError::CellTimeout`] rendered `n/a`, and the rest of the
+//!   sweep completes;
+//! * a transiently-faulted cell is recovered by retry-with-backoff
+//!   and reported through [`SweepHealth`] and the metrics registry.
+
+use smtsim_obs::MetricsRegistry;
+use smtsim_pipeline::{FaultPlan, SimError};
+use smtsim_rob2::{figures, report, JournalError, Lab, RobConfig, SweepCell, TwoLevelConfig};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch path under the target-adjacent temp dir, unique per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("smtsim-resilience-tests");
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join(format!("{tag}-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+fn small_lab() -> Lab {
+    Lab::new(7).with_budgets(6_000, 6_000)
+}
+
+/// The Figure 2 cell matrix in dispatch order (configuration-major).
+fn fig2_cells(mixes: &[usize]) -> Vec<SweepCell> {
+    [
+        RobConfig::Baseline(32),
+        RobConfig::Baseline(128),
+        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+    ]
+    .iter()
+    .flat_map(|&cfg| mixes.iter().map(move |&m| (m, cfg)))
+    .collect()
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_at_any_job_count() {
+    let mixes = [1usize, 9];
+    let cells = fig2_cells(&mixes);
+
+    // Reference: one uninterrupted journal-armed sweep.
+    let reference = {
+        let path = scratch("reference");
+        let mut lab = small_lab().with_journal(&path);
+        let text = report::render_figure(&figures::fig2(&mut lab, &mixes));
+        let _ = fs::remove_file(&path);
+        text
+    };
+
+    for jobs in [1usize, 4] {
+        let path = scratch(&format!("resume-jobs{jobs}"));
+        // "Crash" after 2 of 6 cells.
+        let mut lab = small_lab().with_journal(&path);
+        let executed = lab
+            .sweep_killed_after(&cells, 2)
+            .expect("journal is writable");
+        assert_eq!(executed, 2);
+
+        // Relaunch: a fresh lab on the half-written journal.
+        let mut lab = small_lab().with_jobs(Some(jobs)).with_journal(&path);
+        let on_file = lab.open_journal().expect("journal reopens");
+        assert_eq!(on_file, 2, "the two completed cells are on file");
+        let resumed = report::render_figure(&figures::fig2(&mut lab, &mixes));
+        assert_eq!(
+            resumed, reference,
+            "resumed sweep at jobs={jobs} must be byte-identical"
+        );
+
+        // The journal now holds every cell; a third launch re-runs
+        // nothing and still renders the same bytes.
+        let mut lab = small_lab().with_journal(&path);
+        let full = lab.open_journal().expect("journal reopens");
+        assert_eq!(full, cells.len());
+        let replayed = lab.sweep_cells(&cells);
+        assert_eq!(replayed.journal_hits(), cells.len());
+        let _ = fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn truncated_final_record_is_tolerated_and_recovered() {
+    let path = scratch("truncated");
+    let cells = fig2_cells(&[1]);
+    let mut lab = small_lab().with_journal(&path);
+    lab.sweep_killed_after(&cells, 2)
+        .expect("two cells journal");
+
+    // Simulate a crash mid-append: chop the final record in half.
+    let text = fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 3, "header + 2 records");
+    let keep = text.len() - text.lines().last().unwrap().len() / 2 - 1;
+    fs::write(&path, &text[..keep]).unwrap();
+
+    // The damaged journal opens with one record; the sweep re-runs the
+    // lost cell and the figure matches an uninterrupted reference.
+    let mut lab = small_lab().with_journal(&path);
+    assert_eq!(
+        lab.open_journal().expect("truncated final line tolerated"),
+        1
+    );
+    let resumed = report::render_figure(&figures::fig2(&mut lab, &[1]));
+    let reference = {
+        let ref_path = scratch("truncated-ref");
+        let mut lab = small_lab().with_journal(&ref_path);
+        let text = report::render_figure(&figures::fig2(&mut lab, &[1]));
+        let _ = fs::remove_file(&ref_path);
+        text
+    };
+    assert_eq!(resumed, reference);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn garbage_mid_file_is_a_typed_corruption_error() {
+    let path = scratch("garbage");
+    let cells = fig2_cells(&[1]);
+    let mut lab = small_lab().with_journal(&path);
+    lab.sweep_killed_after(&cells, 2)
+        .expect("two cells journal");
+
+    // Damage a NON-final record — a state no crashed append can
+    // produce, so it must be refused, not skipped.
+    let text = fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mangled = format!("{}\n{}\n{}\n", lines[0], "{\"key\":garbage", lines[2]);
+    fs::write(&path, mangled).unwrap();
+
+    let mut lab = small_lab().with_journal(&path);
+    match lab.open_journal() {
+        Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!("corruption accepted: {other:?}"),
+    }
+
+    // A flipped crc is corruption too, even with valid JSON around it.
+    let flipped = text.replacen("\"crc\":\"", "\"crc\":\"0", 1);
+    fs::write(&path, flipped).unwrap();
+    let mut lab = small_lab().with_journal(&path);
+    assert!(
+        matches!(lab.open_journal(), Err(JournalError::Corrupt { .. })),
+        "crc mismatch must be typed corruption"
+    );
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn stale_universe_is_rejected_never_reused() {
+    let path = scratch("stale");
+    let mut lab = small_lab().with_journal(&path);
+    lab.sweep_killed_after(&fig2_cells(&[1]), 1)
+        .expect("one cell journals");
+
+    // Any knob that changes cell bytes must invalidate the journal.
+    let relabeled: Vec<(&str, Lab)> = vec![
+        ("seed", Lab::new(8).with_budgets(6_000, 6_000)),
+        ("budget", small_lab().with_budgets(5_000, 6_000)),
+        ("warmup", small_lab().with_warmup(1_234)),
+        ("retries", small_lab().with_retries(1)),
+        (
+            "cycle budget",
+            small_lab().with_cell_cycle_budget(Some(1_000_000)),
+        ),
+    ];
+    for (what, lab) in relabeled {
+        let mut lab = lab.with_journal(&path);
+        assert!(
+            matches!(
+                lab.open_journal(),
+                Err(JournalError::UniverseMismatch { .. })
+            ),
+            "{what} change must reject the journal"
+        );
+    }
+    // The job count is scheduling, not physics: not part of the
+    // universe, so resuming at a different SMTSIM_JOBS is fine.
+    let mut lab = small_lab().with_jobs(Some(4)).with_journal(&path);
+    assert_eq!(lab.open_journal().expect("jobs don't change bytes"), 1);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn wedged_cell_is_terminated_and_rendered_na_while_rest_completes() {
+    // A fault plan that drops every L2 fill starves the mix forever;
+    // with the deadlock watchdog pushed out of reach, the cycle budget
+    // is the only thing standing between the sweep and a wedge.
+    let mut lab = small_lab().with_cell_cycle_budget(Some(60_000));
+    lab.machine.deadlock_cycles = u64::MAX;
+    let mut plan = FaultPlan::new(5);
+    plan.drop_fill = 1;
+    lab.set_fault(Some(1), plan);
+
+    let fig = figures::fig2(&mut lab, &[1, 9]);
+    // Mix 1 times out in every configuration; Mix 9 completes.
+    assert_eq!(fig.failures.len(), 3);
+    for line in &fig.failures {
+        assert!(line.contains("timed out at cycle 60000"), "{line}");
+    }
+    for series in &fig.series {
+        assert!(series.points[0].1.is_none(), "wedged cell renders n/a");
+        assert!(series.points[1].1.is_some(), "healthy cell completes");
+    }
+    assert_eq!(
+        fig.health.as_deref(),
+        Some("sweep health: 3 ok (0 retried), 3 timed out, 0 failed")
+    );
+    let rendered = report::render_figure(&fig);
+    assert!(rendered.contains("n/a"));
+    assert!(rendered.contains("timed out at cycle 60000"));
+}
+
+#[test]
+fn transient_fault_recovers_via_retry_and_reports_health() {
+    let mixes = [1usize, 9];
+    // Reference bytes from a lab that never faults (same machine).
+    let reference = {
+        let mut lab = small_lab();
+        lab.machine.deadlock_cycles = 3_000;
+        lab.sweep(&fig2_cells(&mixes))
+    };
+
+    let mut lab = small_lab().with_retries(2);
+    lab.machine.deadlock_cycles = 3_000;
+    let mut plan = FaultPlan::new(5);
+    plan.drop_fill = 1;
+    // Active on attempt 1 only: the canonical transient fault.
+    lab.set_transient_fault(1, plan, 1);
+
+    let report = lab.sweep_cells(&fig2_cells(&mixes));
+    assert!(report.health.all_ok(), "every cell recovered");
+    assert_eq!(report.health.retried, 3, "all three Mix 1 cells retried");
+    assert_eq!(report.health.extra_attempts, 3);
+
+    // Recovered cells are byte-identical to never-faulted ones.
+    let healed: Vec<String> = report
+        .outcomes
+        .iter()
+        .map(|o| format!("{:?}", o.result))
+        .collect();
+    let clean: Vec<String> = reference.iter().map(|r| format!("{r:?}")).collect();
+    assert_eq!(healed, clean);
+
+    // The counters surface through the observability registry.
+    let mut reg = MetricsRegistry::new();
+    report.record_metrics(&mut reg);
+    assert_eq!(reg.counter("sweep.cells_ok"), 6);
+    assert_eq!(reg.counter("sweep.cells_retried"), 3);
+    assert_eq!(reg.counter("sweep.retry_attempts"), 3);
+    assert_eq!(reg.counter("sweep.cells_timed_out"), 0);
+    let rendered = reg.render();
+    assert!(rendered.contains("sweep.cells_retried = 3"), "{rendered}");
+}
+
+#[test]
+fn fault_plan_times_retry_matrix_never_aborts() {
+    // Smoke over the fault-plan × retry matrix: every combination must
+    // end in recovery or a typed n/a — never a process abort.
+    let mut plans = Vec::new();
+    {
+        let mut p = FaultPlan::new(11);
+        p.drop_fill = 1; // starvation → deadlock (transient class)
+        plans.push(("drop", p));
+    }
+    {
+        let mut p = FaultPlan::new(12);
+        p.delay_fill = 2;
+        p.delay_cycles = 64; // absorbed, never an error
+        plans.push(("delay", p));
+    }
+    {
+        let mut p = FaultPlan::new(13);
+        p.corrupt_dod = 2; // predictor noise, absorbed
+        plans.push(("corrupt", p));
+    }
+    for (name, plan) in plans {
+        for retries in [0u32, 1] {
+            let mut lab = small_lab().with_retries(retries);
+            lab.machine.deadlock_cycles = 3_000;
+            lab.set_transient_fault(1, plan.clone(), 1);
+            let report = lab.sweep_cells(&[(1, RobConfig::Baseline(32))]);
+            let o = &report.outcomes[0];
+            match &o.result {
+                Ok(_) => {
+                    // Absorbed fault or recovered-by-retry.
+                    assert!(
+                        o.attempts <= retries + 1,
+                        "{name}/r{retries}: attempts bounded"
+                    );
+                }
+                Err(SimError::Deadlock { .. } | SimError::CellTimeout { .. }) => {
+                    assert_eq!(
+                        o.attempts,
+                        retries + 1,
+                        "{name}/r{retries}: every retry spent before giving up"
+                    );
+                }
+                Err(other) => panic!("{name}/r{retries}: unexpected error {other}"),
+            }
+            assert_eq!(report.health.total(), 1);
+        }
+    }
+}

@@ -366,7 +366,11 @@ fn check_golden(root: &Path, bin: &str, golden: &str, output: &str, bless: bool)
 /// committed golden files in `tests/golden/` (skipped when the budget
 /// knobs are overridden in the environment, since the goldens are
 /// recorded at the default CI-scale settings); `--bless` rewrites the
-/// goldens instead.
+/// goldens instead. `resume_bench` rides along to pin the
+/// crash-tolerance contract: a sweep killed mid-flight and relaunched
+/// on its journal must reproduce the uninterrupted figure bytes (the
+/// bin exits nonzero on divergence), and its verdict line must itself
+/// be identical at both job counts.
 fn run_determinism(root: &Path, bless: bool) -> ExitCode {
     let mut failed = false;
     // Goldens are only valid at the recorded knob values.
@@ -374,7 +378,7 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
         .iter()
         .chain([&("SEED", ""), &("ST_BUDGET", "")])
         .all(|(k, _)| std::env::var_os(k).is_none());
-    for bin in ["fig2", "fig1", "accuracy", "trace"] {
+    for bin in ["fig2", "fig1", "accuracy", "trace", "resume_bench"] {
         let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS) {
             Ok(s) => s,
             Err(e) => {
