@@ -111,6 +111,12 @@ pub struct BenchEnv {
     /// `SMTSIM_CELL_RETRIES` — retries per transiently-failed sweep
     /// cell (default 0).
     pub cell_retries: u32,
+    /// `CHECK_THREADS` — thread bound for the `check` bin's model
+    /// exploration (1..=4, default 3).
+    pub check_threads: usize,
+    /// `CHECK_L2` — shared-partition bound for the `check` bin's model
+    /// exploration (1..=4, default 2).
+    pub check_l2: u8,
 }
 
 impl BenchEnv {
@@ -153,6 +159,24 @@ impl BenchEnv {
                 u32::try_from(r).map_err(|_| SimError::InvalidConfig {
                     reason: format!("SMTSIM_CELL_RETRIES={r} exceeds u32"),
                 })?
+            },
+            check_threads: {
+                let t = try_env_u64("CHECK_THREADS", 3)?;
+                if !(1..=4).contains(&t) {
+                    return Err(SimError::InvalidConfig {
+                        reason: format!("CHECK_THREADS={t} out of range 1..=4"),
+                    });
+                }
+                t as usize
+            },
+            check_l2: {
+                let l2 = try_env_u64("CHECK_L2", 2)?;
+                if !(1..=4).contains(&l2) {
+                    return Err(SimError::InvalidConfig {
+                        reason: format!("CHECK_L2={l2} out of range 1..=4"),
+                    });
+                }
+                l2 as u8
             },
         })
     }

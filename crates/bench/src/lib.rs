@@ -55,6 +55,15 @@
 //!   2026). Generated programs and verdicts are a pure function of
 //!   this seed, independent of `SMTSIM_JOBS`.
 //!
+//! Model-checking knobs (consumed by the `check` bin, DESIGN.md §14):
+//!
+//! * `CHECK_THREADS` — thread bound for the bounded exploration
+//!   (1..=4, default 3). The outstanding-miss bound follows: 3 misses
+//!   per thread up to 3 threads, 2 at 4 threads (the 4-thread ×
+//!   3-miss product is exhaustive too but takes ~30 s in release —
+//!   run it explicitly, not in CI).
+//! * `CHECK_L2` — shared L2-partition entry bound (1..=4, default 2).
+//!
 //! Integrity knobs (see DESIGN.md "Failure model & fault injection"):
 //!
 //! * `DEADLOCK_CYCLES` — watchdog threshold: cycles without a commit

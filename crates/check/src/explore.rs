@@ -1,0 +1,290 @@
+//! Bounded exhaustive exploration of the abstract protocol model.
+//!
+//! Plain breadth-first search over every interleaving within
+//! [`Bounds`](crate::model::Bounds). BFS order means the first state
+//! that violates a property yields a *minimal* counterexample (no
+//! shorter action sequence reaches any violation). After the full
+//! graph is built, a backward-reachability pass checks the liveness
+//! property: from every reachable state, the partition can still be
+//! freed — a state from which no quiescent state is reachable is a
+//! lost wakeup (the tenure is stuck forever).
+
+use crate::model::{
+    check_invariants, successors, validate_action, Action, ModelConfig, Phase, State, MAX_MISSES,
+    MAX_THREADS,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The bisimulation quotient used as the visited-set key.
+///
+/// Two groups of phases are behaviorally indistinguishable to every
+/// guard, every transition and every invariant, and only multiply the
+/// raw state space:
+///
+/// * the four non-granted terminal phases (`Rejected`, `Filled`,
+///   `Squashed`, `Released`) — no enabled actions, all excluded from
+///   the `DrainAndNoMiss` in-flight check, all non-granted;
+/// * the two serviced-trigger phases (`TriggerFilled`,
+///   `TriggerSquashed`) — the drain information that distinguishes
+///   their *consequences* lives in `Tenure::draining`, which stays in
+///   the key.
+///
+/// Collapsing each group is therefore an exact reduction: the explorer
+/// still visits every behavior, it just stops distinguishing states
+/// that cannot differ. Concrete states (and hence counterexample
+/// traces) are kept verbatim; only the dedup key is quotiented.
+fn canon(state: &State) -> State {
+    let mut c = *state;
+    for t in 0..MAX_THREADS {
+        for e in 0..MAX_MISSES {
+            c.phases[t][e] = match c.phases[t][e] {
+                Phase::Rejected | Phase::Filled | Phase::Squashed | Phase::Released => {
+                    Phase::Rejected
+                }
+                Phase::TriggerFilled | Phase::TriggerSquashed => Phase::TriggerFilled,
+                p => p,
+            };
+        }
+    }
+    c
+}
+
+/// A property violation with its minimal witness.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The violated property (invariant name or `lost-wakeup`).
+    pub property: String,
+    /// Minimal action sequence from the initial state to `state`.
+    pub trace: Vec<Action>,
+    /// The violating state.
+    pub state: State,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.property)?;
+        writeln!(f, "counterexample ({} steps):", self.trace.len())?;
+        for (i, a) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>2}. {a}", i + 1)?;
+        }
+        write!(f, "reached state: {:?}", self.state)
+    }
+}
+
+/// Result of one bounded exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Explored transitions (edges).
+    pub transitions: usize,
+    /// BFS depth of the deepest state.
+    pub depth: usize,
+    /// First violation found, if any (minimal by construction).
+    pub violation: Option<Violation>,
+}
+
+impl ExploreReport {
+    /// Whether the model passed every property at these bounds.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Reconstructs the action trace from the initial state to `id`.
+fn trace_to(parents: &[Option<(u32, Action)>], mut id: u32) -> Vec<Action> {
+    let mut trace = Vec::new();
+    while let Some((p, a)) = parents[id as usize] {
+        trace.push(a);
+        id = p;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Exhaustively explores the model under `cfg`, checking every state
+/// invariant, cross-validating every emitted action, and finally the
+/// lost-wakeup liveness property. Stops at the first violation.
+///
+/// # Errors
+/// Invalid bounds (see [`crate::model::Bounds::validate`]).
+pub fn explore(cfg: &ModelConfig) -> Result<ExploreReport, String> {
+    cfg.bounds.validate()?;
+    let init = State::init();
+    let mut states = vec![init];
+    let mut ids: BTreeMap<State, u32> = BTreeMap::new();
+    ids.insert(canon(&init), 0);
+    let mut parents: Vec<Option<(u32, Action)>> = vec![None];
+    let mut depths: Vec<u32> = vec![0];
+    // Reverse adjacency (predecessors) for the backward liveness pass.
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut transitions = 0usize;
+    let mut max_depth = 0u32;
+
+    if let Err(property) = check_invariants(cfg, &init) {
+        return Ok(ExploreReport {
+            states: 1,
+            transitions: 0,
+            depth: 0,
+            violation: Some(Violation {
+                property,
+                trace: Vec::new(),
+                state: init,
+            }),
+        });
+    }
+
+    let mut cursor = 0usize;
+    while cursor < states.len() {
+        let id = cursor as u32;
+        let state = states[cursor];
+        cursor += 1;
+        for (action, next) in successors(cfg, &state) {
+            transitions += 1;
+            // Cross-check the two independent encodings of the spec.
+            if let Err(why) = validate_action(cfg, &state, action) {
+                let mut trace = trace_to(&parents, id);
+                trace.push(action);
+                return Ok(ExploreReport {
+                    states: states.len(),
+                    transitions,
+                    depth: max_depth as usize,
+                    violation: Some(Violation {
+                        property: format!("action-validation: {why}"),
+                        trace,
+                        state: next,
+                    }),
+                });
+            }
+            let key = canon(&next);
+            let next_id = match ids.get(&key) {
+                Some(&n) => n,
+                None => {
+                    let n = states.len() as u32;
+                    states.push(next);
+                    ids.insert(key, n);
+                    parents.push(Some((id, action)));
+                    depths.push(depths[id as usize] + 1);
+                    preds.push(Vec::new());
+                    max_depth = max_depth.max(depths[n as usize]);
+                    if let Err(property) = check_invariants(cfg, &next) {
+                        return Ok(ExploreReport {
+                            states: states.len(),
+                            transitions,
+                            depth: max_depth as usize,
+                            violation: Some(Violation {
+                                property,
+                                trace: trace_to(&parents, n),
+                                state: next,
+                            }),
+                        });
+                    }
+                    n
+                }
+            };
+            preds[next_id as usize].push(id);
+        }
+    }
+
+    // Liveness: backward reachability from quiescent states. A state
+    // outside the closure can never free the partition again — a lost
+    // wakeup. (Terminal-state detection alone would miss these: a
+    // stuck tenure still has enabled actions, e.g. Busy-deny loops.)
+    let mut can_quiesce = vec![false; states.len()];
+    let mut work: Vec<u32> = (0..states.len() as u32)
+        .filter(|&i| states[i as usize].quiescent())
+        .collect();
+    for &i in &work {
+        can_quiesce[i as usize] = true;
+    }
+    while let Some(i) = work.pop() {
+        for &p in &preds[i as usize] {
+            if !can_quiesce[p as usize] {
+                can_quiesce[p as usize] = true;
+                work.push(p);
+            }
+        }
+    }
+    // BFS ids are depth-ordered, so the first stuck id is shallowest.
+    let stuck = (0..states.len() as u32).find(|&i| !can_quiesce[i as usize]);
+    let violation = stuck.map(|i| Violation {
+        property: "lost-wakeup: no path back to a free partition".to_owned(),
+        trace: trace_to(&parents, i),
+        state: states[i as usize],
+    });
+
+    Ok(ExploreReport {
+        states: states.len(),
+        transitions,
+        depth: max_depth as usize,
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bounds;
+    use smtsim_rob2::{ReleasePolicy, SchemeKind};
+
+    fn small(kind: SchemeKind, release: ReleasePolicy) -> ModelConfig {
+        ModelConfig {
+            kind,
+            release,
+            bounds: Bounds {
+                threads: 2,
+                l2: 2,
+                misses: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn all_schemes_clean_at_small_bounds() {
+        for kind in [
+            SchemeKind::Reactive,
+            SchemeKind::CountDelayed,
+            SchemeKind::Predictive,
+        ] {
+            for release in [
+                ReleasePolicy::TriggerServiced,
+                ReleasePolicy::DrainAndNoMiss,
+                ReleasePolicy::DrainOnly,
+            ] {
+                let report = explore(&small(kind, release)).expect("valid bounds");
+                #[cfg(not(feature = "seeded-release-bug"))]
+                assert!(
+                    report.clean(),
+                    "{kind:?}/{release:?}: {}",
+                    report.violation.unwrap()
+                );
+                #[cfg(feature = "seeded-release-bug")]
+                if release == ReleasePolicy::TriggerServiced {
+                    assert!(!report.clean(), "{kind:?}/{release:?} must catch the bug");
+                }
+                assert!(report.states > 1);
+                assert!(report.transitions >= report.states - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_validated() {
+        let mut cfg = small(SchemeKind::Reactive, ReleasePolicy::TriggerServiced);
+        cfg.bounds.threads = 9;
+        assert!(explore(&cfg).is_err());
+    }
+
+    #[test]
+    fn trace_reconstruction_is_depth_minimal() {
+        // DrainAndNoMiss never consults `draining`, so this holds with
+        // or without the seeded release bug.
+        let cfg = small(SchemeKind::Reactive, ReleasePolicy::DrainAndNoMiss);
+        let report = explore(&cfg).expect("valid bounds");
+        // Depth of the graph equals the longest parent chain; spot-check
+        // that the deepest recorded depth is attainable.
+        assert!(report.depth >= 4, "graph deeper than one episode round");
+    }
+}

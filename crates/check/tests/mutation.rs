@@ -1,0 +1,124 @@
+//! Mutation self-test: does the bounded explorer actually check?
+//!
+//! Run without features, this file asserts the abstract model is clean
+//! at CI bounds for every scheme × release policy. Run with
+//! `--features seeded-release-bug`, the model withholds the tenure
+//! drain when the granted trigger is squashed, and this file asserts
+//! the explorer reports the *minimal* counterexample:
+//!
+//! ```text
+//! detect(t0); grant(t0, e0); squash(t0, from e0)
+//! ```
+//!
+//! (three steps — BFS guarantees nothing shorter reaches a violation),
+//! caught by the `drain-consistency` invariant under the paper's
+//! default `TriggerServiced` release policy. `cargo xtask check` runs
+//! both sides back to back, so a checker that silently stopped
+//! checking fails CI.
+
+#[cfg(feature = "seeded-release-bug")]
+use smtsim_check::Action;
+use smtsim_check::{explore, Bounds, ModelConfig};
+use smtsim_rob2::{ReleasePolicy, SchemeKind};
+
+const KINDS: [SchemeKind; 3] = [
+    SchemeKind::Reactive,
+    SchemeKind::CountDelayed,
+    SchemeKind::Predictive,
+];
+
+#[cfg(not(feature = "seeded-release-bug"))]
+const RELEASES: [ReleasePolicy; 3] = [
+    ReleasePolicy::TriggerServiced,
+    ReleasePolicy::DrainAndNoMiss,
+    ReleasePolicy::DrainOnly,
+];
+
+fn cfg(kind: SchemeKind, release: ReleasePolicy) -> ModelConfig {
+    ModelConfig {
+        kind,
+        release,
+        bounds: Bounds {
+            threads: 2,
+            l2: 2,
+            misses: 2,
+        },
+    }
+}
+
+#[cfg(not(feature = "seeded-release-bug"))]
+#[test]
+fn pristine_model_is_clean_everywhere() {
+    for kind in KINDS {
+        for release in RELEASES {
+            let report = explore(&cfg(kind, release)).expect("valid bounds");
+            assert!(
+                report.clean(),
+                "{kind:?}/{release:?} found a violation in the pristine model:\n{}",
+                report.violation.unwrap()
+            );
+        }
+    }
+}
+
+#[cfg(feature = "seeded-release-bug")]
+#[test]
+fn seeded_bug_yields_the_minimal_three_step_counterexample() {
+    let report =
+        explore(&cfg(SchemeKind::Reactive, ReleasePolicy::TriggerServiced)).expect("valid bounds");
+    let v = report
+        .violation
+        .expect("the seeded release bug must be caught");
+    assert!(
+        v.property.contains("drain-consistency"),
+        "wrong property: {}",
+        v.property
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            Action::Detect { thread: 0 },
+            Action::Grant {
+                thread: 0,
+                episode: 0
+            },
+            Action::Squash { thread: 0, from: 0 },
+        ],
+        "BFS must report the depth-3 minimal witness, got: {:?}",
+        v.trace
+    );
+}
+
+#[cfg(feature = "seeded-release-bug")]
+#[test]
+fn seeded_bug_is_caught_under_every_scheme() {
+    // The bug lives in the squash transition, which is scheme-agnostic;
+    // only the TriggerServiced drain-consistency invariant observes it.
+    for kind in KINDS {
+        let report = explore(&cfg(kind, ReleasePolicy::TriggerServiced)).expect("valid bounds");
+        assert!(
+            !report.clean(),
+            "{kind:?}: the explorer missed the seeded release bug"
+        );
+    }
+}
+
+#[cfg(feature = "seeded-release-bug")]
+#[test]
+fn counterexample_is_deterministic_across_runs() {
+    let a = explore(&cfg(
+        SchemeKind::CountDelayed,
+        ReleasePolicy::TriggerServiced,
+    ))
+    .expect("valid bounds");
+    let b = explore(&cfg(
+        SchemeKind::CountDelayed,
+        ReleasePolicy::TriggerServiced,
+    ))
+    .expect("valid bounds");
+    let (va, vb) = (a.violation.unwrap(), b.violation.unwrap());
+    assert_eq!(va.trace, vb.trace);
+    assert_eq!(va.property, vb.property);
+    assert_eq!(va.state, vb.state);
+    assert_eq!((a.states, a.transitions), (b.states, b.transitions));
+}

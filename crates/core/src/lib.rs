@@ -46,5 +46,6 @@ pub use figures::{AccuracyData, AccuracyRow, FigureData, HistogramData, Series, 
 pub use journal::{Journal, JournalEntry, JournalError};
 pub use metrics::{fair_throughput, harmonic_mean, improvement, mean, weighted_ipc};
 pub use twolevel::{
-    DodPredictorKind, ReleasePolicy, Scheme, TwoLevelConfig, TwoLevelRob, TwoLevelStats,
+    DodPredictorKind, ReleasePolicy, Scheme, SchemeKind, TenureView, TwoLevelConfig, TwoLevelRob,
+    TwoLevelStats,
 };

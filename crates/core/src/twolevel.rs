@@ -67,6 +67,48 @@ pub enum Scheme {
     },
 }
 
+/// The scheme family without its tuning parameters — the granularity
+/// at which the protocol model (`smtsim-check`) distinguishes
+/// behaviors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemeKind {
+    /// Reactive counting ([`Scheme::Reactive`]), full or relaxed.
+    Reactive,
+    /// Count-delayed reactive ([`Scheme::CountDelayed`]).
+    CountDelayed,
+    /// Predictive ([`Scheme::Predictive`]).
+    Predictive,
+}
+
+impl Scheme {
+    /// The scheme family this configuration belongs to.
+    #[must_use]
+    pub fn kind(self) -> SchemeKind {
+        match self {
+            Scheme::Reactive { .. } => SchemeKind::Reactive,
+            Scheme::CountDelayed { .. } => SchemeKind::CountDelayed,
+            Scheme::Predictive { .. } => SchemeKind::Predictive,
+        }
+    }
+
+    /// Whether this scheme can ever emit `reason` — the deny-reason
+    /// soundness table the protocol model checks traces against. The
+    /// match is deliberately exhaustive over [`DenyReason`]: adding a
+    /// reason fails compilation here until its reachability per scheme
+    /// is stated.
+    #[must_use]
+    pub fn may_deny(self, reason: DenyReason) -> bool {
+        match reason {
+            // Any scheme can find the partition taken.
+            DenyReason::Busy => true,
+            // Any scheme can count/predict a too-high DoD.
+            DenyReason::HighDod => true,
+            // Only a predictor can be cold.
+            DenyReason::ColdPredictor => matches!(self, Scheme::Predictive { .. }),
+        }
+    }
+}
+
 /// When the holder relinquishes the second-level partition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReleasePolicy {
@@ -225,9 +267,29 @@ struct Tenure {
     thread: ThreadId,
     /// The load whose miss justified the allocation.
     trigger_tag: u64,
-    /// The trigger has been serviced (or squashed): the holder no
-    /// longer extends and the partition is released once drained.
-    draining: bool,
+    /// When set, the trigger has been serviced (or squashed) at the
+    /// recorded cycle: the holder no longer extends and the partition
+    /// is released once drained.
+    draining_since: Option<Cycle>,
+}
+
+impl Tenure {
+    fn draining(&self) -> bool {
+        self.draining_since.is_some()
+    }
+}
+
+/// A read-only snapshot of the live tenure, for external checkers
+/// (`smtsim-check`) and tests. Mirrors the internal [`Tenure`] record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenureView {
+    /// Thread holding the second-level partition.
+    pub thread: ThreadId,
+    /// ROB tag of the load whose miss opened the tenure.
+    pub trigger_tag: u64,
+    /// Cycle the tenure stopped extending (trigger serviced or
+    /// squashed), when that has happened.
+    pub draining_since: Option<Cycle>,
 }
 
 /// The two-level ROB allocator. Plugs into the pipeline through
@@ -311,6 +373,25 @@ impl TwoLevelRob {
         self.tenure.map(|t| t.thread)
     }
 
+    /// Snapshot of the live tenure, if any (state exposure for the
+    /// protocol model checker).
+    pub fn tenure_view(&self) -> Option<TenureView> {
+        self.tenure.map(|t| TenureView {
+            thread: t.thread,
+            trigger_tag: t.trigger_tag,
+            draining_since: t.draining_since,
+        })
+    }
+
+    /// `(thread, tag)` of every pending allocation candidate, sorted
+    /// for deterministic inspection.
+    pub fn candidate_tags(&self) -> Vec<(ThreadId, u64)> {
+        let mut out: Vec<(ThreadId, u64)> =
+            self.candidates.iter().map(|c| (c.thread, c.tag)).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Statistics so far. Coverage counters are read out of the
     /// predictor at call time, so they reflect every lookup up to now.
     pub fn stats(&self) -> TwoLevelStats {
@@ -337,7 +418,7 @@ impl TwoLevelRob {
         self.tenure = Some(Tenure {
             thread,
             trigger_tag,
-            draining: false,
+            draining_since: None,
         });
         self.stats.allocations += 1;
         self.emit(
@@ -448,7 +529,7 @@ impl TwoLevelRob {
 impl RobAllocator for TwoLevelRob {
     fn capacity(&self, thread: ThreadId) -> usize {
         match self.tenure {
-            Some(t) if t.thread == thread && !t.draining => {
+            Some(t) if t.thread == thread && !t.draining() => {
                 self.cfg.l1_entries + self.cfg.l2_entries
             }
             _ => self.cfg.l1_entries,
@@ -466,10 +547,10 @@ impl RobAllocator for TwoLevelRob {
                     // squashing without this allocator seeing the fill
                     // (e.g. store-forwarded edge cases); treat that as
                     // serviced.
-                    let over = t.draining || !view.in_flight(t.thread, t.trigger_tag);
+                    let over = t.draining() || !view.in_flight(t.thread, t.trigger_tag);
                     if over {
                         if let Some(ten) = self.tenure.as_mut() {
-                            ten.draining = true;
+                            ten.draining_since.get_or_insert(now);
                         }
                     }
                     over && drained
@@ -610,13 +691,13 @@ impl RobAllocator for TwoLevelRob {
         }
     }
 
-    fn on_l2_fill(&mut self, _view: &dyn RobQuery, ev: MissEvent, counted_dod: u32, _now: Cycle) {
+    fn on_l2_fill(&mut self, _view: &dyn RobQuery, ev: MissEvent, counted_dod: u32, now: Cycle) {
         self.candidates
             .retain(|c| !(c.thread == ev.thread && c.tag == ev.tag));
         // End of tenure: the triggering miss has been serviced.
         if let Some(t) = self.tenure.as_mut() {
             if t.thread == ev.thread && t.trigger_tag == ev.tag {
-                t.draining = true;
+                t.draining_since.get_or_insert(now);
             }
         }
         if ev.wrong_path {
@@ -640,14 +721,14 @@ impl RobAllocator for TwoLevelRob {
         }
     }
 
-    fn on_squash(&mut self, thread: ThreadId, first_tag: u64) {
+    fn on_squash(&mut self, thread: ThreadId, first_tag: u64, now: Cycle) {
         self.candidates
             .retain(|c| !(c.thread == thread && c.tag >= first_tag));
         // A squashed trigger ends the tenure; the partition is
         // reclaimed by the drain check in `tick`.
         if let Some(t) = self.tenure.as_mut() {
             if t.thread == thread && t.trigger_tag >= first_tag {
-                t.draining = true;
+                t.draining_since.get_or_insert(now);
             }
         }
     }
@@ -1043,7 +1124,7 @@ mod tests {
         let mut v = FakeView::new(4);
         v.in_flight[0] = vec![5];
         a.on_l2_miss(&v, miss(0, 5), 0);
-        a.on_squash(0, 3);
+        a.on_squash(0, 3, 1);
         // Candidate gone: the delayed count never allocates.
         v.counts[0] = 0;
         a.tick(&v, 100);
@@ -1100,6 +1181,55 @@ mod tests {
             TwoLevelRob::new(TwoLevelConfig::r_rob(16)).max_capacity(),
             416
         );
+    }
+
+    #[test]
+    fn tenure_view_exposes_drain_timestamp() {
+        let mut a = TwoLevelRob::new(TwoLevelConfig::relaxed_r_rob(15));
+        let mut v = FakeView::new(2);
+        v.in_flight[0] = vec![1];
+        v.oldest[0] = Some(1);
+        v.occupancy[0] = 40;
+        a.on_l2_miss(&v, miss(0, 1), 10);
+        let t = a.tenure_view().expect("tenure live after allocation");
+        assert_eq!((t.thread, t.trigger_tag, t.draining_since), (0, 1, None));
+        // The squash of the trigger stamps the start of the drain.
+        a.on_squash(0, 1, 25);
+        assert_eq!(a.tenure_view().unwrap().draining_since, Some(25));
+        v.occupancy[0] = 4;
+        a.tick(&v, 30);
+        assert_eq!(a.tenure_view(), None, "released after drain");
+    }
+
+    #[test]
+    fn candidate_tags_are_sorted_and_tracked() {
+        let mut a = TwoLevelRob::new(TwoLevelConfig::cdr_rob(15));
+        let mut v = FakeView::new(4);
+        v.in_flight[2] = vec![9];
+        v.in_flight[0] = vec![5];
+        a.on_l2_miss(&v, miss(2, 9), 0);
+        a.on_l2_miss(&v, miss(0, 5), 0);
+        assert_eq!(a.candidate_tags(), vec![(0, 5), (2, 9)]);
+        a.on_squash(0, 5, 1);
+        assert_eq!(a.candidate_tags(), vec![(2, 9)]);
+    }
+
+    #[test]
+    fn deny_reason_soundness_table() {
+        let predictive = TwoLevelConfig::p_rob(5).scheme;
+        let reactive = TwoLevelConfig::r_rob(16).scheme;
+        let cdr = TwoLevelConfig::cdr_rob(15).scheme;
+        for r in DenyReason::ALL {
+            assert!(predictive.may_deny(r), "{r:?} reachable under P-ROB");
+        }
+        for s in [reactive, cdr] {
+            assert!(s.may_deny(DenyReason::Busy));
+            assert!(s.may_deny(DenyReason::HighDod));
+            assert!(!s.may_deny(DenyReason::ColdPredictor));
+        }
+        assert_eq!(reactive.kind(), SchemeKind::Reactive);
+        assert_eq!(cdr.kind(), SchemeKind::CountDelayed);
+        assert_eq!(predictive.kind(), SchemeKind::Predictive);
     }
 
     #[test]

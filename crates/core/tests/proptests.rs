@@ -149,7 +149,7 @@ proptest! {
                     w.in_flight[t].retain(|&x| x < from);
                     w.oldest[t] = w.in_flight[t].iter().copied().min();
                     w.pending[t] = !w.in_flight[t].is_empty();
-                    a.on_squash(t, from);
+                    a.on_squash(t, from, now);
                 }
                 Action::Drain { t } => {
                     w.occupancy[t] = 4;

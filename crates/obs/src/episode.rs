@@ -23,8 +23,14 @@ pub struct Episode {
     pub pc: u64,
     /// Cycle the miss was detected.
     pub detected_at: Option<Cycle>,
-    /// Whether the load was wrong-path at detection time.
+    /// Whether the load was wrong-path at detection time *or* by the
+    /// time the fill arrived (merged flag used by the summary).
     pub wrong_path: bool,
+    /// Whether the load was already wrong-path when the miss was
+    /// detected. Decisions (grant/deny/decision samples) are only
+    /// legal for episodes where this is `false` — the allocator never
+    /// sees wrong-path misses.
+    pub wrong_path_at_detect: bool,
     /// Every denial the episode accumulated, in order.
     pub denials: Vec<(Cycle, DenyReason)>,
     /// Cycle the second-level partition was granted, if ever.
@@ -65,6 +71,93 @@ impl Episode {
             _ => None,
         }
     }
+
+    /// Project the episode onto the abstract transfer-protocol
+    /// alphabet, ordered by cycle (ties broken in protocol order:
+    /// detect < deny < grant < fill < squash < release). This is the
+    /// bridge the model checker (`smtsim-check`) replays against the
+    /// abstract per-episode state machine.
+    #[must_use]
+    pub fn protocol_steps(&self) -> Vec<(Cycle, ProtocolStep)> {
+        let mut steps: Vec<(Cycle, ProtocolStep)> = Vec::new();
+        if let Some(c) = self.detected_at {
+            steps.push((
+                c,
+                ProtocolStep::Detected {
+                    wrong_path: self.wrong_path_at_detect,
+                },
+            ));
+        }
+        for &(c, reason) in &self.denials {
+            steps.push((c, ProtocolStep::Denied(reason)));
+        }
+        if let Some(c) = self.allocated_at {
+            steps.push((c, ProtocolStep::Granted));
+        }
+        if let Some(c) = self.filled_at {
+            steps.push((c, ProtocolStep::Filled));
+        }
+        if let Some(c) = self.squashed_at {
+            steps.push((c, ProtocolStep::Squashed));
+        }
+        if let Some(c) = self.released_at {
+            steps.push((c, ProtocolStep::Released));
+        }
+        steps.sort_by_key(|&(c, s)| (c, s.rank()));
+        steps
+    }
+}
+
+/// One abstract transition in an episode's life, in the vocabulary of
+/// the protocol model (`smtsim-check`). The projection deliberately
+/// drops cycle-accurate detail (DoD values, stall context) — only the
+/// protocol-relevant order of moves survives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolStep {
+    /// The miss entered the system (episode opened).
+    Detected {
+        /// Wrong-path at detection ⟹ the allocator never saw it.
+        wrong_path: bool,
+    },
+    /// The allocator denied the candidate.
+    Denied(DenyReason),
+    /// The shared partition was granted to this episode.
+    Granted,
+    /// The miss data returned.
+    Filled,
+    /// A squash removed the load.
+    Squashed,
+    /// The tenure anchored on this episode released the partition.
+    Released,
+}
+
+impl ProtocolStep {
+    /// Canonical intra-cycle ordering used by
+    /// [`Episode::protocol_steps`] to break cycle ties.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            ProtocolStep::Detected { .. } => 0,
+            ProtocolStep::Denied(_) => 1,
+            ProtocolStep::Granted => 2,
+            ProtocolStep::Filled => 3,
+            ProtocolStep::Squashed => 4,
+            ProtocolStep::Released => 5,
+        }
+    }
+
+    /// Stable lowercase name for reports and counterexample traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolStep::Detected { .. } => "detected",
+            ProtocolStep::Denied(_) => "denied",
+            ProtocolStep::Granted => "granted",
+            ProtocolStep::Filled => "filled",
+            ProtocolStep::Squashed => "squashed",
+            ProtocolStep::Released => "released",
+        }
+    }
 }
 
 /// Aggregate episode statistics for one simulation (one sweep cell).
@@ -78,8 +171,10 @@ pub struct EpisodeSummary {
     pub released: usize,
     /// Episodes denied at least once.
     pub denied: usize,
-    /// Denials by reason: `(busy, high_dod, cold_predictor)`.
-    pub denials_by_reason: (u64, u64, u64),
+    /// Denials by reason, indexed by [`DenyReason::index`] (so the
+    /// layout is `[busy, high_dod, cold_predictor]`; adding a reason
+    /// grows this array at compile time).
+    pub denials_by_reason: [u64; DenyReason::COUNT],
     /// Episodes that were denied first and granted later (recheck wins).
     pub denied_then_granted: usize,
     /// Episodes whose load was squashed.
@@ -116,11 +211,7 @@ impl EpisodeSummary {
                 s.denied += 1;
             }
             for (_, r) in &e.denials {
-                match r {
-                    DenyReason::Busy => s.denials_by_reason.0 += 1,
-                    DenyReason::HighDod => s.denials_by_reason.1 += 1,
-                    DenyReason::ColdPredictor => s.denials_by_reason.2 += 1,
-                }
+                s.denials_by_reason[r.index()] += 1;
             }
             if e.squashed_at.is_some() {
                 s.squashed += 1;
@@ -156,7 +247,9 @@ impl EpisodeSummary {
     #[must_use]
     pub fn render_row(&self, label: &str) -> String {
         let fmt_mean = |m: Option<f64>| m.map_or_else(|| "n/a".to_owned(), |v| format!("{v:.1}"));
-        let (busy, dod, cold) = self.denials_by_reason;
+        // Length-checked destructure: a new DenyReason variant changes
+        // COUNT and fails here until the table gains a column.
+        let [busy, dod, cold] = self.denials_by_reason;
         format!(
             "{label:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9}\n",
             self.episodes,
@@ -252,6 +345,7 @@ impl EpisodeReconstructor {
                 let e = self.entry(thread, tag);
                 e.pc = pc;
                 e.wrong_path = wrong_path;
+                e.wrong_path_at_detect = wrong_path;
                 e.detected_at = Some(cycle);
             }
             TraceEvent::L2Fill {
@@ -376,7 +470,7 @@ mod tests {
         assert_eq!(e.miss_latency(), Some(300));
         let s = EpisodeSummary::from_episodes(&eps);
         assert_eq!(s.denied_then_granted, 1);
-        assert_eq!(s.denials_by_reason, (1, 0, 0));
+        assert_eq!(s.denials_by_reason, [1, 0, 0]);
     }
 
     #[test]

@@ -196,6 +196,28 @@ impl TraceEvent {
 }
 
 impl DenyReason {
+    /// Number of deny reasons. Tied to [`DenyReason::index`] by the
+    /// const check below: adding a variant without updating `COUNT`,
+    /// `ALL` and every indexed consumer is a compile error, not a
+    /// silently-unknown serialization.
+    pub const COUNT: usize = 3;
+
+    /// Every reason, in `index()` order. Iterate this instead of
+    /// hand-listing variants so new reasons propagate automatically.
+    pub const ALL: [Self; Self::COUNT] = [Self::Busy, Self::HighDod, Self::ColdPredictor];
+
+    /// Dense index for per-reason arrays (`[T; DenyReason::COUNT]`).
+    /// The match is exhaustive on purpose — this is the coverage
+    /// bridge that breaks the build when a reason is added.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            DenyReason::Busy => 0,
+            DenyReason::HighDod => 1,
+            DenyReason::ColdPredictor => 2,
+        }
+    }
+
     /// Stable lowercase name (JSONL field value / metrics-key suffix).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -206,6 +228,18 @@ impl DenyReason {
         }
     }
 }
+
+// `ALL` must enumerate every reason exactly once, in `index()` order.
+const _: () = {
+    let mut i = 0;
+    while i < DenyReason::COUNT {
+        assert!(
+            DenyReason::ALL[i].index() == i,
+            "DenyReason::ALL out of index order"
+        );
+        i += 1;
+    }
+};
 
 impl DodSource {
     /// Stable lowercase name (JSONL field value / metrics-key suffix).

@@ -28,7 +28,9 @@ pub type Cycle = u64;
 /// Hardware-thread index (alias-compatible with `smtsim_isa::ThreadId`).
 pub type ThreadId = usize;
 
-pub use episode::{summary_table_header, Episode, EpisodeReconstructor, EpisodeSummary};
+pub use episode::{
+    summary_table_header, Episode, EpisodeReconstructor, EpisodeSummary, ProtocolStep,
+};
 pub use event::{DenyReason, DodSource, StallKind, TraceEvent};
 pub use json::{episode_line, episodes_jsonl, event_line, trace_jsonl};
 pub use metrics::{Histogram, MetricsRegistry};

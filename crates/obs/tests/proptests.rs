@@ -223,9 +223,9 @@ proptest! {
             s.squashed,
             episodes.iter().filter(|e| e.squashed_at.is_some()).count()
         );
-        let (busy, dod, cold) = s.denials_by_reason;
+        let by_reason: u64 = s.denials_by_reason.iter().sum();
         let total: usize = episodes.iter().map(|e| e.denials.len()).sum();
-        prop_assert_eq!((busy + dod + cold) as usize, total);
+        prop_assert_eq!(by_reason as usize, total);
         prop_assert!(s.held_n <= s.allocated as u64);
     }
 }

@@ -653,6 +653,7 @@ impl<T: Tracer> Simulator<T> {
     /// in both outcomes, so a sweep can record partial progress of a
     /// poisoned cell.
     pub fn try_run(&mut self, stop: StopCondition) -> Result<&SimStats, SimError> {
+        // xtask: allow-wall-clock — SMTSIM_CELL_TIMEOUT watchdog anchor
         let started = std::time::Instant::now();
         loop {
             match stop {
@@ -691,6 +692,7 @@ impl<T: Tracer> Simulator<T> {
     /// cycle); the wall-clock and cancellation ceilings are polled
     /// every [`crate::BUDGET_POLL_INTERVAL`] cycles and are documented
     /// as non-deterministic.
+    // xtask: allow-wall-clock — wall-clock ceiling is documented non-deterministic
     fn check_budget(&self, started: &std::time::Instant) -> Result<(), SimError> {
         if let Some(max) = self.budget.max_cycles {
             if self.now >= max {

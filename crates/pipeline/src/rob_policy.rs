@@ -118,8 +118,10 @@ pub trait RobAllocator {
     /// behind the load at fill time (predictor training data, §4.2).
     fn on_l2_fill(&mut self, view: &dyn RobQuery, ev: MissEvent, counted_dod: u32, now: Cycle);
 
-    /// `thread` squashed all instructions with tags >= `first_tag`.
-    fn on_squash(&mut self, thread: ThreadId, first_tag: u64);
+    /// `thread` squashed all instructions with tags >= `first_tag` at
+    /// cycle `now` (so policies can timestamp squash-driven state
+    /// transitions, e.g. the start of a tenure drain).
+    fn on_squash(&mut self, thread: ThreadId, first_tag: u64, now: Cycle);
 
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
@@ -196,7 +198,7 @@ impl RobAllocator for FixedRob {
 
     fn on_l2_fill(&mut self, _view: &dyn RobQuery, _ev: MissEvent, _dod: u32, _now: Cycle) {}
 
-    fn on_squash(&mut self, _thread: ThreadId, _first_tag: u64) {}
+    fn on_squash(&mut self, _thread: ThreadId, _first_tag: u64, _now: Cycle) {}
 
     fn name(&self) -> String {
         format!("Baseline_{}", self.entries)

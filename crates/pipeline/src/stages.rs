@@ -943,6 +943,6 @@ impl<T: Tracer> Simulator<T> {
             self.gshare.set_history(thread, h);
         }
 
-        self.alloc.on_squash(thread, from_tag);
+        self.alloc.on_squash(thread, from_tag, self.now);
     }
 }

@@ -17,6 +17,16 @@ pub fn private_regs() -> bool {
     std::env::var("PRIVATE_REGS").is_ok() // xtask: allow-env-read
 }
 
+/// An annotated wall-clock read (a watchdog anchor) is fine, and the
+/// marker is *used*, so the stale-marker rule stays quiet too.
+/// `Instant` in this doc comment must not fire; nor must the
+/// `Instantiates` prose word below.
+pub fn watchdog_anchor() -> u128 {
+    // Instantiates nothing but a timestamp.
+    let t0 = std::time::Instant::now(); // xtask: allow-wall-clock
+    t0.elapsed().as_millis()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,11 @@
+//! Fixture: an allow-marker that suppresses nothing must hard-fail.
+
+// xtask: allow-wall-clock — stale: there is no wall-clock read below
+pub fn pure() -> u32 {
+    7
+}
+
+/// Stale markers of the other rules are refused the same way.
+pub fn also_pure() -> u32 {
+    41 // xtask: allow-unwrap
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads the determinism lint must flag.
+
+/// Timing simulator work off the host clock: machine-dependent output.
+pub fn elapsed_ms(t0: std::time::Instant) -> u128 {
+    t0.elapsed().as_millis()
+}
+
+/// `SystemTime` is just as nondeterministic as `Instant`.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

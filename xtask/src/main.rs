@@ -23,6 +23,13 @@
 //!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless both runs
 //!   pass with byte-identical stdout: generated fuzz programs and
 //!   verdicts must be a pure function of `FUZZ_SEED`.
+//! * `check` — runs the `check` bounded-model-checking bin (exhaustive
+//!   protocol exploration at CI bounds + live-trace conformance) twice
+//!   and fails unless both runs pass with byte-identical stdout, then
+//!   runs the `smtsim-check` mutation self-test on both sides of the
+//!   `seeded-release-bug` feature: the explorer must be clean on the
+//!   pristine model *and* catch the planted bug with its minimal
+//!   counterexample (DESIGN.md §14).
 //!
 //! `lint` checks are things rustc/clippy cannot express because they
 //! are *policy*, not language rules:
@@ -47,6 +54,16 @@
 //!   table in `smtsim-bench`'s docs is authoritative and a typo'd
 //!   variable fails loudly instead of silently using a default.
 //!   Marker: `// xtask: allow-env-read`.
+//! * **wall-clock-in-sim** — `Instant` / `SystemTime` reads outside
+//!   the cell watchdog (`crates/pipeline/src/budget.rs`) and the bench
+//!   timing bins (`sweep_bench.rs`, `resume_bench.rs`). Simulated time
+//!   comes from the cycle counter; a wall-clock read anywhere near
+//!   simulator state or report output makes figures machine- and
+//!   load-dependent. Marker: `// xtask: allow-wall-clock`.
+//! * **stale-allow-marker** — any `xtask: allow-*` marker whose own
+//!   line and next line contain nothing the marker suppresses. Stale
+//!   allowances are refused outright: left in place, they silently
+//!   bless the *next* violation someone introduces on that line.
 //!
 //! Test code is exempt: `tests/` directories, and everything at or
 //! below the first `#[cfg(test)]` line of a file (the workspace
@@ -118,6 +135,71 @@ fn allowed(lines: &[&str], idx: usize, marker: &str) -> bool {
     lines[idx].contains(marker) || (idx > 0 && lines[idx - 1].contains(marker))
 }
 
+/// The narrowing `as` casts the stats lint rejects.
+const NARROWING_CASTS: &[&str] = &[
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+
+/// Does `code` contain `cast` at a word boundary (so ` as u32` does
+/// not also match inside ` as u32x4`-style names)?
+fn has_cast(code: &str, cast: &str) -> bool {
+    let mut search = code;
+    while let Some(i) = search.find(cast) {
+        let after = &search[i + cast.len()..];
+        if after.chars().next().is_none_or(|c| !c.is_alphanumeric()) {
+            return true;
+        }
+        search = after;
+    }
+    false
+}
+
+/// Does `code` mention `tok` as a standalone identifier (both sides
+/// bounded, so `Instantiates` in a name never matches `Instant`)?
+fn has_token(code: &str, tok: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(i) = code[start..].find(tok) {
+        let at = start + i;
+        let end = at + tok.len();
+        let word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let before_ok = at == 0 || !word(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !word(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Does `code` read a wall clock (`Instant` / `SystemTime`)?
+fn has_wall_clock(code: &str) -> bool {
+    has_token(code, "Instant") || has_token(code, "SystemTime")
+}
+
+/// Predicate deciding whether a code line needs a given allow-marker.
+type MarkerUse = fn(&str) -> bool;
+
+/// Every allow-marker, paired with the predicate deciding whether a
+/// line actually needs it. A marker whose own line and next line both
+/// fail the predicate is *stale* — a hard lint failure, because dead
+/// markers rot into false confidence that a suppression is load-
+/// bearing.
+const MARKER_USES: &[(&str, MarkerUse)] = &[
+    ("xtask: allow-hash-collection", |c| {
+        c.contains("HashMap") || c.contains("HashSet")
+    }),
+    ("xtask: allow-unwrap", |c| {
+        c.contains(".unwrap()") || c.contains(".expect(")
+    }),
+    ("xtask: allow-lossy-cast", |c| {
+        NARROWING_CASTS.iter().any(|cast| has_cast(c, cast))
+    }),
+    ("xtask: allow-env-read", |c| c.contains("env::var")),
+    ("xtask: allow-wall-clock", has_wall_clock),
+];
+
 /// Index of the first `#[cfg(test)]`-style line, i.e. where the file's
 /// test module begins; everything from there on is exempt.
 fn test_code_start(lines: &[&str]) -> usize {
@@ -131,12 +213,15 @@ fn test_code_start(lines: &[&str]) -> usize {
 }
 
 /// Scans one production source file. `is_env_funnel` marks the single
-/// file allowed to read the process environment.
+/// file allowed to read the process environment; `is_wall_exempt`
+/// marks the files where wall-clock reads are the point (the cell
+/// watchdog and the bench timing bins).
 fn scan_file(
     path: &Path,
     in_pipeline: bool,
     is_stats: bool,
     is_env_funnel: bool,
+    is_wall_exempt: bool,
     out: &mut Vec<Violation>,
 ) {
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -188,30 +273,53 @@ fn scan_file(
             });
         }
         if is_stats && !allowed(&lines, idx, "xtask: allow-lossy-cast") {
-            for cast in [
-                " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
-            ] {
-                // Require a word boundary after the cast so ` as u32`
-                // does not also match inside ` as u32x4`-style names.
-                let mut search = code;
-                while let Some(i) = search.find(cast) {
-                    let after = &search[i + cast.len()..];
-                    if after.chars().next().is_none_or(|c| !c.is_alphanumeric()) {
-                        out.push(Violation {
-                            file: path.to_path_buf(),
-                            line: lineno,
-                            rule: "lossy-cast-in-stats",
-                            message: format!(
-                                "narrowing `{}` in stats accounting can silently truncate \
-                                 a counter; widen instead (or annotate \
-                                 `// xtask: allow-lossy-cast`)",
-                                cast.trim_start()
-                            ),
-                        });
-                        break;
-                    }
-                    search = &search[i + cast.len()..];
+            for cast in NARROWING_CASTS {
+                if has_cast(code, cast) {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: "lossy-cast-in-stats",
+                        message: format!(
+                            "narrowing `{}` in stats accounting can silently truncate \
+                             a counter; widen instead (or annotate \
+                             `// xtask: allow-lossy-cast`)",
+                            cast.trim_start()
+                        ),
+                    });
                 }
+            }
+        }
+        if !is_wall_exempt
+            && has_wall_clock(code)
+            && !allowed(&lines, idx, "xtask: allow-wall-clock")
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "wall-clock-in-sim",
+                message: "wall-clock read (`Instant`/`SystemTime`) outside the cell \
+                          watchdog and the bench timing bins: simulated time comes from \
+                          the cycle counter, so figures and verdicts stay machine- and \
+                          load-independent (or annotate `// xtask: allow-wall-clock`)"
+                    .into(),
+            });
+        }
+        // Stale allow-markers: a marker that suppresses nothing on its
+        // own or the next line is refused outright.
+        for &(marker, used_by) in MARKER_USES {
+            if raw.contains(marker)
+                && !used_by(code)
+                && !lines.get(idx + 1).is_some_and(|l| used_by(code_of(l)))
+            {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    rule: "stale-allow-marker",
+                    message: format!(
+                        "`{marker}` suppresses nothing on this or the next line; \
+                         remove the marker (stale allowances hide future violations)"
+                    ),
+                });
             }
         }
     }
@@ -231,7 +339,20 @@ fn run_lints(root: &Path) -> Vec<Violation> {
         let stem = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
         let is_stats = stem == "stats.rs" || stem == "metrics.rs";
         let is_env_funnel = rel == Path::new("crates/bench/src/env.rs");
-        scan_file(f, in_pipeline, is_stats, is_env_funnel, &mut out);
+        // Wall-clock reads are the *purpose* of the cell watchdog and
+        // of the bench timing bins; everywhere else they are a
+        // determinism hazard.
+        let is_wall_exempt = rel == Path::new("crates/pipeline/src/budget.rs")
+            || rel == Path::new("crates/bench/src/bin/sweep_bench.rs")
+            || rel == Path::new("crates/bench/src/bin/resume_bench.rs");
+        scan_file(
+            f,
+            in_pipeline,
+            is_stats,
+            is_env_funnel,
+            is_wall_exempt,
+            &mut out,
+        );
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -240,8 +361,16 @@ fn run_lints(root: &Path) -> Vec<Violation> {
 /// The CI-scale budget the `determinism` harness uses when the caller
 /// has not already pinned the knobs. Golden files under `tests/golden/`
 /// are recorded at exactly these settings.
-const DETERMINISM_DEFAULTS: &[(&str, &str)] =
-    &[("BUDGET", "8000"), ("WARMUP", "10000"), ("MIXES", "1,2,9")];
+const DETERMINISM_DEFAULTS: &[(&str, &str)] = &[
+    ("BUDGET", "8000"),
+    ("WARMUP", "10000"),
+    ("MIXES", "1,2,9"),
+    // Small model bounds for the `check` bin's exploration pass — the
+    // full CI bounds run in `cargo xtask check`; here the point is
+    // only that the report bytes are identical across runs.
+    ("CHECK_THREADS", "2"),
+    ("CHECK_L2", "2"),
+];
 
 /// Runs one `smtsim-bench` binary at the given job count and captures
 /// stdout. Knobs already present in the environment win over the
@@ -378,7 +507,7 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
         .iter()
         .chain([&("SEED", ""), &("ST_BUDGET", "")])
         .all(|(k, _)| std::env::var_os(k).is_none());
-    for bin in ["fig2", "fig1", "accuracy", "trace", "resume_bench"] {
+    for bin in ["fig2", "fig1", "accuracy", "trace", "resume_bench", "check"] {
         let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS) {
             Ok(s) => s,
             Err(e) => {
@@ -461,6 +590,89 @@ fn run_conform(root: &Path) -> ExitCode {
     }
 }
 
+/// Knob defaults for the `check` subcommand: the model checker at its
+/// CI bounds (every scheme family × release policy, exhaustively) plus
+/// a reduced live-trace conformance pass, sized to finish well under a
+/// minute.
+const CHECK_DEFAULTS: &[(&str, &str)] = &[
+    ("BUDGET", "4000"),
+    ("WARMUP", "2000"),
+    ("MIXES", "1,9"),
+    ("CHECK_THREADS", "3"),
+    ("CHECK_L2", "2"),
+];
+
+/// Runs the `smtsim-check` mutation self-test, with or without the
+/// `seeded-release-bug` feature. Both sides must pass as cargo tests:
+/// the pristine side asserts the explorer finds nothing, the seeded
+/// side asserts it finds the planted release bug with its minimal
+/// three-step counterexample — so a checker that silently stopped
+/// checking fails here.
+fn run_mutation_selftest(root: &Path, seeded: bool) -> Result<(), String> {
+    let manifest = root
+        .join("Cargo.toml")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve workspace manifest: {e}"))?;
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.args(["test", "-q", "--manifest-path"])
+        .arg(manifest)
+        .args(["-p", "smtsim-check", "--test", "mutation"]);
+    if seeded {
+        cmd.args(["--features", "seeded-release-bug"]);
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| format!("cannot spawn cargo test: {e}"))?;
+    if out.status.success() {
+        Ok(())
+    } else {
+        Err(format!(
+            "mutation self-test (seeded={seeded}) failed with {}:\n{}{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        ))
+    }
+}
+
+/// The `check` subcommand: runs the bounded model checker + trace
+/// conformance bin twice and fails unless both runs pass with
+/// byte-identical stdout (the checker's report — state counts,
+/// counterexamples, conformance tallies — must be a pure function of
+/// its knobs), then runs the mutation self-test on both sides of the
+/// `seeded-release-bug` feature.
+fn run_check(root: &Path) -> ExitCode {
+    let first = match run_bench_bin(root, "check", 1, CHECK_DEFAULTS) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let second = match run_bench_bin(root, "check", 4, CHECK_DEFAULTS) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{first}");
+    if first != second {
+        eprintln!("xtask check: OUTPUT DIFFERS between runs");
+        report_first_divergence("run 1", &first, "run 2", &second);
+        return ExitCode::FAILURE;
+    }
+    println!("xtask check: report identical across runs");
+    for seeded in [false, true] {
+        if let Err(e) = run_mutation_selftest(root, seeded) {
+            eprintln!("xtask check: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("xtask check: mutation self-test passed (pristine clean, seeded bug caught)");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_default();
@@ -498,8 +710,11 @@ fn main() -> ExitCode {
         "determinism" if rest.is_empty() => run_determinism(&root, false),
         "determinism" if rest == ["--bless"] => run_determinism(&root, true),
         "conform" if rest.is_empty() => run_conform(&root),
+        "check" if rest.is_empty() => run_check(&root),
         _ => {
-            eprintln!("usage: cargo xtask <lint|determinism [--bless]|conform> [--root PATH]");
+            eprintln!(
+                "usage: cargo xtask <lint|determinism [--bless]|conform|check> [--root PATH]"
+            );
             ExitCode::from(2)
         }
     }
@@ -563,6 +778,53 @@ mod tests {
                 .any(|v| v.file.ends_with("crates/bench/src/env.rs")),
             "the BenchEnv funnel itself must be exempt: {violations:?}"
         );
+    }
+
+    #[test]
+    fn seeded_wall_clock_violations_fail() {
+        // The fixture plants `Instant` and `SystemTime` reads in core
+        // simulator code; the lint must refuse both.
+        let violations = run_lints(&fixture_root());
+        let wall: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == "wall-clock-in-sim")
+            .collect();
+        assert!(
+            wall.len() >= 2
+                && wall
+                    .iter()
+                    .all(|v| v.file.ends_with("crates/core/src/timer.rs")),
+            "expected both timer.rs wall-clock violations, got: {wall:?}"
+        );
+    }
+
+    #[test]
+    fn stale_allow_markers_fail_hard() {
+        // The fixture plants an allow-wall-clock marker over pure code
+        // and a same-line allow-unwrap over a plain literal; both must
+        // be refused as stale.
+        let violations = run_lints(&fixture_root());
+        let stale: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == "stale-allow-marker")
+            .collect();
+        assert_eq!(
+            stale.len(),
+            2,
+            "expected exactly the two stale.rs markers, got: {stale:?}"
+        );
+        assert!(stale
+            .iter()
+            .all(|v| v.file.ends_with("crates/core/src/stale.rs")));
+    }
+
+    #[test]
+    fn wall_clock_token_matching_is_word_bounded() {
+        assert!(has_wall_clock("let t = std::time::Instant::now();"));
+        assert!(has_wall_clock("SystemTime::now()"));
+        assert!(!has_wall_clock("mix.instantiate(seed)"));
+        assert!(!has_wall_clock("fn InstantiatesNothing() {}"));
+        assert!(!has_wall_clock("let my_Instant_like = 3;"));
     }
 
     #[test]
