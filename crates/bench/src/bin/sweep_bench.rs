@@ -42,6 +42,38 @@ fn cell_count(mixes: usize) -> usize {
     (3 + 3 + 3 + 4) * mixes
 }
 
+/// Simulated cycles per kernel-throughput run: long enough that the
+/// steady-state mix of quiet and busy cycles — not warm-up fills —
+/// dominates the measurement.
+const KERNEL_CYCLES: u64 = 1_000_000;
+
+/// Times the raw cycle kernel — the Table 1 machine under the
+/// heaviest mix with the baseline ROB, the same configuration as the
+/// `simulator_20k_cycles_mix1` bench target — over [`KERNEL_CYCLES`]
+/// simulated cycles, with event-driven cycle skipping on or off.
+fn time_kernel(skip: bool) -> std::time::Duration {
+    use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
+    use std::sync::Arc;
+    let wls = smtsim_workload::mix(1)
+        .instantiate(42)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let mut sim = Simulator::builder(
+        MachineConfig::icpp08(),
+        wls,
+        Box::new(FixedRob::new(32)),
+        42,
+    )
+    .cycle_skip(skip)
+    .build()
+    .expect("Table 1 machine on Mix 1 is a valid configuration");
+    let t0 = Instant::now();
+    sim.run(StopCondition::Cycles(KERNEL_CYCLES));
+    std::hint::black_box(sim.stats().total_committed());
+    t0.elapsed()
+}
+
 fn main() {
     smtsim_bench::run_bin(run)
 }
@@ -73,8 +105,31 @@ fn run() -> Result<(), smtsim_bench::BinError> {
     eprintln!("parallel (jobs={jobs}): {parallel:.2?}");
 
     let identical = serial_text == parallel_text;
-    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
-    eprintln!("speedup: {speedup:.2}x  identical_output: {identical}");
+    // A parallel "speedup" measured on a single hardware thread is
+    // scheduler noise, not a measurement — record null instead of a
+    // number the trajectory could mistake for a regression (or a win).
+    let hardware_threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let speedup =
+        (hardware_threads >= 2).then(|| serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9));
+    match speedup {
+        Some(s) => eprintln!("speedup: {s:.2}x  identical_output: {identical}"),
+        None => eprintln!(
+            "speedup: n/a ({hardware_threads} hardware thread)  identical_output: {identical}"
+        ),
+    }
+
+    // Raw kernel throughput, with the cycle-skip engine on and off —
+    // the before/after record of the SoA + masked-DoD + skip overhaul.
+    let kernel_skip = time_kernel(true);
+    let kernel_noskip = time_kernel(false);
+    let mcps = |d: std::time::Duration| KERNEL_CYCLES as f64 / d.as_secs_f64().max(1e-9) / 1e6;
+    eprintln!(
+        "kernel ({KERNEL_CYCLES} cycles): skip {kernel_skip:.2?} ({:.2} Mcycles/s), \
+         no-skip {kernel_noskip:.2?} ({:.2} Mcycles/s)",
+        mcps(kernel_skip),
+        mcps(kernel_noskip)
+    );
 
     // Journal overhead: one figure (unique cells — no cross-figure
     // journal hits) timed serially with and without a cold resumable
@@ -118,13 +173,30 @@ fn run() -> Result<(), smtsim_bench::BinError> {
     let _ = writeln!(json, "  \"st_budget\": {},", base.st_budget);
     let _ = writeln!(json, "  \"warmup\": {},", base.warmup);
     let _ = writeln!(json, "  \"seed\": {},", base.seed);
-    let _ = writeln!(json, "  \"hardware_threads\": {},", {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    });
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"serial_ms\": {},", serial.as_millis());
     let _ = writeln!(json, "  \"parallel_ms\": {},", parallel.as_millis());
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    match speedup {
+        Some(s) => {
+            let _ = writeln!(json, "  \"speedup\": {s:.3},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"speedup\": null,");
+        }
+    }
+    let _ = writeln!(json, "  \"kernel_cycles\": {KERNEL_CYCLES},");
+    let _ = writeln!(json, "  \"kernel_ms\": {},", kernel_skip.as_millis());
+    let _ = writeln!(
+        json,
+        "  \"kernel_noskip_ms\": {},",
+        kernel_noskip.as_millis()
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel_mcycles_per_sec\": {:.2},",
+        mcps(kernel_skip)
+    );
     let _ = writeln!(json, "  \"fig2_serial_ms\": {},", plain_fig2.as_millis());
     let _ = writeln!(
         json,

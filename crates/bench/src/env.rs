@@ -117,6 +117,11 @@ pub struct BenchEnv {
     /// `CHECK_L2` — shared-partition bound for the `check` bin's model
     /// exploration (1..=4, default 2).
     pub check_l2: u8,
+    /// `SMTSIM_NO_SKIP` — disables event-driven cycle skipping in
+    /// every simulator the harness builds (any nonzero value).
+    /// Validation-only: output is byte-identical either way, and the
+    /// `xtask determinism` gate proves it on every run.
+    pub no_skip: bool,
 }
 
 impl BenchEnv {
@@ -169,6 +174,7 @@ impl BenchEnv {
                 }
                 t as usize
             },
+            no_skip: try_env_u64("SMTSIM_NO_SKIP", 0)? != 0,
             check_l2: {
                 let l2 = try_env_u64("CHECK_L2", 2)?;
                 if !(1..=4).contains(&l2) {
@@ -194,7 +200,8 @@ impl BenchEnv {
         let mut lab = Lab::new(self.seed)
             .with_budgets(self.budget, self.st_budget)
             .with_warmup(self.warmup)
-            .with_jobs(self.jobs);
+            .with_jobs(self.jobs)
+            .with_cycle_skip(!self.no_skip);
         lab.machine.deadlock_cycles = self.deadlock_cycles;
         lab.machine.invariant_interval = self.invariant_interval;
         if let Some(plan) = &self.fault {

@@ -27,6 +27,13 @@
 //!   the serial path). Figure output is byte-identical at any value.
 //! * `BENCH_ITERS` — timed iterations per bench target (default 5;
 //!   consumed by `cargo bench -p smtsim-bench`).
+//! * `SMTSIM_NO_SKIP` — any nonzero value disables event-driven cycle
+//!   skipping in every simulator the harness builds (default 0 =
+//!   skipping on). Validation-only: skipping is timing-transparent, so
+//!   output is byte-identical either way — `cargo xtask determinism`
+//!   proves it by re-running a figure with the knob set and comparing
+//!   bytes. It does not participate in the journal universe
+//!   fingerprint.
 //!
 //! Resilience knobs (DESIGN.md §13 "Crash-tolerance model"):
 //!

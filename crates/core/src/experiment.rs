@@ -370,6 +370,12 @@ pub struct Lab {
     /// Retries per transiently-failed sweep cell
     /// (`SMTSIM_CELL_RETRIES`); 0 = the pre-resilience behavior.
     pub retries: u32,
+    /// Event-driven cycle skipping in every simulator this lab builds
+    /// (`SMTSIM_NO_SKIP` disables it). Timing-transparent by
+    /// construction — results are byte-identical either way — so it is
+    /// deliberately *not* part of [`NormKey`] or the journal universe
+    /// fingerprint.
+    pub cycle_skip: bool,
 }
 
 impl Lab {
@@ -393,6 +399,7 @@ impl Lab {
             cell_cycle_budget: None,
             cell_wall_ms: None,
             retries: 0,
+            cycle_skip: true,
         }
     }
 
@@ -460,6 +467,15 @@ impl Lab {
     #[must_use]
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.change_state(|lab| lab.retries = retries);
+        self
+    }
+
+    /// Enables or disables event-driven cycle skipping in every
+    /// simulator the lab builds (`SMTSIM_NO_SKIP`). Validation-only:
+    /// the output is byte-identical either way.
+    #[must_use]
+    pub fn with_cycle_skip(mut self, enabled: bool) -> Self {
+        self.change_state(|lab| lab.cycle_skip = enabled);
         self
     }
 
@@ -563,6 +579,7 @@ impl Lab {
         let mut sim = Simulator::builder(cfg, vec![wl], rob.build(), self.seed)
             .dod_bounds(bounds)
             .warmup(self.warmup)
+            .cycle_skip(self.cycle_skip)
             .build()?;
         sim.try_run(StopCondition::AnyThreadCommitted(self.st_budget))?;
         let ipc = sim.stats().threads[0].ipc(sim.cycle());
@@ -719,6 +736,7 @@ impl Lab {
                 wall_ms: self.cell_wall_ms,
                 token: None,
             })
+            .cycle_skip(self.cycle_skip)
             .tracer(tracer);
         if let Some(plan) = self.fault_for_attempt(mix_idx, attempt) {
             builder = builder.fault_plan(plan.clone());

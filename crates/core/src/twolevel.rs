@@ -298,6 +298,11 @@ pub struct TwoLevelRob {
     cfg: TwoLevelConfig,
     tenure: Option<Tenure>,
     candidates: Vec<Candidate>,
+    /// Reusable buffer for the due-candidate sweep in `tick` (the
+    /// evaluation loop may re-insert into `candidates`, so due entries
+    /// are staged out first; reusing the stage avoids a per-tick heap
+    /// allocation on the hot path).
+    scratch_due: Vec<Candidate>,
     predictor: Option<Box<dyn DodPredictor>>,
     stats: TwoLevelStats,
     /// When armed (via [`RobAllocator::set_tracing`]), allocation
@@ -326,6 +331,7 @@ impl TwoLevelRob {
             cfg,
             tenure: None,
             candidates: Vec::new(),
+            scratch_due: Vec::new(),
             predictor,
             stats: TwoLevelStats::default(),
             tracing: false,
@@ -383,13 +389,14 @@ impl TwoLevelRob {
         })
     }
 
-    /// `(thread, tag)` of every pending allocation candidate, sorted
-    /// for deterministic inspection.
-    pub fn candidate_tags(&self) -> Vec<(ThreadId, u64)> {
-        let mut out: Vec<(ThreadId, u64)> =
-            self.candidates.iter().map(|c| (c.thread, c.tag)).collect();
+    /// Writes the `(thread, tag)` of every pending allocation
+    /// candidate into `out` (cleared first), sorted for deterministic
+    /// inspection. Caller-provided storage so per-cycle inspectors can
+    /// reuse one buffer instead of allocating on every call.
+    pub fn candidate_tags_into(&self, out: &mut Vec<(ThreadId, u64)>) {
+        out.clear();
+        out.extend(self.candidates.iter().map(|c| (c.thread, c.tag)));
         out.sort_unstable();
-        out
     }
 
     /// Statistics so far. Coverage counters are read out of the
@@ -574,22 +581,7 @@ impl RobAllocator for TwoLevelRob {
         if self.candidates.is_empty() {
             return;
         }
-        let due: Vec<Candidate> = self
-            .candidates
-            .iter()
-            .copied()
-            .filter(|c| c.check_at <= now)
-            .collect();
-        if due.is_empty() {
-            return;
-        }
-        self.candidates.retain(|c| c.check_at > now);
-        for c in due {
-            let (_done, keep) = self.evaluate(c, view, now);
-            if let Some(k) = keep {
-                self.candidates.push(k);
-            }
-        }
+        self.tick_candidates_now(view, now);
     }
 
     fn on_l2_miss(&mut self, view: &dyn RobQuery, ev: MissEvent, now: Cycle) {
@@ -804,25 +796,81 @@ impl RobAllocator for TwoLevelRob {
     fn drain_trace(&mut self) -> Vec<(Cycle, TraceEvent)> {
         std::mem::take(&mut self.trace)
     }
+
+    /// Quiescence horizon for the cycle-skip engine: a non-mutating
+    /// mirror of [`TwoLevelRob::tick`]. On a machine with no events,
+    /// commits, dispatches, fetches or squashes, every `tick` input
+    /// read here (occupancy, trigger in-flight status, pending-miss
+    /// flag) is frozen, so:
+    ///
+    /// - a tick that would release the partition, or record the start
+    ///   of a drain (`draining_since`), acts *immediately* — report a
+    ///   horizon of 0 so the skip aborts and steps it normally;
+    /// - otherwise the release verdict stays `false` for every skipped
+    ///   cycle and the only per-cycle effect is the `held_cycles`
+    ///   accumulator, replicated by
+    ///   [`RobAllocator::on_cycles_skipped`];
+    /// - pending candidates are untouchable until their earliest
+    ///   `check_at`, which bounds the horizon.
+    fn skip_quiesce(&self, view: &dyn RobQuery) -> Option<Cycle> {
+        if let Some(t) = self.tenure {
+            let drained = view.occupancy(t.thread) <= self.cfg.l1_entries;
+            let acts_now = match self.cfg.release {
+                ReleasePolicy::TriggerServiced => {
+                    let over = t.draining() || !view.in_flight(t.thread, t.trigger_tag);
+                    // `over` with no drain start recorded writes
+                    // `draining_since`; `over && drained` releases.
+                    over && (t.draining_since.is_none() || drained)
+                }
+                ReleasePolicy::DrainAndNoMiss => drained && !view.has_pending_l2_miss(t.thread),
+                ReleasePolicy::DrainOnly => drained,
+            };
+            if acts_now {
+                return Some(0);
+            }
+        }
+        Some(
+            self.candidates
+                .iter()
+                .map(|c| c.check_at)
+                .min()
+                .unwrap_or(Cycle::MAX),
+        )
+    }
+
+    fn on_cycles_skipped(&mut self, skipped: u64) {
+        // Mirrors the `held_cycles += 1` each skipped tick would have
+        // executed while the tenure is held.
+        if self.tenure.is_some() {
+            self.stats.held_cycles += skipped;
+        }
+    }
 }
 
 impl TwoLevelRob {
-    /// Immediate candidate evaluation used by the reactive scheme at
-    /// miss-detection time.
+    /// Due-candidate sweep, used by `tick` every cycle and by the
+    /// reactive scheme immediately at miss-detection time. Evaluation
+    /// may re-insert a deferred candidate, so the due set is staged
+    /// through the reusable scratch buffer first.
     fn tick_candidates_now(&mut self, view: &dyn RobQuery, now: Cycle) {
-        let due: Vec<Candidate> = self
-            .candidates
-            .iter()
-            .copied()
-            .filter(|c| c.check_at <= now)
-            .collect();
-        self.candidates.retain(|c| c.check_at > now);
-        for c in due {
-            let (_done, keep) = self.evaluate(c, view, now);
-            if let Some(k) = keep {
-                self.candidates.push(k);
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        due.extend(
+            self.candidates
+                .iter()
+                .copied()
+                .filter(|c| c.check_at <= now),
+        );
+        if !due.is_empty() {
+            self.candidates.retain(|c| c.check_at > now);
+            for &c in &due {
+                let (_done, keep) = self.evaluate(c, view, now);
+                if let Some(k) = keep {
+                    self.candidates.push(k);
+                }
             }
         }
+        self.scratch_due = due;
     }
 }
 
@@ -1209,9 +1257,47 @@ mod tests {
         v.in_flight[0] = vec![5];
         a.on_l2_miss(&v, miss(2, 9), 0);
         a.on_l2_miss(&v, miss(0, 5), 0);
-        assert_eq!(a.candidate_tags(), vec![(0, 5), (2, 9)]);
+        let mut tags = Vec::new();
+        a.candidate_tags_into(&mut tags);
+        assert_eq!(tags, vec![(0, 5), (2, 9)]);
         a.on_squash(0, 5, 1);
-        assert_eq!(a.candidate_tags(), vec![(2, 9)]);
+        a.candidate_tags_into(&mut tags);
+        assert_eq!(tags, vec![(2, 9)]);
+    }
+
+    #[test]
+    fn skip_quiesce_mirrors_tick_action_cycles() {
+        // No tenure, no candidates: quiescent forever.
+        let a = TwoLevelRob::new(TwoLevelConfig::r_rob(16));
+        let v = FakeView::new(2);
+        assert_eq!(a.skip_quiesce(&v), Some(Cycle::MAX));
+
+        // A pending CDR candidate bounds the horizon at its check_at.
+        let mut a = TwoLevelRob::new(TwoLevelConfig::cdr_rob(15));
+        let mut v = FakeView::new(2);
+        v.in_flight[0] = vec![5];
+        a.on_l2_miss(&v, miss(0, 5), 100);
+        assert_eq!(a.skip_quiesce(&v), Some(132), "check_at = now + delay");
+
+        // A held tenure whose trigger is still in flight (not drained,
+        // not serviced) only accumulates held_cycles: horizon open, and
+        // on_cycles_skipped replicates the accumulator.
+        let mut a = TwoLevelRob::new(TwoLevelConfig::r_rob(16));
+        let mut v = FakeView::new(2);
+        v.in_flight[0] = vec![1];
+        v.oldest[0] = Some(1);
+        v.occupancy[0] = 40;
+        a.on_l2_miss(&v, miss(0, 1), 10);
+        assert_eq!(a.owner(), Some(0));
+        assert_eq!(a.skip_quiesce(&v), Some(Cycle::MAX));
+        let before = a.stats().held_cycles;
+        a.on_cycles_skipped(7);
+        assert_eq!(a.stats().held_cycles, before + 7);
+
+        // Once the trigger leaves flight the very next tick stamps the
+        // drain start: the allocator acts now, vetoing any skip.
+        v.in_flight[0] = vec![];
+        assert_eq!(a.skip_quiesce(&v), Some(0));
     }
 
     #[test]

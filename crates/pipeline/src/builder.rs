@@ -45,6 +45,7 @@ pub struct SimulatorBuilder<T: Tracer = NoopTracer> {
     fault_plan: Option<FaultPlan>,
     warmup_insts: u64,
     budget: RunBudget,
+    cycle_skip: bool,
     tracer: T,
 }
 
@@ -66,6 +67,7 @@ impl SimulatorBuilder {
             fault_plan: None,
             warmup_insts: 0,
             budget: RunBudget::default(),
+            cycle_skip: true,
             tracer: NoopTracer,
         }
     }
@@ -108,6 +110,18 @@ impl<T: Tracer> SimulatorBuilder<T> {
         self
     }
 
+    /// Enables or disables event-driven cycle skipping (default:
+    /// enabled). Skipping is an execution-speed optimization that is
+    /// provably timing-transparent — statistics, traces and stop
+    /// cycles are identical either way — so the switch exists for
+    /// validation harnesses (`SMTSIM_NO_SKIP`) that prove exactly
+    /// that, not for tuning results.
+    #[must_use]
+    pub fn cycle_skip(mut self, enabled: bool) -> Self {
+        self.cycle_skip = enabled;
+        self
+    }
+
     /// Swaps in a tracer, changing the simulator's type: the default
     /// [`NoopTracer`] compiles every emission site away; a collecting
     /// tracer (e.g. [`smtsim_obs::TraceLog`]) records the structured
@@ -123,6 +137,7 @@ impl<T: Tracer> SimulatorBuilder<T> {
             fault_plan: self.fault_plan,
             warmup_insts: self.warmup_insts,
             budget: self.budget,
+            cycle_skip: self.cycle_skip,
             tracer,
         }
     }
@@ -143,6 +158,7 @@ impl<T: Tracer> SimulatorBuilder<T> {
             sim.run_warmup(self.warmup_insts);
         }
         sim.set_run_budget(self.budget);
+        sim.set_cycle_skip(self.cycle_skip);
         if T::ENABLED {
             sim.alloc.set_tracing(true);
             sim.mem.set_tracing(true);

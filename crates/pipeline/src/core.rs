@@ -20,8 +20,10 @@ use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::fu::FuPool;
 use crate::regfile::RegFiles;
 use crate::rob_policy::{DodBounds, RobAllocator, RobQuery, DOD_WINDOW};
+use crate::soa::{IqSoa, LsqSoa, RobSoa};
+use crate::stages::DispatchClass;
 use crate::stats::SimStats;
-use crate::types::{BranchState, Event, InstRef, InstState, IqEntry, LsqEntry};
+use crate::types::{BranchState, Event, InstRef};
 use smtsim_isa::{DynInst, ThreadId};
 use smtsim_mem::{Cycle, Hierarchy};
 use smtsim_obs::{NoopTracer, TraceEvent, Tracer};
@@ -44,9 +46,9 @@ pub(crate) struct Fetched {
 /// Per-hardware-thread state.
 pub(crate) struct Thread {
     pub exec: Executor,
-    pub rob: VecDeque<InstState>,
+    pub rob: RobSoa,
     pub next_tag: u64,
-    pub lsq: VecDeque<LsqEntry>,
+    pub lsq: LsqSoa,
     pub fetch_q: VecDeque<Fetched>,
     /// Correct-path instructions squashed by FLUSH awaiting refetch.
     pub replay_q: VecDeque<DynInst>,
@@ -83,9 +85,9 @@ impl Thread {
         let entry_pc = wl.program.pc_of(wl.program.entry(), 0);
         Thread {
             exec: Executor::new(wl, seed),
-            rob: VecDeque::with_capacity(512),
+            rob: RobSoa::with_capacity(512),
             next_tag: 0,
-            lsq: VecDeque::with_capacity(64),
+            lsq: LsqSoa::with_capacity(64),
             fetch_q: VecDeque::with_capacity(32),
             replay_q: VecDeque::new(),
             fetch_pc: entry_pc,
@@ -101,16 +103,6 @@ impl Thread {
             last_fetch_line: u64::MAX,
             last_committed_seq: None,
         }
-    }
-
-    /// Index of `tag` within the ROB deque, if still in flight.
-    ///
-    /// Tags are strictly increasing in program order but *not*
-    /// contiguous (squashes leave gaps because tags are never reused),
-    /// so this is a binary search.
-    #[inline]
-    pub fn rob_index(&self, tag: u64) -> Option<usize> {
-        self.rob.binary_search_by(|i| i.tag.cmp(&tag)).ok()
     }
 
     /// The *exact* number of instructions among the first `window` ROB
@@ -130,12 +122,14 @@ impl Thread {
             Some(r) if !r.is_zero() => 1u64 << r.flat_index(),
             _ => 0u64,
         };
-        let mut taint = bit(self.rob[idx].di.dst);
+        let mut taint = bit(self.rob.slot(idx).di.dst);
         let mut count = 0u32;
         if taint == 0 {
             return 0;
         }
-        for e in self.rob.iter().skip(idx + 1).take(window) {
+        let n = window.min(self.rob.len().saturating_sub(idx + 1));
+        for j in 0..n {
+            let e = self.rob.slot(idx + 1 + j);
             if e.wrong_path {
                 break;
             }
@@ -170,23 +164,21 @@ impl RobQuery for RobView<'_> {
     }
 
     fn oldest_tag(&self, thread: ThreadId) -> Option<u64> {
-        self.threads[thread].rob.front().map(|i| i.tag)
+        self.threads[thread].rob.front_tag()
     }
 
     fn in_flight(&self, thread: ThreadId, tag: u64) -> bool {
-        self.threads[thread].rob_index(tag).is_some()
+        self.threads[thread].rob.index_of(tag).is_some()
     }
 
     fn count_unexecuted_younger(&self, thread: ThreadId, tag: u64, window: usize) -> Option<u32> {
+        // The paper's DoD scan: with the `executed` flags held in a
+        // per-ROB bitset, counting the result-invalid entries in the
+        // window behind the load is a masked popcount over at most two
+        // u64 words per (possibly wrapped) segment.
         let th = &self.threads[thread];
-        let idx = th.rob_index(tag)?;
-        let mut count = 0u32;
-        for e in th.rob.iter().skip(idx + 1).take(window) {
-            if !e.executed {
-                count += 1;
-            }
-        }
-        Some(count)
+        let idx = th.rob.index_of(tag)?;
+        Some(th.rob.count_unexecuted(idx + 1, window))
     }
 
     fn has_pending_l2_miss(&self, thread: ThreadId) -> bool {
@@ -212,6 +204,25 @@ pub enum StopCondition {
 /// trace when tracing is enabled.
 pub(crate) const OCCUPANCY_SAMPLE_INTERVAL: Cycle = 128;
 
+/// Reusable hot-loop scratch buffers: the cycle kernel clears and
+/// refills these instead of allocating fresh `Vec`s every cycle
+/// (`mem::take` while in use, restored before the stage returns).
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Fetch-stage thread ordering.
+    pub order: Vec<ThreadId>,
+    /// Per-thread DCRA issue-queue caps.
+    pub caps: Vec<usize>,
+    /// Issue candidates as `(seq, IQ arena slot)` (seq is globally
+    /// unique, so sorting the tuples is sorting by age).
+    pub cands: Vec<(u64, u32)>,
+    /// Squash-path replay collection (front end / ROB).
+    pub fetch_replay: Vec<DynInst>,
+    pub rob_replay: Vec<DynInst>,
+    /// Per-thread dispatch classification for the cycle-skip engine.
+    pub classes: Vec<DispatchClass>,
+}
+
 /// The cycle-level SMT simulator.
 ///
 /// Generic over its [`Tracer`]: the default [`NoopTracer`] records
@@ -224,7 +235,7 @@ pub struct Simulator<T: Tracer = NoopTracer> {
     pub(crate) threads: Vec<Thread>,
     pub(crate) regs: RegFiles,
     /// Shared issue queue.
-    pub(crate) iq: Vec<IqEntry>,
+    pub(crate) iq: IqSoa,
     /// IQ entries held per thread (DCRA caps / ICOUNT).
     pub(crate) iq_usage: Vec<usize>,
     pub(crate) fu: FuPool,
@@ -251,6 +262,15 @@ pub struct Simulator<T: Tracer = NoopTracer> {
     pub(crate) dod_bounds: Vec<DodBounds>,
     /// Watchdog ceilings for `try_run` (unlimited by default).
     pub(crate) budget: crate::RunBudget,
+    /// Event-driven cycle skipping (on by default; timing-identical —
+    /// see [`Simulator::try_skip_ahead`]). Disable to cross-check.
+    pub(crate) cycle_skip: bool,
+    /// Did the cycle just stepped do any work? Cleared at the top of
+    /// [`Simulator::try_step`]; set by every stage that pops an event,
+    /// commits, finds an issue candidate, dispatches, or may fetch.
+    pub(crate) cycle_activity: bool,
+    /// Reusable hot-loop buffers (see [`Scratch`]).
+    pub(crate) scratch: Scratch,
     /// Structured-event sink (a ZST no-op by default).
     pub(crate) tracer: T,
 }
@@ -336,14 +356,25 @@ impl<T: Tracer> Simulator<T> {
             .map(|(t, wl)| Thread::new(wl, seed.wrapping_add(t as u64)))
             .collect();
         let stats = SimStats::new(cfg.num_threads);
+        let regs = RegFiles::new(
+            cfg.int_regs / cfg.num_threads,
+            cfg.fp_regs / cfg.num_threads,
+            cfg.num_threads,
+            cfg.shared_regs,
+        );
+        // The IQ's wakeup network hangs one waiter list off every
+        // physical register, so the register files are sized first.
+        let iq = IqSoa::new(
+            cfg.iq_size,
+            [
+                regs.total(smtsim_isa::RegClass::Int),
+                regs.total(smtsim_isa::RegClass::Fp),
+            ],
+            cfg.num_threads,
+        );
         Ok(Simulator {
-            regs: RegFiles::new(
-                cfg.int_regs / cfg.num_threads,
-                cfg.fp_regs / cfg.num_threads,
-                cfg.num_threads,
-                cfg.shared_regs,
-            ),
-            iq: Vec::with_capacity(cfg.iq_size),
+            regs,
+            iq,
             iq_usage: vec![0; cfg.num_threads],
             fu: FuPool::new(&cfg.fu),
             mem: Hierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.mem),
@@ -362,6 +393,9 @@ impl<T: Tracer> Simulator<T> {
             integrity_violation: None,
             dod_bounds: Vec::new(),
             budget: crate::RunBudget::default(),
+            cycle_skip: true,
+            cycle_activity: true,
+            scratch: Scratch::default(),
             tracer,
             threads,
             cfg,
@@ -407,7 +441,7 @@ impl<T: Tracer> Simulator<T> {
             return;
         };
         let th = &self.threads[r.thread];
-        let Some(idx) = th.rob_index(r.tag) else {
+        let Some(idx) = th.rob.index_of(r.tag) else {
             return;
         };
         let exact = th.exact_dependents(idx, DOD_WINDOW);
@@ -492,18 +526,11 @@ impl<T: Tracer> Simulator<T> {
         self.alloc.as_ref()
     }
 
-    /// Looks up an in-flight instruction.
-    #[inline]
-    pub(crate) fn inst(&self, r: InstRef) -> Option<&InstState> {
-        let th = &self.threads[r.thread];
-        th.rob_index(r.tag).map(|i| &th.rob[i])
-    }
-
-    /// Mutable lookup.
-    #[inline]
-    pub(crate) fn inst_mut(&mut self, r: InstRef) -> Option<&mut InstState> {
-        let th = &mut self.threads[r.thread];
-        th.rob_index(r.tag).map(move |i| &mut th.rob[i])
+    /// Enables or disables event-driven cycle skipping (on by default;
+    /// timing-identical — see
+    /// [`SimulatorBuilder::cycle_skip`](crate::SimulatorBuilder::cycle_skip)).
+    pub(crate) fn set_cycle_skip(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
     }
 
     /// Schedules an event.
@@ -583,6 +610,7 @@ impl<T: Tracer> Simulator<T> {
     /// After an error the machine state is left as-is for post-mortem
     /// inspection; continuing to step is not meaningful.
     pub fn try_step(&mut self) -> Result<(), SimError> {
+        self.cycle_activity = false;
         self.process_events();
         self.commit_stage();
         self.issue_stage();
@@ -681,9 +709,165 @@ impl<T: Tracer> Simulator<T> {
                 self.stats.cycles = self.now;
                 return Err(e);
             }
+            if self.cycle_skip && !self.cycle_activity {
+                self.try_skip_ahead(stop);
+            }
         }
         self.stats.cycles = self.now;
         Ok(&self.stats)
+    }
+
+    /// Event-driven cycle skipping: called after a *quiet* cycle (no
+    /// event processed, nothing committed, no issue candidate, no
+    /// dispatch, no thread allowed to fetch). If the machine is
+    /// provably quiescent until some future cycle `T` — no scheduled
+    /// event, allocation-policy deadline, fetch wakeup, budget poll,
+    /// invariant scan or watchdog deadline lands earlier — replicate
+    /// the per-cycle accounting of the intervening cycles in closed
+    /// form and advance the clock directly, so the next `try_step`
+    /// executes cycle `T` exactly as it would have without the skip.
+    ///
+    /// Soundness: every input of the per-thread dispatch
+    /// classification (fetch-queue head and its `ready_at`, ROB/IQ/LSQ
+    /// occupancies, DCRA caps via `pending_l1d`, free registers,
+    /// policy capacity) can only change through events, commits,
+    /// dispatches, fetches or policy-tick transitions — all of which
+    /// are either impossible on a quiet machine or capped below `T`.
+    /// Stall counters, occupancy sums, trace stall/occupancy samples
+    /// and the commit/dispatch round-robin cursors are replicated
+    /// per skipped cycle; budgets and the deadlock watchdog keep their
+    /// exact firing cycles because `T` is capped at each deadline.
+    fn try_skip_ahead(&mut self, stop: StopCondition) {
+        // Active fault plans may mutate per-cycle decision state inside
+        // the dispatch gates; never skip under one.
+        if self.fault.plan.is_active() {
+            return;
+        }
+        let view = RobView {
+            threads: &self.threads,
+        };
+        // The allocation policy's quiescence horizon: the earliest
+        // future cycle at which its `tick` may act (None = opaque
+        // policy or pending release work — do not skip).
+        let Some(alloc_quiet) = self.alloc.skip_quiesce(&view) else {
+            return;
+        };
+        let mut target = alloc_quiet;
+        if let StopCondition::Cycles(n) = stop {
+            target = target.min(n);
+        }
+        if let Some(&Reverse(ev)) = self.events.peek() {
+            target = target.min(ev.at);
+        }
+        if let Some(max) = self.budget.max_cycles {
+            target = target.min(max);
+        }
+        if self.budget.wall_ms.is_some() || self.budget.token.is_some() {
+            // Wall-clock / cancellation polls happen when `check_budget`
+            // runs at a multiple of BUDGET_POLL_INTERVAL; make every
+            // poll cycle a real loop iteration.
+            target = target.min(self.now.next_multiple_of(crate::BUDGET_POLL_INTERVAL));
+        }
+        let iv = self.cfg.invariant_interval;
+        // The deep scan runs while stepping cycle c whenever (c + 1)
+        // is a multiple of the interval (0 = disabled); that cycle
+        // must be stepped normally.
+        if let Some(q) = self.now.checked_div(iv) {
+            target = target.min((q + 1) * iv - 1);
+        }
+        // The deadlock watchdog fires while stepping cycle
+        // last_commit + deadlock_cycles; step it normally.
+        target = target.min(self.last_commit.saturating_add(self.cfg.deadlock_cycles));
+        for th in &self.threads {
+            if th.fetch_stall_until > self.now {
+                target = target.min(th.fetch_stall_until);
+            }
+            if let Some(f) = th.fetch_q.front() {
+                if f.ready_at > self.now {
+                    target = target.min(f.ready_at);
+                }
+            }
+        }
+        if target <= self.now {
+            return;
+        }
+        // The quiet step observed fetch at the *previous* cycle; a
+        // stall that expired exactly at the new `now` makes a thread
+        // fetch-eligible this cycle even though nothing above caps the
+        // target (its fetch queue may be empty). Fetching is activity,
+        // so a fetch-eligible thread means the machine is not
+        // quiescent.
+        for t in 0..self.cfg.num_threads {
+            if self.can_fetch(t) {
+                return;
+            }
+        }
+
+        // Classify every thread's dispatch gate from current state; a
+        // thread that could dispatch means the machine is not actually
+        // quiescent (e.g. the policy tick just granted capacity), so
+        // fall back to normal stepping.
+        let n = self.cfg.num_threads;
+        let mut caps = std::mem::take(&mut self.scratch.caps);
+        let mut classes = std::mem::take(&mut self.scratch.classes);
+        self.dcra_caps_into(&mut caps);
+        classes.clear();
+        for (t, &cap) in caps.iter().enumerate() {
+            classes.push(self.classify_dispatch(t, cap));
+        }
+        if classes.contains(&DispatchClass::Pass) {
+            self.scratch.caps = caps;
+            self.scratch.classes = classes;
+            return;
+        }
+
+        // Replicate the per-cycle accounting of cycles [now, target).
+        let k = target - self.now;
+        for (t, class) in classes.iter().enumerate() {
+            if let DispatchClass::Stall(kind) = *class {
+                self.bump_stall(t, kind, k);
+            }
+        }
+        self.stats.iq_occupancy_sum += self.iq.len() as u64 * k;
+        if self.iq.len() >= self.cfg.iq_size {
+            self.stats.iq_full_cycles += k;
+        }
+        for (t, th) in self.threads.iter().enumerate() {
+            self.stats.threads[t].rob_occupancy_sum += th.rob.len() as u64 * k;
+        }
+        self.alloc.on_cycles_skipped(k);
+        if T::ENABLED {
+            // Synthesize the exact trace stream the stepped cycles
+            // would have produced: dispatch-stage stall records in
+            // round-robin visit order, then the occupancy samples.
+            for c in self.now..target {
+                let start = (self.dispatch_rr + (c - self.now) as usize) % n;
+                for j in 0..n {
+                    let t = (start + j) % n;
+                    if let DispatchClass::Stall(kind) = classes[t] {
+                        self.tracer
+                            .record(c, TraceEvent::ThreadStall { thread: t, kind });
+                    }
+                }
+                if c.is_multiple_of(OCCUPANCY_SAMPLE_INTERVAL) {
+                    for (t, th) in self.threads.iter().enumerate() {
+                        let occupancy = u32::try_from(th.rob.len()).unwrap_or(u32::MAX);
+                        self.tracer.record(
+                            c,
+                            TraceEvent::RobOccupancy {
+                                thread: t,
+                                occupancy,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.commit_rr = (self.commit_rr + k as usize % n) % n;
+        self.dispatch_rr = (self.dispatch_rr + k as usize % n) % n;
+        self.now = target;
+        self.scratch.caps = caps;
+        self.scratch.classes = classes;
     }
 
     /// Cooperative watchdog: enforces the [`crate::RunBudget`] ceilings
@@ -808,21 +992,24 @@ impl<T: Tracer> Simulator<T> {
         }
     }
 
-    /// Thread order for fetch this cycle, best candidate first.
-    pub(crate) fn fetch_order(&self) -> Vec<ThreadId> {
+    /// Thread order for fetch this cycle, best candidate first, filled
+    /// into the caller's reusable buffer.
+    pub(crate) fn fetch_order_into(&self, order: &mut Vec<ThreadId>) {
         let n = self.cfg.num_threads;
-        let mut order: Vec<ThreadId> = (0..n).collect();
+        order.clear();
+        order.extend(0..n);
         match self.cfg.fetch_policy {
             FetchPolicyKind::RoundRobin => {
                 order.rotate_left((self.now as usize) % n);
             }
             // ICOUNT ordering is shared by ICOUNT, DCRA, STALL, FLUSH
-            // (the latter differ in gating, not ordering).
+            // (the latter differ in gating, not ordering). The sort key
+            // is made total by the thread id, so the unstable sort is
+            // deterministic.
             _ => {
-                order.sort_by_key(|&t| (self.threads[t].icount, t));
+                order.sort_unstable_by_key(|&t| (self.threads[t].icount, t));
             }
         }
-        order
     }
 
     /// May `t` fetch this cycle under the active policy?
@@ -845,24 +1032,27 @@ impl<T: Tracer> Simulator<T> {
     /// Per-thread shared-IQ dispatch caps under DCRA; `usize::MAX` when
     /// DCRA is not active. Register files are per-thread partitions in
     /// this model, so the issue queue is the resource DCRA arbitrates.
-    pub(crate) fn dcra_caps(&self) -> Vec<usize> {
+    pub(crate) fn dcra_caps_into(&self, caps: &mut Vec<usize>) {
         let n = self.cfg.num_threads;
+        caps.clear();
         let FetchPolicyKind::Dcra(dcra) = self.cfg.fetch_policy else {
-            return vec![usize::MAX; n];
+            caps.resize(n, usize::MAX);
+            return;
         };
         // Classification: a thread with an outstanding L1-D miss is
         // memory-demanding ("slow") and receives `slow_share` times the
         // base share of the shared issue queue.
-        let slow: Vec<bool> = self.threads.iter().map(|t| t.pending_l1d > 0).collect();
-        let s = slow.iter().filter(|&&x| x).count() as u32;
+        let s = self.threads.iter().filter(|t| t.pending_l1d > 0).count() as u32;
         let f = n as u32 - s;
         let denom = (f + dcra.slow_share * s).max(1);
-        (0..n)
-            .map(|t| {
-                let mult = if slow[t] { dcra.slow_share } else { 1 } as usize;
-                (self.cfg.iq_size * mult) / denom as usize
-            })
-            .collect()
+        caps.extend((0..n).map(|t| {
+            let mult = if self.threads[t].pending_l1d > 0 {
+                dcra.slow_share
+            } else {
+                1
+            } as usize;
+            (self.cfg.iq_size * mult) / denom as usize
+        }));
     }
 
     /// Verifies cross-structure invariants, returning a description of
@@ -873,14 +1063,14 @@ impl<T: Tracer> Simulator<T> {
         // Shared IQ: every entry references an in-flight, unissued,
         // non-NOP instruction; per-thread usage counters agree.
         let mut iq_per_thread = vec![0usize; self.cfg.num_threads];
-        for e in &self.iq {
-            let Some(i) = self.inst(e.inst) else {
-                return Some(format!("IQ entry {:?} not in flight", e.inst));
+        for (et, etag) in self.iq.iter() {
+            let Some(idx) = self.threads[et].rob.index_of(etag) else {
+                return Some(format!("IQ entry t{et} tag {etag} not in flight"));
             };
-            if i.issued {
-                return Some(format!("issued instruction {:?} still in IQ", e.inst));
+            if self.threads[et].rob.issued(idx) {
+                return Some(format!("issued instruction t{et} tag {etag} still in IQ"));
             }
-            iq_per_thread[e.inst.thread] += 1;
+            iq_per_thread[et] += 1;
         }
         if self.iq.len() > self.cfg.iq_size {
             return Some(format!("IQ overflow: {}", self.iq.len()));
@@ -894,29 +1084,36 @@ impl<T: Tracer> Simulator<T> {
             }
             let th = &self.threads[t];
             // ROB: tags strictly increasing; LSQ mirrors the ROB's
-            // memory ops in order; occupancy within the policy cap is
-            // not asserted (capacity may legally shrink below
-            // occupancy while a two-level extension drains).
+            // memory ops in order (checked with a cursor walk — no
+            // collection); occupancy within the policy cap is not
+            // asserted (capacity may legally shrink below occupancy
+            // while a two-level extension drains).
             let mut prev_tag = None;
-            let mut mem_tags = Vec::new();
-            for i in &th.rob {
+            let mut lsq_cursor = 0usize;
+            for idx in 0..th.rob.len() {
+                let tag = th.rob.tag_at(idx);
                 if let Some(p) = prev_tag {
-                    if i.tag <= p {
-                        return Some(format!("t{t}: ROB tags not increasing at {}", i.tag));
+                    if tag <= p {
+                        return Some(format!("t{t}: ROB tags not increasing at {tag}"));
                     }
                 }
-                prev_tag = Some(i.tag);
-                if i.di.op.is_mem() {
-                    mem_tags.push(i.tag);
+                prev_tag = Some(tag);
+                if th.rob.slot(idx).di.op.is_mem() {
+                    if lsq_cursor >= th.lsq.len() || th.lsq.tag_at(lsq_cursor) != tag {
+                        return Some(format!(
+                            "t{t}: LSQ out of sync with ROB mem op tag {tag} at LSQ index {lsq_cursor}"
+                        ));
+                    }
+                    lsq_cursor += 1;
                 }
-                if i.executed && !i.issued {
-                    return Some(format!("t{t}: executed-but-unissued tag {}", i.tag));
+                if th.rob.executed(idx) && !th.rob.issued(idx) {
+                    return Some(format!("t{t}: executed-but-unissued tag {tag}"));
                 }
             }
-            let lsq_tags: Vec<u64> = th.lsq.iter().map(|e| e.tag).collect();
-            if lsq_tags != mem_tags {
+            if lsq_cursor != th.lsq.len() {
                 return Some(format!(
-                    "t{t}: LSQ {lsq_tags:?} != ROB mem ops {mem_tags:?}"
+                    "t{t}: LSQ holds {} entries beyond the ROB's {lsq_cursor} mem ops",
+                    th.lsq.len()
                 ));
             }
             if th.lsq.len() > self.cfg.lsq_size {
@@ -936,6 +1133,76 @@ impl<T: Tracer> Simulator<T> {
         None
     }
 
+    /// Per-stage benchmark hooks (`bench-internals` feature): expose
+    /// the stage entry points in `try_step` order so a bench harness
+    /// can time each stage inside a faithful cycle loop. Not part of
+    /// the supported API.
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_process_events(&mut self) {
+        self.process_events();
+    }
+
+    /// Commit stage alone; see [`Simulator::bench_process_events`].
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_commit_stage(&mut self) {
+        self.commit_stage();
+    }
+
+    /// Issue/execute stage alone; see
+    /// [`Simulator::bench_process_events`].
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_issue_stage(&mut self) {
+        self.issue_stage();
+    }
+
+    /// Dispatch/rename stage alone; see
+    /// [`Simulator::bench_process_events`].
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_dispatch_stage(&mut self) {
+        self.dispatch_stage();
+    }
+
+    /// Fetch stage alone; see [`Simulator::bench_process_events`].
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_fetch_stage(&mut self) {
+        self.fetch_stage();
+    }
+
+    /// Runs the end-of-cycle bookkeeping the stage hooks below do not
+    /// cover (policy tick, occupancy sampling, trace drains, clock
+    /// advance) — the remainder of [`Simulator::try_step`] minus the
+    /// integrity surfacing, which per-stage benches do not exercise.
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_cycle_end(&mut self) {
+        self.policy_tick();
+        self.sample_occupancy();
+        if T::ENABLED {
+            for (c, ev) in self.alloc.drain_trace() {
+                self.tracer.record(c, ev);
+            }
+            for (c, ev) in self.mem.drain_trace() {
+                self.tracer.record(c, ev);
+            }
+        }
+        self.now += 1;
+    }
+
+    /// One masked-popcount DoD scan per thread (behind the oldest
+    /// entry), summed — the kernel the paper's counter hardware models.
+    #[cfg(feature = "bench-internals")]
+    pub fn bench_dod_scan(&self, window: usize) -> u64 {
+        let view = RobView {
+            threads: &self.threads,
+        };
+        (0..self.cfg.num_threads)
+            .filter_map(|t| {
+                let tag = view.oldest_tag(t)?;
+                view.count_unexecuted_younger(t, tag, window)
+            })
+            .map(u64::from)
+            .sum()
+    }
+
     /// Captures the diagnostic state the deadlock watchdog reports.
     #[cold]
     fn deadlock_snapshot(&self) -> DeadlockSnapshot {
@@ -952,11 +1219,11 @@ impl<T: Tracer> Simulator<T> {
                     rob_cap: self.alloc.capacity(t),
                     iq_use: self.iq_usage[t],
                     icount: th.icount,
-                    head: th.rob.front().map(|h| HeadSnapshot {
-                        tag: h.tag,
-                        op: h.di.op,
-                        issued: h.issued,
-                        executed: h.executed,
+                    head: (!th.rob.is_empty()).then(|| HeadSnapshot {
+                        tag: th.rob.tag_at(0),
+                        op: th.rob.slot(0).di.op,
+                        issued: th.rob.issued(0),
+                        executed: th.rob.executed(0),
                     }),
                     fetch_halted: th.fetch_halted,
                     fetch_stall_until: th.fetch_stall_until,
@@ -975,6 +1242,7 @@ impl<T: Tracer> Simulator<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::InstState;
     use smtsim_isa::{ArchReg, OpClass};
 
     /// A thread whose ROB is filled with hand-built entries, bypassing

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod fu;
 pub mod regfile;
 pub mod rob_policy;
+pub(crate) mod soa;
 pub mod stages;
 pub mod stats;
 pub mod types;

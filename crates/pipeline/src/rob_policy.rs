@@ -170,6 +170,27 @@ pub trait RobAllocator {
     fn drain_trace(&mut self) -> Vec<(Cycle, smtsim_obs::TraceEvent)> {
         Vec::new()
     }
+
+    /// Cycle-skip contract: the earliest future cycle at which this
+    /// policy's [`RobAllocator::tick`] may do *anything* (allocate,
+    /// release, emit a trace event, mutate statistics other than
+    /// through [`RobAllocator::on_cycles_skipped`]) given the current
+    /// machine state, assuming no event, commit, dispatch, fetch or
+    /// squash happens in the meantime. Returning `Some(c)` promises
+    /// every tick strictly before `c` is a no-op on a quiescent
+    /// machine, licensing the simulator to skip those cycles; return
+    /// [`Cycle::MAX`] when tick never acts. The default `None` vetoes
+    /// skipping entirely — the conservative answer for policies written
+    /// before this hook existed.
+    fn skip_quiesce(&self, _view: &dyn RobQuery) -> Option<Cycle> {
+        None
+    }
+
+    /// The simulator skipped `skipped` quiescent cycles in one jump;
+    /// policies with per-cycle accumulators (e.g. a held-extension
+    /// cycle counter bumped in `tick`) replicate them here so
+    /// statistics match the unskipped execution exactly.
+    fn on_cycles_skipped(&mut self, _skipped: u64) {}
 }
 
 /// Fixed private per-thread ROBs — the paper's baseline machines
@@ -210,6 +231,11 @@ impl RobAllocator for FixedRob {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    /// The baseline's tick never acts: quiescent forever.
+    fn skip_quiesce(&self, _view: &dyn RobQuery) -> Option<Cycle> {
+        Some(Cycle::MAX)
     }
 }
 

@@ -5,12 +5,26 @@ use crate::config::FetchPolicyKind;
 use crate::core::{Fetched, RobView, Simulator};
 use crate::fault::FillFault;
 use crate::rob_policy::{MissEvent, RobQuery};
-use crate::types::{
-    BranchState, Event, EventKind, InstRef, InstState, IqEntry, LsqEntry, MemState,
-};
-use smtsim_isa::{DynInst, OpClass, ThreadId, INST_BYTES};
+use crate::types::{BranchState, Event, EventKind, InstRef, InstState, LsqEntry, MemState};
+use smtsim_isa::{OpClass, ThreadId, INST_BYTES};
 use smtsim_obs::{DodSource, StallKind, TraceEvent, Tracer};
 use std::cmp::Reverse;
+
+/// Outcome of the dispatch gate for one thread this cycle, shared by
+/// [`Simulator::try_dispatch_one`] and the cycle-skip engine (which
+/// replays `Stall` outcomes in closed form over skipped cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DispatchClass {
+    /// Nothing in the fetch queue.
+    EmptyQ,
+    /// Head of the fetch queue still in decode (`ready_at` in the
+    /// future).
+    NotReady,
+    /// Blocked on a structural resource; counted as a stall.
+    Stall(StallKind),
+    /// Would dispatch.
+    Pass,
+}
 
 impl<T: Tracer> Simulator<T> {
     // ------------------------------------------------------------------
@@ -23,6 +37,9 @@ impl<T: Tracer> Simulator<T> {
                 break;
             }
             self.events.pop();
+            // Even a stale event (squashed target) counts as activity:
+            // it changed the event queue the skip decision peeks at.
+            self.cycle_activity = true;
             match ev.kind {
                 EventKind::Complete => self.handle_complete(ev.inst),
                 EventKind::L2MissDetected => self.handle_miss_detected(ev.inst),
@@ -34,28 +51,41 @@ impl<T: Tracer> Simulator<T> {
     /// Writeback: the instruction's result becomes valid.
     fn handle_complete(&mut self, r: InstRef) {
         // Squashed instructions leave stale events behind; drop them.
-        let Some(i) = self.inst_mut(r) else { return };
-        debug_assert!(!i.executed, "double completion for {r:?}");
-        i.executed = true;
-        let di = i.di;
-        let tag = i.tag;
-        let wrong_path = i.wrong_path;
-        let dst = i.dst_phys;
-        let branch = i.branch;
-        let l1_missed = i.mem.is_some_and(|m| m.l1_miss);
+        let Some(idx) = self.threads[r.thread].rob.index_of(r.tag) else {
+            return;
+        };
+        let th = &mut self.threads[r.thread];
+        debug_assert!(!th.rob.executed(idx), "double completion for {r:?}");
+        th.rob.set_executed(idx, true);
+        let s = th.rob.slot(idx);
+        let di = s.di;
+        let tag = s.tag;
+        let wrong_path = s.wrong_path;
+        let dst = s.dst_phys;
+        let branch = s.branch;
+        let l1_missed = s.mem.is_some_and(|m| m.l1_miss);
 
         if let Some(d) = dst {
             self.regs.set_ready(d, true);
+            // Wake the consumers parked on this register.
+            self.iq.wake_reg(d);
         }
         let th = &mut self.threads[r.thread];
+        let mut store_resolved = false;
         if di.op.is_mem() {
-            if let Some(e) = th.lsq.iter_mut().find(|e| e.tag == tag) {
-                e.resolved = true;
+            if let Some(li) = th.lsq.index_of(tag) {
+                th.lsq.set_resolved(li);
+                store_resolved = di.op == OpClass::Store;
             }
         }
         if l1_missed {
             debug_assert!(th.pending_l1d > 0);
             th.pending_l1d -= 1;
+        }
+        if store_resolved {
+            // Only store resolutions can release a disambiguation-
+            // blocked load; re-test this thread's waiting loads.
+            self.iq.wake_lsq(r.thread, &self.threads[r.thread].lsq);
         }
 
         // Branch resolution.
@@ -88,21 +118,24 @@ impl<T: Tracer> Simulator<T> {
 
     /// The core notices an L2 miss (L1 probe + L2 probe have completed).
     fn handle_miss_detected(&mut self, r: InstRef) {
-        let Some(i) = self.inst_mut(r) else { return };
-        if i.executed {
+        let Some(idx) = self.threads[r.thread].rob.index_of(r.tag) else {
+            return;
+        };
+        if self.threads[r.thread].rob.executed(idx) {
             return; // forwarding or a squash/refetch race resolved it
         }
-        let Some(m) = i.mem.as_mut() else { return };
+        let s = self.threads[r.thread].rob.slot_mut(idx);
+        let Some(m) = s.mem.as_mut() else { return };
         m.miss_visible = true;
         let ev = MissEvent {
             thread: r.thread,
             tag: r.tag,
-            pc: i.di.pc,
-            hist: i.dod_hist,
-            wrong_path: i.wrong_path,
+            pc: s.di.pc,
+            hist: s.dod_hist,
+            wrong_path: s.wrong_path,
         };
-        let next_pc = i.di.next_pc;
-        let wrong_path = i.wrong_path;
+        let next_pc = s.di.next_pc;
+        let wrong_path = s.wrong_path;
         self.threads[r.thread].pending_l2_visible += 1;
         if !wrong_path {
             self.stats.threads[r.thread].l2_misses += 1;
@@ -135,15 +168,18 @@ impl<T: Tracer> Simulator<T> {
     /// The fill for an L2-missing load arrives: sample the DoD
     /// histogram (Figures 1/3/7) and notify the policy.
     fn handle_fill(&mut self, r: InstRef) {
-        let Some(i) = self.inst_mut(r) else { return };
-        let Some(m) = i.mem.as_mut() else { return };
+        let Some(idx) = self.threads[r.thread].rob.index_of(r.tag) else {
+            return;
+        };
+        let s = self.threads[r.thread].rob.slot_mut(idx);
+        let Some(m) = s.mem.as_mut() else { return };
         let was_visible = std::mem::take(&mut m.miss_visible);
         let ev = MissEvent {
             thread: r.thread,
             tag: r.tag,
-            pc: i.di.pc,
-            hist: i.dod_hist,
-            wrong_path: i.wrong_path,
+            pc: s.di.pc,
+            hist: s.dod_hist,
+            wrong_path: s.wrong_path,
         };
         if was_visible {
             let th = &mut self.threads[r.thread];
@@ -248,51 +284,63 @@ impl<T: Tracer> Simulator<T> {
             }
             let t = (start + k) % n;
             while budget > 0 {
-                let committable = self.threads[t].rob.front().is_some_and(|h| h.executed);
-                if !committable {
-                    break;
+                if !self.threads[t].rob.front_executed() {
+                    break; // also covers an empty ROB
                 }
-                let Some(i) = self.threads[t].rob.pop_front() else {
-                    break; // unreachable: head presence checked above
+                // In-place commit: copy the few scalars this stage
+                // needs from the head slot, then drop the entry
+                // without recomposing the full `InstState`.
+                let (tag, seq, op, mem_addr, old_phys, wrong_path, pc, dst, taken) = {
+                    let s = self.threads[t].rob.slot(0);
+                    (
+                        s.tag,
+                        s.di.seq,
+                        s.di.op,
+                        s.di.mem_addr,
+                        s.old_phys,
+                        s.wrong_path,
+                        s.di.pc,
+                        s.di.dst,
+                        s.di.taken,
+                    )
                 };
+                self.threads[t].rob.drop_front();
+                self.cycle_activity = true;
                 // Architectural integrity (always-on cheap checks): the
                 // committed stream is the functional trace, contiguous
                 // and in order, and never wrong-path work.
-                if i.wrong_path {
+                if wrong_path {
                     self.report_integrity(format!(
-                        "t{t}: wrong-path instruction tag {} reached commit",
-                        i.tag
+                        "t{t}: wrong-path instruction tag {tag} reached commit"
                     ));
                     break;
                 }
                 if let Some(prev) = self.threads[t].last_committed_seq {
-                    if i.di.seq != prev + 1 {
+                    if seq != prev + 1 {
                         self.report_integrity(format!(
-                            "t{t}: commit-order hole: seq {} committed after seq {prev}",
-                            i.di.seq
+                            "t{t}: commit-order hole: seq {seq} committed after seq {prev}"
                         ));
                         break;
                     }
                 }
-                self.threads[t].last_committed_seq = Some(i.di.seq);
-                if i.di.op.is_mem() {
+                self.threads[t].last_committed_seq = Some(seq);
+                if op.is_mem() {
                     match self.threads[t].lsq.pop_front() {
-                        Some(e) if e.tag == i.tag => {
-                            if i.di.op == OpClass::Store {
-                                self.mem.store_commit(i.di.mem_addr, self.now);
+                        Some(e) if e.tag == tag => {
+                            if op == OpClass::Store {
+                                self.mem.store_commit(mem_addr, self.now);
                             }
                         }
                         head => {
                             self.report_integrity(format!(
-                                "t{t}: LSQ/ROB desync at commit: mem op tag {} vs LSQ head {:?}",
-                                i.tag,
+                                "t{t}: LSQ/ROB desync at commit: mem op tag {tag} vs LSQ head {:?}",
                                 head.map(|e| e.tag)
                             ));
                             break;
                         }
                     }
                 }
-                if let Some(old) = i.old_phys {
+                if let Some(old) = old_phys {
                     self.regs.commit_release(t, old);
                 }
                 if T::ENABLED {
@@ -300,12 +348,12 @@ impl<T: Tracer> Simulator<T> {
                         self.now,
                         TraceEvent::Commit {
                             thread: t,
-                            tag: i.tag,
-                            seq: i.di.seq,
-                            pc: i.di.pc,
-                            dst: i.di.dst.map_or(0, |r| r.flat_index() as u32 + 1),
-                            mem_addr: i.di.mem_addr,
-                            taken: i.di.taken,
+                            tag,
+                            seq,
+                            pc,
+                            dst: dst.map_or(0, |r| r.flat_index() as u32 + 1),
+                            mem_addr,
+                            taken,
                         },
                     );
                 }
@@ -320,110 +368,84 @@ impl<T: Tracer> Simulator<T> {
     // Issue
     // ------------------------------------------------------------------
 
-    /// Is the instruction's register/memory-ordering state ready for
-    /// issue? (FU availability is checked separately.)
-    fn ready_to_issue(&self, r: InstRef, i: &InstState) -> bool {
-        let op = i.di.op;
-        // Stores only need their address operand; data is read at
-        // commit, by which time the (older) producer has completed.
-        let need = if op == OpClass::Store { 1 } else { 2 };
-        for p in i.src_phys.iter().take(need).flatten() {
-            if !self.regs.is_ready(*p) {
-                return false;
-            }
-        }
-        if op == OpClass::Load {
-            // Conservative memory disambiguation: wait until every
-            // older store in this thread's LSQ has a resolved address.
-            for e in &self.threads[r.thread].lsq {
-                if e.tag >= i.tag {
-                    break;
-                }
-                if e.is_store && !e.resolved {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
     pub(crate) fn issue_stage(&mut self) {
-        // Collect ready candidates, oldest first. An IQ entry whose
-        // instruction is no longer in flight means squash cleanup
-        // missed it — an integrity violation, not a panic.
-        let mut cands: Vec<(u64, InstRef)> = Vec::with_capacity(self.iq.len().min(16));
-        let mut stale: Option<String> = None;
-        for e in &self.iq {
-            let Some(i) = self.inst(e.inst) else {
-                let th = &self.threads[e.inst.thread];
-                stale = Some(format!(
-                    "IQ entry not in flight: now={} entry={:?} rob=[{:?}..{:?}] len={}",
-                    self.now,
-                    e.inst,
-                    th.rob.front().map(|i| i.tag),
-                    th.rob.back().map(|i| i.tag),
-                    th.rob.len()
-                ));
-                continue;
-            };
-            if !i.issued && self.ready_to_issue(e.inst, i) {
-                cands.push((e.seq, e.inst));
-            }
-        }
-        if let Some(detail) = stale {
-            self.report_integrity(detail);
+        // Select from the ready pool, oldest first. The wakeup network
+        // (see [`crate::soa::IqSoa`]) already proved every pooled entry
+        // register-ready and disambiguation-clear — there is no
+        // per-cycle readiness scan; this stage only validates pool
+        // entries against the arena, orders them by global age, and
+        // spends the issue width. Stores waited only on their address
+        // operand; data is read at commit, by which time the (older)
+        // producer has completed.
+        let mut cands = std::mem::take(&mut self.scratch.cands);
+        cands.clear();
+        self.iq.drain_ready_into(&mut cands);
+        if cands.is_empty() {
+            self.scratch.cands = cands;
             return;
         }
-        cands.sort_unstable_by_key(|&(seq, _)| seq);
+        // A candidate this cycle — even one blocked on a structural FU
+        // hazard — means the machine may make progress next cycle
+        // without any event, so the cycle is not quiet.
+        self.cycle_activity = true;
+        cands.sort_unstable();
         let mut width = self.cfg.issue_width;
-        for (_, r) in cands {
+        for &(seq, slot) in &cands {
             if width == 0 {
-                break;
+                // Out of issue bandwidth: everything still ready stays
+                // pooled for next cycle.
+                self.iq.requeue_ready(slot, seq);
+                continue;
             }
-            let Some(i) = self.inst(r) else {
-                self.report_integrity(format!("issue candidate {r:?} vanished mid-cycle"));
-                return;
+            let (t, tag) = (self.iq.thread(slot), self.iq.tag(slot));
+            let p = self.iq.robp(slot);
+            // Cached physical ROB slot, binary-search fallback when a
+            // ring `grow` relocated it. An IQ entry whose instruction
+            // is no longer in flight means squash cleanup missed it —
+            // an integrity violation, not a panic.
+            let idx = match self.threads[t].rob.live_at(p, tag) {
+                Some(idx) => idx,
+                None => match self.threads[t].rob.index_of(tag) {
+                    Some(idx) => idx,
+                    None => {
+                        self.report_integrity(format!(
+                            "IQ entry not in flight: now={} t{t} tag {tag} rob=[{:?}..{:?}] len={}",
+                            self.now,
+                            self.threads[t].rob.front_tag(),
+                            self.threads[t].rob.back_tag(),
+                            self.threads[t].rob.len()
+                        ));
+                        continue;
+                    }
+                },
             };
-            let op = i.di.op;
+            let op = self.threads[t].rob.slot(idx).di.op;
             if !self.fu.can_issue(op, self.now) {
-                continue; // structural hazard on this unit class
+                // Structural hazard on this unit class: still ready,
+                // back into the pool.
+                self.iq.requeue_ready(slot, seq);
+                continue;
             }
-            self.do_issue(r);
+            self.do_issue(t, tag, idx);
+            // Entries are freed at issue, as in the M-Sim baseline.
+            self.iq.free_slot(slot);
+            self.iq_usage[t] -= 1;
+            self.threads[t].icount -= 1;
             width -= 1;
         }
-        // Drop issued entries from the shared IQ (entries are freed at
-        // issue, as in the M-Sim baseline).
-        let threads = &mut self.threads;
-        let iq_usage = &mut self.iq_usage;
-        let mut removed: Vec<InstRef> = Vec::new();
-        self.iq.retain(|e| {
-            let th = &threads[e.inst.thread];
-            let keep = match th.rob_index(e.inst.tag) {
-                Some(idx) => !th.rob[idx].issued,
-                None => false,
-            };
-            if !keep {
-                removed.push(e.inst);
-            }
-            keep
-        });
-        for r in removed {
-            iq_usage[r.thread] -= 1;
-            threads[r.thread].icount -= 1;
-        }
+        self.scratch.cands = cands;
     }
 
     /// Issues one instruction: reserves the FU, performs the cache
-    /// access for loads, and schedules completion.
-    fn do_issue(&mut self, r: InstRef) {
-        let (op, addr, pc, tag, wrong_path) = {
-            let Some(i) = self.inst(r) else {
-                self.report_integrity(format!("issuing vanished instruction {r:?}"));
-                return;
-            };
-            (i.di.op, i.di.mem_addr, i.di.pc, i.tag, i.wrong_path)
+    /// access for loads, and schedules completion. `idx` is the
+    /// caller's ROB index for `(t, tag)`; nothing between the lookup
+    /// and the flag writes below mutates the ROB, so it stays valid.
+    fn do_issue(&mut self, t: ThreadId, tag: u64, idx: usize) {
+        let (op, addr, pc, wrong_path) = {
+            let s = self.threads[t].rob.slot(idx);
+            (s.di.op, s.di.mem_addr, s.di.pc, s.wrong_path)
         };
-        let t = r.thread;
+        let r = InstRef { thread: t, tag };
         let mut mem_state: Option<MemState> = None;
         let mut fill_fault = FillFault::None;
         let complete_at;
@@ -433,12 +455,10 @@ impl<T: Tracer> Simulator<T> {
                 // Store-to-load forwarding: youngest older store to the
                 // same 8-byte chunk (all older stores are resolved —
                 // ready_to_issue guarantees it).
-                let fwd = self.threads[t]
-                    .lsq
-                    .iter()
-                    .rev()
-                    .find(|e| e.tag < tag && e.is_store && (e.addr >> 3) == (addr >> 3))
-                    .is_some();
+                let fwd = {
+                    let lsq = &self.threads[t].lsq;
+                    lsq.forwarding_store_before(lsq.lower_bound(tag), addr >> 3)
+                };
                 if fwd {
                     complete_at = agen + 1;
                     mem_state = Some(MemState {
@@ -499,13 +519,10 @@ impl<T: Tracer> Simulator<T> {
                 complete_at = self.fu.issue(op, self.now);
             }
         }
-        let Some(i) = self.inst_mut(r) else {
-            self.report_integrity(format!("instruction {r:?} vanished during issue"));
-            return;
-        };
-        i.issued = true;
+        let th = &mut self.threads[t];
+        th.rob.set_issued(idx, true);
         if let Some(m) = mem_state {
-            i.mem = Some(m);
+            th.rob.slot_mut(idx).mem = Some(m);
         }
         if !wrong_path {
             self.stats.threads[t].issued += 1;
@@ -526,7 +543,8 @@ impl<T: Tracer> Simulator<T> {
     // ------------------------------------------------------------------
 
     pub(crate) fn dispatch_stage(&mut self) {
-        let caps = self.dcra_caps();
+        let mut caps = std::mem::take(&mut self.scratch.caps);
+        self.dcra_caps_into(&mut caps);
         let n = self.cfg.num_threads;
         let mut budget = self.cfg.dispatch_width;
         let start = self.dispatch_rr;
@@ -543,58 +561,83 @@ impl<T: Tracer> Simulator<T> {
                 budget -= 1;
             }
         }
+        self.scratch.caps = caps;
+    }
+
+    /// Classifies thread `t`'s dispatch gate this cycle without
+    /// committing to anything. The gate order (and therefore which
+    /// stall gets charged) is load-bearing: it must match the order the
+    /// pre-factored `try_dispatch_one` checked. (Dispatch consults the
+    /// ROB capacity through the fault layer, which may be lying about
+    /// it.)
+    pub(crate) fn classify_dispatch(&mut self, t: ThreadId, iq_cap: usize) -> DispatchClass {
+        let (op, dst, needs_iq) = {
+            let th = &self.threads[t];
+            let Some(f) = th.fetch_q.front() else {
+                return DispatchClass::EmptyQ;
+            };
+            if f.ready_at > self.now {
+                return DispatchClass::NotReady;
+            }
+            let op = f.di.op;
+            (op, f.di.dst.filter(|d| !d.is_zero()), op != OpClass::Nop)
+        };
+        let rob_cap = self.dispatch_capacity(t);
+        if self.threads[t].rob.len() >= rob_cap {
+            return DispatchClass::Stall(StallKind::RobFull);
+        }
+        if needs_iq && self.iq.len() >= self.cfg.iq_size {
+            return DispatchClass::Stall(StallKind::IqFull);
+        }
+        if needs_iq && self.iq_usage[t] >= iq_cap {
+            return DispatchClass::Stall(StallKind::DcraCap);
+        }
+        if op.is_mem() && self.threads[t].lsq.len() >= self.cfg.lsq_size {
+            return DispatchClass::Stall(StallKind::LsqFull);
+        }
+        if let Some(d) = dst {
+            if self.regs.free_count(t, d.class()) == 0 {
+                return DispatchClass::Stall(StallKind::NoRegs);
+            }
+        }
+        DispatchClass::Pass
+    }
+
+    /// Charges `k` cycles of the given dispatch stall to thread `t`'s
+    /// statistics (`k` = 1 from the dispatch stage; the cycle-skip
+    /// engine replays whole quiescent stretches at once).
+    pub(crate) fn bump_stall(&mut self, t: ThreadId, kind: StallKind, k: u64) {
+        let st = &mut self.stats.threads[t];
+        match kind {
+            StallKind::RobFull => st.rob_stall_cycles += k,
+            StallKind::IqFull => st.stall_iq += k,
+            StallKind::DcraCap => st.stall_caps += k,
+            StallKind::LsqFull => st.stall_lsq += k,
+            StallKind::NoRegs => st.stall_regs += k,
+        }
     }
 
     /// Attempts to dispatch the head of thread `t`'s fetch queue.
     /// Returns false when the thread cannot dispatch this cycle.
     fn try_dispatch_one(&mut self, t: ThreadId, iq_cap: usize) -> bool {
+        match self.classify_dispatch(t, iq_cap) {
+            DispatchClass::EmptyQ | DispatchClass::NotReady => return false,
+            DispatchClass::Stall(kind) => {
+                self.bump_stall(t, kind, 1);
+                self.trace_stall(t, kind);
+                return false;
+            }
+            DispatchClass::Pass => {}
+        }
         let now = self.now;
-        let (op, dst, needs_iq) = {
-            let th = &self.threads[t];
-            let Some(f) = th.fetch_q.front() else {
-                return false;
-            };
-            if f.ready_at > now {
-                return false;
-            }
-            let op = f.di.op;
-            (op, f.di.dst.filter(|d| !d.is_zero()), op != OpClass::Nop)
-        };
-        // Structural checks. (Dispatch consults the capacity through
-        // the fault layer, which may be lying about it.)
-        let rob_cap = self.dispatch_capacity(t);
-        if self.threads[t].rob.len() >= rob_cap {
-            self.stats.threads[t].rob_stall_cycles += 1;
-            self.trace_stall(t, StallKind::RobFull);
-            return false;
-        }
-        if needs_iq && self.iq.len() >= self.cfg.iq_size {
-            self.stats.threads[t].stall_iq += 1;
-            self.trace_stall(t, StallKind::IqFull);
-            return false;
-        }
-        if needs_iq && self.iq_usage[t] >= iq_cap {
-            self.stats.threads[t].stall_caps += 1;
-            self.trace_stall(t, StallKind::DcraCap);
-            return false;
-        }
-        if op.is_mem() && self.threads[t].lsq.len() >= self.cfg.lsq_size {
-            self.stats.threads[t].stall_lsq += 1;
-            self.trace_stall(t, StallKind::LsqFull);
-            return false;
-        }
-        if let Some(d) = dst {
-            if self.regs.free_count(t, d.class()) == 0 {
-                self.stats.threads[t].stall_regs += 1;
-                self.trace_stall(t, StallKind::NoRegs);
-                return false;
-            }
-        }
 
         // Commit to dispatching.
         let Some(f) = self.threads[t].fetch_q.pop_front() else {
-            return false; // unreachable: head presence checked above
+            return false; // unreachable: classify saw the head
         };
+        let op = f.di.op;
+        let dst = f.di.dst.filter(|d| !d.is_zero());
+        let needs_iq = op != OpClass::Nop;
         let src_phys = f.di.srcs.map(|s| s.map(|a| self.regs.map(t, a)));
         let (dst_phys, old_phys) = match dst {
             Some(d) => match self.regs.rename_dst(t, d) {
@@ -628,10 +671,28 @@ impl<T: Tracer> Simulator<T> {
             mem: f.di.op.is_mem().then(MemState::default),
             dod_hist: self.gshare.history(t),
         };
+        // The ROB entry lands first so the IQ can cache its physical
+        // slot (nothing below reads the ROB this cycle, so the order
+        // relative to the IQ/LSQ inserts is not observable).
+        self.threads[t].rob.push_back(inst);
         if needs_iq {
-            self.iq.push(IqEntry {
-                inst: InstRef { thread: t, tag },
-                seq,
+            // The IQ's wait conditions: stores wait only on their
+            // address operand (src 0); loads additionally wait on
+            // older-store resolution. The disambiguation verdict is
+            // taken now — every LSQ entry present is older than this
+            // instruction, whose own LSQ entry lands below — and
+            // re-tested only on store resolutions ([`IqSoa::wake_lsq`]).
+            let iq_srcs = if op == OpClass::Store {
+                [src_phys[0], None]
+            } else {
+                src_phys
+            };
+            let th = &self.threads[t];
+            let lsq_blocked = op == OpClass::Load && th.lsq.unresolved_store_before(th.lsq.len());
+            let robp = th.rob.back_phys();
+            let regs = &self.regs;
+            self.iq.push(t, tag, seq, robp, iq_srcs, lsq_blocked, |r| {
+                regs.is_ready(r)
             });
             self.iq_usage[t] += 1;
         } else {
@@ -652,8 +713,8 @@ impl<T: Tracer> Simulator<T> {
                 self.threads[t].redirect_tag = Some(tag);
             }
         }
-        self.threads[t].rob.push_back(inst);
         self.stats.threads[t].dispatched += 1;
+        self.cycle_activity = true;
         true
     }
 
@@ -672,22 +733,29 @@ impl<T: Tracer> Simulator<T> {
     // ------------------------------------------------------------------
 
     pub(crate) fn fetch_stage(&mut self) {
-        let order = self.fetch_order();
+        let mut order = std::mem::take(&mut self.scratch.order);
+        self.fetch_order_into(&mut order);
         let mut budget = self.cfg.fetch_width;
         let mut threads_used = 0usize;
-        for t in order {
+        for &t in &order {
             if budget == 0 || threads_used >= self.cfg.fetch_threads {
                 break;
             }
             if !self.can_fetch(t) {
                 continue;
             }
+            // A thread allowed into fetch is activity even when it
+            // fetches nothing: the zero-fetch paths mutate fetch state
+            // (an I-miss arms `fetch_stall_until`, an exhausted
+            // wrong-path walk sets `fetch_halted`).
+            self.cycle_activity = true;
             let fetched = self.fetch_thread(t, budget);
             budget -= fetched;
             if fetched > 0 {
                 threads_used += 1;
             }
         }
+        self.scratch.order = order;
     }
 
     /// Fetches up to `budget` instructions from thread `t`; returns the
@@ -824,8 +892,11 @@ impl<T: Tracer> Simulator<T> {
             );
         }
         // 1. Front end: drain the fetch queue (younger than all ROB
-        //    entries).
-        let mut fetch_replay: Vec<DynInst> = Vec::new();
+        //    entries). Replay collection reuses the scratch buffers
+        //    (squash never nests — it is only entered from the event
+        //    handlers, one at a time).
+        let mut fetch_replay = std::mem::take(&mut self.scratch.fetch_replay);
+        fetch_replay.clear();
         {
             let th = &mut self.threads[thread];
             for f in th.fetch_q.drain(..) {
@@ -837,12 +908,13 @@ impl<T: Tracer> Simulator<T> {
         }
 
         // 2. ROB: walk youngest-first, undoing rename state.
-        let mut rob_replay: Vec<DynInst> = Vec::new();
+        let mut rob_replay = std::mem::take(&mut self.scratch.rob_replay);
+        rob_replay.clear();
         let mut oldest_branch_hist: Option<u16> = None;
         let mut squashed = 0u64;
         loop {
             let th = &mut self.threads[thread];
-            if th.rob.back().is_none_or(|b| b.tag < from_tag) {
+            if th.rob.back_tag().is_none_or(|b| b < from_tag) {
                 break;
             }
             let Some(i) = th.rob.pop_back() else {
@@ -882,24 +954,20 @@ impl<T: Tracer> Simulator<T> {
         }
         self.stats.threads[thread].squashed += squashed;
 
-        // 3. Shared IQ: drop entries belonging to the squashed range.
+        // 3. Shared IQ: free the squashed range's arena slots (stale
+        //    waiter-list and ready-pool references fall out at their
+        //    next validation).
         let iq_usage = &mut self.iq_usage;
         let threads = &mut self.threads;
-        let mut iq_removed = 0usize;
-        self.iq.retain(|e| {
-            let keep = e.inst.thread != thread || e.inst.tag < from_tag;
-            if !keep {
-                iq_removed += 1;
-            }
-            keep
+        self.iq.squash(thread, from_tag, || {
+            iq_usage[thread] -= 1;
+            threads[thread].icount -= 1;
         });
-        iq_usage[thread] -= iq_removed;
-        threads[thread].icount -= iq_removed;
 
         // 4. LSQ: truncate from the back.
         {
             let th = &mut self.threads[thread];
-            while th.lsq.back().is_some_and(|e| e.tag >= from_tag) {
+            while th.lsq.back_tag().is_some_and(|e| e >= from_tag) {
                 th.lsq.pop_back();
             }
         }
@@ -922,10 +990,10 @@ impl<T: Tracer> Simulator<T> {
                 // Program order: ROB entries (collected youngest-first,
                 // so reversed) then fetch-queue entries, then whatever
                 // was already awaiting replay.
-                for di in fetch_replay.into_iter().rev() {
+                for di in fetch_replay.drain(..).rev() {
                     th.replay_q.push_front(di);
                 }
-                for di in rob_replay {
+                for di in rob_replay.drain(..) {
                     th.replay_q.push_front(di);
                 }
             } else {
@@ -935,6 +1003,8 @@ impl<T: Tracer> Simulator<T> {
                 );
             }
         }
+        self.scratch.fetch_replay = fetch_replay;
+        self.scratch.rob_replay = rob_replay;
 
         // 6. Branch-history repair: restore the snapshot of the oldest
         //    squashed branch (callers may further adjust, e.g. shifting

@@ -17,7 +17,10 @@
 //!   golden files in `tests/golden/`; `--bless` rewrites the goldens
 //!   after an intended change. Golden comparison is skipped when any
 //!   budget knob is overridden, because the goldens are recorded at
-//!   the default CI-scale settings.
+//!   the default CI-scale settings. A third `fig2` leg runs under
+//!   `SMTSIM_NO_SKIP=1` and must match the default output
+//!   byte-for-byte: event-driven cycle skipping (DESIGN.md §15) is
+//!   defined to be timing-transparent.
 //! * `conform` — runs the `conform` differential-conformance bin
 //!   (committed mixes + fuzz corpus replay + fresh-seed smoke) at
 //!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless both runs
@@ -375,12 +378,15 @@ const DETERMINISM_DEFAULTS: &[(&str, &str)] = &[
 /// Runs one `smtsim-bench` binary at the given job count and captures
 /// stdout. Knobs already present in the environment win over the
 /// `defaults`; otherwise a fast CI-scale budget keeps the check under
-/// a minute.
+/// a minute. `forced` entries are set unconditionally — they override
+/// both the defaults and the caller's environment (used for legs that
+/// deliberately flip a knob, like the `SMTSIM_NO_SKIP` comparison).
 fn run_bench_bin(
     root: &Path,
     bin: &str,
     jobs: usize,
     defaults: &[(&str, &str)],
+    forced: &[(&str, &str)],
 ) -> Result<String, String> {
     // Bins write `results/` relative to their CWD; run them in a
     // scratch directory so this reduced-budget check never overwrites
@@ -401,6 +407,9 @@ fn run_bench_bin(
         if std::env::var_os(k).is_none() {
             cmd.env(k, v);
         }
+    }
+    for &(k, v) in forced {
+        cmd.env(k, v);
     }
     let out = cmd
         .output()
@@ -508,7 +517,7 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
         .chain([&("SEED", ""), &("ST_BUDGET", "")])
         .all(|(k, _)| std::env::var_os(k).is_none());
     for bin in ["fig2", "fig1", "accuracy", "trace", "resume_bench", "check"] {
-        let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS) {
+        let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS, &[]) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("xtask determinism: {e}");
@@ -516,7 +525,7 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
                 continue;
             }
         };
-        let parallel = match run_bench_bin(root, bin, 4, DETERMINISM_DEFAULTS) {
+        let parallel = match run_bench_bin(root, bin, 4, DETERMINISM_DEFAULTS, &[]) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("xtask determinism: {e}");
@@ -538,6 +547,36 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
                 }
             } else {
                 println!("xtask determinism: {bin}: golden comparison skipped (knobs overridden)");
+            }
+        }
+        // Cycle skipping is defined to be timing-transparent
+        // (DESIGN.md §15): a fast-forwarded quiet stretch must leave
+        // the machine in exactly the state the cycle-by-cycle loop
+        // would have reached. Pin that with a third fig2 leg run under
+        // `SMTSIM_NO_SKIP=1` and byte-compared against the default.
+        if bin == "fig2" {
+            match run_bench_bin(
+                root,
+                bin,
+                1,
+                DETERMINISM_DEFAULTS,
+                &[("SMTSIM_NO_SKIP", "1")],
+            ) {
+                Ok(noskip) if noskip == serial => {
+                    println!("xtask determinism: {bin}: identical with SMTSIM_NO_SKIP=1");
+                }
+                Ok(noskip) => {
+                    failed = true;
+                    eprintln!(
+                        "xtask determinism: {bin}: OUTPUT DIFFERS with SMTSIM_NO_SKIP=1 \
+                         (cycle skipping is not timing-transparent)"
+                    );
+                    report_first_divergence("skip", &serial, "no-skip", &noskip);
+                }
+                Err(e) => {
+                    eprintln!("xtask determinism: {e}");
+                    failed = true;
+                }
             }
         }
     }
@@ -565,14 +604,14 @@ const CONFORM_DEFAULTS: &[(&str, &str)] = &[
 /// criterion that the fuzzer's generated programs and verdicts are a
 /// pure function of `FUZZ_SEED`, independent of worker count.
 fn run_conform(root: &Path) -> ExitCode {
-    let serial = match run_bench_bin(root, "conform", 1, CONFORM_DEFAULTS) {
+    let serial = match run_bench_bin(root, "conform", 1, CONFORM_DEFAULTS, &[]) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("xtask conform: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let parallel = match run_bench_bin(root, "conform", 4, CONFORM_DEFAULTS) {
+    let parallel = match run_bench_bin(root, "conform", 4, CONFORM_DEFAULTS, &[]) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("xtask conform: {e}");
@@ -642,14 +681,14 @@ fn run_mutation_selftest(root: &Path, seeded: bool) -> Result<(), String> {
 /// its knobs), then runs the mutation self-test on both sides of the
 /// `seeded-release-bug` feature.
 fn run_check(root: &Path) -> ExitCode {
-    let first = match run_bench_bin(root, "check", 1, CHECK_DEFAULTS) {
+    let first = match run_bench_bin(root, "check", 1, CHECK_DEFAULTS, &[]) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("xtask check: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let second = match run_bench_bin(root, "check", 4, CHECK_DEFAULTS) {
+    let second = match run_bench_bin(root, "check", 4, CHECK_DEFAULTS, &[]) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("xtask check: {e}");
