@@ -1,11 +1,6 @@
 //! Ablation A1 (DESIGN.md §6): sensitivity of the two-level design
 //! choices (recheck cadence, CDR delay, release policy, L2 size).
+//! Thin wrapper over the committed `experiments/ablation.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::ablation(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_figure(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("ablation"))
 }

@@ -1,18 +1,7 @@
 //! DoD-accuracy table: the dynamic §4.1 counter and §4.2 predictor
 //! cross-checked against the static dependence bounds, per mix, under
 //! R-ROB16 and P-ROB5.
+//! Thin wrapper over the committed `experiments/accuracy.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let acc = smtsim_rob2::figures::accuracy(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_accuracy(&acc));
-        if acc.total_violations() > 0 {
-            return Err(smtsim_bench::BinError::Runtime(format!(
-                "{} fill(s) exceeded the static DoD bound",
-                acc.total_violations()
-            )));
-        }
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("accuracy"))
 }

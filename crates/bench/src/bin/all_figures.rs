@@ -1,115 +1,7 @@
 //! Regenerates every table and figure into `results/`, printing a
-//! one-line summary per artifact. Honors the same `BUDGET`/`WARMUP`/
-//! `SEED`/`MIXES` environment knobs as the individual binaries (plus
-//! the fault/integrity knobs — see `smtsim_bench::BenchEnv`).
-//!
-//! Sweeps are crash-isolated: a cell whose run fails (deadlock,
-//! invariant violation, panic) renders as `n/a` in its figure and is
-//! listed in the final summary; the remaining cells still regenerate.
-//! Each figure's `mix × config` matrix fans out across `SMTSIM_JOBS`
-//! worker threads (default: all cores) after a serial phase-1
-//! normalization pass; the written files are byte-identical at any
-//! job count.
-//!
-//! ```sh
-//! BUDGET=40000 SMTSIM_JOBS=4 cargo run --release -p smtsim-bench --bin all_figures
-//! ```
-
-use smtsim_rob2::{figures, report};
-use std::fs;
-
+//! one-line summary per artifact. Sweeps are crash-isolated: a failed
+//! cell renders as `n/a` and is listed in the final summary.
+//! Thin wrapper over the committed `experiments/all_figures.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(run)
-}
-
-fn run() -> Result<(), smtsim_bench::BinError> {
-    fs::create_dir_all("results")?;
-    let env = smtsim_bench::BenchEnv::from_env()?;
-    let mixes = env.mixes.clone();
-    let mut lab = smtsim_bench::prepared_lab(&env)?;
-    eprintln!(
-        "budget={} warmup={} seed={} jobs={} mixes={mixes:?}",
-        lab.mt_budget,
-        lab.warmup,
-        lab.seed,
-        lab.effective_jobs()
-    );
-
-    let write = |name: &str, contents: String| -> std::io::Result<()> {
-        fs::write(format!("results/{name}.txt"), &contents)?;
-        eprintln!("results/{name}.txt ({} bytes)", contents.len());
-        Ok(())
-    };
-
-    let mut failed: Vec<String> = Vec::new();
-
-    write("table1", report::render_table1(&lab.machine))?;
-    write("table2", report::render_table2())?;
-
-    let f1 = figures::fig1(&mut lab, &mixes);
-    failed.extend(f1.failures.iter().cloned());
-    write("fig1", report::render_histogram(&f1))?;
-
-    let f2 = figures::fig2(&mut lab, &mixes);
-    failed.extend(f2.failures.iter().cloned());
-    write("fig2", report::render_figure(&f2))?;
-
-    // A histogram whose every mix failed pools to a 0 (or NaN) mean;
-    // the comparison against Figure 1 is then undefined, not "+0 %".
-    let vs_fig1 = |pooled: f64, base: f64| match smtsim_rob2::improvement(pooled, base) {
-        Some(d) => format!("{:+.1}%", d * 100.0),
-        None => "n/a".to_string(),
-    };
-
-    let f3 = figures::fig3(&mut lab, &mixes);
-    failed.extend(f3.failures.iter().cloned());
-    write(
-        "fig3",
-        format!(
-            "{}mean dependents vs Figure 1: {}\n",
-            report::render_histogram(&f3),
-            vs_fig1(f3.pooled_mean(), f1.pooled_mean())
-        ),
-    )?;
-
-    let f4 = figures::fig4(&mut lab, &mixes);
-    failed.extend(f4.failures.iter().cloned());
-    write("fig4", report::render_figure(&f4))?;
-
-    let f5 = figures::fig5(&mut lab, &mixes);
-    failed.extend(f5.failures.iter().cloned());
-    write("fig5", report::render_figure(&f5))?;
-
-    let f6 = figures::fig6(&mut lab, &mixes);
-    failed.extend(f6.failures.iter().cloned());
-    write("fig6", report::render_figure(&f6))?;
-
-    let f7 = figures::fig7(&mut lab, &mixes);
-    failed.extend(f7.failures.iter().cloned());
-    write(
-        "fig7",
-        format!(
-            "{}mean dependents vs Figure 1: {}\n",
-            report::render_histogram(&f7),
-            vs_fig1(f7.pooled_mean(), f1.pooled_mean())
-        ),
-    )?;
-
-    let sweep = figures::threshold_sweep(&mut lab, &mixes, &[1, 2, 4, 8, 12, 16, 24, 32]);
-    failed.extend(sweep.failures.iter().cloned());
-    write("threshold_sweep", report::render_figure(&sweep))?;
-
-    let abl = figures::ablation(&mut lab, &mixes);
-    failed.extend(abl.failures.iter().cloned());
-    write("ablation", report::render_figure(&abl))?;
-
-    if failed.is_empty() {
-        eprintln!("done");
-    } else {
-        eprintln!("done with {} failed cell(s):", failed.len());
-        for f in &failed {
-            eprintln!("  failed: {f}");
-        }
-    }
-    Ok(())
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("all_figures"))
 }

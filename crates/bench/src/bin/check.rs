@@ -1,183 +1,8 @@
 //! Bounded model checking + trace conformance for the two-level ROB
-//! transfer protocol (DESIGN.md §14).
-//!
-//! Three passes, all through `smtsim-check`:
-//!
-//! 1. **Bounded exploration** — every scheme family × release policy
-//!    is exhaustively explored at `CHECK_THREADS` × `CHECK_L2` bounds
-//!    (3 outstanding misses per thread up to 3 threads, 2 at 4). All
-//!    nine combinations — a superset of the paper's four schemes —
-//!    must be clean; a violation prints its minimal counterexample.
-//! 2. **Paper-mix conformance** — every mix in `MIXES` runs the four
-//!    paper configurations under the live simulator with tracing on,
-//!    and every emitted episode stream must be a path the abstract
-//!    model accepts.
-//! 3. **Corpus conformance** — every committed fuzz case under
-//!    `tests/corpus/` replays through the same matrix (resolved
-//!    relative to the source tree, so the scratch-CWD determinism
-//!    harness replays the same files).
-//!
-//! Exits 1 on the first violation (the counterexample or the
-//! nonconforming cycle goes to stdout so drift is visible in CI
-//! logs), 2 on malformed knobs.
-
-use smtsim_check::{explore, replay_case, replay_mix, Bounds, ModelConfig, ReplayOutcome};
-use smtsim_conform::parse_case;
-use smtsim_rob2::{ReleasePolicy, SchemeKind};
-use std::path::PathBuf;
-
-/// The committed corpus directory, pinned to the source tree (the
-/// binary's CWD is a scratch directory under `cargo xtask determinism`).
-fn corpus_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
-}
-
-/// The outstanding-miss bound implied by the thread bound: the full
-/// 3-miss product is cheap up to 3 threads; at 4 threads the state
-/// space grows ~20× per extra miss, so CI drops to 2 (the 4×3 product
-/// is still exhaustive, just a ~30 s release-mode run — see
-/// EXPERIMENTS.md).
-fn misses_for(threads: usize) -> usize {
-    if threads <= 3 {
-        3
-    } else {
-        2
-    }
-}
-
-fn print_outcomes(outcomes: &[ReplayOutcome]) {
-    for o in outcomes {
-        println!(
-            "    {:<24} ok ({} events, {} episodes, {} grants, {} denials, {} releases)",
-            o.label,
-            o.conformance.events,
-            o.conformance.episodes,
-            o.conformance.grants,
-            o.conformance.denials,
-            o.conformance.releases
-        );
-    }
-}
-
+//! transfer protocol (DESIGN.md §14): exhaustive scheme × release
+//! exploration at `CHECK_THREADS` × `CHECK_L2` bounds, then paper-mix
+//! and corpus conformance. Exits 1 on the first violation.
+//! Thin wrapper over the committed `experiments/check.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(run)
-}
-
-fn run() -> Result<(), smtsim_bench::BinError> {
-    let env = smtsim_bench::BenchEnv::from_env()?;
-    let mut failures = 0usize;
-
-    let bounds = Bounds {
-        threads: env.check_threads,
-        l2: env.check_l2,
-        misses: misses_for(env.check_threads),
-    };
-    println!(
-        "Bounded exploration (threads={}, l2={}, misses={})",
-        bounds.threads, bounds.l2, bounds.misses
-    );
-    for kind in [
-        SchemeKind::Reactive,
-        SchemeKind::CountDelayed,
-        SchemeKind::Predictive,
-    ] {
-        for release in [
-            ReleasePolicy::TriggerServiced,
-            ReleasePolicy::DrainAndNoMiss,
-            ReleasePolicy::DrainOnly,
-        ] {
-            let cfg = ModelConfig {
-                kind,
-                release,
-                bounds,
-            };
-            let report = explore(&cfg)
-                .map_err(|e| smtsim_bench::BinError::Config(format!("bad bounds: {e}")))?;
-            let label = format!("{kind:?}/{release:?}");
-            match &report.violation {
-                None => println!(
-                    "  {label:<34} clean ({} states, {} transitions, depth {})",
-                    report.states, report.transitions, report.depth
-                ),
-                Some(v) => {
-                    failures += 1;
-                    println!("  {label:<34} VIOLATION\n{v}");
-                }
-            }
-        }
-    }
-
-    println!(
-        "Paper-mix conformance (seed={}, budget={}, warmup={})",
-        env.seed, env.budget, env.warmup
-    );
-    for &m in &env.mixes {
-        match replay_mix(m, env.seed, env.budget, env.warmup) {
-            Ok(outcomes) => {
-                println!("  mix {m:>2}:");
-                print_outcomes(&outcomes);
-            }
-            Err(e) => {
-                failures += 1;
-                println!("  mix {m:>2}: FAIL\n{e}");
-            }
-        }
-    }
-
-    println!("Corpus conformance (tests/corpus)");
-    let dir = corpus_dir();
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
-        Ok(rd) => rd
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "case"))
-            .collect(),
-        Err(e) => {
-            return Err(smtsim_bench::BinError::Config(format!(
-                "cannot read {}: {e}",
-                dir.display()
-            )));
-        }
-    };
-    paths.sort();
-    if paths.is_empty() {
-        failures += 1;
-        println!("  FAIL: no .case files in {}", dir.display());
-    }
-    for path in paths {
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        let spec = match std::fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| parse_case(&t))
-        {
-            Ok(s) => s,
-            Err(e) => {
-                failures += 1;
-                println!("  {name}: FAIL (unreadable: {e})");
-                continue;
-            }
-        };
-        match replay_case(&spec) {
-            Ok(outcomes) => {
-                println!("  {name}:");
-                print_outcomes(&outcomes);
-            }
-            Err(e) => {
-                failures += 1;
-                println!("  {name}: FAIL\n{e}");
-            }
-        }
-    }
-
-    if failures > 0 {
-        println!("check: {failures} check(s) FAILED");
-        return Err(smtsim_bench::BinError::Runtime(format!(
-            "{failures} model/conformance check(s) failed"
-        )));
-    }
-    println!("check: all checks passed");
-    Ok(())
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("check"))
 }

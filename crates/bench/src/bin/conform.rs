@@ -1,142 +1,7 @@
-//! Differential conformance run: prove every ROB scheme is timing-only.
-//!
-//! Three passes, all through `smtsim-conform` (DESIGN.md §12):
-//!
-//! 1. **Committed mixes** — every paper mix in `MIXES` runs the full
-//!    scheme × baseline matrix; all commit streams must equal the
-//!    in-order functional reference.
-//! 2. **Corpus replay** — every committed case under `tests/corpus/`
-//!    (resolved relative to the source tree, so the scratch-CWD
-//!    determinism harness replays the same files) must pass.
-//! 3. **Fresh fuzz** — `FUZZ_CASES` machine-generated cases derived
-//!    from `FUZZ_SEED`, fanned out over `SMTSIM_JOBS` workers with an
-//!    index-ordered merge, so stdout is byte-identical at any job
-//!    count.
-//!
-//! Exits 1 on the first divergence (the typed failure, including the
-//! first divergent commit and its episode context, goes to stdout so
-//! drift is visible in CI logs), 2 on malformed knobs.
-
-use smtsim_conform::{check_workloads, parse_case, run_fresh_cases, CaseVerdict};
-use smtsim_workload::mix;
-use std::path::PathBuf;
-use std::sync::Arc;
-
-/// The committed corpus directory, pinned to the source tree (the
-/// binary's CWD is a scratch directory under `cargo xtask determinism`).
-fn corpus_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
-}
-
+//! Differential conformance run: prove every ROB scheme is
+//! timing-only (DESIGN.md §12). Committed mixes + corpus replay +
+//! fresh fuzz; exits 1 on the first divergence, 2 on malformed knobs.
+//! Thin wrapper over the committed `experiments/conform.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(run)
-}
-
-fn run() -> Result<(), smtsim_bench::BinError> {
-    let env = smtsim_bench::BenchEnv::from_env()?;
-    let mut failures = 0usize;
-
-    println!("Conformance differential (committed mixes)");
-    for &m in &env.mixes {
-        let wls: Vec<_> = mix(m)
-            .instantiate(env.seed)
-            .into_iter()
-            .map(Arc::new)
-            .collect();
-        match check_workloads(&wls, env.seed, env.budget, env.warmup) {
-            Ok(report) => println!(
-                "  mix {m:>2}: ok ({} commits compared, {} configs)",
-                report.commits_compared,
-                report.configs.len()
-            ),
-            Err(e) => {
-                failures += 1;
-                println!("  mix {m:>2}: FAIL\n{e}");
-            }
-        }
-    }
-
-    println!("Corpus replay (tests/corpus)");
-    let dir = corpus_dir();
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
-        Ok(rd) => rd
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "case"))
-            .collect(),
-        Err(e) => {
-            return Err(smtsim_bench::BinError::Config(format!(
-                "cannot read {}: {e}",
-                dir.display()
-            )));
-        }
-    };
-    paths.sort();
-    if paths.is_empty() {
-        failures += 1;
-        println!("  FAIL: no .case files in {}", dir.display());
-    }
-    for path in paths {
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        let spec = match std::fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| parse_case(&t))
-        {
-            Ok(s) => s,
-            Err(e) => {
-                failures += 1;
-                println!("  {name}: FAIL (unreadable: {e})");
-                continue;
-            }
-        };
-        match smtsim_conform::run_case(&spec) {
-            CaseVerdict::Pass { commits } => println!("  {name}: pass ({commits} commits)"),
-            CaseVerdict::Skipped { reason } => {
-                failures += 1;
-                println!("  {name}: FAIL (committed case skipped: {reason})");
-            }
-            CaseVerdict::Fail { failure, shrunk } => {
-                failures += 1;
-                println!("  {name}: FAIL (shrunk to {shrunk:?})\n{failure}");
-            }
-        }
-    }
-
-    println!(
-        "Fresh fuzz (seed={}, cases={})",
-        env.fuzz_seed, env.fuzz_cases
-    );
-    let jobs = env.jobs.unwrap_or(0);
-    for (i, (spec, verdict)) in run_fresh_cases(env.fuzz_seed, env.fuzz_cases, jobs)
-        .iter()
-        .enumerate()
-    {
-        match verdict {
-            CaseVerdict::Pass { commits } => {
-                println!("  case {i} (seed={}): pass ({commits} commits)", spec.seed);
-            }
-            CaseVerdict::Skipped { reason } => {
-                println!("  case {i} (seed={}): skipped ({reason})", spec.seed);
-            }
-            CaseVerdict::Fail { failure, shrunk } => {
-                failures += 1;
-                println!(
-                    "  case {i} (seed={}): FAIL (shrunk to {shrunk:?})\n{failure}",
-                    spec.seed
-                );
-            }
-        }
-    }
-
-    if failures > 0 {
-        println!("conform: {failures} check(s) FAILED");
-        return Err(smtsim_bench::BinError::Runtime(format!(
-            "{failures} conformance check(s) failed"
-        )));
-    }
-    println!("conform: all checks passed");
-    Ok(())
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("conform"))
 }

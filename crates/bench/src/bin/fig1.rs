@@ -1,11 +1,6 @@
 //! Figure 1: instructions dependent on a long-latency load, observed
 //! in the ROB at miss service time, on the Baseline_32 machine.
+//! Thin wrapper over the committed `experiments/fig1.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::fig1(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_histogram(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("fig1"))
 }

@@ -1,10 +1,5 @@
 //! Figure 2: fair throughput of 2-Level R-ROB16 vs Baseline_32/128.
+//! Thin wrapper over the committed `experiments/fig2.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::fig2(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_figure(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("fig2"))
 }

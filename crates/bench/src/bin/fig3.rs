@@ -1,17 +1,6 @@
 //! Figure 3: DoD distribution under 2-Level R-ROB16 (+56 % mean
 //! captured dependents over Figure 1 in the paper).
+//! Thin wrapper over the committed `experiments/fig3.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let mixes = env.mixes.clone();
-        let base = smtsim_rob2::figures::fig1(&mut lab, &mixes);
-        let fig = smtsim_rob2::figures::fig3(&mut lab, &mixes);
-        print!("{}", smtsim_rob2::report::render_histogram(&fig));
-        println!(
-            "mean dependents vs Figure 1: {:+.1}%",
-            (fig.pooled_mean() / base.pooled_mean() - 1.0) * 100.0
-        );
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("fig3"))
 }

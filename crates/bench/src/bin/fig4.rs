@@ -1,10 +1,5 @@
 //! Figure 4: fair throughput of 2-Level Relaxed R-ROB15.
+//! Thin wrapper over the committed `experiments/fig4.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::fig4(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_figure(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("fig4"))
 }

@@ -1,10 +1,5 @@
 //! Figure 5: fair throughput of 2-Level CDR-ROB15 (32-cycle count delay).
+//! Thin wrapper over the committed `experiments/fig5.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::fig5(&mut lab, &env.mixes);
-        print!("{}", smtsim_rob2::report::render_figure(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("fig5"))
 }

@@ -1,0 +1,23 @@
+//! Generic spec runner: executes the experiment spec named by the
+//! `SMTSIM_SPEC` environment variable (a path to a `*.toml` file —
+//! committed under `experiments/` or anywhere else). The committed
+//! harness binaries are thin wrappers over the same machinery with a
+//! fixed spec name; this bin runs ad-hoc or out-of-tree specs:
+//!
+//! ```sh
+//! SMTSIM_SPEC=experiments/l2_partition_sweep.toml \
+//!     cargo run --release -p smtsim-bench --bin spec
+//! ```
+fn main() {
+    smtsim_bench::run_bin(|| {
+        let env = smtsim_bench::BenchEnv::from_env()?;
+        let Some(path) = env.spec else {
+            return Err(smtsim_bench::BinError::Config(
+                "SMTSIM_SPEC must name an experiment spec file (e.g. \
+                 SMTSIM_SPEC=experiments/fig2.toml)"
+                    .into(),
+            ));
+        };
+        smtsim_bench::run_spec(&path)
+    })
+}

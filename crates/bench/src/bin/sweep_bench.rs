@@ -1,218 +1,8 @@
-//! Wall-clock benchmark of the two-phase sweep engine: times the same
-//! figure-sweep cell matrix serially (`jobs = 1`) and fanned out
-//! (`SMTSIM_JOBS`, default 4), verifies the rendered output is
-//! byte-identical, and records the measurement to `BENCH_sweep.json`.
-//!
-//! The cell matrix is the union of the paper's FT figures (Figures
-//! 2/4/5/6: six configurations × `MIXES`), i.e. the workload a full
-//! figure regeneration dispatches. Budgets follow the usual
-//! `BUDGET`/`ST_BUDGET`/`WARMUP`/`SEED`/`MIXES` knobs so the recorded
-//! numbers can be reproduced at any scale:
-//!
-//! ```sh
-//! BUDGET=40000 SMTSIM_JOBS=4 cargo run --release -p smtsim-bench --bin sweep_bench
-//! ```
-//!
-//! Exits 1 if the serial and parallel sweeps disagree (they are
-//! defined to be byte-identical) — turning a determinism regression
-//! into a hard failure wherever this runs.
-
-use smtsim_rob2::{figures, report};
-use std::fmt::Write as _;
-use std::time::Instant;
-
-/// Renders every FT figure of the paper once and returns the
-/// concatenated text — the byte-comparable product of one full sweep.
-fn full_figure_sweep(lab: &mut smtsim_rob2::Lab, mixes: &[usize]) -> String {
-    let mut out = String::new();
-    for fig in [
-        figures::fig2(lab, mixes),
-        figures::fig4(lab, mixes),
-        figures::fig5(lab, mixes),
-        figures::fig6(lab, mixes),
-    ] {
-        out.push_str(&report::render_figure(&fig));
-    }
-    out
-}
-
-/// Number of multithreaded cells the sweep dispatches (for the
-/// record): Figures 2/4/5 have 3 configurations each, Figure 6 has 4.
-fn cell_count(mixes: usize) -> usize {
-    (3 + 3 + 3 + 4) * mixes
-}
-
-/// Simulated cycles per kernel-throughput run: long enough that the
-/// steady-state mix of quiet and busy cycles — not warm-up fills —
-/// dominates the measurement.
-const KERNEL_CYCLES: u64 = 1_000_000;
-
-/// Times the raw cycle kernel — the Table 1 machine under the
-/// heaviest mix with the baseline ROB, the same configuration as the
-/// `simulator_20k_cycles_mix1` bench target — over [`KERNEL_CYCLES`]
-/// simulated cycles, with event-driven cycle skipping on or off.
-fn time_kernel(skip: bool) -> std::time::Duration {
-    use smtsim_pipeline::{FixedRob, MachineConfig, Simulator, StopCondition};
-    use std::sync::Arc;
-    let wls = smtsim_workload::mix(1)
-        .instantiate(42)
-        .into_iter()
-        .map(Arc::new)
-        .collect();
-    let mut sim = Simulator::builder(
-        MachineConfig::icpp08(),
-        wls,
-        Box::new(FixedRob::new(32)),
-        42,
-    )
-    .cycle_skip(skip)
-    .build()
-    .expect("Table 1 machine on Mix 1 is a valid configuration");
-    let t0 = Instant::now();
-    sim.run(StopCondition::Cycles(KERNEL_CYCLES));
-    std::hint::black_box(sim.stats().total_committed());
-    t0.elapsed()
-}
-
+//! Wall-clock benchmark of the two-phase sweep engine: serial vs
+//! fanned-out figure regeneration (byte-identity enforced), raw
+//! kernel throughput, and journal overhead; records the measurement
+//! to `BENCH_sweep.json`.
+//! Thin wrapper over the committed `experiments/sweep_bench.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(run)
-}
-
-fn run() -> Result<(), smtsim_bench::BinError> {
-    let env = smtsim_bench::BenchEnv::from_env()?;
-    let mixes = env.mixes.clone();
-    let base = env.lab();
-    let jobs = base.jobs.unwrap_or(4).max(2);
-
-    let time = |jobs: usize| {
-        let mut lab = env.lab().with_jobs(Some(jobs));
-        let t0 = Instant::now();
-        let text = full_figure_sweep(&mut lab, &mixes);
-        (t0.elapsed(), text)
-    };
-
-    eprintln!(
-        "sweep_bench: {} cells, budget={} st_budget={} warmup={} seed={}",
-        cell_count(mixes.len()),
-        base.mt_budget,
-        base.st_budget,
-        base.warmup,
-        base.seed
-    );
-    let (serial, serial_text) = time(1);
-    eprintln!("serial  (jobs=1): {serial:.2?}");
-    let (parallel, parallel_text) = time(jobs);
-    eprintln!("parallel (jobs={jobs}): {parallel:.2?}");
-
-    let identical = serial_text == parallel_text;
-    // A parallel "speedup" measured on a single hardware thread is
-    // scheduler noise, not a measurement — record null instead of a
-    // number the trajectory could mistake for a regression (or a win).
-    let hardware_threads =
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let speedup =
-        (hardware_threads >= 2).then(|| serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9));
-    match speedup {
-        Some(s) => eprintln!("speedup: {s:.2}x  identical_output: {identical}"),
-        None => eprintln!(
-            "speedup: n/a ({hardware_threads} hardware thread)  identical_output: {identical}"
-        ),
-    }
-
-    // Raw kernel throughput, with the cycle-skip engine on and off —
-    // the before/after record of the SoA + masked-DoD + skip overhaul.
-    let kernel_skip = time_kernel(true);
-    let kernel_noskip = time_kernel(false);
-    let mcps = |d: std::time::Duration| KERNEL_CYCLES as f64 / d.as_secs_f64().max(1e-9) / 1e6;
-    eprintln!(
-        "kernel ({KERNEL_CYCLES} cycles): skip {kernel_skip:.2?} ({:.2} Mcycles/s), \
-         no-skip {kernel_noskip:.2?} ({:.2} Mcycles/s)",
-        mcps(kernel_skip),
-        mcps(kernel_noskip)
-    );
-
-    // Journal overhead: one figure (unique cells — no cross-figure
-    // journal hits) timed serially with and without a cold resumable
-    // journal, isolating the pure append+flush cost per completed
-    // cell. The full figure set would flatter the journal instead:
-    // Baseline cells recur across Figures 2/4/5/6, so later figures
-    // get served from the journal and the "overhead" comes out < 1.
-    let journal_path =
-        std::env::temp_dir().join(format!("smtsim-sweep-bench-{}.jsonl", std::process::id()));
-    let _ = std::fs::remove_file(&journal_path);
-    let time_fig2 = |journal: bool| -> Result<std::time::Duration, smtsim_bench::BinError> {
-        let mut lab = env.lab().with_jobs(Some(1));
-        if journal {
-            lab = lab.with_journal(journal_path.clone());
-            lab.open_journal()?;
-        }
-        let t0 = Instant::now();
-        let _ = report::render_figure(&figures::fig2(&mut lab, &mixes));
-        Ok(t0.elapsed())
-    };
-    let plain_fig2 = time_fig2(false)?;
-    let journaled_fig2 = time_fig2(true)?;
-    let _ = std::fs::remove_file(&journal_path);
-    let journal_overhead = journaled_fig2.as_secs_f64() / plain_fig2.as_secs_f64().max(1e-9);
-    eprintln!(
-        "fig2 serial: plain {plain_fig2:.2?}, journaled {journaled_fig2:.2?}  \
-         journal_overhead: {journal_overhead:.3}x"
-    );
-
-    // Hand-rolled JSON: the workspace is dependency-free by design.
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"sweep_bench\",");
-    let _ = writeln!(
-        json,
-        "  \"workload\": \"FT figures 2/4/5/6 over {} mixes ({} multithreaded cells + phase-1 normalization)\",",
-        mixes.len(),
-        cell_count(mixes.len())
-    );
-    let _ = writeln!(json, "  \"budget\": {},", base.mt_budget);
-    let _ = writeln!(json, "  \"st_budget\": {},", base.st_budget);
-    let _ = writeln!(json, "  \"warmup\": {},", base.warmup);
-    let _ = writeln!(json, "  \"seed\": {},", base.seed);
-    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
-    let _ = writeln!(json, "  \"jobs\": {jobs},");
-    let _ = writeln!(json, "  \"serial_ms\": {},", serial.as_millis());
-    let _ = writeln!(json, "  \"parallel_ms\": {},", parallel.as_millis());
-    match speedup {
-        Some(s) => {
-            let _ = writeln!(json, "  \"speedup\": {s:.3},");
-        }
-        None => {
-            let _ = writeln!(json, "  \"speedup\": null,");
-        }
-    }
-    let _ = writeln!(json, "  \"kernel_cycles\": {KERNEL_CYCLES},");
-    let _ = writeln!(json, "  \"kernel_ms\": {},", kernel_skip.as_millis());
-    let _ = writeln!(
-        json,
-        "  \"kernel_noskip_ms\": {},",
-        kernel_noskip.as_millis()
-    );
-    let _ = writeln!(
-        json,
-        "  \"kernel_mcycles_per_sec\": {:.2},",
-        mcps(kernel_skip)
-    );
-    let _ = writeln!(json, "  \"fig2_serial_ms\": {},", plain_fig2.as_millis());
-    let _ = writeln!(
-        json,
-        "  \"fig2_journaled_ms\": {},",
-        journaled_fig2.as_millis()
-    );
-    let _ = writeln!(json, "  \"journal_overhead\": {journal_overhead:.3},");
-    let _ = writeln!(json, "  \"identical_output\": {identical}");
-    let _ = writeln!(json, "}}");
-    std::fs::write("BENCH_sweep.json", &json)?;
-    eprintln!("wrote BENCH_sweep.json");
-
-    if !identical {
-        return Err(smtsim_bench::BinError::Runtime(
-            "serial and parallel sweep output differ".into(),
-        ));
-    }
-    Ok(())
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("sweep_bench"))
 }

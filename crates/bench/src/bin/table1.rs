@@ -1,8 +1,5 @@
 //! Regenerates Table 1: the simulated machine configuration.
+//! Thin wrapper over the committed `experiments/table1.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        print!("{}", smtsim_rob2::report::render_table1(&env.lab().machine));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("table1"))
 }

@@ -1,7 +1,5 @@
 //! Regenerates Table 2: the simulated benchmark mixes.
+//! Thin wrapper over the committed `experiments/table2.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        print!("{}", smtsim_rob2::report::render_table2());
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("table2"))
 }

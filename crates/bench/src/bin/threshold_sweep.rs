@@ -1,14 +1,5 @@
-//! §5.2: DoD-threshold sweep of the reactive scheme (1..16).
+//! §5.2: DoD-threshold sweep of the reactive scheme (1..32).
+//! Thin wrapper over the committed `experiments/threshold_sweep.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(|| {
-        let env = smtsim_bench::BenchEnv::from_env()?;
-        let mut lab = smtsim_bench::prepared_lab(&env)?;
-        let fig = smtsim_rob2::figures::threshold_sweep(
-            &mut lab,
-            &env.mixes,
-            &[1, 2, 4, 8, 12, 16, 24, 32],
-        );
-        print!("{}", smtsim_rob2::report::render_figure(&fig));
-        Ok(())
-    })
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("threshold_sweep"))
 }

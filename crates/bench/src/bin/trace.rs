@@ -1,76 +1,8 @@
-//! Structured-trace dump and L2-miss episode analytics.
-//!
-//! Runs the Figure 2 configuration set (Baseline_32, Baseline_128,
-//! 2-Level R-ROB16) over `MIXES` with tracing armed, then writes:
-//!
-//! * `results/trace.jsonl` — the raw `(cycle, event)` stream as JSONL,
-//!   one cell after another (uncommitted; it is large and exists for
-//!   ad-hoc analysis — `jq 'select(.event=="l2_rob_allocated")'` etc.);
-//! * `results/episodes.txt` — the per-mix episode summary table
-//!   (committed; deterministic at any `SMTSIM_JOBS`, like every other
-//!   `results/*.txt`), also printed to stdout.
-//!
-//! The summary accounts every second-level allocation: for each cell,
-//! `alloc` episodes were granted the partition and `relsd` of those
-//! observed their release before the run ended (the difference is at
-//! most the one tenure still live at the stop cycle).
-
-use smtsim_obs::{trace_jsonl, EpisodeSummary};
-use smtsim_rob2::{RobConfig, SweepCell, TwoLevelConfig};
-use std::fmt::Write as _;
-
+//! Structured-trace dump and L2-miss episode analytics over the
+//! Figure 2 configuration set. Writes `results/episodes.txt`
+//! (committed) and `results/trace.jsonl` (scratch; for ad-hoc
+//! analysis — `jq 'select(.event=="l2_rob_allocated")'` etc.).
+//! Thin wrapper over the committed `experiments/trace.toml` spec.
 fn main() {
-    smtsim_bench::run_bin(run)
-}
-
-fn run() -> Result<(), smtsim_bench::BinError> {
-    let env = smtsim_bench::BenchEnv::from_env()?;
-    let mut lab = env.lab();
-    let configs = [
-        RobConfig::Baseline(32),
-        RobConfig::Baseline(128),
-        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
-    ];
-    let cells: Vec<SweepCell> = env
-        .mixes
-        .iter()
-        .flat_map(|&m| configs.iter().map(move |&c| (m, c)))
-        .collect();
-    let results = lab.sweep_traced(&cells);
-
-    let mut table = String::from("Episode summary (Figure 2 configuration set)\n");
-    table.push_str(&smtsim_obs::summary_table_header());
-    let mut jsonl = String::new();
-    let mut failed = 0usize;
-    for (&(m, cfg), r) in cells.iter().zip(&results) {
-        let label = format!("Mix {m} {}", cfg.label());
-        match r {
-            Ok(traced) => {
-                let summary = EpisodeSummary::from_episodes(&traced.episodes);
-                table.push_str(&summary.render_row(&label));
-                jsonl.push_str(&trace_jsonl(&traced.events));
-            }
-            Err(e) => {
-                failed += 1;
-                let _ = writeln!(table, "{label:<28} n/a ({})", e.kind());
-            }
-        }
-    }
-
-    print!("{table}");
-    std::fs::create_dir_all("results")?;
-    std::fs::write("results/episodes.txt", &table)?;
-    eprintln!("results/episodes.txt ({} bytes)", table.len());
-    std::fs::write("results/trace.jsonl", &jsonl)?;
-    eprintln!(
-        "results/trace.jsonl ({} bytes, {} cells)",
-        jsonl.len(),
-        results.len() - failed
-    );
-    if failed > 0 {
-        return Err(smtsim_bench::BinError::Runtime(format!(
-            "{failed} cell(s) failed"
-        )));
-    }
-    Ok(())
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("trace"))
 }

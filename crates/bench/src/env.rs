@@ -8,7 +8,7 @@
 //! adding a knob.
 
 use smtsim_pipeline::{FaultPlan, MachineConfig, SimError};
-use smtsim_rob2::Lab;
+use smtsim_rob2::{ExperimentSpec, Lab};
 use std::path::PathBuf;
 
 /// Parses an environment integer. A missing variable yields `default`;
@@ -69,6 +69,53 @@ fn env_path(name: &str) -> Option<PathBuf> {
     }
 }
 
+/// Which spec-overridable knobs the environment set *explicitly*.
+///
+/// Captured once in [`BenchEnv::from_env`] so the spec merge
+/// ([`BenchEnv::with_spec`]) can apply the documented precedence:
+/// **explicit env knob > spec value > built-in default**. A knob that
+/// merely fell back to its default is not explicit — a spec may still
+/// override it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExplicitKnobs {
+    /// `BUDGET` was set.
+    pub budget: bool,
+    /// `ST_BUDGET` was set.
+    pub st_budget: bool,
+    /// `WARMUP` was set.
+    pub warmup: bool,
+    /// `SEED` was set.
+    pub seed: bool,
+    /// `MIXES` was set.
+    pub mixes: bool,
+    /// `FUZZ_CASES` was set.
+    pub fuzz_cases: bool,
+    /// `FUZZ_SEED` was set.
+    pub fuzz_seed: bool,
+    /// `CHECK_THREADS` was set.
+    pub check_threads: bool,
+    /// `CHECK_L2` was set.
+    pub check_l2: bool,
+}
+
+impl ExplicitKnobs {
+    /// Snapshot of which overridable knobs the environment pins.
+    fn capture() -> ExplicitKnobs {
+        let set = |name: &str| std::env::var_os(name).is_some();
+        ExplicitKnobs {
+            budget: set("BUDGET"),
+            st_budget: set("ST_BUDGET"),
+            warmup: set("WARMUP"),
+            seed: set("SEED"),
+            mixes: set("MIXES"),
+            fuzz_cases: set("FUZZ_CASES"),
+            fuzz_seed: set("FUZZ_SEED"),
+            check_threads: set("CHECK_THREADS"),
+            check_l2: set("CHECK_L2"),
+        }
+    }
+}
+
 /// Every environment knob the harness consumes, parsed once into typed
 /// fields. See the crate-root docs for the knob table.
 #[derive(Clone, Debug)]
@@ -122,6 +169,12 @@ pub struct BenchEnv {
     /// Validation-only: output is byte-identical either way, and the
     /// `xtask determinism` gate proves it on every run.
     pub no_skip: bool,
+    /// `SMTSIM_SPEC` — experiment-spec path for the generic `spec`
+    /// bin (unset/empty = none).
+    pub spec: Option<PathBuf>,
+    /// Which spec-overridable knobs the environment set explicitly
+    /// (drives [`BenchEnv::with_spec`] precedence).
+    pub explicit: ExplicitKnobs,
 }
 
 impl BenchEnv {
@@ -184,6 +237,8 @@ impl BenchEnv {
                 }
                 l2 as u8
             },
+            spec: env_path("SMTSIM_SPEC"),
+            explicit: ExplicitKnobs::capture(),
         })
     }
 
@@ -215,6 +270,62 @@ impl BenchEnv {
             lab = lab.with_journal(path.clone());
         }
         lab
+    }
+
+    /// Merges an experiment spec into this environment under the one
+    /// documented precedence: **explicit env knob > spec value (the
+    /// `[knobs]` section over its `knobs = "<preset>"` preset) >
+    /// built-in default**. Only the spec-overridable knobs
+    /// ([`ExplicitKnobs`]) participate; everything else (journal,
+    /// watchdogs, faults, jobs…) is environment-only and copied
+    /// through.
+    ///
+    /// `ST_BUDGET` keeps its documented coupling: when neither layer
+    /// pins it, it follows the *merged* budget.
+    #[must_use]
+    pub fn with_spec(&self, spec: &ExperimentSpec) -> BenchEnv {
+        let k = spec.knobs();
+        let e = self.explicit;
+        let pick = |explicit: bool, env_v: u64, spec_v: Option<u64>| {
+            if explicit {
+                env_v
+            } else {
+                spec_v.unwrap_or(env_v)
+            }
+        };
+        let mut merged = self.clone();
+        merged.budget = pick(e.budget, self.budget, k.budget);
+        merged.st_budget = if e.st_budget {
+            self.st_budget
+        } else {
+            k.st_budget.unwrap_or(merged.budget)
+        };
+        merged.warmup = pick(e.warmup, self.warmup, k.warmup);
+        merged.seed = pick(e.seed, self.seed, k.seed);
+        if !e.mixes {
+            merged.mixes = spec.effective_mixes();
+        }
+        merged.fuzz_cases = pick(e.fuzz_cases, self.fuzz_cases, k.fuzz_cases);
+        merged.fuzz_seed = pick(e.fuzz_seed, self.fuzz_seed, k.fuzz_seed);
+        merged.check_threads =
+            pick(e.check_threads, self.check_threads as u64, k.check_threads) as usize;
+        merged.check_l2 = pick(e.check_l2, u64::from(self.check_l2), k.check_l2) as u8;
+        merged
+    }
+
+    /// Builds the lab a *merged* environment (see
+    /// [`BenchEnv::with_spec`]) describes for `spec`: the usual
+    /// [`BenchEnv::lab`] wiring plus the spec's machine (environment
+    /// integrity knobs re-applied on top), normalization reference and
+    /// content fingerprint (binding any journal to this exact spec).
+    #[must_use]
+    pub fn lab_for_spec(&self, spec: &ExperimentSpec) -> Lab {
+        let mut lab = self.lab();
+        lab.machine = spec.machine.clone();
+        lab.machine.deadlock_cycles = self.deadlock_cycles;
+        lab.machine.invariant_interval = self.invariant_interval;
+        lab.with_norm(spec.norm)
+            .with_spec_fingerprint(Some(spec.fingerprint.clone()))
     }
 }
 

@@ -4,7 +4,10 @@
 //! Every table and figure of the paper's evaluation has a binary here
 //! (`cargo run --release -p smtsim-bench --bin fig2`) that prints the
 //! same rows/series the paper reports, and a bench target exercising
-//! the same code path at a reduced budget.
+//! the same code path at a reduced budget. Each binary is a thin
+//! wrapper over [`run_spec`] and its committed `experiments/<bin>.toml`
+//! declarative spec (DESIGN.md §16); the generic `spec` bin runs any
+//! spec named by `SMTSIM_SPEC`.
 //!
 //! All environment knobs are parsed in one place — [`BenchEnv`] — and
 //! no other module in the workspace reads `std::env::var` (enforced by
@@ -34,6 +37,11 @@
 //!   proves it by re-running a figure with the knob set and comparing
 //!   bytes. It does not participate in the journal universe
 //!   fingerprint.
+//! * `SMTSIM_SPEC` — path of the experiment spec the generic `spec`
+//!   bin runs (e.g. `SMTSIM_SPEC=experiments/fig2.toml`); the
+//!   dedicated bins ignore it, each being hard-bound to its committed
+//!   spec. Env knobs compose with spec `[knobs]`/`mixes` values key by
+//!   key as explicit env > spec > built-in default (DESIGN.md §16).
 //!
 //! Resilience knobs (DESIGN.md §13 "Crash-tolerance model"):
 //!
@@ -91,8 +99,10 @@
 //!   suppressed (exercises two-level release fallback).
 
 pub mod env;
+pub mod spec_run;
 
 pub use env::{try_env_u64, BenchEnv};
+pub use spec_run::{run_named_spec, run_spec, spec_dir};
 
 use smtsim_pipeline::{FaultPlan, SimError};
 use smtsim_rob2::{JournalError, Lab};
@@ -408,5 +418,128 @@ mod tests {
         assert_eq!(corrupt.exit_code(), 1);
         let io: BinError = std::io::Error::other("disk").into();
         assert_eq!(io.exit_code(), 1);
+    }
+
+    #[test]
+    fn committed_specs_round_trip_through_the_canonical_rendering() {
+        use smtsim_rob2::ExperimentSpec;
+        let dir = spec_dir();
+        let mut stems: Vec<String> = std::fs::read_dir(&dir)
+            .expect("experiments/ is committed")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+            .collect();
+        stems.sort();
+        assert!(
+            stems.len() >= 19,
+            "all 18 bins plus l2_partition_sweep have committed specs, got {stems:?}"
+        );
+        for stem in &stems {
+            let path = dir.join(format!("{stem}.toml"));
+            let spec = ExperimentSpec::load(&path)
+                .unwrap_or_else(|e| panic!("{stem}.toml must parse: {e}"));
+            assert_eq!(&spec.id, stem, "spec id matches its file name");
+            // parse → render → parse → render is a fixed point, and
+            // the fingerprint is invariant across the round trip.
+            let rendered = spec.render();
+            let reparsed = ExperimentSpec::parse(&format!("{stem}.toml"), &rendered)
+                .unwrap_or_else(|e| panic!("{stem}.toml canonical form must re-parse: {e}"));
+            assert_eq!(reparsed.render(), rendered, "{stem}: render not canonical");
+            assert_eq!(
+                reparsed.fingerprint, spec.fingerprint,
+                "{stem}: unstable fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_env_knobs_override_spec_knobs() {
+        use smtsim_rob2::ExperimentSpec;
+        let _g = ENV_LOCK.lock().unwrap();
+        let spec = ExperimentSpec::parse(
+            "t.toml",
+            "[experiment]\nid = \"t\"\ntitle = \"T\"\nkind = \"figure\"\n\
+             schemes = [\"r-rob-16\"]\nmixes = [1, 2]\n\
+             [knobs]\nbudget = 1234\nwarmup = 99\nseed = 7\n",
+        )
+        .unwrap();
+        // No env overrides: the spec's knobs land; unset knobs keep
+        // the built-in defaults.
+        let merged = BenchEnv::from_env().unwrap().with_spec(&spec);
+        assert_eq!(merged.budget, 1234);
+        assert_eq!(merged.warmup, 99);
+        assert_eq!(merged.seed, 7);
+        assert_eq!(merged.mixes, vec![1, 2]);
+        // The spec's budget also drives the st_budget fallback when
+        // neither ST_BUDGET nor a spec st_budget is given.
+        assert_eq!(merged.st_budget, 1234);
+        // Explicit env wins over the spec, key by key.
+        std::env::set_var("BUDGET", "777");
+        std::env::set_var("MIXES", "9");
+        let merged = BenchEnv::from_env().unwrap().with_spec(&spec);
+        assert_eq!(merged.budget, 777, "explicit BUDGET beats the spec");
+        assert_eq!(merged.warmup, 99, "untouched keys still come from the spec");
+        assert_eq!(merged.mixes, vec![9], "explicit MIXES beats the spec");
+        std::env::remove_var("BUDGET");
+        std::env::remove_var("MIXES");
+    }
+
+    #[test]
+    fn spec_lowering_renders_the_legacy_bytes_at_any_job_count() {
+        use smtsim_rob2::{figures, report, ExperimentSpec, RobConfig};
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("BUDGET", "2500");
+        std::env::set_var("WARMUP", "1000");
+        std::env::set_var("MIXES", "1");
+        let env = BenchEnv::from_env().unwrap();
+        let fig2 = ExperimentSpec::load(&spec_dir().join("fig2.toml")).unwrap();
+        let merged = env.with_spec(&fig2);
+        for jobs in [1, 4] {
+            let mut legacy_lab = env.lab().with_jobs(Some(jobs));
+            let legacy = report::render_figure(&figures::fig2(&mut legacy_lab, &env.mixes));
+            let mut spec_lab = merged.lab_for_spec(&fig2).with_jobs(Some(jobs));
+            let pairs: Vec<(String, RobConfig)> = fig2
+                .variants
+                .iter()
+                .map(|v| (v.label.clone(), v.config))
+                .collect();
+            let title = fig2.title.as_deref().unwrap();
+            let from_spec = report::render_figure(&figures::ft_sweep(
+                &mut spec_lab,
+                title,
+                pairs,
+                &merged.mixes,
+            ));
+            assert_eq!(from_spec, legacy, "fig2 spec output drifted at jobs={jobs}");
+        }
+        let table1 = ExperimentSpec::load(&spec_dir().join("table1.toml")).unwrap();
+        assert_eq!(
+            report::render_table1(&env.with_spec(&table1).lab_for_spec(&table1).machine),
+            report::render_table1(&env.lab().machine),
+            "table1 spec output drifted"
+        );
+        std::env::remove_var("BUDGET");
+        std::env::remove_var("WARMUP");
+        std::env::remove_var("MIXES");
+    }
+
+    #[test]
+    fn malformed_spec_files_become_typed_config_errors() {
+        use smtsim_rob2::ExperimentSpec;
+        // The committed determinism fixture: a typo'd `[knobs]` key.
+        let fixture = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../xtask/fixtures/malformed-spec.toml");
+        let err = ExperimentSpec::load(&fixture).expect_err("fixture must be refused");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("budgett"), "{err}");
+        let bin: BinError = err.into();
+        assert_eq!(bin.exit_code(), 2);
+        // A missing file is also a typed config error naming the path.
+        let err = ExperimentSpec::load(std::path::Path::new("/nonexistent/spec.toml"))
+            .expect_err("missing file must be refused");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("/nonexistent/spec.toml"), "{err}");
     }
 }

@@ -1,0 +1,139 @@
+//! Runner for `kind = "check"`: bounded model checking + trace
+//! conformance for the two-level transfer protocol (DESIGN.md §14).
+//! Bounds and budgets come pre-merged (spec `[knobs]` under explicit
+//! env).
+
+use super::{corpus_cases, corpus_dir};
+use crate::{BenchEnv, BinError};
+use smtsim_check::{explore, replay_case, replay_mix, Bounds, ModelConfig, ReplayOutcome};
+use smtsim_conform::parse_case;
+use smtsim_rob2::{ReleasePolicy, SchemeKind};
+
+/// The outstanding-miss bound implied by the thread bound: the full
+/// 3-miss product is cheap up to 3 threads; at 4 threads the state
+/// space grows ~20× per extra miss, so CI drops to 2 (see
+/// EXPERIMENTS.md).
+fn misses_for(threads: usize) -> usize {
+    if threads <= 3 {
+        3
+    } else {
+        2
+    }
+}
+
+fn print_outcomes(outcomes: &[ReplayOutcome]) {
+    for o in outcomes {
+        println!(
+            "    {:<24} ok ({} events, {} episodes, {} grants, {} denials, {} releases)",
+            o.label,
+            o.conformance.events,
+            o.conformance.episodes,
+            o.conformance.grants,
+            o.conformance.denials,
+            o.conformance.releases
+        );
+    }
+}
+
+pub(super) fn run(env: &BenchEnv) -> Result<(), BinError> {
+    let mut failures = 0usize;
+
+    let bounds = Bounds {
+        threads: env.check_threads,
+        l2: env.check_l2,
+        misses: misses_for(env.check_threads),
+    };
+    println!(
+        "Bounded exploration (threads={}, l2={}, misses={})",
+        bounds.threads, bounds.l2, bounds.misses
+    );
+    for kind in [
+        SchemeKind::Reactive,
+        SchemeKind::CountDelayed,
+        SchemeKind::Predictive,
+    ] {
+        for release in [
+            ReleasePolicy::TriggerServiced,
+            ReleasePolicy::DrainAndNoMiss,
+            ReleasePolicy::DrainOnly,
+        ] {
+            let cfg = ModelConfig {
+                kind,
+                release,
+                bounds,
+            };
+            let report = explore(&cfg).map_err(|e| BinError::Config(format!("bad bounds: {e}")))?;
+            let label = format!("{kind:?}/{release:?}");
+            match &report.violation {
+                None => println!(
+                    "  {label:<34} clean ({} states, {} transitions, depth {})",
+                    report.states, report.transitions, report.depth
+                ),
+                Some(v) => {
+                    failures += 1;
+                    println!("  {label:<34} VIOLATION\n{v}");
+                }
+            }
+        }
+    }
+
+    println!(
+        "Paper-mix conformance (seed={}, budget={}, warmup={})",
+        env.seed, env.budget, env.warmup
+    );
+    for &m in &env.mixes {
+        match replay_mix(m, env.seed, env.budget, env.warmup) {
+            Ok(outcomes) => {
+                println!("  mix {m:>2}:");
+                print_outcomes(&outcomes);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  mix {m:>2}: FAIL\n{e}");
+            }
+        }
+    }
+
+    println!("Corpus conformance (tests/corpus)");
+    let paths = corpus_cases()?;
+    if paths.is_empty() {
+        failures += 1;
+        println!("  FAIL: no .case files in {}", corpus_dir().display());
+    }
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let spec = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| parse_case(&t))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                failures += 1;
+                println!("  {name}: FAIL (unreadable: {e})");
+                continue;
+            }
+        };
+        match replay_case(&spec) {
+            Ok(outcomes) => {
+                println!("  {name}:");
+                print_outcomes(&outcomes);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {name}: FAIL\n{e}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        println!("check: {failures} check(s) FAILED");
+        return Err(BinError::Runtime(format!(
+            "{failures} model/conformance check(s) failed"
+        )));
+    }
+    println!("check: all checks passed");
+    Ok(())
+}

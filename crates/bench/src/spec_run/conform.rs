@@ -1,0 +1,104 @@
+//! Runner for `kind = "conform"`: the three-pass differential
+//! conformance suite (committed mixes, corpus replay, fresh fuzz —
+//! DESIGN.md §12). Knobs come pre-merged (spec `[knobs]` under
+//! explicit env).
+
+use super::{corpus_cases, corpus_dir};
+use crate::{BenchEnv, BinError};
+use smtsim_conform::{check_workloads, parse_case, run_fresh_cases, CaseVerdict};
+use smtsim_workload::mix;
+use std::sync::Arc;
+
+pub(super) fn run(env: &BenchEnv) -> Result<(), BinError> {
+    let mut failures = 0usize;
+
+    println!("Conformance differential (committed mixes)");
+    for &m in &env.mixes {
+        let wls: Vec<_> = mix(m)
+            .instantiate(env.seed)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        match check_workloads(&wls, env.seed, env.budget, env.warmup) {
+            Ok(report) => println!(
+                "  mix {m:>2}: ok ({} commits compared, {} configs)",
+                report.commits_compared,
+                report.configs.len()
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("  mix {m:>2}: FAIL\n{e}");
+            }
+        }
+    }
+
+    println!("Corpus replay (tests/corpus)");
+    let paths = corpus_cases()?;
+    if paths.is_empty() {
+        failures += 1;
+        println!("  FAIL: no .case files in {}", corpus_dir().display());
+    }
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let spec = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| parse_case(&t))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                failures += 1;
+                println!("  {name}: FAIL (unreadable: {e})");
+                continue;
+            }
+        };
+        match smtsim_conform::run_case(&spec) {
+            CaseVerdict::Pass { commits } => println!("  {name}: pass ({commits} commits)"),
+            CaseVerdict::Skipped { reason } => {
+                failures += 1;
+                println!("  {name}: FAIL (committed case skipped: {reason})");
+            }
+            CaseVerdict::Fail { failure, shrunk } => {
+                failures += 1;
+                println!("  {name}: FAIL (shrunk to {shrunk:?})\n{failure}");
+            }
+        }
+    }
+
+    println!(
+        "Fresh fuzz (seed={}, cases={})",
+        env.fuzz_seed, env.fuzz_cases
+    );
+    let jobs = env.jobs.unwrap_or(0);
+    for (i, (spec, verdict)) in run_fresh_cases(env.fuzz_seed, env.fuzz_cases, jobs)
+        .iter()
+        .enumerate()
+    {
+        match verdict {
+            CaseVerdict::Pass { commits } => {
+                println!("  case {i} (seed={}): pass ({commits} commits)", spec.seed);
+            }
+            CaseVerdict::Skipped { reason } => {
+                println!("  case {i} (seed={}): skipped ({reason})", spec.seed);
+            }
+            CaseVerdict::Fail { failure, shrunk } => {
+                failures += 1;
+                println!(
+                    "  case {i} (seed={}): FAIL (shrunk to {shrunk:?})\n{failure}",
+                    spec.seed
+                );
+            }
+        }
+    }
+
+    if failures > 0 {
+        println!("conform: {failures} check(s) FAILED");
+        return Err(BinError::Runtime(format!(
+            "{failures} conformance check(s) failed"
+        )));
+    }
+    println!("conform: all checks passed");
+    Ok(())
+}

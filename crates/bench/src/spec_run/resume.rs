@@ -1,0 +1,116 @@
+//! Runner for `kind = "resume"`: the kill-and-resume demonstration
+//! for the resumable sweep journal (DESIGN.md §13).
+//!
+//! Runs the spec's cell matrix three ways and proves they render the
+//! same bytes:
+//!
+//! 1. **Uninterrupted** — a journal-armed sweep start to finish;
+//! 2. **Killed** — the same sweep against a second journal, abandoned
+//!    after half the cells ("the process died mid-sweep");
+//! 3. **Resumed** — a fresh lab relaunched on the killed journal:
+//!    completed cells are served from disk, the rest are executed.
+//!
+//! The resumed figure must be byte-identical to the uninterrupted one
+//! (exit 1 otherwise), and the resumed pass must have re-executed only
+//! the cells the kill left unfinished. `SMTSIM_JOURNAL` (if set)
+//! names the *resume* journal, otherwise a scratch path is used.
+//! Timings for the cold and resumed passes go to stderr.
+
+use crate::{BenchEnv, BinError};
+use smtsim_rob2::{figures, report, ExperimentSpec, Lab, RobConfig, SweepCell};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The spec's cell matrix in `ft_sweep` dispatch order
+/// (configuration-major), so `sweep_killed_after` journals exactly the
+/// cells the figure sweep would run first.
+fn spec_cells(spec: &ExperimentSpec, mixes: &[usize]) -> Vec<SweepCell> {
+    spec.variants
+        .iter()
+        .flat_map(|v| mixes.iter().map(move |&m| (m, v.config)))
+        .collect()
+}
+
+/// Renders the spec's FT figure on the given (journal-armed) lab.
+fn render(lab: &mut Lab, spec: &ExperimentSpec, mixes: &[usize]) -> String {
+    let title = spec.title.as_deref().expect("validated at parse time");
+    let pairs: Vec<(String, RobConfig)> = spec
+        .variants
+        .iter()
+        .map(|v| (v.label.clone(), v.config))
+        .collect();
+    report::render_figure(&figures::ft_sweep(lab, title, pairs, mixes))
+}
+
+pub(super) fn run(env: &BenchEnv, spec: &ExperimentSpec) -> Result<(), BinError> {
+    let mixes = env.mixes.clone();
+    let cells = spec_cells(spec, &mixes);
+    let kill_after = (cells.len() / 2).max(1);
+
+    let scratch = |tag: &str| -> PathBuf {
+        std::env::temp_dir().join(format!("smtsim-resume-{}-{tag}.jsonl", std::process::id()))
+    };
+    let full_path = scratch("full");
+    let resume_path = env.journal.clone().unwrap_or_else(|| scratch("kill"));
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&resume_path);
+
+    // Pass 1: uninterrupted journal-armed sweep — the reference bytes.
+    let t0 = Instant::now();
+    let reference = {
+        let mut lab = env.lab_for_spec(spec).with_journal(full_path.clone());
+        lab.open_journal()?;
+        render(&mut lab, spec, &mixes)
+    };
+    let uninterrupted = t0.elapsed();
+    eprintln!(
+        "uninterrupted: {} cells in {uninterrupted:.2?}",
+        cells.len()
+    );
+
+    // Pass 2: the "crash" — same sweep, abandoned mid-flight.
+    let mut lab = env.lab_for_spec(spec).with_journal(resume_path.clone());
+    let executed = lab.sweep_killed_after(&cells, kill_after)?;
+    eprintln!("killed after {executed}/{} cells", cells.len());
+
+    // Pass 3: relaunch on the half-written journal with a fresh lab.
+    let t0 = Instant::now();
+    let mut lab = env.lab_for_spec(spec).with_journal(resume_path.clone());
+    let on_file = lab.open_journal()?;
+    let resumed_report = lab.sweep_cells(&cells);
+    let resumed = t0.elapsed();
+    let hits = resumed_report.journal_hits();
+    eprintln!(
+        "resumed: {on_file} cell(s) on file, {hits} served from journal, \
+         {} re-executed in {resumed:.2?}",
+        cells.len() - hits
+    );
+
+    // The rendered figure goes through the same journal (now complete).
+    let mut lab = env.lab_for_spec(spec).with_journal(resume_path.clone());
+    lab.open_journal()?;
+    let resumed_text = render(&mut lab, spec, &mixes);
+
+    let _ = std::fs::remove_file(&full_path);
+    if env.journal.is_none() {
+        let _ = std::fs::remove_file(&resume_path);
+    }
+
+    if hits < executed {
+        return Err(BinError::Runtime(format!(
+            "resume re-executed journaled cells: {executed} journaled, only {hits} hits"
+        )));
+    }
+    if resumed_text != reference {
+        eprintln!("--- uninterrupted ---\n{reference}");
+        eprintln!("--- resumed ---\n{resumed_text}");
+        return Err(BinError::Runtime(
+            "resumed figure differs from the uninterrupted sweep".into(),
+        ));
+    }
+    println!(
+        "resume_bench: byte-identical after kill at {executed}/{} (journal hits: {hits})",
+        cells.len()
+    );
+    Ok(())
+}

@@ -376,6 +376,13 @@ pub struct Lab {
     /// deliberately *not* part of [`NormKey`] or the journal universe
     /// fingerprint.
     pub cycle_skip: bool,
+    /// Content fingerprint of the experiment spec driving this lab
+    /// (see [`crate::spec::ExperimentSpec::fingerprint`]); `None` for
+    /// labs built outside the spec layer. Part of the journal universe:
+    /// a journal resumed against an edited spec is rejected with a
+    /// typed [`JournalError::UniverseMismatch`] instead of silently
+    /// mixing universes.
+    pub spec_fingerprint: Option<String>,
 }
 
 impl Lab {
@@ -400,6 +407,7 @@ impl Lab {
             cell_wall_ms: None,
             retries: 0,
             cycle_skip: true,
+            spec_fingerprint: None,
         }
     }
 
@@ -476,6 +484,15 @@ impl Lab {
     #[must_use]
     pub fn with_cycle_skip(mut self, enabled: bool) -> Self {
         self.change_state(|lab| lab.cycle_skip = enabled);
+        self
+    }
+
+    /// Stamps the lab with the content fingerprint of the experiment
+    /// spec that configured it, binding any journal to that exact spec
+    /// (`None` clears the stamp).
+    #[must_use]
+    pub fn with_spec_fingerprint(mut self, fingerprint: Option<String>) -> Self {
+        self.change_state(|lab| lab.spec_fingerprint = fingerprint);
         self
     }
 
@@ -1026,13 +1043,15 @@ impl Lab {
     /// The experiment-universe fingerprint the journal is keyed by:
     /// every lab input that can change a cell's bytes (seed, budgets,
     /// warm-up, normalization universe, machine, fault plans, the
-    /// resilience knobs themselves) — but *not* the job count, which
-    /// only changes scheduling. A journal written under one fingerprint
-    /// is rejected under any other (never silently reused).
+    /// resilience knobs themselves, and the driving spec's content
+    /// fingerprint) — but *not* the job count, which only changes
+    /// scheduling. A journal written under one fingerprint is rejected
+    /// under any other (never silently reused).
     pub fn journal_universe(&self) -> String {
         journal::fingerprint_str(&format!(
             "v{} seed={} mt={} st={} warmup={} norm={} machine={:?} global_fault={:?} \
-             mix_faults={:?} transient_faults={:?} cell_cycles={:?} cell_wall_ms={:?} retries={}",
+             mix_faults={:?} transient_faults={:?} cell_cycles={:?} cell_wall_ms={:?} \
+             retries={} spec={:?}",
             journal::JOURNAL_VERSION,
             self.seed,
             self.mt_budget,
@@ -1046,6 +1065,7 @@ impl Lab {
             self.cell_cycle_budget,
             self.cell_wall_ms,
             self.retries,
+            self.spec_fingerprint,
         ))
     }
 

@@ -128,7 +128,7 @@ fn ft_figure(lab: &mut Lab, title: &str, configs: &[RobConfig], mixes: &[usize])
 /// `mix × config` cells dispatched through [`Lab::sweep`] as one batch
 /// (one phase-1 normalization pass, one phase-2 fan-out) and sliced
 /// back per series in input order.
-fn ft_sweep(
+pub fn ft_sweep(
     lab: &mut Lab,
     title: &str,
     variants: Vec<(String, RobConfig)>,
@@ -173,7 +173,11 @@ fn sweep_health_note(lab: &Lab, report: &crate::SweepReport) -> Option<String> {
         .then(|| report.health.summary_line())
 }
 
-fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
+/// Shared DoD-histogram driver: one column per mix under a single
+/// configuration. The public entry point the spec executor renders
+/// `kind = "histogram"` specs through; [`fig1`]/[`fig3`]/[`fig7`] are
+/// fixed-wiring wrappers.
+pub fn dod_figure(lab: &mut Lab, title: &str, cfg: RobConfig, mixes: &[usize]) -> HistogramData {
     let cells: Vec<SweepCell> = mixes.iter().map(|&m| (m, cfg)).collect();
     let report = lab.sweep_cells(&cells);
     let health = sweep_health_note(lab, &report);
@@ -329,10 +333,25 @@ impl AccuracyData {
 /// under the paper's reactive (R-ROB16) and predictive (P-ROB5)
 /// configurations.
 pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
-    let configs = [
-        RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
-        RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
-    ];
+    accuracy_for(
+        lab,
+        "DoD accuracy: dynamic counter & predictor vs. static bounds",
+        &[
+            RobConfig::TwoLevel(TwoLevelConfig::r_rob(16)),
+            RobConfig::TwoLevel(TwoLevelConfig::p_rob(5)),
+        ],
+        mixes,
+    )
+}
+
+/// Generic DoD-accuracy driver over an arbitrary configuration list —
+/// the entry point `kind = "accuracy"` specs render through.
+pub fn accuracy_for(
+    lab: &mut Lab,
+    title: &str,
+    configs: &[RobConfig],
+    mixes: &[usize],
+) -> AccuracyData {
     let cells: Vec<SweepCell> = configs
         .iter()
         .flat_map(|&cfg| mixes.iter().map(move |&m| (m, cfg)))
@@ -362,7 +381,7 @@ pub fn accuracy(lab: &mut Lab, mixes: &[usize]) -> AccuracyData {
         }
     }
     AccuracyData {
-        title: "DoD accuracy: dynamic counter & predictor vs. static bounds".to_string(),
+        title: title.to_string(),
         rows,
         failures,
         health,

@@ -36,6 +36,7 @@ pub mod figures;
 pub mod journal;
 pub mod metrics;
 pub mod report;
+pub mod spec;
 pub mod twolevel;
 
 pub use experiment::{
@@ -45,6 +46,7 @@ pub use experiment::{
 pub use figures::{AccuracyData, AccuracyRow, FigureData, HistogramData, Series, ALL_MIXES};
 pub use journal::{Journal, JournalEntry, JournalError};
 pub use metrics::{fair_throughput, harmonic_mean, improvement, mean, weighted_ipc};
+pub use spec::{ExperimentSpec, SpecError, SpecKind, SpecKnobs, SpecVariant};
 pub use twolevel::{
     DodPredictorKind, ReleasePolicy, Scheme, SchemeKind, TenureView, TwoLevelConfig, TwoLevelRob,
     TwoLevelStats,

@@ -19,7 +19,9 @@
 
 use smtsim_obs::MetricsRegistry;
 use smtsim_pipeline::{FaultPlan, SimError};
-use smtsim_rob2::{figures, report, JournalError, Lab, RobConfig, SweepCell, TwoLevelConfig};
+use smtsim_rob2::{
+    figures, report, ExperimentSpec, JournalError, Lab, RobConfig, SweepCell, TwoLevelConfig,
+};
 use std::fs;
 use std::path::PathBuf;
 
@@ -189,6 +191,57 @@ fn stale_universe_is_rejected_never_reused() {
     // universe, so resuming at a different SMTSIM_JOBS is fine.
     let mut lab = small_lab().with_jobs(Some(4)).with_journal(&path);
     assert_eq!(lab.open_journal().expect("jobs don't change bytes"), 1);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn edited_spec_rejects_a_resumed_journal() {
+    // A journal recorded under one experiment spec must not be resumed
+    // under an edited spec: the spec's content fingerprint is part of
+    // the journal universe.
+    let text = "[experiment]\nid = \"fig2\"\ntitle = \"Figure 2: FT with 2-Level R-ROB\"\n\
+                kind = \"figure\"\nschemes = [\"baseline-32\", \"baseline-128\", \"r-rob-16\"]\n";
+    let spec = ExperimentSpec::parse("fig2.toml", text).expect("spec parses");
+    let path = scratch("spec-stale");
+    let mut lab = small_lab()
+        .with_spec_fingerprint(Some(spec.fingerprint.clone()))
+        .with_journal(&path);
+    lab.sweep_killed_after(&fig2_cells(&[1]), 1)
+        .expect("one cell journals");
+
+    // A semantic edit (different scheme list) changes the fingerprint
+    // and the journal is rejected, typed.
+    let edited = ExperimentSpec::parse("fig2.toml", &text.replace("r-rob-16", "r-rob-8"))
+        .expect("edited spec parses");
+    assert_ne!(edited.fingerprint, spec.fingerprint);
+    let mut lab = small_lab()
+        .with_spec_fingerprint(Some(edited.fingerprint))
+        .with_journal(&path);
+    assert!(
+        matches!(
+            lab.open_journal(),
+            Err(JournalError::UniverseMismatch { .. })
+        ),
+        "edited spec must reject the journal"
+    );
+    // So does dropping the spec stamp entirely (legacy lab vs spec lab).
+    let mut lab = small_lab().with_journal(&path);
+    assert!(
+        matches!(
+            lab.open_journal(),
+            Err(JournalError::UniverseMismatch { .. })
+        ),
+        "a spec-stamped journal is not resumable by an unstamped lab"
+    );
+    // A cosmetic edit (comments/whitespace) keeps the canonical
+    // rendering, so the journal resumes.
+    let cosmetic = ExperimentSpec::parse("fig2.toml", &format!("# comment\n\n{text}"))
+        .expect("cosmetic spec parses");
+    assert_eq!(cosmetic.fingerprint, spec.fingerprint);
+    let mut lab = small_lab()
+        .with_spec_fingerprint(Some(cosmetic.fingerprint))
+        .with_journal(&path);
+    assert_eq!(lab.open_journal().expect("cosmetic edits resume"), 1);
     let _ = fs::remove_file(&path);
 }
 

@@ -1,0 +1,12 @@
+//! Seeded lint-violation fixture: a bench bin constructing its ROB
+//! schemes inline instead of resolving ids through the spec registry
+//! — exactly the drift the scheme-wiring-outside-registry rule bans.
+//! Not part of the workspace build; `cargo xtask` tests scan it.
+
+fn main() {
+    let base = RobConfig::Baseline(32);
+    let two = RobConfig::TwoLevel(TwoLevelConfig::r_rob(16));
+    // An annotated construction stays allowed:
+    let kernel = TwoLevelConfig::r_rob(1); // xtask: allow-scheme-wiring — microbenchmark fixture
+    println!("{base:?} {two:?} {kernel:?}");
+}

@@ -20,7 +20,10 @@
 //!   the default CI-scale settings. A third `fig2` leg runs under
 //!   `SMTSIM_NO_SKIP=1` and must match the default output
 //!   byte-for-byte: event-driven cycle skipping (DESIGN.md §15) is
-//!   defined to be timing-transparent.
+//!   defined to be timing-transparent. A final leg runs the generic
+//!   `spec` bin against the committed malformed-spec fixture and
+//!   requires exit code 2 with an error naming the offending key —
+//!   the typed-spec-error contract, pinned end to end.
 //! * `conform` — runs the `conform` differential-conformance bin
 //!   (committed mixes + fuzz corpus replay + fresh-seed smoke) at
 //!   `SMTSIM_JOBS=1` and `SMTSIM_JOBS=4` and fails unless both runs
@@ -59,10 +62,16 @@
 //!   Marker: `// xtask: allow-env-read`.
 //! * **wall-clock-in-sim** — `Instant` / `SystemTime` reads outside
 //!   the cell watchdog (`crates/pipeline/src/budget.rs`) and the bench
-//!   timing bins (`sweep_bench.rs`, `resume_bench.rs`). Simulated time
-//!   comes from the cycle counter; a wall-clock read anywhere near
-//!   simulator state or report output makes figures machine- and
-//!   load-dependent. Marker: `// xtask: allow-wall-clock`.
+//!   timing runners (`spec_run/sweep_bench.rs`, `spec_run/resume.rs`).
+//!   Simulated time comes from the cycle counter; a wall-clock read
+//!   anywhere near simulator state or report output makes figures
+//!   machine- and load-dependent. Marker: `// xtask: allow-wall-clock`.
+//! * **scheme-wiring-outside-registry** — `RobConfig::Baseline(…)`,
+//!   `RobConfig::TwoLevel(…)` or `TwoLevelConfig::…` constructions in
+//!   `crates/bench/src`. The bench layer executes committed
+//!   `experiments/*.toml` specs; every scheme it runs must resolve
+//!   through the spec registry so the spec files stay the single
+//!   source of experiment truth. Marker: `// xtask: allow-scheme-wiring`.
 //! * **stale-allow-marker** — any `xtask: allow-*` marker whose own
 //!   line and next line contain nothing the marker suppresses. Stale
 //!   allowances are refused outright: left in place, they silently
@@ -181,6 +190,14 @@ fn has_wall_clock(code: &str) -> bool {
     has_token(code, "Instant") || has_token(code, "SystemTime")
 }
 
+/// Does `code` hardcode a ROB scheme construction (the wiring the
+/// spec registry owns)?
+fn has_scheme_wiring(code: &str) -> bool {
+    code.contains("RobConfig::Baseline")
+        || code.contains("RobConfig::TwoLevel")
+        || code.contains("TwoLevelConfig::")
+}
+
 /// Predicate deciding whether a code line needs a given allow-marker.
 type MarkerUse = fn(&str) -> bool;
 
@@ -201,6 +218,7 @@ const MARKER_USES: &[(&str, MarkerUse)] = &[
     }),
     ("xtask: allow-env-read", |c| c.contains("env::var")),
     ("xtask: allow-wall-clock", has_wall_clock),
+    ("xtask: allow-scheme-wiring", has_scheme_wiring),
 ];
 
 /// Index of the first `#[cfg(test)]`-style line, i.e. where the file's
@@ -225,6 +243,7 @@ fn scan_file(
     is_stats: bool,
     is_env_funnel: bool,
     is_wall_exempt: bool,
+    in_bench: bool,
     out: &mut Vec<Violation>,
 ) {
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -307,6 +326,21 @@ fn scan_file(
                     .into(),
             });
         }
+        if in_bench
+            && has_scheme_wiring(code)
+            && !allowed(&lines, idx, "xtask: allow-scheme-wiring")
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "scheme-wiring-outside-registry",
+                message: "hardcoded ROB scheme construction in the bench layer: resolve \
+                          the configuration through the spec registry (a scheme id in the \
+                          experiment spec) so `experiments/*.toml` stays the single source \
+                          of experiment truth (or annotate `// xtask: allow-scheme-wiring`)"
+                    .into(),
+            });
+        }
         // Stale allow-markers: a marker that suppresses nothing on its
         // own or the next line is refused outright.
         for &(marker, used_by) in MARKER_USES {
@@ -343,17 +377,19 @@ fn run_lints(root: &Path) -> Vec<Violation> {
         let is_stats = stem == "stats.rs" || stem == "metrics.rs";
         let is_env_funnel = rel == Path::new("crates/bench/src/env.rs");
         // Wall-clock reads are the *purpose* of the cell watchdog and
-        // of the bench timing bins; everywhere else they are a
+        // of the bench timing runners; everywhere else they are a
         // determinism hazard.
         let is_wall_exempt = rel == Path::new("crates/pipeline/src/budget.rs")
-            || rel == Path::new("crates/bench/src/bin/sweep_bench.rs")
-            || rel == Path::new("crates/bench/src/bin/resume_bench.rs");
+            || rel == Path::new("crates/bench/src/spec_run/sweep_bench.rs")
+            || rel == Path::new("crates/bench/src/spec_run/resume.rs");
+        let in_bench = rel.starts_with("crates/bench/src");
         scan_file(
             f,
             in_pipeline,
             is_stats,
             is_env_funnel,
             is_wall_exempt,
+            in_bench,
             &mut out,
         );
     }
@@ -496,6 +532,42 @@ fn check_golden(root: &Path, bin: &str, golden: &str, output: &str, bless: bool)
     }
 }
 
+/// The spec-error leg of the `determinism` harness: the generic
+/// `spec` bin, pointed at the committed malformed fixture, must exit
+/// with code 2 (invalid configuration) and an error naming the
+/// offending key — proving malformed TOML surfaces as a typed
+/// `SimError::InvalidConfig` through `run_bin`, never as a panic.
+fn check_malformed_spec(root: &Path) -> Result<(), String> {
+    let fixture = root
+        .join("xtask/fixtures/malformed-spec.toml")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve malformed-spec fixture: {e}"))?;
+    let manifest = root
+        .join("Cargo.toml")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve workspace manifest: {e}"))?;
+    let out = std::process::Command::new("cargo")
+        .args(["run", "--release", "-q", "--manifest-path"])
+        .arg(manifest)
+        .args(["-p", "smtsim-bench", "--bin", "spec"])
+        .env("SMTSIM_SPEC", &fixture)
+        .output()
+        .map_err(|e| format!("cannot spawn cargo for spec: {e}"))?;
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if out.status.code() != Some(2) {
+        return Err(format!(
+            "spec bin on the malformed fixture exited with {:?}, expected 2:\n{stderr}",
+            out.status.code()
+        ));
+    }
+    if !stderr.contains("budgett") {
+        return Err(format!(
+            "spec bin's error does not name the offending key `budgett`:\n{stderr}"
+        ));
+    }
+    Ok(())
+}
+
 /// The `determinism` subcommand: byte-compares serial vs. 4-way
 /// parallel output of one FT figure, one DoD histogram, the accuracy
 /// table and the structured-trace episode summary (the figure kinds
@@ -578,6 +650,15 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
                     failed = true;
                 }
             }
+        }
+    }
+    match check_malformed_spec(root) {
+        Ok(()) => {
+            println!("xtask determinism: spec: malformed fixture exits 2 naming the key");
+        }
+        Err(e) => {
+            failed = true;
+            eprintln!("xtask determinism: {e}");
         }
     }
     if failed {
@@ -855,6 +936,31 @@ mod tests {
         assert!(stale
             .iter()
             .all(|v| v.file.ends_with("crates/core/src/stale.rs")));
+    }
+
+    #[test]
+    fn seeded_scheme_wiring_violation_fails() {
+        // The fixture plants inline RobConfig/TwoLevelConfig
+        // constructions in a bench bin; the lint must refuse the bare
+        // ones and accept the annotated one.
+        let violations = run_lints(&fixture_root());
+        let wiring: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == "scheme-wiring-outside-registry")
+            .collect();
+        assert_eq!(
+            wiring.len(),
+            2,
+            "expected exactly the two bare hardwired.rs constructions, got: {wiring:?}"
+        );
+        assert!(wiring
+            .iter()
+            .all(|v| v.file.ends_with("crates/bench/src/bin/hardwired.rs")));
+        // Core is out of scope: the registry itself constructs configs.
+        assert!(!violations
+            .iter()
+            .any(|v| v.rule == "scheme-wiring-outside-registry"
+                && !v.file.to_string_lossy().contains("crates/bench/")));
     }
 
     #[test]
