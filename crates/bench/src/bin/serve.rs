@@ -1,0 +1,8 @@
+//! The `smtsim-serve` daemon (DESIGN.md §17): sweep-as-a-service on a
+//! Unix socket with a persistent content-addressed result cache.
+//! Configured by the `SMTSIM_SERVE_*` knobs plus `SMTSIM_JOBS`; serves
+//! registry submissions from the committed `experiments/` directory
+//! and inline spec TOML. Runs until a protocol `shutdown` drains it.
+fn main() {
+    smtsim_bench::run_bin(smtsim_bench::serve_support::run_serve)
+}

@@ -1,0 +1,8 @@
+//! Wall-clock benchmark of the serve daemon's content-addressed
+//! cache: cold submit vs warm replay of the listed figure specs
+//! (byte-identity and all-hits enforced); records the measurement to
+//! `BENCH_serve.json`.
+//! Thin wrapper over the committed `experiments/serve_bench.toml` spec.
+fn main() {
+    smtsim_bench::run_bin(|| smtsim_bench::run_named_spec("serve_bench"))
+}

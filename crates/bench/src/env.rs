@@ -172,6 +172,17 @@ pub struct BenchEnv {
     /// `SMTSIM_SPEC` — experiment-spec path for the generic `spec`
     /// bin (unset/empty = none).
     pub spec: Option<PathBuf>,
+    /// `SMTSIM_SERVE_SOCKET` — Unix socket the `serve` daemon listens
+    /// on (default: `smtsim-serve.sock` under the system temp dir).
+    pub serve_socket: PathBuf,
+    /// `SMTSIM_SERVE_CACHE` — the daemon's persistent result-cache
+    /// directory (default: `smtsim-serve-cache` under the CWD, like
+    /// journal paths).
+    pub serve_cache: PathBuf,
+    /// `SMTSIM_SERVE_QUEUE` — the daemon's admission bound: maximum
+    /// concurrently admitted requests (≥ 1, default 8); the next
+    /// submission is rejected with a retryable `queue-full` error.
+    pub serve_queue: usize,
     /// Which spec-overridable knobs the environment set explicitly
     /// (drives [`BenchEnv::with_spec`] precedence).
     pub explicit: ExplicitKnobs,
@@ -238,6 +249,20 @@ impl BenchEnv {
                 l2 as u8
             },
             spec: env_path("SMTSIM_SPEC"),
+            serve_socket: env_path("SMTSIM_SERVE_SOCKET")
+                .unwrap_or_else(|| std::env::temp_dir().join("smtsim-serve.sock")),
+            serve_cache: env_path("SMTSIM_SERVE_CACHE")
+                .unwrap_or_else(|| PathBuf::from("smtsim-serve-cache")),
+            serve_queue: {
+                let q = try_env_u64("SMTSIM_SERVE_QUEUE", 8)?;
+                if q == 0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "SMTSIM_SERVE_QUEUE=0: the daemon must admit at least one request"
+                            .into(),
+                    });
+                }
+                q as usize
+            },
             explicit: ExplicitKnobs::capture(),
         })
     }

@@ -43,6 +43,17 @@
 //!   spec. Env knobs compose with spec `[knobs]`/`mixes` values key by
 //!   key as explicit env > spec > built-in default (DESIGN.md §16).
 //!
+//! Serve knobs (consumed by the `serve` daemon, DESIGN.md §17):
+//!
+//! * `SMTSIM_SERVE_SOCKET` — Unix socket the daemon listens on
+//!   (default: `smtsim-serve.sock` under the system temp dir).
+//! * `SMTSIM_SERVE_CACHE` — persistent content-addressed result-cache
+//!   directory (default: `smtsim-serve-cache` under the CWD). A
+//!   restarted daemon pointed at the same directory comes back warm.
+//! * `SMTSIM_SERVE_QUEUE` — admission bound: maximum concurrently
+//!   admitted requests (≥ 1, default 8); the next submission is
+//!   answered with a typed retryable `queue-full` rejection.
+//!
 //! Resilience knobs (DESIGN.md §13 "Crash-tolerance model"):
 //!
 //! * `SMTSIM_JOURNAL` — resumable sweep-journal path. Completed cells
@@ -99,6 +110,7 @@
 //!   suppressed (exercises two-level release fallback).
 
 pub mod env;
+pub mod serve_support;
 pub mod spec_run;
 
 pub use env::{try_env_u64, BenchEnv};

@@ -14,13 +14,15 @@
 //! * figure / histogram / table1 / table2 / accuracy — [`figures`];
 //! * episodes (trace dump) — [`trace`];
 //! * conform / check — the differential and model-checking suites;
-//! * resume / sweep-bench — the resilience and wall-clock benches;
+//! * resume / sweep-bench / serve-bench — the resilience, sweep and
+//!   daemon-cache wall-clock benches;
 //! * suite — renders each listed sibling spec into `results/<id>.txt`.
 
 mod check;
 mod conform;
 pub(crate) mod figures;
 mod resume;
+mod serve_bench;
 mod suite;
 mod sweep_bench;
 mod trace;
@@ -61,6 +63,7 @@ pub fn run_spec(path: &Path) -> Result<(), BinError> {
         SpecKind::Check => check::run(&merged),
         SpecKind::Resume => resume::run(&merged, &spec),
         SpecKind::SweepBench => sweep_bench::run(&merged, &spec, path),
+        SpecKind::ServeBench => serve_bench::run(&merged, &spec, path),
         SpecKind::Suite => suite::run(&merged, &spec, path),
     }
 }

@@ -1,0 +1,185 @@
+//! Runner for `kind = "serve-bench"`: wall-clock benchmark of the
+//! `smtsim-serve` daemon's content-addressed cache. Starts an
+//! in-process daemon on a scratch socket with a *cold* scratch cache,
+//! submits each listed figure spec twice — cold (every cell computed)
+//! and warm (every cell a cache hit) — verifies the two streamed
+//! figures are byte-identical, and records cold-vs-warm latency plus
+//! cell throughput to `BENCH_serve.json`.
+//!
+//! Exits 1 if a warm replay differs from its cold run or computes any
+//! cell — turning a cache-correctness regression into a hard failure
+//! wherever this runs.
+
+use super::sibling_spec;
+use crate::serve_support::{self, EnvLowering};
+use crate::{BenchEnv, BinError};
+use smtsim_rob2::{ExperimentSpec, SpecKind};
+use smtsim_serve::{ServeConfig, Server};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One spec's cold/warm measurement.
+struct Leg {
+    id: String,
+    cells: u64,
+    cold: std::time::Duration,
+    cold_hits: u64,
+    warm: std::time::Duration,
+    identical: bool,
+}
+
+pub(super) fn run(env: &BenchEnv, spec: &ExperimentSpec, path: &Path) -> Result<(), BinError> {
+    for id in &spec.specs {
+        let sub = sibling_spec(path, id)?;
+        if sub.kind != SpecKind::Figure {
+            return Err(BinError::Config(format!(
+                "spec {id}: a serve-bench entry must be a figure spec, got kind = \"{}\"",
+                sub.kind.as_str()
+            )));
+        }
+    }
+
+    // Scratch socket + cache: the measurement must start cold, and a
+    // parallel run on the same machine must not share either.
+    let tag = format!("smtsim-serve-bench-{}", std::process::id());
+    let socket = std::env::temp_dir().join(format!("{tag}.sock"));
+    let cache_dir = std::env::temp_dir().join(format!("{tag}-cache"));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let spec_dir = path.parent().map(Path::to_path_buf);
+    let config = ServeConfig {
+        socket: socket.clone(),
+        cache_dir: cache_dir.clone(),
+        queue_limit: env.serve_queue,
+        workers: env.jobs.unwrap_or(0),
+        spec_dir,
+    };
+    let workers = config.effective_workers();
+    let server = Server::start(config, Box::new(EnvLowering { env: env.clone() }))
+        .map_err(|e| BinError::Runtime(format!("cannot start daemon: {e}")))?;
+
+    eprintln!(
+        "serve_bench: {} spec(s), budget={} st_budget={} warmup={} seed={} workers={workers}",
+        spec.specs.len(),
+        env.budget,
+        env.st_budget,
+        env.warmup,
+        env.seed
+    );
+
+    let submit = |id: &str| -> Result<(std::time::Duration, Vec<String>), BinError> {
+        let t0 = Instant::now();
+        let lines = serve_support::request_lines(&socket, &serve_support::submit_registry(id))?;
+        Ok((t0.elapsed(), lines))
+    };
+    let stat = |done: &str, field: &str| serve_support::line_u64(done, field).unwrap_or(0);
+
+    let mut legs = Vec::new();
+    let mut run_legs = || -> Result<(), BinError> {
+        for id in &spec.specs {
+            let (cold, cold_lines) = submit(id)?;
+            let cold_fig = serve_support::figure_of(&cold_lines)?;
+            let cold_done = serve_support::terminal_line(&cold_lines, "done")?;
+            let (warm, warm_lines) = submit(id)?;
+            let warm_fig = serve_support::figure_of(&warm_lines)?;
+            let warm_done = serve_support::terminal_line(&warm_lines, "done")?;
+            let cells = stat(cold_done, "cells");
+            let leg = Leg {
+                id: id.clone(),
+                cells,
+                cold,
+                cold_hits: stat(cold_done, "cache_hits"),
+                warm,
+                identical: warm_fig == cold_fig,
+            };
+            eprintln!(
+                "{id}: {cells} cells, cold {cold:.2?} ({:.1} cells/s), warm {warm:.2?}",
+                cells as f64 / cold.as_secs_f64().max(1e-9)
+            );
+            if !leg.identical {
+                return Err(BinError::Runtime(format!(
+                    "{id}: warm replay is not byte-identical to the cold run"
+                )));
+            }
+            let (warm_hits, warm_misses) = (
+                stat(warm_done, "cache_hits"),
+                stat(warm_done, "cache_misses"),
+            );
+            if warm_hits != cells || warm_misses != 0 {
+                return Err(BinError::Runtime(format!(
+                    "{id}: warm replay computed cells (hits={warm_hits}, misses={warm_misses}, \
+                     cells={cells})"
+                )));
+            }
+            legs.push(leg);
+        }
+        Ok(())
+    };
+    let outcome = run_legs();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    outcome?;
+
+    let cells: u64 = legs.iter().map(|l| l.cells).sum();
+    let cold: f64 = legs.iter().map(|l| l.cold.as_secs_f64()).sum();
+    let warm: f64 = legs.iter().map(|l| l.warm.as_secs_f64()).sum();
+    let cold_hits: u64 = legs.iter().map(|l| l.cold_hits).sum();
+    let cells_per_sec = cells as f64 / cold.max(1e-9);
+    let warm_speedup = cold / warm.max(1e-9);
+    let hardware_threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "total: {cells} cells, cold {cold:.2}s ({cells_per_sec:.1} cells/s), \
+         warm {warm:.3}s, warm speedup {warm_speedup:.1}x"
+    );
+
+    // Hand-rolled JSON: the workspace is dependency-free by design.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_bench\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"daemon submit of {} figure spec(s), cold cache then warm replay\",",
+        spec.specs.len()
+    );
+    let _ = writeln!(json, "  \"budget\": {},", env.budget);
+    let _ = writeln!(json, "  \"st_budget\": {},", env.st_budget);
+    let _ = writeln!(json, "  \"warmup\": {},", env.warmup);
+    let _ = writeln!(json, "  \"seed\": {},", env.seed);
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"cells\": {cells},");
+    let _ = writeln!(json, "  \"cold_ms\": {},", (cold * 1e3) as u64);
+    let _ = writeln!(json, "  \"warm_ms\": {},", (warm * 1e3) as u64);
+    let _ = writeln!(json, "  \"cold_cells_per_sec\": {cells_per_sec:.2},");
+    // A cold-vs-warm "speedup" on one hardware thread still measures
+    // the cache (warm serves from disk, no simulation), but the cold
+    // side's worker fan-out is scheduler noise there — mirror the
+    // sweep-bench convention and record null.
+    if hardware_threads >= 2 {
+        let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.2},");
+    } else {
+        let _ = writeln!(json, "  \"warm_speedup\": null,");
+    }
+    let _ = writeln!(json, "  \"cold_cache_hits\": {cold_hits},");
+    let _ = writeln!(json, "  \"warm_all_hits\": true,");
+    let _ = writeln!(json, "  \"identical_output\": true");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_serve.json", &json)?;
+    eprintln!("wrote BENCH_serve.json");
+
+    // Deterministic verdict on stdout (the timings above go to stderr
+    // only): `cargo xtask determinism` compares these bytes across job
+    // counts.
+    println!(
+        "serve_bench: {cells} cells over {} spec(s)",
+        spec.specs.len()
+    );
+    for leg in &legs {
+        println!(
+            "{}: cells={} cold_hits={} warm_all_hits=true byte_identical={}",
+            leg.id, leg.cells, leg.cold_hits, leg.identical
+        );
+    }
+    Ok(())
+}

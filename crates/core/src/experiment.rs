@@ -19,8 +19,8 @@ use crate::twolevel::{TwoLevelConfig, TwoLevelRob, TwoLevelStats};
 use smtsim_analysis::{DodAnalysis, L1_WINDOW};
 use smtsim_obs::{Episode, EpisodeReconstructor, MetricsRegistry, TraceEvent, TraceLog, Tracer};
 use smtsim_pipeline::{
-    DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator, RunBudget, SimError,
-    SimStats, Simulator, StopCondition,
+    CancelToken, DodBounds, FaultPlan, FaultStats, FixedRob, MachineConfig, RobAllocator,
+    RunBudget, SimError, SimStats, Simulator, StopCondition,
 };
 use smtsim_workload::{mix, Workload};
 use std::collections::BTreeMap;
@@ -162,6 +162,17 @@ impl NormTable {
     /// Number of `(mix, slot)` entries.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Folds `other`'s entries into this table; on overlap the entry
+    /// from `other` wins. Only meaningful for tables measured under
+    /// the same experiment universe (where overlapping entries are
+    /// identical by determinism) — an embedding daemon uses this to
+    /// keep one warm table per universe across requests.
+    pub fn merge(&mut self, other: &NormTable) {
+        for (k, v) in &other.entries {
+            self.entries.insert(*k, v.clone());
+        }
     }
 
     /// True when the table holds no entries.
@@ -376,6 +387,16 @@ pub struct Lab {
     /// deliberately *not* part of [`NormKey`] or the journal universe
     /// fingerprint.
     pub cycle_skip: bool,
+    /// Cooperative cancellation for every *measured* (multithreaded)
+    /// cell this lab runs: an embedding daemon arms one token per
+    /// request and the cycle loop polls it through [`RunBudget`]. A
+    /// cancelled cell fails with a typed
+    /// [`SimError::CellTimeout`]-family error — never a wrong value —
+    /// and normalization runs are unmetered, so the single-thread
+    /// cache only ever stores healthy references. Operational like
+    /// [`Lab::jobs`]: deliberately not part of [`NormKey`] or the
+    /// journal universe fingerprint.
+    pub cancel: Option<CancelToken>,
     /// Content fingerprint of the experiment spec driving this lab
     /// (see [`crate::spec::ExperimentSpec::fingerprint`]); `None` for
     /// labs built outside the spec layer. Part of the journal universe:
@@ -407,6 +428,7 @@ impl Lab {
             cell_wall_ms: None,
             retries: 0,
             cycle_skip: true,
+            cancel: None,
             spec_fingerprint: None,
         }
     }
@@ -493,6 +515,17 @@ impl Lab {
     #[must_use]
     pub fn with_spec_fingerprint(mut self, fingerprint: Option<String>) -> Self {
         self.change_state(|lab| lab.spec_fingerprint = fingerprint);
+        self
+    }
+
+    /// Arms (or clears) the cooperative per-cell cancellation token
+    /// (see the [`Lab::cancel`] field). Call before
+    /// [`Lab::adopt_journal`] / [`Lab::open_journal`]: like every
+    /// builder it routes through the state-change funnel, which drops
+    /// any open journal handle.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: Option<CancelToken>) -> Self {
+        self.change_state(|lab| lab.cancel = token);
         self
     }
 
@@ -625,6 +658,26 @@ impl Lab {
         self.single_cache.len()
     }
 
+    /// Pre-warms the normalization cache from a [`NormTable`] computed
+    /// earlier. Entries are keyed under the lab's *current* state, so
+    /// the caller must only seed tables measured under the same seed,
+    /// budgets, warm-up, machine and norm reference — the serve daemon
+    /// enforces this by storing tables per [`Lab::journal_universe`],
+    /// which covers every one of those fields. Only healthy entries
+    /// are seeded: errors are never cached, exactly as in
+    /// [`Lab::try_single_ipc`]. Deliberately bypasses the state-change
+    /// funnel — warming the cache mutates no universe-relevant state,
+    /// so an open journal stays valid.
+    pub fn seed_norm_cache(&mut self, table: &NormTable) {
+        let norm = self.norm;
+        for (&(m, slot), r) in &table.entries {
+            if let Ok(v) = r {
+                let key = self.norm_key(m, slot, norm);
+                self.single_cache.insert(key, *v);
+            }
+        }
+    }
+
     /// Worker-thread count a sweep would use right now: [`Lab::jobs`]
     /// if set, otherwise the machine's available parallelism.
     pub fn effective_jobs(&self) -> usize {
@@ -751,7 +804,7 @@ impl Lab {
             .run_budget(RunBudget {
                 max_cycles: self.cell_cycle_budget,
                 wall_ms: self.cell_wall_ms,
-                token: None,
+                token: self.cancel.clone(),
             })
             .cycle_skip(self.cycle_skip)
             .tracer(tracer);
@@ -1088,6 +1141,29 @@ impl Lab {
         }
     }
 
+    /// Installs an already-open shared [`Journal`] handle instead of
+    /// re-opening the file from [`Lab::journal_path`]. The serve
+    /// daemon holds one handle per experiment universe and shares it
+    /// across concurrent requests, so appends from every worker and
+    /// render pass serialize through a single file handle (and later
+    /// lookups observe earlier appends). The journal must have been
+    /// opened under the lab's *current* universe fingerprint; anything
+    /// else is a typed [`JournalError::UniverseMismatch`]. Call after
+    /// all `with_*` builder calls — any subsequent state change drops
+    /// the handle and the lab would re-open the path itself.
+    pub fn adopt_journal(&mut self, journal: Arc<Journal>) -> Result<(), JournalError> {
+        let expected = self.journal_universe();
+        if journal.universe() != expected {
+            return Err(JournalError::UniverseMismatch {
+                expected,
+                found: journal.universe().to_string(),
+            });
+        }
+        self.journal_path = Some(journal.path().to_path_buf());
+        self.journal = Some(journal);
+        Ok(())
+    }
+
     /// The open journal for the *current* universe, if a path is
     /// armed. Re-opens when no journal is open yet or the open one was
     /// created under a different fingerprint (possible via direct
@@ -1151,8 +1227,14 @@ impl Lab {
     /// engine's retry rounds. Per-cell results are identical to the
     /// round-based engine's because cells are independent and attempt
     /// progression is deterministic; only inter-cell scheduling
-    /// differs, which the input-order merge already erases.
-    fn run_cell_with_retries(
+    /// differs, which the input-order merge already erases. Public for
+    /// embedding schedulers (the serve daemon's worker pool) that
+    /// dispatch cells themselves but must keep the panic-isolation,
+    /// watchdog and retry semantics. Returns the result and the number
+    /// of attempts consumed. A cancelled lab ([`Lab::cancel`]) stops
+    /// retrying immediately — retrying a request the client abandoned
+    /// would only burn worker time.
+    pub fn run_cell_with_retries(
         &self,
         m: usize,
         cfg: RobConfig,
@@ -1163,7 +1245,8 @@ impl Lab {
         loop {
             let res = catch_cell(|| self.run_cell_attempt(m, cfg, norm, attempt)).and_then(|r| r);
             let transient = res.as_ref().err().is_some_and(SimError::is_transient);
-            if res.is_ok() || !transient || attempt >= max_attempts {
+            let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+            if res.is_ok() || !transient || cancelled || attempt >= max_attempts {
                 return (res, attempt);
             }
             attempt += 1;

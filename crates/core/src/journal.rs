@@ -350,8 +350,10 @@ fn load_records(
 // Canonical MixRun JSON (hand-rolled: the workspace is serde-free).
 // ---------------------------------------------------------------------
 
-/// Escapes and quotes a JSON string.
-fn json_string(s: &str) -> String {
+/// Escapes and quotes a JSON string. Public because every hand-rolled
+/// JSON writer in the workspace (the journal itself, the serve
+/// protocol) must escape identically — the workspace is serde-free.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

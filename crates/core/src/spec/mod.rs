@@ -95,6 +95,9 @@ pub enum SpecKind {
     Resume,
     /// The wall-clock sweep benchmark over a list of figure specs.
     SweepBench,
+    /// The cold-vs-warm serve-daemon benchmark over a figure spec
+    /// (in-process `smtsim-serve` round trip against a scratch cache).
+    ServeBench,
     /// A suite: renders each listed spec into `results/<id>.txt`.
     Suite,
 }
@@ -112,6 +115,7 @@ impl SpecKind {
         ("check", SpecKind::Check),
         ("resume", SpecKind::Resume),
         ("sweep-bench", SpecKind::SweepBench),
+        ("serve-bench", SpecKind::ServeBench),
         ("suite", SpecKind::Suite),
     ];
 
@@ -154,7 +158,10 @@ impl SpecKind {
 
     /// Does this kind consume a `specs` list (of sibling spec ids)?
     fn uses_specs(self) -> bool {
-        matches!(self, SpecKind::SweepBench | SpecKind::Suite)
+        matches!(
+            self,
+            SpecKind::SweepBench | SpecKind::ServeBench | SpecKind::Suite
+        )
     }
 }
 

@@ -1,0 +1,56 @@
+//! Sweep-as-a-service: the `smtsim-serve` daemon (DESIGN.md §17).
+//!
+//! Every figure binary rebuilds its world per invocation: labs,
+//! normalization runs and sweep results all die with the process. This
+//! crate turns the sweep engine into a long-running service. A daemon
+//! listens on a Unix socket for line-delimited JSON requests carrying
+//! an [`ExperimentSpec`] (inline TOML body or committed registry id),
+//! expands each spec into its `mix × config` cell matrix, shards the
+//! cells over a shared worker pool — reusing the `RunBudget`
+//! watchdogs, `CellPanic`/`CellTimeout` isolation and retry layer of
+//! the sweep engine cell for cell — and streams per-cell results back
+//! incrementally, one JSON line each, followed by the fully rendered
+//! figure.
+//!
+//! Results land in a **persistent content-addressed cache**
+//! ([`cache::ResultCache`]): one sweep-journal file per *experiment
+//! universe* (the spec-fingerprint-stripped
+//! [`Lab::journal_universe`]), each record keyed by the existing
+//! `cell_key(mix, RobConfig::fingerprint())`. Identical cells from
+//! different specs — or from a daemon restarted on the same cache
+//! directory — are served from disk instead of recomputed, and the
+//! warm normalization tables are kept in memory per universe across
+//! requests. Because the cache speaks the exact journal format of the
+//! offline bins, a corrupted record surfaces as a typed
+//! `JournalError::Corrupt`, never as wrong bytes.
+//!
+//! Multi-client behaviour: requests are admitted up to a bounded
+//! queue (a full queue answers a typed *retryable* rejection without
+//! ever blocking the accept loop), cells are scheduled round-robin
+//! across active requests (fair multi-client progress), a cell
+//! already being computed for one request is *deferred* for any other
+//! (single-flight — it resolves as a cache hit once the first
+//! computation lands), and a client that disconnects mid-stream has
+//! its queued cells cancelled immediately and its in-flight cells
+//! within one watchdog poll via the per-request [`CancelToken`].
+//! Cache hit/miss/in-flight counters are exported through
+//! `smtsim-obs`'s `MetricsRegistry` and served over the protocol.
+//!
+//! The daemon is deliberately **env-free**: it consumes a typed
+//! [`ServeConfig`] plus a [`SpecLowering`] strategy, so the bench
+//! layer keeps the single environment-knob funnel (`BenchEnv`) and
+//! supplies the spec-to-lab lowering the offline bins use — which is
+//! what makes the served bytes provably identical to the offline
+//! `spec` bin (`tests/serve.rs`).
+//!
+//! [`ExperimentSpec`]: smtsim_rob2::ExperimentSpec
+//! [`Lab::journal_universe`]: smtsim_rob2::Lab::journal_universe
+//! [`CancelToken`]: smtsim_pipeline::CancelToken
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{universe_of, ResultCache};
+pub use protocol::{Request, SpecSource};
+pub use server::{PlainLowering, ServeConfig, Server, SpecLowering};

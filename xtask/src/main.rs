@@ -62,7 +62,8 @@
 //!   Marker: `// xtask: allow-env-read`.
 //! * **wall-clock-in-sim** — `Instant` / `SystemTime` reads outside
 //!   the cell watchdog (`crates/pipeline/src/budget.rs`) and the bench
-//!   timing runners (`spec_run/sweep_bench.rs`, `spec_run/resume.rs`).
+//!   timing runners (`spec_run/sweep_bench.rs`,
+//!   `spec_run/serve_bench.rs`, `spec_run/resume.rs`).
 //!   Simulated time comes from the cycle counter; a wall-clock read
 //!   anywhere near simulator state or report output makes figures
 //!   machine- and load-dependent. Marker: `// xtask: allow-wall-clock`.
@@ -381,6 +382,7 @@ fn run_lints(root: &Path) -> Vec<Violation> {
         // determinism hazard.
         let is_wall_exempt = rel == Path::new("crates/pipeline/src/budget.rs")
             || rel == Path::new("crates/bench/src/spec_run/sweep_bench.rs")
+            || rel == Path::new("crates/bench/src/spec_run/serve_bench.rs")
             || rel == Path::new("crates/bench/src/spec_run/resume.rs");
         let in_bench = rel.starts_with("crates/bench/src");
         scan_file(
@@ -580,7 +582,10 @@ fn check_malformed_spec(root: &Path) -> Result<(), String> {
 /// crash-tolerance contract: a sweep killed mid-flight and relaunched
 /// on its journal must reproduce the uninterrupted figure bytes (the
 /// bin exits nonzero on divergence), and its verdict line must itself
-/// be identical at both job counts.
+/// be identical at both job counts. `serve_bench` does the same for
+/// the serve daemon's content-addressed cache: its warm replay must be
+/// byte-identical and all cache hits (the bin exits nonzero
+/// otherwise), and its verdict is compared across worker fan-outs.
 fn run_determinism(root: &Path, bless: bool) -> ExitCode {
     let mut failed = false;
     // Goldens are only valid at the recorded knob values.
@@ -588,7 +593,15 @@ fn run_determinism(root: &Path, bless: bool) -> ExitCode {
         .iter()
         .chain([&("SEED", ""), &("ST_BUDGET", "")])
         .all(|(k, _)| std::env::var_os(k).is_none());
-    for bin in ["fig2", "fig1", "accuracy", "trace", "resume_bench", "check"] {
+    for bin in [
+        "fig2",
+        "fig1",
+        "accuracy",
+        "trace",
+        "resume_bench",
+        "serve_bench",
+        "check",
+    ] {
         let serial = match run_bench_bin(root, bin, 1, DETERMINISM_DEFAULTS, &[]) {
             Ok(s) => s,
             Err(e) => {
